@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's evaluation artifacts: every
+// table and figure of Section 5, plus the ablations DESIGN.md calls out.
+//
+// Examples:
+//
+//	experiments -run all
+//	experiments -run fig9,fig13,table4 -seeds 5
+//	experiments -run fig14 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	vod "repro"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all' / 'list'")
+		seeds   = flag.Int("seeds", 3, "simulation seeds averaged per data point")
+		quick   = flag.Bool("quick", false, "smaller sweeps and shorter horizons")
+		format  = flag.String("format", "text", "output format: text or csv")
+		verbose = flag.Bool("v", false, "print per-step progress to stderr")
+	)
+	flag.Parse()
+
+	if *run == "list" {
+		for _, id := range vod.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := vod.Experiments()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	opt := vod.ExperimentOptions{Seeds: *seeds, Quick: *quick}
+	if *verbose {
+		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := vod.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n", rep.ID, rep.Title)
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				failed = true
+			}
+		default:
+			fmt.Print(rep.String())
+		}
+		fmt.Fprintf(os.Stderr, "%s completed in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

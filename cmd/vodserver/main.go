@@ -1,0 +1,291 @@
+// Command vodserver is a miniature VOD server over TCP: goroutine per
+// viewer, buffers sized from the paper's dynamic table, admission through
+// the predict-and-enforce controller, and a simulated single disk pacing
+// the fills. Time is compressed (one simulated minute per wall second by
+// default) so demos finish quickly.
+//
+// Protocol: the client sends one line, "WATCH <seconds>\n"; the server
+// answers "OK <id>\n" (admitted) or "BUSY\n" (deferred past patience) and
+// then streams length-prefixed frames ([4-byte big-endian length][bytes])
+// until the requested content has been delivered, closing with a zero
+// length frame.
+//
+//	vodserver -listen :9000            # serve
+//	vodserver -selftest 8              # in-process demo: 8 viewers
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	vod "repro"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9000", "address to serve on")
+		scale    = flag.Float64("scale", 60, "simulated seconds per wall second")
+		selftest = flag.Int("selftest", 0, "run N in-process viewers against the server and exit")
+	)
+	flag.Parse()
+
+	srv := newServer(*scale)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("vodserver listening on %s (time x%g)", ln.Addr(), *scale)
+
+	if *selftest > 0 {
+		go srv.acceptLoop(ln)
+		if err := runSelfTest(ln.Addr().String(), *selftest, *scale, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	srv.acceptLoop(ln)
+}
+
+// server is the shared state: the controller, the simulated disk, and the
+// viewer registry.
+type server struct {
+	spec  vod.DiskSpec
+	cr    vod.BitRate
+	ctl   *vod.Controller
+	scale float64
+
+	mu      sync.Mutex
+	nextID  int
+	viewers map[int]*session
+	diskAt  float64 // simulated time the disk is busy through
+	epoch   time.Time
+}
+
+// session is one connected viewer's server-side state.
+type session struct {
+	id        int
+	remaining int64 // bytes still to deliver
+}
+
+func newServer(scale float64) *server {
+	spec, cr, params := vod.PaperEnvironment()
+	return &server{
+		spec:    spec,
+		cr:      cr,
+		ctl:     vod.NewController(params, vod.NewMethod(vod.RoundRobin), spec, vod.Minutes(40)),
+		scale:   scale,
+		viewers: make(map[int]*session),
+		epoch:   time.Now(),
+	}
+}
+
+// simNow is the current simulated time.
+func (s *server) simNow() vod.Seconds {
+	return vod.Seconds(time.Since(s.epoch).Seconds() * s.scale)
+}
+
+// wall converts a simulated duration to wall time.
+func (s *server) wall(d vod.Seconds) time.Duration {
+	return (d / vod.Seconds(s.scale)).Duration()
+}
+
+func (s *server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle runs one viewer's session: parse, admit, stream.
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	var seconds float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(line), "WATCH %f", &seconds); err != nil || seconds <= 0 {
+		fmt.Fprintf(conn, "ERR bad request\n")
+		return
+	}
+
+	// Admission with bounded patience: Fig. 5 defers violating arrivals;
+	// a real frontend gives up eventually.
+	s.ctl.ObserveArrival(s.simNow())
+	admitted := false
+	for tries := 0; tries < 100; tries++ {
+		if s.ctl.Admit(s.simNow()) {
+			admitted = true
+			break
+		}
+		time.Sleep(s.wall(1))
+	}
+	if !admitted {
+		fmt.Fprintf(conn, "BUSY\n")
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	sess := &session{id: s.nextID, remaining: int64(s.cr.DataIn(vod.Seconds(seconds)).Bytes())}
+	s.viewers[sess.id] = sess
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.viewers, sess.id)
+		s.mu.Unlock()
+		s.ctl.Release(sess.id)
+	}()
+
+	if _, err := fmt.Fprintf(conn, "OK %d\n", sess.id); err != nil {
+		return
+	}
+
+	// Stream: each iteration is one service — allocate via the table,
+	// occupy the simulated disk, then ship the bytes. Delivery is paced
+	// so the client's buffer never holds more than one allocation.
+	var frame [4]byte
+	payload := make([]byte, 0, 1<<20)
+	for sess.remaining > 0 {
+		size, _, err := s.ctl.Allocate(sess.id, s.simNow())
+		if err != nil {
+			return
+		}
+		bytes := int64(size.Bytes())
+		if bytes < 1 {
+			bytes = 1
+		}
+		if bytes > sess.remaining {
+			bytes = sess.remaining
+		}
+		fill := vod.Bits(bytes * 8)
+		s.diskService(fill)
+		sess.remaining -= bytes
+
+		if int64(cap(payload)) < bytes {
+			payload = make([]byte, bytes)
+		}
+		payload = payload[:bytes]
+		binary.BigEndian.PutUint32(frame[:], uint32(bytes))
+		if _, err := conn.Write(frame[:]); err != nil {
+			return
+		}
+		if _, err := conn.Write(payload); err != nil {
+			return
+		}
+		// Pace: do not run ahead of consumption by more than one buffer.
+		time.Sleep(s.wall(s.cr.TimeToTransfer(fill)))
+	}
+	binary.BigEndian.PutUint32(frame[:], 0)
+	conn.Write(frame[:])
+}
+
+// diskService occupies the shared simulated disk for one fill: a sampled
+// seek and rotational delay plus the transfer, paced against the wall
+// clock by absolute target so overshoot never accumulates.
+func (s *server) diskService(fill vod.Bits) {
+	s.mu.Lock()
+	dl := s.spec.SeekTime(rand.Intn(s.spec.Cylinders)) +
+		vod.Seconds(rand.Float64())*s.spec.MaxRotational
+	now := float64(s.simNow())
+	if s.diskAt < now {
+		s.diskAt = now
+	}
+	s.diskAt += float64(dl + s.spec.TransferRate.TimeToTransfer(fill))
+	target := s.epoch.Add(s.wall(vod.Seconds(s.diskAt)).Truncate(0))
+	s.mu.Unlock()
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// runSelfTest connects n viewers watching 20–90 simulated seconds each
+// and reports their startup latency and delivery.
+func runSelfTest(addr string, n int, scale float64, w io.Writer) error {
+	type result struct {
+		id      int
+		watch   float64
+		startup time.Duration
+		bytes   int64
+		err     error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			watch := 20 + 10*float64(i)
+			res := result{id: i, watch: watch}
+			defer func() { results[i] = res }()
+
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer conn.Close()
+			start := time.Now()
+			fmt.Fprintf(conn, "WATCH %g\n", watch)
+			r := bufio.NewReader(conn)
+			status, err := r.ReadString('\n')
+			if err != nil {
+				res.err = err
+				return
+			}
+			if !strings.HasPrefix(status, "OK") {
+				res.err = fmt.Errorf("not admitted: %s", strings.TrimSpace(status))
+				return
+			}
+			first := true
+			var frame [4]byte
+			for {
+				if _, err := io.ReadFull(r, frame[:]); err != nil {
+					res.err = err
+					return
+				}
+				if first {
+					res.startup = time.Since(start)
+					first = false
+				}
+				length := binary.BigEndian.Uint32(frame[:])
+				if length == 0 {
+					return
+				}
+				if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+					res.err = err
+					return
+				}
+				res.bytes += int64(length)
+			}
+		}(i)
+		time.Sleep(time.Duration(float64(2*time.Second) / scale * 10)) // stagger
+	}
+	wg.Wait()
+
+	fmt.Fprintf(w, "%-8s %10s %14s %12s %s\n", "viewer", "watch(s)", "startup(wall)", "delivered", "status")
+	for _, res := range results {
+		status := "ok"
+		if res.err != nil {
+			status = res.err.Error()
+		}
+		fmt.Fprintf(w, "%-8d %10.0f %14s %12d %s\n",
+			res.id, res.watch, res.startup.Round(time.Microsecond), res.bytes, status)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestServer spins a server on an ephemeral port with aggressive
+// time compression so tests finish quickly.
+func startTestServer(t *testing.T) (*server, string) {
+	t.Helper()
+	srv := newServer(600)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.acceptLoop(ln)
+	return srv, ln.Addr().String()
+}
+
+// watch runs one client session and returns the delivered byte count.
+func watch(t *testing.T, addr string, seconds float64) int64 {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "WATCH %g\n", seconds)
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("not admitted: %q", status)
+	}
+	var total int64
+	var frame [4]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			t.Fatal(err)
+		}
+		length := binary.BigEndian.Uint32(frame[:])
+		if length == 0 {
+			return total
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(length)
+	}
+}
+
+func TestServerDeliversExactContent(t *testing.T) {
+	_, addr := startTestServer(t)
+	// 10 simulated seconds at 1.5 Mbps = 15 Mbit = 1,875,000 bytes.
+	got := watch(t, addr, 10)
+	if got != 1_875_000 {
+		t.Errorf("delivered %d bytes, want 1875000", got)
+	}
+}
+
+func TestServerConcurrentViewers(t *testing.T) {
+	srv, addr := startTestServer(t)
+	done := make(chan int64, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- watch(t, addr, 5) }()
+	}
+	for i := 0; i < 4; i++ {
+		if got := <-done; got != 937_500 {
+			t.Errorf("viewer delivered %d bytes, want 937500", got)
+		}
+	}
+	// All sessions released.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.ctl.InService() == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("controller still holds %d sessions", srv.ctl.InService())
+}
+
+func TestServerRejectsBadRequest(t *testing.T) {
+	_, addr := startTestServer(t)
+	for _, bad := range []string{"GIMME\n", "WATCH\n", "WATCH -5\n", "WATCH x\n"} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprint(conn, bad)
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err != nil || !strings.HasPrefix(reply, "ERR") {
+			t.Errorf("request %q: reply %q, err %v; want ERR", strings.TrimSpace(bad), strings.TrimSpace(reply), err)
+		}
+	}
+}
+
+func TestRunSelfTest(t *testing.T) {
+	_, addr := startTestServer(t)
+	var out strings.Builder
+	if err := runSelfTest(addr, 3, 600, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), " ok"); got != 3 {
+		t.Errorf("self test ok lines = %d, want 3\n%s", got, out.String())
+	}
+}

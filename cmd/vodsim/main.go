@@ -1,0 +1,106 @@
+// Command vodsim runs one discrete-event simulation of a VOD server and
+// prints its measurements: admission counts, initial-latency statistics,
+// starvation, estimation quality, and memory usage.
+//
+// Examples:
+//
+//	vodsim -scheme dynamic -method rr -arrivals 2500 -theta 0
+//	vodsim -scheme static -method sweep -hours 8
+//	vodsim -scheme dynamic -disks 10 -memory 4 -arrivals 24000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	vod "repro"
+)
+
+func main() {
+	var (
+		schemeFlag = flag.String("scheme", "dynamic", "allocation scheme: static, dynamic, naive")
+		methodFlag = flag.String("method", "rr", "scheduling method: rr, sweep, gss")
+		arrivals   = flag.Float64("arrivals", 2500, "expected arrivals over the horizon")
+		theta      = flag.Float64("theta", 0.5, "arrival-pattern Zipf parameter (0 skewed .. 1 uniform)")
+		hours      = flag.Float64("hours", 24, "simulated horizon in hours")
+		disks      = flag.Int("disks", 1, "number of disks")
+		memoryGB   = flag.Float64("memory", 0, "total memory budget in GB (0 = unlimited)")
+		tlog       = flag.Float64("tlog", 0, "estimation window T_log in minutes (0 = paper default)")
+		alpha      = flag.Int("alpha", 1, "inertia slack alpha")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	scheme, err := vod.ParseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kind, err := vod.ParseMethod(*methodFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	spec, cr, _ := vod.PaperEnvironment()
+	lib, err := vod.NewLibrary(vod.LibraryConfig{
+		Titles:          6 * *disks,
+		Disks:           *disks,
+		Spec:            spec,
+		PopularityTheta: 0.271,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	horizon := vod.Hours(*hours)
+	peak := vod.Hours(9)
+	if peak > horizon {
+		peak = horizon / 2
+	}
+	trace := vod.GenerateWorkload(vod.ZipfDaySchedule(*arrivals, *theta, peak, horizon), lib, *seed)
+
+	cfg := vod.SimConfig{
+		Scheme:       scheme,
+		Method:       vod.NewMethod(kind),
+		Spec:         spec,
+		CR:           cr,
+		Alpha:        *alpha,
+		Library:      lib,
+		Trace:        trace,
+		Seed:         *seed,
+		MemoryBudget: vod.Gigabytes(*memoryGB),
+	}
+	if *tlog > 0 {
+		cfg.TLog = vod.Minutes(*tlog)
+	}
+	res, err := vod.Simulate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme=%v method=%v disks=%d arrivals=%d horizon=%v\n",
+		scheme, cfg.Method, *disks, len(trace.Requests), horizon)
+	fmt.Printf("served:               %d\n", res.Served)
+	fmt.Printf("rejected (capacity):  %d\n", res.Rejected)
+	fmt.Printf("rejected (memory):    %d\n", res.RejectedMemory)
+	fmt.Printf("admission deferrals:  %d\n", res.Deferrals)
+	fmt.Printf("max concurrent:       %d\n", res.MaxConcurrent)
+	if gm, ok := res.LatencyByN.GrandMean(); ok {
+		fmt.Printf("avg initial latency:  %.4gs\n", gm)
+	}
+	fmt.Printf("underruns:            %d (starved %v)\n", res.Underruns, res.Starved)
+	fmt.Printf("peak memory (actual): %v\n", res.PeakMemory)
+	if res.Estimates > 0 {
+		fmt.Printf("estimation:           %.2f%% success, avg k %.2f over %d checks\n",
+			100*res.SuccessRate(), res.EstimatedK.Mean(), res.Estimates)
+	}
+	fmt.Printf("\n%-6s %14s %10s\n", "n", "avg latency", "requests")
+	for n := 0; n < res.LatencyByN.Levels(); n++ {
+		if mean, ok := res.LatencyByN.Mean(n); ok {
+			fmt.Printf("%-6d %13.4gs %10d\n", n, mean, res.LatencyByN.Count(n))
+		}
+	}
+}

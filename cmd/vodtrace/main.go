@@ -1,0 +1,94 @@
+// Command vodtrace generates, inspects, and converts workload traces: the
+// Poisson-under-a-Zipf-day arrival process of Section 5.1 serialized as
+// CSV for replay, hand editing, or analysis with external tools.
+//
+// Examples:
+//
+//	vodtrace -arrivals 2500 -theta 0 -out day.csv      # generate
+//	vodtrace -stats day.csv                            # summarize
+//	vodtrace -arrivals 500 -disks 10 -hours 8          # print to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	vod "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		arrivals = flag.Float64("arrivals", 2500, "expected arrivals over the horizon")
+		theta    = flag.Float64("theta", 0.5, "arrival-pattern Zipf parameter (0 skewed .. 1 uniform)")
+		hours    = flag.Float64("hours", 24, "horizon in hours")
+		disks    = flag.Int("disks", 1, "number of disks in the library")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "write the generated trace to this file (default stdout)")
+		statsArg = flag.String("stats", "", "summarize an existing trace CSV instead of generating")
+	)
+	flag.Parse()
+
+	if *statsArg != "" {
+		f, err := os.Open(*statsArg)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := workload.ReadCSV(f)
+		if err != nil {
+			fatal(err)
+		}
+		maxDisk := 0
+		for _, r := range tr.Requests {
+			if r.Disk > maxDisk {
+				maxDisk = r.Disk
+			}
+		}
+		st := tr.Summarize(maxDisk + 1)
+		fmt.Printf("requests:      %d\n", st.Requests)
+		fmt.Printf("horizon:       %v\n", st.Horizon)
+		fmt.Printf("peak rate:     %.4f arrivals/s (busiest 30-minute slot)\n", st.PeakRate)
+		fmt.Printf("mean viewing:  %v\n", st.MeanViewing)
+		for d, share := range st.PerDiskShare {
+			fmt.Printf("disk %d share:  %.1f%%\n", d, 100*share)
+		}
+		return
+	}
+
+	spec, _, _ := vod.PaperEnvironment()
+	lib, err := vod.NewLibrary(vod.LibraryConfig{
+		Titles: 6 * *disks, Disks: *disks, Spec: spec, PopularityTheta: 0.271,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	horizon := vod.Hours(*hours)
+	peak := vod.Hours(9)
+	if peak > horizon {
+		peak = horizon / 2
+	}
+	tr := vod.GenerateWorkload(vod.ZipfDaySchedule(*arrivals, *theta, peak, horizon), lib, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "%d requests written to %s\n", len(tr.Requests), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+package vod_test
+
+import (
+	"fmt"
+
+	vod "repro"
+)
+
+// The headline comparison: the buffer a lone viewer needs under each
+// scheme on the paper's reference hardware.
+func ExampleDynamicBufferSize() {
+	spec, _, params := vod.PaperEnvironment()
+	m := vod.NewMethod(vod.RoundRobin)
+
+	static := vod.StaticBufferSize(params, vod.WorstDiskLatency(m, spec, params.N), params.N)
+	dynamic := vod.DynamicBufferSize(params, vod.WorstDiskLatency(m, spec, 1), 1, 1)
+
+	fmt.Printf("static:  %v\n", static)
+	fmt.Printf("dynamic: %v\n", dynamic)
+	// Output:
+	// static:  25.75MB
+	// dynamic: 8.599KB
+}
+
+// Worst-case initial latency under the three scheduling methods at a
+// partial load of ten viewers (Eqs. 2-4 over Theorem 1 sizes).
+func ExampleWorstInitialLatency() {
+	spec, _, params := vod.PaperEnvironment()
+	for _, kind := range []vod.MethodKind{vod.RoundRobin, vod.Sweep, vod.GSS} {
+		m := vod.NewMethod(kind)
+		dl := vod.WorstDiskLatency(m, spec, 10)
+		bs := vod.DynamicBufferSize(params, dl, 10, 4)
+		fmt.Printf("%-12v %v\n", m, vod.WorstInitialLatency(m, spec, bs, 10))
+	}
+	// Output:
+	// Round-Robin  50.46ms
+	// Sweep*       393.5ms
+	// GSS*(g=8)    304.2ms
+}
+
+// The runtime sizing table of Section 3.3: precompute once, index at
+// every allocation.
+func ExampleNewSizeTable() {
+	spec, _, params := vod.PaperEnvironment()
+	table := vod.NewSizeTable(params, vod.NewMethod(vod.RoundRobin), spec)
+	fmt.Printf("BS_4(10) = %v\n", table.Size(10, 4))
+	fmt.Printf("BS_0(79) = %v\n", table.Size(79, 0))
+	// Output:
+	// BS_4(10) = 105KB
+	// BS_0(79) = 25.75MB
+}
+
+// Admission control under predict-and-enforce: a buffer sized for
+// n_i + k_i = 12 concurrent requests blocks the 13th admission.
+func ExampleAdmit() {
+	book := vod.NewAdmissionBook()
+	book.Set(1, vod.Allocation{N: 10, K: 2})
+
+	fmt.Println(vod.Admit(book, 11, 79)) // 12th request: within the assumption
+	fmt.Println(vod.Admit(book, 12, 79)) // 13th request: deferred
+	// Output:
+	// true
+	// false
+}
+
+// Minimum memory to support 40 viewers under each scheme (Theorem 2 vs
+// the static baseline) — the Fig. 12 comparison at one point.
+func ExampleMinMemoryDynamic() {
+	spec, _, params := vod.PaperEnvironment()
+	m := vod.NewMethod(vod.RoundRobin)
+	fmt.Printf("static:  %v\n", vod.MinMemoryStatic(params, m, spec, 40))
+	fmt.Printf("dynamic: %v\n", vod.MinMemoryDynamic(params, m, spec, 40, 4))
+	// Output:
+	// static:  775.9MB
+	// dynamic: 100.8MB
+}
+
+// Chunked video layout (footnote 3): any read up to MaxRead is satisfied
+// by exactly one chunk, at a bounded replication cost.
+func ExampleNewChunkLayout() {
+	video := vod.Megabytes(1350) // one 120-minute MPEG-1 title
+	layout, err := vod.NewChunkLayout(video, vod.Megabytes(104), vod.Megabytes(26))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("chunks:   %d\n", layout.Chunks())
+	fmt.Printf("overhead: %.2fx\n", layout.Overhead())
+	// Output:
+	// chunks:   17
+	// overhead: 1.31x
+}

@@ -1,0 +1,323 @@
+// A live miniature VOD server: goroutine-per-viewer streaming in scaled
+// wall-clock time, allocating buffers from the paper's dynamic sizing
+// table and admitting viewers with the predict-and-enforce book.
+//
+// Simulated seconds are compressed 20x (beyond that, the sub-millisecond
+// sleeps fall under the OS timer resolution and the pacing collapses);
+// the demo streams six short clips in a few wall seconds and prints each
+// viewer's startup latency, fill sizes, and total stall time.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	vod "repro"
+)
+
+// compression of simulated time into wall time.
+const timeScale = 20
+
+// wall converts a simulated duration to a wall-clock duration.
+func wall(s vod.Seconds) time.Duration { return (s / timeScale).Duration() }
+
+// viewer is one connected client.
+type viewer struct {
+	id        int
+	watchFor  vod.Seconds // how much content the viewer will consume
+	admitted  time.Time
+	started   time.Time
+	rebuffers int
+
+	mu        sync.Mutex
+	level     vod.Bits // data buffered and not yet consumed
+	delivered vod.Bits // data fetched from disk so far
+	firstFill vod.Bits // size of the first allocation
+	lastFill  vod.Bits // size of the latest allocation
+	fills     int
+	gotAll    bool
+	done      chan struct{}
+}
+
+// server is a tiny single-disk VOD server driven by the library's
+// Controller: the thread-safe sizing + admission machinery a real server
+// embeds.
+type server struct {
+	spec vod.DiskSpec
+	cr   vod.BitRate
+	ctl  *vod.Controller
+
+	epoch   time.Time   // wall anchor for simulated time
+	diskAt  vod.Seconds // simulated time the disk is busy through
+	mu      sync.Mutex
+	viewers []*viewer
+	wake    chan struct{}
+}
+
+func newServer() *server {
+	spec, cr, params := vod.PaperEnvironment()
+	return &server{
+		spec:  spec,
+		cr:    cr,
+		ctl:   vod.NewController(params, vod.NewMethod(vod.RoundRobin), spec, vod.Minutes(40)),
+		epoch: time.Now(),
+		wake:  make(chan struct{}, 1),
+	}
+}
+
+// simNow reports the current simulated time.
+func (s *server) simNow() vod.Seconds {
+	return vod.Seconds(time.Since(s.epoch).Seconds()) * timeScale
+}
+
+// connect admits a viewer per the predict-and-enforce rule, retrying
+// while admission is deferred (Fig. 5 resolves violations by deferring
+// the new request until the assumptions hold again).
+func (s *server) connect(v *viewer) bool {
+	v.admitted = time.Now()
+	s.ctl.ObserveArrival(s.simNow())
+	for tries := 0; ; tries++ {
+		if s.ctl.Admit(s.simNow()) {
+			s.mu.Lock()
+			v.done = make(chan struct{})
+			s.viewers = append(s.viewers, v)
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+			s.mu.Unlock()
+			if tries > 0 {
+				log.Printf("viewer %d admitted after %d deferrals", v.id, tries)
+			}
+			return true
+		}
+		if tries > 200 {
+			return false
+		}
+		time.Sleep(wall(1)) // retry after a simulated second
+	}
+}
+
+// serve is the disk loop: one service at a time, lowest-buffer-first,
+// sizing each fill through the Controller and topping up rather than
+// over-filling (use-it-and-toss-it).
+func (s *server) serve(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		v, size := s.pickNext()
+		if v == nil {
+			// Nothing due: nap briefly — well under the due-to-empty
+			// window of a quarter-drained minimum buffer.
+			select {
+			case <-s.wake:
+			case <-stop:
+				return
+			case <-time.After(wall(0.01)):
+			}
+			continue
+		}
+		// One service: an actual sampled disk latency (random seek plus
+		// rotational delay — the sizing guarantees worst case, the real
+		// disk usually does better) plus the transfer. The disk's
+		// simulated busy-time is paced against the wall clock by
+		// absolute target, so sleep overshoot never accumulates.
+		dl := s.spec.SeekTime(rand.Intn(s.spec.Cylinders)) +
+			vod.Seconds(rand.Float64())*s.spec.MaxRotational
+		now := vod.Seconds(time.Since(s.epoch).Seconds()) * timeScale
+		if s.diskAt < now {
+			s.diskAt = now
+		}
+		s.diskAt += dl + s.spec.TransferRate.TimeToTransfer(size)
+		if d := time.Until(s.epoch.Add(wall(s.diskAt).Truncate(0))); d > 0 {
+			time.Sleep(d)
+		}
+
+		v.mu.Lock()
+		v.level += size
+		v.delivered += size
+		if v.started.IsZero() {
+			v.started = time.Now()
+		}
+		if v.fills == 0 {
+			v.firstFill = size
+		}
+		v.lastFill = size
+		v.fills++
+		if v.delivered >= s.cr.DataIn(v.watchFor) {
+			v.gotAll = true
+		}
+		v.mu.Unlock()
+	}
+}
+
+// pickNext chooses the most drained viewer still needing data and the
+// fill size for it, and records the inertia snapshot in the book. A
+// viewer whose buffer is still mostly full is not due yet.
+func (s *server) pickNext() (*viewer, vod.Bits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.viewers)
+	if n == 0 {
+		return nil, 0
+	}
+	var best *viewer
+	bestLevel := vod.Bits(math.Inf(1))
+	for _, v := range s.viewers {
+		v.mu.Lock()
+		level := v.level
+		need := !v.gotAll
+		v.mu.Unlock()
+		if need && level < bestLevel {
+			best, bestLevel = v, level
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	alloc, _, err := s.ctl.Allocate(best.id, s.simNow())
+	if err != nil {
+		return nil, 0
+	}
+	if bestLevel > alloc/4 {
+		return nil, 0 // the most drained buffer is still mostly full
+	}
+	size := alloc - bestLevel // top up
+	best.mu.Lock()
+	if rem := s.cr.DataIn(best.watchFor) - best.delivered; size > rem {
+		size = rem
+	}
+	best.mu.Unlock()
+	return best, size
+}
+
+func (s *server) viewerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.viewers)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// disconnect removes a finished viewer.
+func (s *server) disconnect(v *viewer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ctl.Release(v.id)
+	for i, o := range s.viewers {
+		if o == v {
+			s.viewers = append(s.viewers[:i], s.viewers[i+1:]...)
+			break
+		}
+	}
+}
+
+// watch consumes the stream in 100 ms (simulated) ticks, counting
+// rebuffer events when the buffer is empty at a tick.
+func (v *viewer) watch(cr vod.BitRate) {
+	tick := vod.Seconds(0.05)
+	consumed := vod.Bits(0)
+	target := cr.DataIn(v.watchFor)
+	// Wait for startup.
+	for {
+		v.mu.Lock()
+		started := !v.started.IsZero()
+		v.mu.Unlock()
+		if started {
+			break
+		}
+		time.Sleep(wall(tick))
+	}
+	// Pace consumption against absolute wall targets anchored at startup
+	// so sleep overshoot never accumulates into false stalls.
+	playStart := time.Now()
+	elapsed := vod.Seconds(0)
+	for consumed < target {
+		elapsed += tick
+		if d := time.Until(playStart.Add(wall(elapsed))); d > 0 {
+			time.Sleep(d)
+		}
+		v.mu.Lock()
+		// Consume up to one tick's worth; partial draining is normal
+		// when a buffer is smaller than a tick's bite.
+		bite := cr.DataIn(tick)
+		if bite > target-consumed {
+			bite = target - consumed
+		}
+		if bite > v.level {
+			bite = v.level
+		}
+		v.level -= bite
+		consumed += bite
+		if bite == 0 {
+			if v.gotAll {
+				// Everything delivered has been consumed; any residual
+				// difference from target is float dust.
+				v.mu.Unlock()
+				break
+			}
+			v.rebuffers++
+		}
+		v.mu.Unlock()
+	}
+	close(v.done)
+}
+
+func main() {
+	srv := newServer()
+	stop := make(chan struct{})
+	go srv.serve(stop)
+
+	cr := srv.cr
+	var wg sync.WaitGroup
+	results := make([]*viewer, 0, 6)
+	var resultsMu sync.Mutex
+
+	// Six viewers connect over ~1.5 wall seconds, each watching 10 to
+	// 60 simulated seconds.
+	for i := 0; i < 6; i++ {
+		v := &viewer{id: i, watchFor: vod.Seconds(10 + 10*float64(i))}
+		if !srv.connect(v) {
+			log.Printf("viewer %d rejected", i)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.watch(cr)
+			srv.disconnect(v)
+			resultsMu.Lock()
+			results = append(results, v)
+			resultsMu.Unlock()
+		}()
+		time.Sleep(wall(vod.Seconds(5)))
+	}
+	wg.Wait()
+	close(stop)
+
+	sort.Slice(results, func(i, j int) bool { return results[i].id < results[j].id })
+	fmt.Printf("%-8s %12s %14s %12s %12s %8s %12s\n",
+		"viewer", "watched", "startup(wall)", "first fill", "last fill", "fills", "stalled(sim)")
+	for _, v := range results {
+		fmt.Printf("%-8d %11.0fs %14s %12v %12v %8d %11.2fs\n",
+			v.id, float64(v.watchFor), v.started.Sub(v.admitted).Round(time.Microsecond),
+			v.firstFill, v.lastFill, v.fills, 0.05*float64(v.rebuffers))
+	}
+	fmt.Println("\nfills grow as concurrent viewers accumulate (the dynamic sizing")
+	fmt.Println("table at work) and shrink again as viewers finish; startup stays")
+	fmt.Println("in the low simulated tens of milliseconds throughout. the small")
+	fmt.Println("stalls are the price of streaming from deliberately minimum")
+	fmt.Println("buffers through a wall clock with scheduling jitter.")
+}

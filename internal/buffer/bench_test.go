@@ -1,0 +1,42 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/si"
+)
+
+// BenchmarkFillCycle measures the begin/complete fill pair, the hot path
+// of every simulated service.
+func BenchmarkFillCycle(b *testing.B) {
+	p := NewPool(0)
+	for i := 0; i < 40; i++ {
+		p.Attach(i, cr, 0)
+		p.BeginFill(i, si.Megabits(1.5), 0)
+		p.CompleteFill(i, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := si.Seconds(0)
+	for i := 0; i < b.N; i++ {
+		id := i % 40
+		now += 0.001
+		p.BeginFill(id, si.Megabits(0.01), now)
+		p.CompleteFill(id, now)
+	}
+}
+
+// BenchmarkUsage measures the pool scan done at every high-water note.
+func BenchmarkUsage(b *testing.B) {
+	p := NewPool(0)
+	for i := 0; i < 79; i++ {
+		p.Attach(i, cr, 0)
+		p.BeginFill(i, si.Megabits(1.5), 0)
+		p.CompleteFill(i, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Usage(si.Seconds(i % 1000))
+	}
+}

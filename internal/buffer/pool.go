@@ -1,0 +1,282 @@
+// Package buffer implements the shared memory pool of the VOD server
+// model (Section 2.1): every request owns one buffer, buffers share the
+// server's memory, and memory is released continuously as the stream
+// consumes data (the use-it-and-toss-it policy). Allocation is by
+// variable-length units, as the paper assumes; page rounding is a
+// negligible refinement it explicitly sets aside.
+//
+// Buffer levels drain linearly at the stream's consumption rate, so the
+// pool stores each buffer as (level at last touch, touch time) and
+// evaluates lazily. An underrun — the level hitting zero before the next
+// fill lands — is the failure the paper's sizing theorems exist to
+// prevent; the pool records every underrun and how long the stream
+// starved, and the simulation's correctness tests assert the count stays
+// zero whenever the inertia assumptions are enforced.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/si"
+)
+
+// Pool is the shared memory of one server. It is not safe for concurrent
+// use; in the simulator each pool belongs to one server process.
+type Pool struct {
+	budget   si.Bits // 0 means unlimited
+	page     si.Bits // allocation granularity; 0 means exact (variable length)
+	inflight si.Bits // reserved for fills in progress
+	streams  map[int]*state
+	// order lists states in a deterministic order (attach order with
+	// swap-removal) so Usage sums floats identically across runs; map
+	// iteration order would make high-water marks seed-dependent.
+	order     []*state
+	underruns int
+	starved   si.Seconds
+	highWater si.Bits
+	highAt    si.Seconds
+}
+
+type state struct {
+	idx      int // position in Pool.order
+	rate     si.BitRate
+	level    si.Bits
+	touched  si.Seconds
+	emptyAt  si.Seconds // level's zero crossing if never refilled
+	reserved si.Bits    // in-flight fill reservation
+	pending  bool       // a fill (possibly zero-sized) is in flight
+	started  bool       // first fill has landed; consumption is running
+	starving bool       // started but the buffer ran dry
+}
+
+// UnderrunTolerance is the grace within which a buffer's zero crossing is
+// treated as an exact hand-to-mouth refill rather than starvation. One
+// millisecond is far below anything a viewer (or the paper's analysis,
+// whose latencies are tens of milliseconds and up) can observe, and far
+// above float64 time jitter.
+const UnderrunTolerance si.Seconds = 1e-3
+
+// DebugUnderruns, when set, is called on every underrun with the time and
+// the starvation gap. Tests and debugging hooks use it; production paths
+// leave it nil.
+var DebugUnderruns func(now, gap si.Seconds)
+
+// NewPool returns a pool with the given memory budget; budget 0 means
+// unlimited (the latency experiments run without a memory constraint).
+// Memory is accounted by the exact variable-length unit, the paper's
+// simplifying assumption (Section 2.1).
+func NewPool(budget si.Bits) *Pool {
+	return NewPagedPool(budget, 0)
+}
+
+// NewPagedPool returns a pool that accounts memory by whole pages of the
+// given size, the way a real server allocates (Section 2.1): each
+// buffer's footprint is its content rounded up to pages. The paper argues
+// the difference from exact accounting is negligible because pages are
+// much smaller than buffers; the ablation experiment measures it.
+// A page size of 0 means exact accounting.
+func NewPagedPool(budget, page si.Bits) *Pool {
+	if budget < 0 {
+		panic(fmt.Sprintf("buffer: negative budget %v", budget))
+	}
+	if page < 0 {
+		panic(fmt.Sprintf("buffer: negative page size %v", page))
+	}
+	return &Pool{budget: budget, page: page, streams: make(map[int]*state)}
+}
+
+// footprint rounds a content amount up to the pool's allocation unit.
+func (p *Pool) footprint(bits si.Bits) si.Bits {
+	if p.page <= 0 || bits <= 0 {
+		return bits
+	}
+	pages := si.Bits(int64((bits + p.page - 1) / p.page))
+	return pages * p.page
+}
+
+// PageSize reports the allocation granularity (0 = exact).
+func (p *Pool) PageSize() si.Bits { return p.page }
+
+// Budget reports the pool's configured budget (0 = unlimited).
+func (p *Pool) Budget() si.Bits { return p.budget }
+
+// Attach registers a stream consuming at the given rate. Its buffer starts
+// empty and consumption starts at the first fill. Attaching an existing
+// id panics: stream ids are unique for a request's lifetime.
+func (p *Pool) Attach(id int, rate si.BitRate, now si.Seconds) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("buffer: stream %d with non-positive rate %v", id, rate))
+	}
+	if _, ok := p.streams[id]; ok {
+		panic(fmt.Sprintf("buffer: stream %d already attached", id))
+	}
+	s := &state{idx: len(p.order), rate: rate, touched: now, emptyAt: now}
+	p.streams[id] = s
+	p.order = append(p.order, s)
+}
+
+// Detach releases everything the stream holds and forgets it.
+func (p *Pool) Detach(id int, now si.Seconds) {
+	s := p.must(id)
+	p.drain(s, now)
+	p.inflight -= s.reserved
+	delete(p.streams, id)
+	last := len(p.order) - 1
+	p.order[s.idx] = p.order[last]
+	p.order[s.idx].idx = s.idx
+	p.order = p.order[:last]
+}
+
+// drain advances a stream's level to now, recording any underrun once per
+// starvation episode.
+func (p *Pool) drain(s *state, now si.Seconds) {
+	if now < s.touched {
+		panic(fmt.Sprintf("buffer: clock moved backward (%v < %v)", now, s.touched))
+	}
+	if !s.started {
+		// Consumption has not begun; waiting for the first fill is
+		// initial latency, not starvation.
+		s.touched = now
+		return
+	}
+	if s.starving {
+		// Ran dry earlier and is still waiting for a fill.
+		p.starved += now - s.touched
+		s.touched = now
+		return
+	}
+	consumed := s.rate.DataIn(now - s.touched)
+	if consumed >= s.level {
+		// Ran dry at emptyAt. A zero crossing within the tolerance is a
+		// clean hand-to-mouth refill (or a departure landing exactly as
+		// the buffer empties), not starvation.
+		if gap := now - s.emptyAt; gap > UnderrunTolerance {
+			p.underruns++
+			p.starved += gap
+			if DebugUnderruns != nil {
+				DebugUnderruns(now, gap)
+			}
+		}
+		s.level = 0
+		s.starving = true
+	} else {
+		s.level -= consumed
+	}
+	s.touched = now
+}
+
+// BeginFill reserves memory for a fill of the given size. It reports
+// false, reserving nothing, when the budget cannot cover it. A stream can
+// have at most one fill in flight.
+func (p *Pool) BeginFill(id int, size si.Bits, now si.Seconds) bool {
+	s := p.must(id)
+	if size < 0 {
+		panic(fmt.Sprintf("buffer: negative fill %v", size))
+	}
+	if s.pending {
+		panic(fmt.Sprintf("buffer: stream %d already has a fill in flight", id))
+	}
+	p.drain(s, now)
+	if p.budget > 0 && p.Usage(now)+p.footprint(size) > p.budget {
+		return false
+	}
+	s.reserved = size
+	s.pending = true
+	p.inflight += size
+	p.note(now)
+	return true
+}
+
+// CompleteFill lands the in-flight fill: the reserved data becomes buffer
+// level and consumption (re)starts if the stream was starving.
+func (p *Pool) CompleteFill(id int, now si.Seconds) {
+	s := p.must(id)
+	if !s.pending {
+		panic(fmt.Sprintf("buffer: stream %d has no fill in flight", id))
+	}
+	p.drain(s, now)
+	s.level += s.reserved
+	p.inflight -= s.reserved
+	s.reserved = 0
+	s.pending = false
+	s.started = true
+	s.starving = false
+	s.emptyAt = now + s.rate.TimeToTransfer(s.level)
+	p.note(now)
+}
+
+// Level reports a stream's buffer level at time now (without recording
+// underruns — it is a read-only probe).
+func (p *Pool) Level(id int, now si.Seconds) si.Bits {
+	s := p.must(id)
+	if !s.started || s.starving {
+		return 0
+	}
+	level := s.level - s.rate.DataIn(now-s.touched)
+	if level < 0 {
+		level = 0
+	}
+	return level
+}
+
+// EmptyAt reports when the stream's buffer runs dry if never refilled.
+// Streams with no live data — fresh or starving — report the moment they
+// last had any, i.e. they are already due.
+func (p *Pool) EmptyAt(id int) si.Seconds { return p.must(id).emptyAt }
+
+// Usage reports total memory in use at now: live buffer levels plus
+// in-flight reservations, each stream's holdings rounded up to the
+// pool's allocation unit.
+func (p *Pool) Usage(now si.Seconds) si.Bits {
+	var total si.Bits
+	for _, s := range p.order {
+		held := s.reserved
+		if s.started && !s.starving {
+			if level := s.level - s.rate.DataIn(now-s.touched); level > 0 {
+				held += level
+			}
+		}
+		total += p.footprint(held)
+	}
+	return total
+}
+
+// note samples usage for the high-water mark. Fills are the only events
+// that increase usage, so sampling at BeginFill/CompleteFill captures the
+// true peak.
+func (p *Pool) note(now si.Seconds) {
+	if u := p.Usage(now); u > p.highWater {
+		p.highWater, p.highAt = u, now
+	}
+}
+
+// Stats summarizes a pool's history.
+type Stats struct {
+	Underruns   int
+	Starved     si.Seconds
+	HighWater   si.Bits
+	HighWaterAt si.Seconds
+	Streams     int
+}
+
+// Stats returns the pool's accumulated statistics.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Underruns:   p.underruns,
+		Starved:     p.starved,
+		HighWater:   p.highWater,
+		HighWaterAt: p.highAt,
+		Streams:     len(p.streams),
+	}
+}
+
+// Len reports the number of attached streams.
+func (p *Pool) Len() int { return len(p.streams) }
+
+func (p *Pool) must(id int) *state {
+	s, ok := p.streams[id]
+	if !ok {
+		panic(fmt.Sprintf("buffer: unknown stream %d", id))
+	}
+	return s
+}

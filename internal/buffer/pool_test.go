@@ -1,0 +1,300 @@
+package buffer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/si"
+)
+
+const cr = si.BitRate(1.5e6) // MPEG-1 consumption rate
+
+func TestAttachDetach(t *testing.T) {
+	p := NewPool(0)
+	p.Attach(1, cr, 0)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.Detach(1, 5)
+	if p.Len() != 0 {
+		t.Fatalf("Len after detach = %d", p.Len())
+	}
+	// No underruns from a stream that never started consuming.
+	if st := p.Stats(); st.Underruns != 0 || st.Starved != 0 {
+		t.Errorf("idle stream accrued failures: %+v", st)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	p := NewPool(0)
+	p.Attach(1, cr, 0)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate id", func() { p.Attach(1, cr, 0) })
+	mustPanic("zero rate", func() { p.Attach(2, 0, 0) })
+	mustPanic("unknown detach", func() { p.Detach(9, 0) })
+	mustPanic("negative budget", func() { NewPool(-1) })
+	mustPanic("unknown level", func() { p.Level(9, 0) })
+}
+
+func TestFillAndDrainCycle(t *testing.T) {
+	p := NewPool(0)
+	p.Attach(1, cr, 0)
+	// Fill 1.5 Mbit: lasts exactly 1 s.
+	if !p.BeginFill(1, si.Megabits(1.5), 0) {
+		t.Fatal("unconstrained fill refused")
+	}
+	p.CompleteFill(1, 0.1)
+	if got := p.EmptyAt(1); math.Abs(float64(got)-1.1) > 1e-12 {
+		t.Errorf("EmptyAt = %v, want 1.1s", got)
+	}
+	// Half consumed after 0.5 s.
+	if got := p.Level(1, 0.6); math.Abs(float64(got)-0.75e6) > 1e-6 {
+		t.Errorf("Level = %v, want 0.75 Mbit", got)
+	}
+	// Refill before empty: no underrun, levels stack.
+	if !p.BeginFill(1, si.Megabits(1.5), 0.6) {
+		t.Fatal("second fill refused")
+	}
+	p.CompleteFill(1, 0.7)
+	want := 0.75e6 - 1.5e6*0.1 + 1.5e6
+	if got := p.Level(1, 0.7); math.Abs(float64(got)-want) > 1e-6 {
+		t.Errorf("stacked level = %v, want %v", got, want)
+	}
+	if st := p.Stats(); st.Underruns != 0 {
+		t.Errorf("underruns = %d, want 0", st.Underruns)
+	}
+}
+
+func TestUnderrunAccounting(t *testing.T) {
+	p := NewPool(0)
+	p.Attach(1, cr, 0)
+	p.BeginFill(1, si.Megabits(1.5), 0) // lasts 1 s from completion
+	p.CompleteFill(1, 0)
+	// Next fill lands 0.4 s late: starved in [1.0, 1.4].
+	p.BeginFill(1, si.Megabits(1.5), 1.4)
+	st := p.Stats()
+	if st.Underruns != 1 {
+		t.Errorf("underruns = %d, want 1", st.Underruns)
+	}
+	if math.Abs(float64(st.Starved)-0.4) > 1e-9 {
+		t.Errorf("starved = %v, want 0.4s", st.Starved)
+	}
+	// Completing the late fill restarts consumption.
+	p.CompleteFill(1, 1.5)
+	if math.Abs(float64(p.Stats().Starved)-0.5) > 1e-9 {
+		t.Errorf("starved = %v, want 0.5s", p.Stats().Starved)
+	}
+	if got := p.EmptyAt(1); math.Abs(float64(got)-2.5) > 1e-9 {
+		t.Errorf("EmptyAt after recovery = %v, want 2.5", got)
+	}
+	// One episode, counted once.
+	if st := p.Stats(); st.Underruns != 1 {
+		t.Errorf("underruns after recovery = %d, want 1", st.Underruns)
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	p := NewPool(si.Megabits(2))
+	p.Attach(1, cr, 0)
+	p.Attach(2, cr, 0)
+	if !p.BeginFill(1, si.Megabits(1.5), 0) {
+		t.Fatal("first fill should fit")
+	}
+	if p.BeginFill(2, si.Megabits(1), 0) {
+		t.Error("second fill should exceed the 2 Mbit budget")
+	}
+	p.CompleteFill(1, 0.1)
+	// After 1 Mbit drains (2/3 s), a 1 Mbit fill fits again.
+	if !p.BeginFill(2, si.Megabits(1), 0.8) {
+		t.Error("fill after drain should fit")
+	}
+}
+
+func TestUsageAndHighWater(t *testing.T) {
+	p := NewPool(0)
+	p.Attach(1, cr, 0)
+	p.Attach(2, cr, 0)
+	p.BeginFill(1, si.Megabits(3), 0)
+	// In-flight reservations count as usage.
+	if got := p.Usage(0); got != si.Megabits(3) {
+		t.Errorf("usage with reservation = %v", got)
+	}
+	p.CompleteFill(1, 0)
+	p.BeginFill(2, si.Megabits(3), 1)
+	p.CompleteFill(2, 1)
+	// At t = 1: stream 1 holds 1.5 Mbit, stream 2 holds 3.
+	if got := p.Usage(1); math.Abs(float64(got)-4.5e6) > 1e-6 {
+		t.Errorf("usage = %v, want 4.5 Mbit", got)
+	}
+	st := p.Stats()
+	if math.Abs(float64(st.HighWater)-4.5e6) > 1e-6 {
+		t.Errorf("high water = %v, want 4.5 Mbit", st.HighWater)
+	}
+	if st.HighWaterAt != 1 {
+		t.Errorf("high water at %v, want 1s", st.HighWaterAt)
+	}
+	// Detaching frees everything.
+	p.Detach(1, 1)
+	p.Detach(2, 1)
+	if got := p.Usage(1); got != 0 {
+		t.Errorf("usage after detach = %v", got)
+	}
+}
+
+func TestFillStateMachinePanics(t *testing.T) {
+	p := NewPool(0)
+	p.Attach(1, cr, 0)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("complete without begin", func() { p.CompleteFill(1, 0) })
+	p.BeginFill(1, 100, 0)
+	mustPanic("double begin", func() { p.BeginFill(1, 100, 0) })
+	mustPanic("negative fill", func() {
+		p2 := NewPool(0)
+		p2.Attach(1, cr, 0)
+		p2.BeginFill(1, -1, 0)
+	})
+	mustPanic("backward clock", func() { p.CompleteFill(1, -5) })
+}
+
+// Property: with fills always landing before the deadline, no underrun is
+// ever recorded and level stays within [0, total filled].
+func TestNoUnderrunWhenOnTime(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		p := NewPool(0)
+		p.Attach(1, cr, 0)
+		now := si.Seconds(0)
+		p.BeginFill(1, si.Megabits(1.5), now)
+		p.CompleteFill(1, now)
+		for _, g := range gaps {
+			// Refill strictly before the one-second deadline.
+			now += si.Seconds(float64(g%100) / 101.0)
+			p.BeginFill(1, si.Megabits(1.5), now)
+			p.CompleteFill(1, now)
+			if p.Level(1, now) <= 0 {
+				return false
+			}
+		}
+		return p.Stats().Underruns == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: usage equals the sum of individual levels plus reservations.
+func TestUsageIsSumOfLevels(t *testing.T) {
+	f := func(fills []uint16, probe uint8) bool {
+		p := NewPool(0)
+		n := 1 + len(fills)%5
+		for i := 0; i < n; i++ {
+			p.Attach(i, cr, 0)
+		}
+		now := si.Seconds(0)
+		for i, raw := range fills {
+			id := i % n
+			now += si.Seconds(float64(raw%50) / 1000)
+			p.BeginFill(id, si.Bits(raw)*1000, now)
+			p.CompleteFill(id, now)
+		}
+		at := now + si.Seconds(probe)/10
+		var sum si.Bits
+		for i := 0; i < n; i++ {
+			sum += p.Level(i, at)
+		}
+		return math.Abs(float64(sum-p.Usage(at))) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetAccessor(t *testing.T) {
+	if got := NewPool(si.Megabits(7)).Budget(); got != si.Megabits(7) {
+		t.Errorf("Budget = %v", got)
+	}
+}
+
+func TestPagedFootprint(t *testing.T) {
+	p := NewPagedPool(0, 1000)
+	if got := p.PageSize(); got != 1000 {
+		t.Errorf("PageSize = %v", got)
+	}
+	p.Attach(1, cr, 0)
+	p.BeginFill(1, 1500, 0) // 1.5 pages -> 2 pages reserved
+	if got := p.Usage(0); got != 2000 {
+		t.Errorf("paged usage = %v, want 2000", got)
+	}
+	p.CompleteFill(1, 0)
+	if got := p.Usage(0); got != 2000 {
+		t.Errorf("paged usage after fill = %v, want 2000", got)
+	}
+	// After draining below one page's worth, footprint drops to 1 page.
+	at := si.Seconds(float64(600) / float64(cr)) // drain 600 bits
+	if got := p.Usage(at); got != 1000 {
+		t.Errorf("paged usage after drain = %v, want 1000", got)
+	}
+}
+
+func TestPagedBudget(t *testing.T) {
+	p := NewPagedPool(2000, 1000)
+	p.Attach(1, cr, 0)
+	p.Attach(2, cr, 0)
+	if !p.BeginFill(1, 900, 0) { // 1 page
+		t.Fatal("first fill should fit")
+	}
+	// 1100 bits of content costs 2 pages: 3 pages total exceeds 2 pages.
+	if p.BeginFill(2, 1100, 0) {
+		t.Error("page rounding should push the second fill over budget")
+	}
+	if !p.BeginFill(2, 900, 0) { // exactly 1 more page
+		t.Error("page-sized second fill should fit")
+	}
+}
+
+func TestPagedVsExactNegligibleForLargeBuffers(t *testing.T) {
+	// The paper's claim: with pages much smaller than buffers, paged and
+	// exact accounting differ by at most one page per stream.
+	exact, paged := NewPool(0), NewPagedPool(0, 8*4096) // 4 KB pages
+	for i := 0; i < 10; i++ {
+		exact.Attach(i, cr, 0)
+		paged.Attach(i, cr, 0)
+		size := si.Megabytes(2)
+		exact.BeginFill(i, size, 0)
+		exact.CompleteFill(i, 0)
+		paged.BeginFill(i, size, 0)
+		paged.CompleteFill(i, 0)
+	}
+	diff := float64(paged.Usage(0) - exact.Usage(0))
+	if diff < 0 || diff > 10*8*4096 {
+		t.Errorf("paged-exact difference = %v bits, want within one page per stream", diff)
+	}
+	if rel := diff / float64(exact.Usage(0)); rel > 0.01 {
+		t.Errorf("relative difference = %.4f, want under 1%%", rel)
+	}
+}
+
+func TestNewPagedPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative page should panic")
+		}
+	}()
+	NewPagedPool(0, -1)
+}

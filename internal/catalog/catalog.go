@@ -1,0 +1,285 @@
+// Package catalog models the video library of a VOD server: titles with a
+// constant consumption rate and length, their contiguous (chunked) layout on
+// a disk, their popularity (a Zipf law over titles, following Wolf, Yu &
+// Shachnai), and the placement of titles across the disks of a multi-disk
+// server.
+//
+// The paper assumes video data is stored contiguously so one service incurs
+// exactly one disk latency; Chang & Garcia-Molina's chunk mechanism makes
+// that assumption implementable, and Layout mirrors it: each video occupies
+// one contiguous extent, and the cylinder a stream reads from is a pure
+// function of its playback position.
+package catalog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chunk"
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+)
+
+// Video is one title in the library.
+type Video struct {
+	// ID is the index of the video in its library (0-based).
+	ID int
+
+	// Title is a human-readable name used in output.
+	Title string
+
+	// Rate is the consumption rate CR of the encoded stream.
+	Rate si.BitRate
+
+	// Length is the playback duration.
+	Length si.Seconds
+}
+
+// Size reports the total encoded size of the video.
+func (v Video) Size() si.Bits { return v.Rate.DataIn(v.Length) }
+
+// Placement records where a video lives on a disk: either one contiguous
+// extent starting at Start, or — when the library is chunked — a set of
+// fixed-size chunks with replication (footnote 3's mechanism), each at its
+// own physical address.
+type Placement struct {
+	Video  Video
+	Disk   int              // disk index within the server
+	Start  si.Bits          // contiguous extent offset (unchunked layouts)
+	Chunks *chunk.Placement // non-nil for chunked layouts
+}
+
+// DiskOffset maps a read [offset, offset+length) of the video to the
+// physical disk address holding it. For chunked placements the read is
+// guaranteed to sit inside one chunk; out-of-range reads are clamped to
+// the video (simulation positions can overshoot by float dust).
+func (p Placement) DiskOffset(offset, length si.Bits) si.Bits {
+	size := p.Video.Size()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset+length > size {
+		if length > size {
+			length = size
+		}
+		offset = size - length
+	}
+	if p.Chunks == nil {
+		return p.Start + offset
+	}
+	at, err := p.Chunks.DiskOffset(offset, length)
+	if err != nil {
+		// Unreachable after clamping unless length exceeds the layout's
+		// guarantee, which the simulator's configuration check prevents.
+		panic(err)
+	}
+	return at
+}
+
+// MaxRead reports the largest single read the placement guarantees to
+// serve with one disk latency: unlimited (the video size) for contiguous
+// extents, the chunk layout's bound for chunked ones.
+func (p Placement) MaxRead() si.Bits {
+	if p.Chunks == nil {
+		return p.Video.Size()
+	}
+	return p.Chunks.Layout.MaxRead()
+}
+
+// CylinderAt maps a playback position within the video to the cylinder the
+// data for that position occupies, using the disk's uniform-density
+// geometry. Positions outside [0, Length] are clamped.
+func (p Placement) CylinderAt(spec diskmodel.Spec, pos si.Seconds) int {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > p.Video.Length {
+		pos = p.Video.Length
+	}
+	return spec.CylinderOf(p.DiskOffset(p.Video.Rate.DataIn(pos), 0))
+}
+
+// Library is a set of videos with a popularity distribution and a placement
+// across the disks of a server.
+type Library struct {
+	videos     []Video
+	placements []Placement
+	popularity []float64 // normalized access probability per video
+	disks      int
+}
+
+// MPEG1Video returns the paper's canonical title: a 120-minute MPEG-1
+// stream at 1.5 Mbps.
+func MPEG1Video(id int) Video {
+	return Video{
+		ID:     id,
+		Title:  fmt.Sprintf("title-%03d", id),
+		Rate:   si.Mbps(1.5),
+		Length: si.Minutes(120),
+	}
+}
+
+// Config parameterizes library construction.
+type Config struct {
+	// Titles is the number of videos in the library.
+	Titles int
+
+	// Disks is the number of disks the library is spread over.
+	Disks int
+
+	// Spec is the disk model; every disk is identical, as in the paper.
+	Spec diskmodel.Spec
+
+	// PopularityTheta is the Zipf parameter for title popularity.
+	// Wolf et al. measured 0.271 for video rental data; 0 is most skewed,
+	// 1 is uniform (the paper's convention).
+	PopularityTheta float64
+
+	// Video overrides the default MPEG-1 title parameters when non-nil.
+	Video func(id int) Video
+
+	// ChunkSize, when positive, stores videos as replicated chunks of
+	// this size instead of one contiguous extent (footnote 3's layout).
+	// It must be at least twice MaxRead.
+	ChunkSize si.Bits
+
+	// MaxRead is the largest single read the chunked layout must satisfy
+	// within one chunk — at least the largest buffer the server will
+	// ever allocate. Required when ChunkSize is set.
+	MaxRead si.Bits
+}
+
+// New builds a library: Titles videos placed round-robin across Disks disks,
+// each video in one contiguous extent, with Zipf(theta) popularity.
+// Placement is deterministic so simulations are reproducible.
+func New(cfg Config) (*Library, error) {
+	if cfg.Titles <= 0 {
+		return nil, fmt.Errorf("catalog: need at least one title, got %d", cfg.Titles)
+	}
+	if cfg.Disks <= 0 {
+		return nil, fmt.Errorf("catalog: need at least one disk, got %d", cfg.Disks)
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	mk := cfg.Video
+	if mk == nil {
+		mk = MPEG1Video
+	}
+
+	if cfg.ChunkSize > 0 && cfg.MaxRead <= 0 {
+		return nil, fmt.Errorf("catalog: chunked layout needs MaxRead")
+	}
+
+	lib := &Library{disks: cfg.Disks}
+	nextStart := make([]si.Bits, cfg.Disks)
+	var allocs []*chunk.Allocator
+	if cfg.ChunkSize > 0 {
+		allocs = make([]*chunk.Allocator, cfg.Disks)
+		for d := range allocs {
+			allocs[d] = chunk.NewAllocator(cfg.Spec.Capacity)
+		}
+	}
+	for id := 0; id < cfg.Titles; id++ {
+		v := mk(id)
+		if v.Rate <= 0 || v.Length <= 0 {
+			return nil, fmt.Errorf("catalog: video %d has non-positive rate or length", id)
+		}
+		disk := id % cfg.Disks
+		if cfg.ChunkSize > 0 {
+			layout, err := chunk.NewLayout(v.Size(), cfg.ChunkSize, cfg.MaxRead)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: video %d: %w", id, err)
+			}
+			placed, err := allocs[disk].Place(layout)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: disk %d, video %d: %w", disk, id, err)
+			}
+			lib.videos = append(lib.videos, v)
+			lib.placements = append(lib.placements, Placement{Video: v, Disk: disk, Chunks: placed})
+			continue
+		}
+		start := nextStart[disk]
+		if start+v.Size() > cfg.Spec.Capacity {
+			return nil, fmt.Errorf("catalog: disk %d overflows placing video %d (%v needed, %v free)",
+				disk, id, v.Size(), cfg.Spec.Capacity-start)
+		}
+		lib.videos = append(lib.videos, v)
+		lib.placements = append(lib.placements, Placement{Video: v, Disk: disk, Start: start})
+		nextStart[disk] = start + v.Size()
+	}
+	lib.popularity = ZipfWeights(cfg.Titles, cfg.PopularityTheta)
+	return lib, nil
+}
+
+// Len reports the number of titles.
+func (l *Library) Len() int { return len(l.videos) }
+
+// Disks reports the number of disks the library spans.
+func (l *Library) Disks() int { return l.disks }
+
+// Video returns title id.
+func (l *Library) Video(id int) Video { return l.videos[id] }
+
+// Placement returns the placement of title id.
+func (l *Library) Placement(id int) Placement { return l.placements[id] }
+
+// Popularity returns the access probability of title id.
+func (l *Library) Popularity(id int) float64 { return l.popularity[id] }
+
+// Pick maps a uniform random variate u in [0,1) to a title id drawn from
+// the popularity distribution.
+func (l *Library) Pick(u float64) int {
+	acc := 0.0
+	for id, p := range l.popularity {
+		acc += p
+		if u < acc {
+			return id
+		}
+	}
+	return len(l.popularity) - 1 // float round-off at the top end
+}
+
+// MaxRead reports the largest single read every placement in the library
+// guarantees to serve with one disk latency — the binding constraint a
+// server's buffer sizes must respect under a chunked layout.
+func (l *Library) MaxRead() si.Bits {
+	min := si.Bits(math.Inf(1))
+	for _, p := range l.placements {
+		if m := p.MaxRead(); m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// DiskLoad reports, for each disk, the total access probability of the
+// titles placed on it — the expected fraction of requests that disk serves.
+func (l *Library) DiskLoad() []float64 {
+	load := make([]float64, l.disks)
+	for id, p := range l.placements {
+		load[p.Disk] += l.popularity[id]
+	}
+	return load
+}
+
+// ZipfWeights returns n weights following the paper's Zipf convention:
+// weight_i ∝ (1/i)^(1-theta) for rank i = 1..n. theta = 0 is the classic,
+// highly skewed 1/i law; theta = 1 is uniform. The weights sum to 1.
+// It panics if n <= 0; theta is clamped to [0, 1].
+func ZipfWeights(n int, theta float64) []float64 {
+	if n <= 0 {
+		panic("catalog: ZipfWeights with n <= 0")
+	}
+	theta = math.Min(1, math.Max(0, theta))
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = math.Pow(1/float64(i+1), 1-theta)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

@@ -1,0 +1,309 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+)
+
+func testConfig(titles, disks int, theta float64) Config {
+	return Config{
+		Titles:          titles,
+		Disks:           disks,
+		Spec:            diskmodel.Barracuda9LP(),
+		PopularityTheta: theta,
+	}
+}
+
+func TestMPEG1Video(t *testing.T) {
+	v := MPEG1Video(3)
+	if v.Rate != si.Mbps(1.5) {
+		t.Errorf("rate = %v, want 1.5 Mbps", v.Rate)
+	}
+	if v.Length != si.Minutes(120) {
+		t.Errorf("length = %v, want 120 min", v.Length)
+	}
+	// 1.5 Mbps * 7200s = 10.8 Gbit = 1.35 GB.
+	if got := v.Size().GigabytesVal(); math.Abs(got-1.35) > 1e-9 {
+		t.Errorf("size = %v GB, want 1.35", got)
+	}
+}
+
+func TestNewPlacesContiguously(t *testing.T) {
+	lib, err := New(testConfig(6, 1, 0.271))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extents must be adjacent and non-overlapping on the single disk.
+	var prevEnd si.Bits
+	for id := 0; id < lib.Len(); id++ {
+		p := lib.Placement(id)
+		if p.Start != prevEnd {
+			t.Errorf("video %d starts at %v, want %v", id, p.Start, prevEnd)
+		}
+		prevEnd = p.Start + p.Video.Size()
+	}
+}
+
+func TestNewRoundRobinAcrossDisks(t *testing.T) {
+	lib, err := New(testConfig(10, 4, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < lib.Len(); id++ {
+		if got, want := lib.Placement(id).Disk, id%4; got != want {
+			t.Errorf("video %d on disk %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestNewRejectsOverflow(t *testing.T) {
+	// 9.19 GB disk holds 6 full MPEG-1 titles (6*1.35 = 8.1 GB); 7 do not fit.
+	if _, err := New(testConfig(7, 1, 0)); err == nil {
+		t.Error("placing 7 titles on one disk should overflow")
+	}
+	if _, err := New(testConfig(6, 1, 0)); err != nil {
+		t.Errorf("placing 6 titles should fit: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testConfig(0, 1, 0)); err == nil {
+		t.Error("zero titles should fail")
+	}
+	if _, err := New(testConfig(1, 0, 0)); err == nil {
+		t.Error("zero disks should fail")
+	}
+	bad := testConfig(1, 1, 0)
+	bad.Spec.TransferRate = 0
+	if _, err := New(bad); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	badVideo := testConfig(1, 1, 0)
+	badVideo.Video = func(id int) Video { return Video{ID: id, Rate: 0, Length: 1} }
+	if _, err := New(badVideo); err == nil {
+		t.Error("zero-rate video should fail")
+	}
+}
+
+func TestCylinderAt(t *testing.T) {
+	spec := diskmodel.Barracuda9LP()
+	lib, err := New(testConfig(6, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lib.Placement(0)
+	start := p.CylinderAt(spec, 0)
+	end := p.CylinderAt(spec, p.Video.Length)
+	if start != 0 {
+		t.Errorf("start cylinder = %d, want 0", start)
+	}
+	// The video spans 1.35/9.19 of the disk: about 881 of 6000 cylinders.
+	if end < 850 || end > 900 {
+		t.Errorf("end cylinder = %d, want about 881", end)
+	}
+	// Clamping.
+	if got := p.CylinderAt(spec, -5); got != start {
+		t.Errorf("negative position cylinder = %d, want %d", got, start)
+	}
+	if got := p.CylinderAt(spec, p.Video.Length*2); got != end {
+		t.Errorf("past-end cylinder = %d, want %d", got, end)
+	}
+	// Monotone in position.
+	prev := -1
+	for m := 0.0; m <= 120; m += 7 {
+		c := p.CylinderAt(spec, si.Minutes(m))
+		if c < prev {
+			t.Errorf("cylinder decreased at %v min: %d < %d", m, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	// theta = 1 is uniform.
+	u := ZipfWeights(5, 1)
+	for i, w := range u {
+		if math.Abs(w-0.2) > 1e-12 {
+			t.Errorf("uniform weight[%d] = %v, want 0.2", i, w)
+		}
+	}
+	// theta = 0 is the 1/i law.
+	z := ZipfWeights(3, 0)
+	h := 1 + 0.5 + 1.0/3
+	want := []float64{1 / h, 0.5 / h, (1.0 / 3) / h}
+	for i := range z {
+		if math.Abs(z[i]-want[i]) > 1e-12 {
+			t.Errorf("zipf weight[%d] = %v, want %v", i, z[i], want[i])
+		}
+	}
+	// Out-of-range theta clamps rather than exploding.
+	if got := ZipfWeights(4, 2); math.Abs(got[0]-0.25) > 1e-12 {
+		t.Errorf("theta=2 should clamp to uniform, got %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ZipfWeights(0, ...) should panic")
+		}
+	}()
+	ZipfWeights(0, 0)
+}
+
+// Property: Zipf weights always sum to 1, are positive, and are
+// non-increasing in rank.
+func TestZipfWeightsInvariants(t *testing.T) {
+	f := func(nRaw uint8, theta float64) bool {
+		n := 1 + int(nRaw)%200
+		w := ZipfWeights(n, theta)
+		sum := 0.0
+		for i, v := range w {
+			if v <= 0 {
+				return false
+			}
+			if i > 0 && v > w[i-1]+1e-15 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more skew (smaller theta) never decreases the top rank's share.
+func TestZipfSkewOrdering(t *testing.T) {
+	f := func(nRaw uint8, a, b float64) bool {
+		n := 2 + int(nRaw)%100
+		ta := math.Min(1, math.Max(0, a))
+		tb := math.Min(1, math.Max(0, b))
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return ZipfWeights(n, ta)[0] >= ZipfWeights(n, tb)[0]-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPick(t *testing.T) {
+	lib, err := New(testConfig(6, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Pick(0); got != 0 {
+		t.Errorf("Pick(0) = %d, want most popular title 0", got)
+	}
+	if got := lib.Pick(0.999999); got != lib.Len()-1 {
+		t.Errorf("Pick(~1) = %d, want last title", got)
+	}
+	if got := lib.Pick(2); got != lib.Len()-1 { // out-of-range guard
+		t.Errorf("Pick(2) = %d, want last title", got)
+	}
+	// Pick must respect cumulative boundaries: u just below w0 -> 0,
+	// just above -> 1.
+	w0 := lib.Popularity(0)
+	if got := lib.Pick(w0 - 1e-9); got != 0 {
+		t.Errorf("Pick(w0-eps) = %d, want 0", got)
+	}
+	if got := lib.Pick(w0 + 1e-9); got != 1 {
+		t.Errorf("Pick(w0+eps) = %d, want 1", got)
+	}
+}
+
+func TestDiskLoad(t *testing.T) {
+	lib, err := New(testConfig(6, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := lib.DiskLoad()
+	if len(load) != 3 {
+		t.Fatalf("load length = %d, want 3", len(load))
+	}
+	sum := 0.0
+	for _, v := range load {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("disk loads sum to %v, want 1", sum)
+	}
+	// Round-robin placement with Zipf(0): disk 0 holds ranks 1 and 4, the
+	// most popular set, so it must carry the highest load.
+	if !(load[0] > load[1] && load[1] > load[2]) {
+		t.Errorf("want strictly decreasing loads for zipf(0) round-robin, got %v", load)
+	}
+}
+
+func TestChunkedPlacement(t *testing.T) {
+	spec := diskmodel.Barracuda9LP()
+	maxRead := si.Megabytes(26) // above the largest static buffer
+	cfg := Config{
+		Titles:          4,
+		Disks:           1,
+		Spec:            spec,
+		PopularityTheta: 0.271,
+		ChunkSize:       si.Megabytes(128),
+		MaxRead:         maxRead,
+	}
+	lib, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.MaxRead(); got != maxRead {
+		t.Errorf("library MaxRead = %v, want %v", got, maxRead)
+	}
+	p := lib.Placement(0)
+	if p.Chunks == nil {
+		t.Fatal("placement should be chunked")
+	}
+	// The storage overhead matches the layout's accounting.
+	if ov := p.Chunks.Layout.Overhead(); ov <= 1 || ov > 1.35 {
+		t.Errorf("overhead = %v, want a modest replication factor", ov)
+	}
+	// Reads map into valid disk space, and positions advance with offset
+	// inside a chunk.
+	a := p.DiskOffset(0, si.Megabits(1))
+	b := p.DiskOffset(si.Megabits(1), si.Megabits(1))
+	if a < 0 || si.Bits(a) >= spec.Capacity || b != a+si.Megabits(1) {
+		t.Errorf("chunk-local reads should be contiguous: %v then %v", a, b)
+	}
+	// CylinderAt still works through the chunked mapping.
+	if c := p.CylinderAt(spec, si.Minutes(60)); c < 0 || c >= spec.Cylinders {
+		t.Errorf("cylinder out of range: %d", c)
+	}
+}
+
+func TestChunkedPlacementValidation(t *testing.T) {
+	base := Config{Titles: 1, Disks: 1, Spec: diskmodel.Barracuda9LP(), ChunkSize: si.Megabytes(64)}
+	if _, err := New(base); err == nil {
+		t.Error("chunked layout without MaxRead should fail")
+	}
+	small := base
+	small.MaxRead = si.Megabytes(60) // chunk < 2x read
+	if _, err := New(small); err == nil {
+		t.Error("chunk below twice MaxRead should fail")
+	}
+	// Overhead can push a full disk over capacity.
+	over := Config{
+		Titles: 6, Disks: 1, Spec: diskmodel.Barracuda9LP(),
+		ChunkSize: si.Megabytes(52), MaxRead: si.Megabytes(26),
+	}
+	if _, err := New(over); err == nil {
+		t.Error("2x replication of six titles should overflow the disk")
+	}
+}
+
+func TestUnchunkedMaxReadUnbounded(t *testing.T) {
+	lib, err := New(testConfig(2, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.MaxRead(); got != lib.Video(0).Size() {
+		t.Errorf("contiguous MaxRead = %v, want the video size", got)
+	}
+}

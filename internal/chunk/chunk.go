@@ -1,0 +1,218 @@
+// Package chunk implements the chunked video layout of Chang &
+// Garcia-Molina that the paper's contiguity assumption rests on
+// (footnote 3). Whole videos rarely fit contiguously on a disk, so they
+// are stored as fixed-size chunks placed wherever space exists. With
+// variable buffer sizes, a read could span two chunks — and chunks are
+// not adjacent, so that would cost a second seek. The chunk mechanism
+// prevents this by replication: consecutive chunks overlap by the
+// maximum read size, so every read of at most that size fits entirely
+// inside one chunk, and one service still incurs exactly one disk
+// latency.
+//
+// The geometry: a chunk holds Size bits of video; consecutive chunks
+// advance by Size − MaxRead bits of fresh content, the trailing MaxRead
+// bits being replicated at the head of the next chunk. The paper requires
+// Size >= 2·MaxRead; the space overhead is Size/(Size − MaxRead).
+package chunk
+
+import (
+	"fmt"
+
+	"repro/internal/si"
+)
+
+// Layout describes one video's chunking.
+type Layout struct {
+	video   si.Bits // total video size
+	size    si.Bits // chunk size
+	maxRead si.Bits // largest single read the layout must satisfy
+	stride  si.Bits // fresh content per chunk: size − maxRead
+	chunks  int
+}
+
+// NewLayout plans the chunking of a video so that any read of up to
+// maxRead bits is satisfied by a single chunk. The paper requires the
+// chunk to be at least twice the maximum buffer size.
+func NewLayout(video, size, maxRead si.Bits) (*Layout, error) {
+	switch {
+	case video <= 0:
+		return nil, fmt.Errorf("chunk: non-positive video size %v", video)
+	case maxRead <= 0:
+		return nil, fmt.Errorf("chunk: non-positive max read %v", maxRead)
+	case size < 2*maxRead:
+		return nil, fmt.Errorf("chunk: chunk size %v below twice the max read %v", size, maxRead)
+	}
+	stride := size - maxRead
+	chunks := 1
+	if video > size {
+		// After the first chunk, each adds stride of fresh content.
+		rest := video - size
+		chunks += int((rest + stride - 1) / stride)
+	}
+	return &Layout{video: video, size: size, maxRead: maxRead, stride: stride, chunks: chunks}, nil
+}
+
+// Chunks reports how many chunks the layout uses.
+func (l *Layout) Chunks() int { return l.chunks }
+
+// ChunkSize reports the chunk size.
+func (l *Layout) ChunkSize() si.Bits { return l.size }
+
+// MaxRead reports the largest read the layout guarantees to keep within
+// one chunk.
+func (l *Layout) MaxRead() si.Bits { return l.maxRead }
+
+// StoredSize reports the total on-disk footprint including replication.
+func (l *Layout) StoredSize() si.Bits { return si.Bits(l.chunks) * l.size }
+
+// Overhead reports the replication overhead factor: stored bits divided
+// by video bits. It approaches 1 as chunks grow and 2 at the paper's
+// minimum chunk size.
+func (l *Layout) Overhead() float64 { return float64(l.StoredSize()) / float64(l.video) }
+
+// start reports the video offset where chunk i begins.
+func (l *Layout) start(i int) si.Bits { return si.Bits(i) * l.stride }
+
+// Locate maps a read [offset, offset+length) of the video to the single
+// chunk that holds it entirely, returning the chunk index and the
+// position of the read within that chunk. Reads past the video's end or
+// longer than MaxRead are errors: the layout cannot guarantee them.
+func (l *Layout) Locate(offset, length si.Bits) (chunkIdx int, within si.Bits, err error) {
+	switch {
+	case offset < 0 || length < 0:
+		return 0, 0, fmt.Errorf("chunk: negative read [%v, +%v)", offset, length)
+	case length > l.maxRead:
+		return 0, 0, fmt.Errorf("chunk: read of %v exceeds the guaranteed %v", length, l.maxRead)
+	case offset+length > l.video:
+		return 0, 0, fmt.Errorf("chunk: read [%v, +%v) past video end %v", offset, length, l.video)
+	}
+	// Chunk i covers [i·stride, i·stride + size); picking i = ⌊offset/stride⌋
+	// leaves at least maxRead of room past the offset, so the read fits.
+	// Offsets in the tail region land past the last chunk's stride start
+	// but inside its extent.
+	i := int(offset / l.stride)
+	if i >= l.chunks {
+		i = l.chunks - 1
+	}
+	return i, offset - l.start(i), nil
+}
+
+// Placement is a chunked video placed on a disk: each chunk has an
+// arbitrary physical address, assigned by an Allocator.
+type Placement struct {
+	Layout    *Layout
+	Addresses []si.Bits // physical start of each chunk, in bits from disk start
+}
+
+// DiskOffset maps a logical read to the physical address of its data:
+// the single chunk holding it plus the read's position within the chunk.
+func (p *Placement) DiskOffset(offset, length si.Bits) (si.Bits, error) {
+	i, within, err := p.Layout.Locate(offset, length)
+	if err != nil {
+		return 0, err
+	}
+	return p.Addresses[i] + within, nil
+}
+
+// Allocator hands out chunk-sized extents on a disk using first fit over
+// a free list, modelling the fragmented placement that motivates chunking
+// in the first place.
+type Allocator struct {
+	capacity si.Bits
+	free     []extent // sorted by position
+}
+
+type extent struct {
+	at, size si.Bits
+}
+
+// NewAllocator returns an allocator over a disk of the given capacity.
+func NewAllocator(capacity si.Bits) *Allocator {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("chunk: non-positive capacity %v", capacity))
+	}
+	return &Allocator{capacity: capacity, free: []extent{{0, capacity}}}
+}
+
+// Free reports the total unallocated space.
+func (a *Allocator) Free() si.Bits {
+	var total si.Bits
+	for _, e := range a.free {
+		total += e.size
+	}
+	return total
+}
+
+// Fragments reports the number of free extents (1 on a fresh disk).
+func (a *Allocator) Fragments() int { return len(a.free) }
+
+// Alloc reserves size bits at the first position that fits and returns
+// its address.
+func (a *Allocator) Alloc(size si.Bits) (si.Bits, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("chunk: non-positive allocation %v", size)
+	}
+	for i, e := range a.free {
+		if e.size < size {
+			continue
+		}
+		at := e.at
+		if e.size == size {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = extent{at: e.at + size, size: e.size - size}
+		}
+		return at, nil
+	}
+	return 0, fmt.Errorf("chunk: no extent of %v free (total free %v in %d fragments)",
+		size, a.Free(), len(a.free))
+}
+
+// Release returns an extent to the free list, coalescing neighbours.
+func (a *Allocator) Release(at, size si.Bits) error {
+	if size <= 0 || at < 0 || at+size > a.capacity {
+		return fmt.Errorf("chunk: bad release [%v, +%v)", at, size)
+	}
+	// Insert sorted.
+	i := 0
+	for i < len(a.free) && a.free[i].at < at {
+		i++
+	}
+	if i > 0 && a.free[i-1].at+a.free[i-1].size > at {
+		return fmt.Errorf("chunk: release overlaps free extent at %v", a.free[i-1].at)
+	}
+	if i < len(a.free) && at+size > a.free[i].at {
+		return fmt.Errorf("chunk: release overlaps free extent at %v", a.free[i].at)
+	}
+	a.free = append(a.free, extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = extent{at: at, size: size}
+	// Coalesce with the right neighbour, then the left.
+	if i+1 < len(a.free) && a.free[i].at+a.free[i].size == a.free[i+1].at {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].at+a.free[i-1].size == a.free[i].at {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	return nil
+}
+
+// Place lays a whole video out in chunks on the allocator's disk and
+// returns the placement. On failure, everything allocated is released.
+func (a *Allocator) Place(l *Layout) (*Placement, error) {
+	p := &Placement{Layout: l}
+	for i := 0; i < l.Chunks(); i++ {
+		at, err := a.Alloc(l.ChunkSize())
+		if err != nil {
+			for j, addr := range p.Addresses {
+				_ = j
+				_ = a.Release(addr, l.ChunkSize())
+			}
+			return nil, fmt.Errorf("chunk: placing chunk %d of %d: %w", i+1, l.Chunks(), err)
+		}
+		p.Addresses = append(p.Addresses, at)
+	}
+	return p, nil
+}

@@ -1,0 +1,329 @@
+package chunk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/si"
+)
+
+func mustLayout(t *testing.T, video, size, maxRead si.Bits) *Layout {
+	t.Helper()
+	l, err := NewLayout(video, size, maxRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLayoutValidation(t *testing.T) {
+	cases := []struct {
+		name                 string
+		video, size, maxRead si.Bits
+	}{
+		{"zero video", 0, 100, 10},
+		{"zero read", 100, 100, 0},
+		{"chunk below 2x read", 100, 19, 10},
+	}
+	for _, c := range cases {
+		if _, err := NewLayout(c.video, c.size, c.maxRead); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	if _, err := NewLayout(100, 20, 10); err != nil {
+		t.Errorf("minimum chunk size rejected: %v", err)
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	// Video 100, chunk 30, maxRead 10: stride 20; chunks cover
+	// [0,30) [20,50) [40,70) [60,90) [80,110): 1 + ceil(70/20) = 5.
+	l := mustLayout(t, 100, 30, 10)
+	if got := l.Chunks(); got != 5 {
+		t.Errorf("chunks = %d, want 5", got)
+	}
+	if got := l.StoredSize(); got != 150 {
+		t.Errorf("stored = %v, want 150", got)
+	}
+	if got := l.Overhead(); got != 1.5 {
+		t.Errorf("overhead = %v, want 1.5", got)
+	}
+	// A video that fits one chunk needs exactly one.
+	if got := mustLayout(t, 25, 30, 10).Chunks(); got != 1 {
+		t.Errorf("small video chunks = %d, want 1", got)
+	}
+	// The paper's minimum chunk (2x maxRead) doubles storage.
+	if got := mustLayout(t, 1000, 20, 10).Overhead(); math.Abs(got-2.0) > 0.05 {
+		t.Errorf("minimum-chunk overhead = %v, want about 2", got)
+	}
+}
+
+func TestLocateKnownValues(t *testing.T) {
+	l := mustLayout(t, 100, 30, 10)
+	tests := []struct {
+		offset, length si.Bits
+		wantChunk      int
+		wantWithin     si.Bits
+	}{
+		{0, 10, 0, 0},
+		{19, 10, 0, 19}, // would cross into [20,50) territory but fits chunk 0
+		{20, 10, 1, 0},  // exactly at a stride boundary
+		{39, 10, 1, 19}, // tail of chunk 1
+		{90, 10, 4, 10}, // last read of the video
+		{95, 5, 4, 15},  // partial tail read
+	}
+	for _, tt := range tests {
+		c, w, err := l.Locate(tt.offset, tt.length)
+		if err != nil {
+			t.Errorf("Locate(%v, %v): %v", tt.offset, tt.length, err)
+			continue
+		}
+		if c != tt.wantChunk || w != tt.wantWithin {
+			t.Errorf("Locate(%v, %v) = chunk %d at %v, want chunk %d at %v",
+				tt.offset, tt.length, c, w, tt.wantChunk, tt.wantWithin)
+		}
+	}
+}
+
+func TestLocateErrors(t *testing.T) {
+	l := mustLayout(t, 100, 30, 10)
+	cases := []struct {
+		name           string
+		offset, length si.Bits
+	}{
+		{"negative offset", -1, 5},
+		{"negative length", 0, -1},
+		{"read too large", 0, 11},
+		{"past end", 95, 10},
+	}
+	for _, c := range cases {
+		if _, _, err := l.Locate(c.offset, c.length); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+// Property: the single-chunk guarantee — every read of at most maxRead
+// within the video lands entirely inside the returned chunk.
+func TestLocateSingleChunkGuarantee(t *testing.T) {
+	f := func(videoRaw, sizeRaw, readRaw uint32, offRaw, lenRaw uint32) bool {
+		maxRead := si.Bits(1 + readRaw%1000)
+		size := 2*maxRead + si.Bits(sizeRaw%5000)
+		video := size + si.Bits(videoRaw%100000)
+		l, err := NewLayout(video, size, maxRead)
+		if err != nil {
+			return false
+		}
+		length := si.Bits(lenRaw) * maxRead / si.Bits(math.MaxUint32)
+		maxOff := video - length
+		offset := si.Bits(offRaw) * maxOff / si.Bits(math.MaxUint32)
+		c, within, err := l.Locate(offset, length)
+		if err != nil {
+			return false
+		}
+		if c < 0 || c >= l.Chunks() {
+			return false
+		}
+		// The read [within, within+length) must sit inside [0, size).
+		if within < 0 || within+length > size {
+			return false
+		}
+		// And the chunk's content at that position must be the video's
+		// content at the requested offset: start(c) + within == offset.
+		return l.start(c)+within == offset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the last chunk always covers the end of the video.
+func TestLayoutCoversVideo(t *testing.T) {
+	f := func(videoRaw, sizeRaw, readRaw uint16) bool {
+		maxRead := si.Bits(1 + readRaw%500)
+		size := 2*maxRead + si.Bits(sizeRaw%2000)
+		video := si.Bits(1 + videoRaw)
+		l, err := NewLayout(video, size, maxRead)
+		if err != nil {
+			return false
+		}
+		lastEnd := l.start(l.Chunks()-1) + size
+		return lastEnd >= video
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorFirstFit(t *testing.T) {
+	a := NewAllocator(100)
+	at1, err := a.Alloc(30)
+	if err != nil || at1 != 0 {
+		t.Fatalf("first alloc at %v, %v", at1, err)
+	}
+	at2, _ := a.Alloc(30)
+	if at2 != 30 {
+		t.Fatalf("second alloc at %v, want 30", at2)
+	}
+	if got := a.Free(); got != 40 {
+		t.Errorf("free = %v, want 40", got)
+	}
+	// Release the first, allocate something small: first fit reuses the hole.
+	if err := a.Release(at1, 30); err != nil {
+		t.Fatal(err)
+	}
+	at3, _ := a.Alloc(10)
+	if at3 != 0 {
+		t.Errorf("first-fit alloc at %v, want 0", at3)
+	}
+	if _, err := a.Alloc(1000); err == nil {
+		t.Error("oversized alloc should fail")
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("zero alloc should fail")
+	}
+}
+
+func TestAllocatorReleaseCoalesces(t *testing.T) {
+	a := NewAllocator(100)
+	x, _ := a.Alloc(20)
+	y, _ := a.Alloc(20)
+	z, _ := a.Alloc(20)
+	_ = x
+	if err := a.Release(x, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(z, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Fragments(); got != 2 {
+		t.Fatalf("fragments = %d, want 2 (hole + tail)", got)
+	}
+	if err := a.Release(y, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Fragments(); got != 1 {
+		t.Errorf("fragments after middle release = %d, want fully coalesced 1", got)
+	}
+	if got := a.Free(); got != 100 {
+		t.Errorf("free = %v, want 100", got)
+	}
+}
+
+func TestAllocatorReleaseErrors(t *testing.T) {
+	a := NewAllocator(100)
+	at, _ := a.Alloc(50)
+	cases := []struct {
+		name     string
+		at, size si.Bits
+	}{
+		{"negative", -1, 10},
+		{"zero size", 0, 0},
+		{"past capacity", 90, 20},
+		{"overlaps free", 40, 20}, // [50,100) is free
+	}
+	_ = at
+	for _, c := range cases {
+		if err := a.Release(c.at, c.size); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity allocator should panic")
+		}
+	}()
+	NewAllocator(0)
+}
+
+// Property: random alloc/release sequences conserve space and never
+// produce overlapping free extents.
+func TestAllocatorConservation(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(10000)
+		type held struct{ at, size si.Bits }
+		var live []held
+		var used si.Bits
+		for op := 0; op < int(opsRaw); op++ {
+			if rng.Intn(2) == 0 || len(live) == 0 {
+				size := si.Bits(1 + rng.Intn(500))
+				at, err := a.Alloc(size)
+				if err != nil {
+					continue
+				}
+				live = append(live, held{at, size})
+				used += size
+			} else {
+				i := rng.Intn(len(live))
+				h := live[i]
+				if err := a.Release(h.at, h.size); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				used -= h.size
+			}
+			if a.Free() != 10000-used {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceAndDiskOffset(t *testing.T) {
+	a := NewAllocator(1000)
+	l := mustLayout(t, 100, 30, 10)
+	// Fragment the disk first so chunks land non-contiguously.
+	hole, _ := a.Alloc(25)
+	pin, _ := a.Alloc(10)
+	_ = a.Release(hole, 25)
+	_ = pin
+	p, err := a.Place(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Addresses) != 5 {
+		t.Fatalf("placed %d chunks, want 5", len(p.Addresses))
+	}
+	// Physical addresses must not overlap.
+	for i := range p.Addresses {
+		for j := i + 1; j < len(p.Addresses); j++ {
+			lo, hi := p.Addresses[i], p.Addresses[j]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if hi < lo+30 {
+				t.Fatalf("chunks %d and %d overlap", i, j)
+			}
+		}
+	}
+	// A read maps into its chunk's physical extent.
+	addr, err := p.DiskOffset(45, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, within, _ := l.Locate(45, 10)
+	if addr != p.Addresses[c]+within {
+		t.Errorf("DiskOffset = %v, want %v", addr, p.Addresses[c]+within)
+	}
+	if _, err := p.DiskOffset(95, 10); err == nil {
+		t.Error("read past end should fail")
+	}
+}
+
+func TestPlaceRollsBackOnFailure(t *testing.T) {
+	a := NewAllocator(100) // room for 3 chunks of 30, but the layout needs 5
+	l := mustLayout(t, 100, 30, 10)
+	if _, err := a.Place(l); err == nil {
+		t.Fatal("placement should fail")
+	}
+	if got := a.Free(); got != 100 {
+		t.Errorf("failed placement leaked space: free = %v", got)
+	}
+}

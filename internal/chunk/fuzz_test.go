@@ -1,0 +1,75 @@
+package chunk
+
+import (
+	"testing"
+
+	"repro/internal/si"
+)
+
+// FuzzLocate drives the single-chunk read guarantee with fuzzer-chosen
+// geometry and reads: every accepted read must land entirely inside its
+// chunk and at the right content offset.
+func FuzzLocate(f *testing.F) {
+	f.Add(int64(1000), int64(100), int64(40), int64(500), int64(30))
+	f.Add(int64(10_800_000_000), int64(412_800_000), int64(206_000_000), int64(0), int64(206_000_000))
+	f.Add(int64(100), int64(30), int64(10), int64(95), int64(5))
+	f.Fuzz(func(t *testing.T, video, size, maxRead, offset, length int64) {
+		l, err := NewLayout(si.Bits(video), si.Bits(size), si.Bits(maxRead))
+		if err != nil {
+			t.Skip()
+		}
+		c, within, err := l.Locate(si.Bits(offset), si.Bits(length))
+		if err != nil {
+			// The layout must reject exactly the reads it cannot
+			// guarantee; everything in range must succeed.
+			if offset >= 0 && length >= 0 && length <= maxRead && offset+length <= video {
+				t.Fatalf("in-range read rejected: %v", err)
+			}
+			return
+		}
+		if c < 0 || c >= l.Chunks() {
+			t.Fatalf("chunk %d out of range [0,%d)", c, l.Chunks())
+		}
+		if within < 0 || within+si.Bits(length) > si.Bits(size) {
+			t.Fatalf("read [%v,+%v) spills out of the chunk", within, length)
+		}
+		if l.start(c)+within != si.Bits(offset) {
+			t.Fatalf("content mismatch: chunk %d at %v is offset %v, want %v",
+				c, within, l.start(c)+within, offset)
+		}
+	})
+}
+
+// FuzzAllocator drives random alloc/release interleavings: space must be
+// conserved and the free list must stay consistent.
+func FuzzAllocator(f *testing.F) {
+	f.Add([]byte{10, 200, 20, 128, 5})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		a := NewAllocator(1 << 16)
+		type held struct{ at, size si.Bits }
+		var live []held
+		var used si.Bits
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				size := si.Bits(1 + int(op)*13%4096)
+				at, err := a.Alloc(size)
+				if err != nil {
+					continue
+				}
+				live = append(live, held{at, size})
+				used += size
+			} else {
+				i := int(op) % len(live)
+				h := live[i]
+				if err := a.Release(h.at, h.size); err != nil {
+					t.Fatalf("release of held extent failed: %v", err)
+				}
+				live = append(live[:i], live[i+1:]...)
+				used -= h.size
+			}
+			if got := a.Free(); got != 1<<16-used {
+				t.Fatalf("space leak: free %v, want %v", got, si.Bits(1<<16)-used)
+			}
+		}
+	})
+}

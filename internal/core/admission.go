@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Allocation is the inertia snapshot recorded when a buffer is allocated to
+// a request: the number of requests then in service (N) and the number of
+// additional requests then predicted (K). Enforcement of Assumptions 1 and
+// 2 compares the current state against these snapshots.
+type Allocation struct {
+	N int // n_i: requests in service at allocation time
+	K int // k_i: estimated additional requests at allocation time
+}
+
+// Book tracks, for every request in service, the Allocation recorded at its
+// most recent buffer allocation. It answers the two aggregate questions the
+// allocation algorithm (Fig. 5) asks: min_i(n_i + k_i) for admission
+// control and min_i(k_i) for prediction capping.
+//
+// A disk serves at most N ≈ 79 requests, so linear scans are cheaper and
+// simpler than incremental min-maintenance under arbitrary removal.
+type Book struct {
+	allocs map[int]Allocation
+	// The mins are read on every scheduling decision and mutated on every
+	// allocation, so they are maintained incrementally: the cached min
+	// plus a count of entries holding it. A full rescan happens only when
+	// the last holder of a min leaves or grows — rare in steady state.
+	minNK, minK int
+	cntNK, cntK int
+	dirty       bool
+}
+
+// NewBook returns an empty book.
+func NewBook() *Book {
+	return &Book{
+		allocs: make(map[int]Allocation),
+		minNK:  math.MaxInt,
+		minK:   math.MaxInt,
+	}
+}
+
+// Set records the allocation snapshot for the request with the given id.
+func (b *Book) Set(id int, a Allocation) {
+	if a.N < 1 || a.K < 0 {
+		panic(fmt.Sprintf("core: invalid allocation snapshot %+v", a))
+	}
+	if old, ok := b.allocs[id]; ok {
+		b.forget(old)
+	}
+	b.allocs[id] = a
+	if !b.dirty {
+		b.admitMin(a)
+	}
+}
+
+// Remove forgets a departed request. Removing an unknown id is a no-op:
+// a request that was admitted but never serviced has no snapshot.
+func (b *Book) Remove(id int) {
+	if old, ok := b.allocs[id]; ok {
+		delete(b.allocs, id)
+		b.forget(old)
+	}
+}
+
+// forget retires an entry's contribution to the cached mins.
+func (b *Book) forget(old Allocation) {
+	if b.dirty {
+		return
+	}
+	if old.N+old.K == b.minNK {
+		if b.cntNK--; b.cntNK == 0 {
+			b.dirty = true
+		}
+	}
+	if old.K == b.minK {
+		if b.cntK--; b.cntK == 0 {
+			b.dirty = true
+		}
+	}
+}
+
+// admitMin folds a new entry into the cached mins.
+func (b *Book) admitMin(a Allocation) {
+	switch s := a.N + a.K; {
+	case s < b.minNK:
+		b.minNK, b.cntNK = s, 1
+	case s == b.minNK:
+		b.cntNK++
+	}
+	switch {
+	case a.K < b.minK:
+		b.minK, b.cntK = a.K, 1
+	case a.K == b.minK:
+		b.cntK++
+	}
+}
+
+// Len reports the number of requests with a recorded snapshot.
+func (b *Book) Len() int { return len(b.allocs) }
+
+func (b *Book) refresh() {
+	b.minNK, b.minK = math.MaxInt, math.MaxInt
+	b.cntNK, b.cntK = 0, 0
+	for _, a := range b.allocs {
+		switch s := a.N + a.K; {
+		case s < b.minNK:
+			b.minNK, b.cntNK = s, 1
+		case s == b.minNK:
+			b.cntNK++
+		}
+		switch {
+		case a.K < b.minK:
+			b.minK, b.cntK = a.K, 1
+		case a.K == b.minK:
+			b.cntK++
+		}
+	}
+	b.dirty = false
+}
+
+// MinNK returns min_i(n_i + k_i), or math.MaxInt when the book is empty.
+func (b *Book) MinNK() int {
+	if b.dirty || len(b.allocs) == 0 {
+		b.refresh()
+	}
+	return b.minNK
+}
+
+// MinK returns min_i(k_i), or math.MaxInt when the book is empty.
+func (b *Book) MinK() int {
+	if b.dirty || len(b.allocs) == 0 {
+		b.refresh()
+	}
+	return b.minK
+}
+
+// Admit implements Procedure Admission_Control of Fig. 5: a newly arriving
+// request may be admitted only if, with it admitted, the number of requests
+// in service stays within every in-service buffer's sizing assumption:
+//
+//	(n+1) <= min_i(n_i + k_i)
+//
+// and within the disk's capacity N. n is the number of requests currently
+// in service (which may exceed b.Len() when some admitted requests have not
+// yet received their first buffer).
+func Admit(b *Book, n, nmax int) bool {
+	if n+1 > nmax {
+		return false
+	}
+	return n+1 <= b.MinNK()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBookMins(t *testing.T) {
+	b := NewBook()
+	if b.MinNK() != math.MaxInt || b.MinK() != math.MaxInt {
+		t.Error("empty book should report MaxInt minimums")
+	}
+	b.Set(1, Allocation{N: 5, K: 2})
+	b.Set(2, Allocation{N: 6, K: 1})
+	b.Set(3, Allocation{N: 6, K: 3})
+	if got := b.MinNK(); got != 7 {
+		t.Errorf("MinNK = %d, want 7", got)
+	}
+	if got := b.MinK(); got != 1 {
+		t.Errorf("MinK = %d, want 1", got)
+	}
+	b.Remove(2)
+	if got := b.MinNK(); got != 7 { // {5+2, 6+3}
+		t.Errorf("MinNK after remove = %d, want 7", got)
+	}
+	if got := b.MinK(); got != 2 {
+		t.Errorf("MinK after remove = %d, want 2", got)
+	}
+	b.Remove(99) // unknown id is a no-op
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestBookSetOverwrites(t *testing.T) {
+	b := NewBook()
+	b.Set(1, Allocation{N: 5, K: 0})
+	b.Set(1, Allocation{N: 8, K: 4})
+	if got := b.MinNK(); got != 12 {
+		t.Errorf("MinNK = %d, want 12 after overwrite", got)
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestBookSetValidates(t *testing.T) {
+	b := NewBook()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid snapshot should panic")
+		}
+	}()
+	b.Set(1, Allocation{N: 0, K: 0})
+}
+
+func TestAdmit(t *testing.T) {
+	b := NewBook()
+	// Empty system: admission passes while capacity remains.
+	if !Admit(b, 0, 79) {
+		t.Error("empty system should admit")
+	}
+	if Admit(b, 79, 79) {
+		t.Error("full system should reject")
+	}
+	// One stream sized for n_i + k_i = 6: the 7th concurrent request fits,
+	// the 8th does not.
+	b.Set(1, Allocation{N: 5, K: 1})
+	if !Admit(b, 5, 79) {
+		t.Error("n+1 = 6 <= 6 should admit")
+	}
+	if Admit(b, 6, 79) {
+		t.Error("n+1 = 7 > 6 should defer")
+	}
+}
+
+// Property: Admit is exactly the conjunction of the capacity check and
+// Assumption 1 for arbitrary books.
+func TestAdmitDefinition(t *testing.T) {
+	f := func(ids []uint8, n, nmax uint8) bool {
+		b := NewBook()
+		for i, raw := range ids {
+			b.Set(i, Allocation{N: 1 + int(raw)%70, K: int(raw) % 9})
+		}
+		got := Admit(b, int(n), int(nmax))
+		want := int(n)+1 <= int(nmax) && int(n)+1 <= b.MinNK()
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the incrementally maintained minimums always match a brute
+// force over arbitrary Set/Remove sequences.
+func TestBookIncrementalMinsMatchBruteForce(t *testing.T) {
+	brute := func(m map[int]Allocation) (int, int) {
+		nk, k := math.MaxInt, math.MaxInt
+		for _, a := range m {
+			if s := a.N + a.K; s < nk {
+				nk = s
+			}
+			if a.K < k {
+				k = a.K
+			}
+		}
+		return nk, k
+	}
+	f := func(ops []uint16) bool {
+		b := NewBook()
+		shadow := make(map[int]Allocation)
+		for _, op := range ops {
+			id := int(op % 8)
+			if op%5 == 0 {
+				b.Remove(id)
+				delete(shadow, id)
+			} else {
+				a := Allocation{N: 1 + int(op>>8)%20, K: int(op>>4) % 6}
+				b.Set(id, a)
+				shadow[id] = a
+			}
+			wantNK, wantK := brute(shadow)
+			if b.MinNK() != wantNK || b.MinK() != wantK {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

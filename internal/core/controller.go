@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/si"
+)
+
+// Controller packages the dynamic scheme's runtime machinery — the sizing
+// table, the arrival estimator, and the inertia book — behind one
+// mutex-protected API, in the shape a real server embeds it:
+//
+//	ctl := core.NewController(params, dlModel, tlog)
+//	ctl.ObserveArrival(now)                  // every arrival, admitted or not
+//	if !ctl.Admit(now) { defer the request } // Assumption 1 enforcement
+//	size, _ := ctl.Allocate(id, now, period) // at each service
+//	ctl.Release(id)                          // at departure
+//
+// The discrete-event simulator keeps its own internally specialized copy
+// of this logic for speed and instrumentation; Controller is the public,
+// concurrency-safe form.
+type Controller struct {
+	mu     sync.Mutex
+	params Params
+	table  *Table
+	est    *Estimator
+	book   *Book
+	n      int // requests currently admitted
+	lastT  si.Seconds
+}
+
+// NewController builds a controller for one disk. dl is the scheduling
+// method's latency model and tlog the estimation window.
+func NewController(p Params, dl DLModel, tlog si.Seconds) *Controller {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{
+		params: p,
+		table:  NewTable(p, dl),
+		est:    NewEstimator(tlog),
+		book:   NewBook(),
+	}
+	// A sane starting period for the k_log window before any allocation.
+	c.lastT = p.UsagePeriod(c.table.Size(1, p.Alpha))
+	return c
+}
+
+// Params returns the controller's sizing parameters.
+func (c *Controller) Params() Params { return c.params }
+
+// InService reports the number of admitted requests.
+func (c *Controller) InService() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// ObserveArrival records an arrival (admitted or not) for prediction.
+func (c *Controller) ObserveArrival(now si.Seconds) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.est.RecordArrival(now)
+}
+
+// Admit attempts to admit one request under capacity and Assumption 1.
+// On success the request counts as in service and must eventually be
+// Released; on failure the caller defers and retries later.
+func (c *Controller) Admit(now si.Seconds) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !Admit(c.book, c.n, c.params.N) {
+		return false
+	}
+	c.n++
+	return true
+}
+
+// Allocate sizes the next buffer for the admitted request id per the
+// allocation algorithm (Fig. 5): n is the current in-service count, k the
+// estimate from the trailing window, and the inertia snapshot is recorded
+// for enforcement. It returns the buffer size and the prediction used.
+func (c *Controller) Allocate(id int, now si.Seconds) (si.Bits, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n < 1 {
+		return 0, 0, fmt.Errorf("core: Allocate with no admitted requests")
+	}
+	kc := c.est.Estimate(c.params, now, c.lastT, c.book.MinK(), c.n)
+	size := c.table.Size(c.n, kc)
+	c.lastT = c.params.UsagePeriod(size)
+	c.book.Set(id, Allocation{N: c.n, K: kc})
+	return size, kc, nil
+}
+
+// Release returns an admitted request's capacity at departure.
+func (c *Controller) Release(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.book.Remove(id)
+	if c.n > 0 {
+		c.n--
+	}
+}

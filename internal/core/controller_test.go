@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/si"
+)
+
+func testController() *Controller {
+	p := paperParams()
+	return NewController(p, ConstDL(dlRR()), si.Minutes(40))
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	c := testController()
+	if got := c.InService(); got != 0 {
+		t.Fatalf("fresh controller in service = %d", got)
+	}
+	if c.Params().N != 79 {
+		t.Fatalf("params not carried")
+	}
+
+	c.ObserveArrival(0)
+	if !c.Admit(0) {
+		t.Fatal("empty system should admit")
+	}
+	if got := c.InService(); got != 1 {
+		t.Fatalf("in service = %d, want 1", got)
+	}
+	size, kc, err := c.Allocate(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Errorf("allocated size = %v", size)
+	}
+	if kc < 1 {
+		t.Errorf("kc = %d, want at least alpha", kc)
+	}
+	c.Release(1)
+	if got := c.InService(); got != 0 {
+		t.Errorf("in service after release = %d", got)
+	}
+	// Releasing again is harmless and never goes negative.
+	c.Release(1)
+	if got := c.InService(); got != 0 {
+		t.Errorf("double release broke the count: %d", got)
+	}
+}
+
+func TestControllerAllocateWithoutAdmit(t *testing.T) {
+	c := testController()
+	if _, _, err := c.Allocate(1, 0); err == nil {
+		t.Error("Allocate with nothing admitted should fail")
+	}
+}
+
+func TestControllerEnforcesAssumption1(t *testing.T) {
+	c := testController()
+	now := si.Seconds(0)
+	// Admit and allocate one request; its snapshot is (1, kc) with kc
+	// small (no arrival history beyond alpha).
+	if !c.Admit(now) {
+		t.Fatal("first admit")
+	}
+	if _, kc, err := c.Allocate(1, now); err != nil || kc != 1 {
+		t.Fatalf("first allocation kc = %d, err %v; want alpha = 1", kc, err)
+	}
+	// The buffer was sized for n+k = 2: the second admission fits, the
+	// third defers until the first request's snapshot is refreshed.
+	if !c.Admit(now) {
+		t.Fatal("second admit should pass (2 <= 1+1)")
+	}
+	if c.Admit(now) {
+		t.Fatal("third admit should defer (3 > 2)")
+	}
+	// Re-allocating request 1 at n = 2 refreshes its snapshot and the
+	// estimator's cap (min k_i grows with fresh arrivals).
+	c.ObserveArrival(now + 1)
+	c.ObserveArrival(now + 2)
+	if _, _, err := c.Allocate(1, now+3); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Admit(now + 3) {
+		t.Error("admission should pass after the snapshot refresh")
+	}
+}
+
+func TestControllerCapacity(t *testing.T) {
+	p := Params{TR: si.Mbps(120), CR: si.Mbps(1.5), N: 3, Alpha: 1}
+	c := NewController(p, ConstDL(dlRR()), si.Minutes(40))
+	admitted := 0
+	now := si.Seconds(0)
+	// Each round models one service pass: try to admit, then re-allocate
+	// every in-service request so its inertia snapshot reflects the new
+	// load (exactly what the Fig. 5 loop does each period).
+	for round := 0; round < 10; round++ {
+		now += 1
+		c.ObserveArrival(now)
+		if c.Admit(now) {
+			admitted++
+		}
+		for id := 1; id <= admitted; id++ {
+			if _, _, err := c.Allocate(id, now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("admitted %d, want capacity N = 3", admitted)
+	}
+}
+
+func TestControllerConcurrentUse(t *testing.T) {
+	c := testController()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				now := si.Seconds(g*1000 + i)
+				_ = now
+				c.ObserveArrival(si.Seconds(1e6)) // fixed time: always monotone
+				if c.Admit(si.Seconds(1e6)) {
+					id := g*1000 + i
+					if _, _, err := c.Allocate(id, si.Seconds(1e6)); err != nil {
+						t.Error(err)
+						return
+					}
+					c.Release(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.InService(); got != 0 {
+		t.Errorf("in service after all released = %d", got)
+	}
+}
+
+func TestControllerPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid params should panic")
+		}
+	}()
+	NewController(Params{}, ConstDL(1), si.Minutes(1))
+}

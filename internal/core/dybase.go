@@ -1,0 +1,48 @@
+package core
+
+import "repro/internal/si"
+
+// DybaseSize evaluates the sizing of DYBASE (Lee, Whang, Moon & Song,
+// Information Sciences 137, 2001), the paper's cited precursor: the same
+// future-dependent recurrence as Theorem 1 but under a simpler model
+// without the inertia assumptions — the predicted number of additional
+// requests stays constant at k along the whole chain instead of growing
+// by alpha per step:
+//
+//	BS'_k(n) = (n+k) · (BS'_k(n+k)/TR + dl) · CR      (n < N)
+//	BS'_k(N) = the Eq. 11 boundary
+//
+// With k = 0 the chain never advances and the recurrence becomes the
+// fixpoint BS = n·(BS/TR + dl)·CR, whose solution is exactly Eq. 5 at n —
+// sizing for a frozen system. DYBASE sizes sit between the naive Eq. 5
+// value at n+k and Theorem 1's (which reserves additional headroom for a
+// growing arrival rate); without Assumption 2's runtime cap, DYBASE has
+// no enforcement story when the rate outgrows k, which is precisely what
+// the paper's inertia machinery adds.
+func (p Params) DybaseSize(dl si.Seconds, n, k int) si.Bits {
+	p.check(dl, n, k)
+	if n >= p.N {
+		return p.StaticSize(dl, p.N)
+	}
+	if k == 0 {
+		// Fixpoint of the stationary recurrence: Eq. 5 at n.
+		return p.StaticSize(dl, n)
+	}
+	var chain []int
+	for cn := n + k; ; cn += k {
+		m := cn
+		if m > p.N {
+			m = p.N
+		}
+		chain = append(chain, m)
+		if cn >= p.N {
+			break
+		}
+	}
+	bs := float64(p.StaticSize(dl, p.N))
+	tr, cr, dlf := float64(p.TR), float64(p.CR), float64(dl)
+	for i := len(chain) - 1; i >= 0; i-- {
+		bs = float64(chain[i]) * (bs/tr + dlf) * cr
+	}
+	return si.Bits(bs)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/si"
+)
+
+// inertiaStep advances the predicted load one usage period into the future
+// under Assumptions 1 and 2: n requests in service with k predicted
+// additional requests become n+k in service with k+alpha predicted.
+// This is the chain the recurrence of Theorem 1 walks:
+//
+//	step i:  n_i = n + i·k + (i−1)·i·α/2,  k_i = k + i·α
+func (p Params) inertiaStep(n, k int) (int, int) { return n + k, k + p.Alpha }
+
+// ChainLength returns e of Theorem 1: the number of inertia steps needed
+// for the predicted load to reach full capacity N, i.e. the smallest
+// positive integer e with n + e·k + (e−1)·e·α/2 >= N. It returns 0 when
+// n >= N (the chain is empty; the static boundary applies directly).
+func (p Params) ChainLength(n, k int) int {
+	p.check(si.Seconds(1), n, k)
+	if n >= p.N {
+		return 0
+	}
+	e := 0
+	for n < p.N {
+		n, k = p.inertiaStep(n, k)
+		e++
+	}
+	return e
+}
+
+// ChainLengthClosedForm evaluates the paper's closed form for e:
+//
+//	e = ⌈ (α/2 − k + √(k² + α·(2·(N−n) − k) + α²/4)) / α ⌉
+//
+// ChainLength and ChainLengthClosedForm are verified against each other by
+// property tests; the iterative form is authoritative.
+func (p Params) ChainLengthClosedForm(n, k int) int {
+	p.check(si.Seconds(1), n, k)
+	if n >= p.N {
+		return 0
+	}
+	a := float64(p.Alpha)
+	kf := float64(k)
+	disc := kf*kf + a*(2*float64(p.N-n)-kf) + a*a/4
+	e := (a/2 - kf + math.Sqrt(disc)) / a
+	ce := int(math.Ceil(e))
+	// The ceiling can land one short when e is an exact integer hit by
+	// float round-off from below; the definition wants the smallest e
+	// whose predicted load reaches N, so nudge if needed.
+	if ce < 1 {
+		ce = 1
+	}
+	for n+ce*k+(ce-1)*ce*p.Alpha/2 < p.N {
+		ce++
+	}
+	return ce
+}
+
+// DynamicSize evaluates Theorem 1 by walking the recurrence backward:
+//
+//	BS_k(n) = (n+k) · (BS_{k+α}(n+k)/TR + dl) · CR      (n < N)
+//	BS_k(N) = dl · N·CR·TR / (TR − N·CR)                (boundary, Eq. 11)
+//
+// with every predicted load along the chain clamped at N. This is the
+// buffer size the dynamic scheme allocates when n requests are in service
+// and k additional requests are predicted, under per-service worst disk
+// latency dl.
+func (p Params) DynamicSize(dl si.Seconds, n, k int) si.Bits {
+	p.check(dl, n, k)
+	if n >= p.N {
+		return p.StaticSize(dl, p.N)
+	}
+	// Collect the multiplier chain m_1..m_e (predicted loads), clamped.
+	var chain []int
+	cn, ck := n, k
+	for cn < p.N {
+		cn, ck = p.inertiaStep(cn, ck)
+		m := cn
+		if m > p.N {
+			m = p.N
+		}
+		chain = append(chain, m)
+	}
+	// Backward substitution from the fully loaded boundary.
+	bs := float64(p.StaticSize(dl, p.N))
+	tr, cr, dlf := float64(p.TR), float64(p.CR), float64(dl)
+	for i := len(chain) - 1; i >= 0; i-- {
+		bs = float64(chain[i]) * (bs/tr + dlf) * cr
+	}
+	return si.Bits(bs)
+}
+
+// DynamicSizeClosedForm evaluates the closed form of Theorem 1 (Eq. 6)
+// exactly as printed:
+//
+//	BS_k(n) = dl·CR·[ (CR/TR)^e · Π_{i=1}^{e−1} m(i) · N²·TR/(TR−N·CR)
+//	                + Σ_{i=0}^{e−2} (CR/TR)^i · Π_{j=1}^{i+1} m(j)
+//	                + (CR/TR)^{e−1} · N · Π_{j=1}^{e−1} m(j) ]
+//
+// where m(i) = n + i·k + (i−1)·i·α/2. Property tests check it against
+// DynamicSize; the recurrence form is authoritative.
+func (p Params) DynamicSizeClosedForm(dl si.Seconds, n, k int) si.Bits {
+	p.check(dl, n, k)
+	if n >= p.N {
+		return p.StaticSize(dl, p.N)
+	}
+	e := p.ChainLength(n, k)
+	r := float64(p.CR) / float64(p.TR)
+	m := func(i int) float64 {
+		return float64(n + i*k + (i-1)*i*p.Alpha/2)
+	}
+	// prod(j) = Π_{i=1}^{j} m(i), prod(0) = 1.
+	prod := func(j int) float64 {
+		out := 1.0
+		for i := 1; i <= j; i++ {
+			out *= m(i)
+		}
+		return out
+	}
+	full := float64(p.N) * float64(p.N) * float64(p.TR) /
+		(float64(p.TR) - float64(p.N)*float64(p.CR))
+	sum := 0.0
+	for i := 0; i <= e-2; i++ {
+		sum += math.Pow(r, float64(i)) * prod(i+1)
+	}
+	bracket := math.Pow(r, float64(e))*prod(e-1)*full +
+		sum +
+		math.Pow(r, float64(e-1))*float64(p.N)*prod(e-1)
+	return si.Bits(float64(dl) * float64(p.CR) * bracket)
+}
+
+// UsagePeriod reports the usage period T of a buffer of the given size:
+// the time the stream takes to consume it (BS / CR). In the dynamic scheme
+// this equals the worst-case time to service the n+k predicted buffers.
+func (p Params) UsagePeriod(size si.Bits) si.Seconds {
+	return p.CR.TimeToTransfer(size)
+}

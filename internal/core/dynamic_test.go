@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/si"
+)
+
+// drawNK maps arbitrary fuzz bytes to a valid (n, k) pair for params p.
+func drawNK(p Params, a, b uint8) (n, k int) {
+	n = 1 + int(a)%p.N
+	k = int(b) % (p.N - n + 1)
+	return n, k
+}
+
+func TestChainLengthKnownValues(t *testing.T) {
+	p := paperParams()
+	tests := []struct {
+		n, k, want int
+	}{
+		{79, 0, 0}, // fully loaded: empty chain
+		{78, 0, 2}, // m(1)=78, m(2)=79 — two steps
+		{78, 1, 1}, // m(1)=79 — one step
+		{1, 0, 13}, // 1,1,2,4,7,11,16,22,29,37,46,56,67,79: 13 steps
+		{1, 78, 1},
+	}
+	for _, tt := range tests {
+		if got := p.ChainLength(tt.n, tt.k); got != tt.want {
+			t.Errorf("ChainLength(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+// Property: closed-form e equals the iterative count everywhere, for
+// several alpha values.
+func TestChainLengthClosedFormAgrees(t *testing.T) {
+	for alpha := 1; alpha <= 4; alpha++ {
+		p := paperParams()
+		p.Alpha = alpha
+		f := func(a, b uint8) bool {
+			n, k := drawNK(p, a, b)
+			return p.ChainLength(n, k) == p.ChainLengthClosedForm(n, k)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("alpha = %d: %v", alpha, err)
+		}
+	}
+}
+
+// Property: e is minimal — the predicted load reaches N at step e but not
+// at step e−1.
+func TestChainLengthMinimal(t *testing.T) {
+	p := paperParams()
+	f := func(a, b uint8) bool {
+		n, k := drawNK(p, a, b)
+		if n >= p.N {
+			return p.ChainLength(n, k) == 0
+		}
+		e := p.ChainLength(n, k)
+		load := func(i int) int { return n + i*k + (i-1)*i*p.Alpha/2 }
+		return load(e) >= p.N && (e == 1 || load(e-1) < p.N)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicSizeBoundary(t *testing.T) {
+	p := paperParams()
+	// At full load the dynamic scheme allocates exactly the static size.
+	if got, want := p.DynamicSize(dlRR(), p.N, 0), p.StaticSize(dlRR(), p.N); got != want {
+		t.Errorf("BS_0(N) = %v, want static %v", got, want)
+	}
+}
+
+// Analytic spot check derived in the design notes: with k = 0 and n = N−1
+// the chain is N−1 → N (clamped), and because BS(N) is the Eq. 11
+// fixpoint, BS_0(N−1) = (N−1)/N · BS(N).
+func TestDynamicSizeNMinusOne(t *testing.T) {
+	p := paperParams()
+	got := float64(p.DynamicSize(dlRR(), p.N-1, 0))
+	want := float64(p.N-1) / float64(p.N) * float64(p.StaticSize(dlRR(), p.N))
+	if !relClose(got, want, 1e-12) {
+		t.Errorf("BS_0(N-1) = %v, want %v", got, want)
+	}
+}
+
+// Property: the printed closed form (Eq. 6) agrees with the backward
+// recurrence for every reachable (n, k) and several alpha.
+func TestClosedFormMatchesRecurrence(t *testing.T) {
+	for alpha := 1; alpha <= 3; alpha++ {
+		p := paperParams()
+		p.Alpha = alpha
+		f := func(a, b uint8) bool {
+			n, k := drawNK(p, a, b)
+			x := float64(p.DynamicSize(dlRR(), n, k))
+			y := float64(p.DynamicSizeClosedForm(dlRR(), n, k))
+			return relClose(x, y, 1e-9)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("alpha = %d: %v", alpha, err)
+		}
+	}
+}
+
+// Property: the recurrence guarantee holds with equality — a buffer's
+// usage period exactly covers servicing the n+k predicted buffers of the
+// next inertia state (Eq. 10 at its minimum):
+//
+//	BS_k(n)/CR = (n+k) · (BS_{k+α}(n+k)/TR + DL)
+func TestRecurrenceGuarantee(t *testing.T) {
+	p := paperParams()
+	f := func(a, b uint8) bool {
+		n, k := drawNK(p, a, b)
+		if n >= p.N {
+			return true
+		}
+		nn, nk := p.inertiaStep(n, k)
+		if nn > p.N {
+			nn = p.N
+		}
+		if nk > p.N-nn {
+			nk = p.N - nn // table-style clamp; size is BS(N) regardless at nn = N
+		}
+		next := float64(p.DynamicSize(dlRR(), nn, nk))
+		lhs := float64(p.UsagePeriod(p.DynamicSize(dlRR(), n, k)))
+		rhs := float64(nn) * (next/float64(p.TR) + float64(dlRR()))
+		return relClose(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dynamic sizes are monotone in n and in k, never exceed the
+// static full-load size, and are at least the naive Eq. 5 size at n+k.
+func TestDynamicSizeOrdering(t *testing.T) {
+	p := paperParams()
+	static := p.StaticSize(dlRR(), p.N)
+	f := func(a, b uint8) bool {
+		n, k := drawNK(p, a, b)
+		bs := p.DynamicSize(dlRR(), n, k)
+		if bs <= 0 || bs > static+1 {
+			return false
+		}
+		if bs < p.NaiveSize(dlRR(), n, k)-1 {
+			return false // dynamic must cover future growth the naive scheme ignores
+		}
+		if n+1 <= p.N && p.DynamicSize(dlRR(), n+1, min(k, p.N-n-1)) < bs-1e-3 {
+			// Growing n with same-or-clamped k must not shrink the buffer.
+			return false
+		}
+		if k+1 <= p.N-n && p.DynamicSize(dlRR(), n, k+1) < bs {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Larger alpha means faster adaptation but larger buffers (Section 3.1's
+// stated trade-off).
+func TestAlphaGrowsBuffers(t *testing.T) {
+	for _, n := range []int{1, 10, 40, 70} {
+		prev := si.Bits(0)
+		for alpha := 1; alpha <= 4; alpha++ {
+			p := paperParams()
+			p.Alpha = alpha
+			bs := p.DynamicSize(dlRR(), n, 2)
+			if bs < prev {
+				t.Errorf("n = %d: BS shrank when alpha grew to %d", n, alpha)
+			}
+			prev = bs
+		}
+	}
+}
+
+func TestUsagePeriod(t *testing.T) {
+	p := paperParams()
+	bs := si.Megabits(15)
+	if got := p.UsagePeriod(bs); !relClose(float64(got), 10, 1e-12) {
+		t.Errorf("UsagePeriod(15 Mbit at 1.5 Mbps) = %v, want 10s", got)
+	}
+}
+
+// The paper's headline shape: at low load the dynamic buffer is a tiny
+// fraction of the static one (Fig. 9 shows roughly two orders of
+// magnitude at n = 1).
+func TestDynamicMuchSmallerAtLowLoad(t *testing.T) {
+	p := paperParams()
+	dyn := float64(p.DynamicSize(dlRR(), 1, 4))
+	static := float64(p.StaticSize(dlRR(), p.N))
+	if ratio := static / dyn; ratio < 20 {
+		t.Errorf("static/dynamic at n=1 = %.1f, want a large factor", ratio)
+	}
+}
+
+func TestDynamicSizeFloatSafety(t *testing.T) {
+	p := paperParams()
+	for n := 1; n <= p.N; n++ {
+		for k := 0; k <= p.N-n; k++ {
+			got := float64(p.DynamicSize(dlRR(), n, k))
+			if math.IsNaN(got) || math.IsInf(got, 0) || got <= 0 {
+				t.Fatalf("BS_%d(%d) = %v", k, n, got)
+			}
+			cf := float64(p.DynamicSizeClosedForm(dlRR(), n, k))
+			if math.IsNaN(cf) || math.IsInf(cf, 0) || cf <= 0 {
+				t.Fatalf("closed form BS_%d(%d) = %v", k, n, cf)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/si"
+)
+
+// Estimator tracks recent request arrivals and produces k_log, the
+// ingredient of the dynamic scheme's prediction: the maximum number of
+// additional requests that arrived within any service-period-length window
+// inside the trailing T_log (Table 1, Fig. 5 Step 4).
+//
+// Arrival times must be recorded in non-decreasing order, which a
+// discrete-event simulation and a real server both provide naturally.
+type Estimator struct {
+	tlog     si.Seconds
+	arrivals []si.Seconds // sorted, pruned to the trailing window
+	latest   si.Seconds
+}
+
+// NewEstimator returns an estimator with the given history window T_log.
+func NewEstimator(tlog si.Seconds) *Estimator {
+	if tlog <= 0 {
+		panic(fmt.Sprintf("core: non-positive T_log %v", tlog))
+	}
+	return &Estimator{tlog: tlog}
+}
+
+// TLog returns the history window.
+func (e *Estimator) TLog() si.Seconds { return e.tlog }
+
+// RecordArrival notes a request arrival at time t. Out-of-order arrivals
+// (clock going backward) panic: they indicate a simulation bug.
+func (e *Estimator) RecordArrival(t si.Seconds) {
+	if t < e.latest {
+		fmtPanic("core: arrival at %v before %v", t, e.latest)
+	}
+	e.latest = t
+	e.arrivals = append(e.arrivals, t)
+}
+
+// KLog reports the maximum number of arrivals within any window of length
+// period that lies inside [now−T_log, now]. It also prunes history older
+// than the T_log window.
+func (e *Estimator) KLog(now, period si.Seconds) int {
+	if period <= 0 {
+		fmtPanic("core: non-positive period %v", period)
+	}
+	lo := now - e.tlog
+	// Prune arrivals that fell out of the window.
+	cut := 0
+	for cut < len(e.arrivals) && e.arrivals[cut] < lo {
+		cut++
+	}
+	if cut > 0 {
+		e.arrivals = append(e.arrivals[:0], e.arrivals[cut:]...)
+	}
+	// Two-pointer max-count over subwindows [a_i, a_i + period].
+	best, left := 0, 0
+	for right := range e.arrivals {
+		if e.arrivals[right] > now {
+			break // future arrivals are never in the trailing window
+		}
+		for e.arrivals[right]-e.arrivals[left] > period {
+			left++
+		}
+		if c := right - left + 1; c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Estimate computes k_c per Step 4 of the allocation algorithm (Fig. 5),
+// exactly as the paper states it:
+//
+//	k_c = min( k_log + α,  min_i(k_i + α) )
+//
+// minKi is min over in-service requests of their recorded k_i (use
+// MaxInt when no requests are in service). The estimate is deliberately
+// NOT clamped to the spare capacity N−n: the sizing table saturates at
+// the full-load size for any k beyond N−n (the recurrence chain clamps
+// at N), and an unclamped k keeps the inertia book's snapshots realistic
+// under heavy load. n is accepted for interface stability and future
+// policies but does not bound the estimate.
+func (e *Estimator) Estimate(p Params, now, period si.Seconds, minKi, n int) int {
+	kc := e.KLog(now, period) + p.Alpha
+	// Guard the min_i(k_i)+α cap against the MaxInt sentinel used when no
+	// requests are in service (adding α would overflow).
+	if minKi <= 2*p.N {
+		if ceil := minKi + p.Alpha; ceil < kc {
+			kc = ceil
+		}
+	}
+	if kc < 0 {
+		kc = 0
+	}
+	return kc
+}
+
+func fmtPanic(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

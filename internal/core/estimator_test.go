@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/si"
+)
+
+func TestEstimatorKLogBasics(t *testing.T) {
+	e := NewEstimator(si.Minutes(40))
+	if got := e.KLog(si.Minutes(100), 30); got != 0 {
+		t.Errorf("empty history: KLog = %d, want 0", got)
+	}
+	// Three arrivals within 30s of each other, one far away.
+	for _, m := range []float64{60, 60.1, 60.3, 75} {
+		e.RecordArrival(si.Minutes(m))
+	}
+	if got := e.KLog(si.Minutes(80), si.Seconds(30)); got != 3 {
+		t.Errorf("KLog = %d, want 3 (burst of three)", got)
+	}
+	// With a period long enough to span everything, all four count.
+	if got := e.KLog(si.Minutes(80), si.Minutes(20)); got != 4 {
+		t.Errorf("KLog = %d, want 4", got)
+	}
+}
+
+func TestEstimatorPrunesOldArrivals(t *testing.T) {
+	e := NewEstimator(si.Minutes(40))
+	e.RecordArrival(si.Minutes(1))
+	e.RecordArrival(si.Minutes(2))
+	e.RecordArrival(si.Minutes(3))
+	// At t = 50 min the window is [10, 50]: everything is stale.
+	if got := e.KLog(si.Minutes(50), si.Minutes(5)); got != 0 {
+		t.Errorf("stale arrivals counted: KLog = %d", got)
+	}
+	if len(e.arrivals) != 0 {
+		t.Errorf("stale arrivals not pruned: %d left", len(e.arrivals))
+	}
+}
+
+func TestEstimatorRejectsBackwardClock(t *testing.T) {
+	e := NewEstimator(si.Minutes(40))
+	e.RecordArrival(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("backward arrival should panic")
+		}
+	}()
+	e.RecordArrival(5)
+}
+
+func TestEstimatorPanicsOnBadInputs(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero tlog", func() { NewEstimator(0) })
+	mustPanic("zero period", func() { NewEstimator(1).KLog(0, 0) })
+}
+
+// Property: the two-pointer KLog matches a brute-force count of the
+// densest period-length window over random arrival sets.
+func TestKLogMatchesBruteForce(t *testing.T) {
+	brute := func(arrivals []si.Seconds, lo, hi, period si.Seconds) int {
+		best := 0
+		for _, start := range arrivals {
+			if start < lo || start > hi {
+				continue
+			}
+			c := 0
+			for _, a := range arrivals {
+				if a >= start && a <= start+period && a >= lo && a <= hi {
+					c++
+				}
+			}
+			if c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	f := func(seed int64, nRaw uint8, periodRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 60
+		tlog := si.Minutes(40)
+		now := si.Minutes(100)
+		period := si.Seconds(1+int(periodRaw)) * 10
+		var arrivals []si.Seconds
+		for i := 0; i < n; i++ {
+			arrivals = append(arrivals, si.Minutes(50+50*rng.Float64()))
+		}
+		sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+		e := NewEstimator(tlog)
+		for _, a := range arrivals {
+			e.RecordArrival(a)
+		}
+		want := brute(arrivals, now-tlog, now, period)
+		return e.KLog(now, period) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	p := paperParams()
+	e := NewEstimator(si.Minutes(40))
+	now := si.Minutes(60)
+	for i := 2; i >= 0; i-- {
+		e.RecordArrival(now - si.Seconds(i)) // burst of 3 within any sane period
+	}
+	period := si.Seconds(30)
+
+	// Uncapped: k_log + alpha = 3 + 1.
+	if got := e.Estimate(p, now, period, math.MaxInt, 10); got != 4 {
+		t.Errorf("Estimate = %d, want 4", got)
+	}
+	// Capped by min_i(k_i) + alpha (Assumption 2).
+	if got := e.Estimate(p, now, period, 2, 10); got != 3 {
+		t.Errorf("Estimate capped = %d, want 3", got)
+	}
+	// Not clamped by capacity: the sizing table saturates instead.
+	if got := e.Estimate(p, now, period, math.MaxInt, p.N); got != 4 {
+		t.Errorf("Estimate at capacity = %d, want unclamped 4", got)
+	}
+	// Empty history: alpha alone.
+	e2 := NewEstimator(si.Minutes(40))
+	if got := e2.Estimate(p, now, period, math.MaxInt, 1); got != p.Alpha {
+		t.Errorf("empty-history Estimate = %d, want alpha = %d", got, p.Alpha)
+	}
+}
+
+// Property: Estimate never violates Assumption 2 (k_c <= min_i(k_i) + α)
+// and never goes negative.
+func TestEstimateRespectsAssumption2(t *testing.T) {
+	p := paperParams()
+	f := func(seed int64, minKiRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEstimator(si.Minutes(40))
+		tt := si.Seconds(0)
+		for i := 0; i < 20; i++ {
+			tt += si.Seconds(rng.Float64() * 100)
+			e.RecordArrival(tt)
+		}
+		minKi := int(minKiRaw) % p.N
+		n := 1 + int(nRaw)%p.N
+		kc := e.Estimate(p, tt, 30, minKi, n)
+		return kc <= minKi+p.Alpha && kc >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLogAccessor(t *testing.T) {
+	if got := NewEstimator(si.Minutes(20)).TLog(); got != si.Minutes(20) {
+		t.Errorf("TLog = %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+// Package core implements the paper's primary contribution: the dynamic
+// buffer allocation scheme of Section 3, alongside the static baseline of
+// Section 2.3 and the flawed "naive" dynamic variant of Section 3.1 that
+// the paper uses as a motivating counterexample.
+//
+// The three pieces of the dynamic scheme are:
+//
+//   - Buffer sizing (Theorem 1): the size BS_k(n) of a buffer allocated
+//     when n requests are in service and k additional requests are
+//     predicted. Because the current size depends on the sizes of buffers
+//     allocated in the future, BS_k(n) is a recurrence; this package
+//     provides both the paper's closed form and a direct backward
+//     evaluation of the recurrence, plus the precomputed table §3.3
+//     recommends for runtime use.
+//
+//   - Prediction (the Estimator): k is estimated from the recent arrival
+//     history as k_log + α, where k_log is the maximum number of arrivals
+//     observed in any service-period-length window within the trailing
+//     T_log, and α is the inertia slack of Assumption 2.
+//
+//   - Enforcement (Admission + Book): Assumption 1 is enforced at runtime
+//     by deferring any new request whose admission would push the number
+//     in service beyond what some in-service buffer was sized for.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/si"
+)
+
+// Params carries the constants the sizing equations need. DL is not here:
+// it depends on the scheduling method (and, for Sweep*, on n), so every
+// sizing function takes it as an argument.
+type Params struct {
+	// TR is the disk's minimum transfer rate.
+	TR si.BitRate
+
+	// CR is the streams' consumption rate.
+	CR si.BitRate
+
+	// N is the maximum number of concurrent requests (Eq. 1): the largest
+	// integer strictly below TR/CR.
+	N int
+
+	// Alpha is the inertia slack of Assumption 2: the number of estimated
+	// additional requests may grow by at most Alpha within a usage period.
+	// Must be >= 1 (with alpha = 0 a freshly started system could never
+	// admit anyone; see footnote 5 of the paper).
+	Alpha int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.TR <= 0:
+		return fmt.Errorf("core: non-positive transfer rate %v", p.TR)
+	case p.CR <= 0:
+		return fmt.Errorf("core: non-positive consumption rate %v", p.CR)
+	case p.CR >= p.TR:
+		return fmt.Errorf("core: consumption rate %v not below transfer rate %v", p.CR, p.TR)
+	case p.N < 1:
+		return fmt.Errorf("core: N = %d, need at least 1", p.N)
+	case float64(p.N) >= float64(p.TR)/float64(p.CR):
+		return fmt.Errorf("core: N = %d violates N < TR/CR = %g", p.N, float64(p.TR)/float64(p.CR))
+	case p.Alpha < 1:
+		return fmt.Errorf("core: alpha = %d, must be >= 1", p.Alpha)
+	}
+	return nil
+}
+
+// DeriveN returns the largest admissible N for the given rates (Eq. 1).
+func DeriveN(tr, cr si.BitRate) int {
+	if cr <= 0 || tr <= 0 {
+		panic("core: DeriveN with non-positive rate")
+	}
+	n := int(math.Ceil(float64(tr)/float64(cr))) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// StaticSize evaluates Eq. 5: the minimum buffer size that lets the server
+// fill n buffers within one service period while each stream consumes at
+// CR, under per-service worst disk latency dl.
+//
+//	BS(n) = n · CR · dl · TR / (TR − n·CR)
+//
+// The static scheme of Section 2.3 always allocates StaticSize at n = N.
+// n must be in [1, N]; dl must be positive.
+func (p Params) StaticSize(dl si.Seconds, n int) si.Bits {
+	p.check(dl, n, 0)
+	num := float64(n) * float64(p.CR) * float64(dl) * float64(p.TR)
+	den := float64(p.TR) - float64(n)*float64(p.CR)
+	return si.Bits(num / den)
+}
+
+// NaiveSize evaluates the simple extension of the static scheme described
+// in Section 3.1 (Fig. 3): plug n+k into Eq. 5. The paper shows this
+// scheme is flawed — it ignores that future buffers are larger, so buffers
+// it allocates can empty early. It is implemented here as an ablation.
+func (p Params) NaiveSize(dl si.Seconds, n, k int) si.Bits {
+	p.check(dl, n, k)
+	m := n + k
+	if m > p.N {
+		m = p.N
+	}
+	return p.StaticSize(dl, m)
+}
+
+func (p Params) check(dl si.Seconds, n, k int) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if dl <= 0 {
+		panic(fmt.Sprintf("core: non-positive disk latency %v", dl))
+	}
+	if n < 1 || n > p.N {
+		panic(fmt.Sprintf("core: n = %d outside [1, N=%d]", n, p.N))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("core: negative k = %d", k))
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+)
+
+// paperParams returns the evaluation parameters of Section 5.1:
+// Barracuda 9LP transfer rate, MPEG-1 consumption rate, N = 79, alpha = 1.
+func paperParams() Params {
+	return Params{TR: si.Mbps(120), CR: si.Mbps(1.5), N: 79, Alpha: 1}
+}
+
+// dlRR is the Round-Robin worst per-service latency for the Barracuda:
+// gamma(Cyln) + theta = 13.4 + 8.33 ms.
+func dlRR() si.Seconds {
+	return diskmodel.Barracuda9LP().WorstLatency()
+}
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := paperParams().Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero TR", func(p *Params) { p.TR = 0 }},
+		{"zero CR", func(p *Params) { p.CR = 0 }},
+		{"CR >= TR", func(p *Params) { p.CR = p.TR }},
+		{"zero N", func(p *Params) { p.N = 0 }},
+		{"N too large", func(p *Params) { p.N = 80 }}, // 80 violates N < 120/1.5
+		{"zero alpha", func(p *Params) { p.Alpha = 0 }},
+	}
+	for _, c := range cases {
+		p := paperParams()
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+}
+
+func TestDeriveN(t *testing.T) {
+	if got := DeriveN(si.Mbps(120), si.Mbps(1.5)); got != 79 {
+		t.Errorf("DeriveN = %d, want 79", got)
+	}
+	if got := DeriveN(si.Mbps(120), si.Mbps(1.7)); got != 70 {
+		t.Errorf("DeriveN = %d, want 70", got)
+	}
+	if got := DeriveN(si.Mbps(1), si.Mbps(2)); got != 0 {
+		t.Errorf("DeriveN = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DeriveN(0, 0) should panic")
+		}
+	}()
+	DeriveN(0, 0)
+}
+
+func TestStaticSizeFullLoad(t *testing.T) {
+	p := paperParams()
+	// BS(79) = 79 · 1.5 Mbps · 21.73 ms · 120 Mbps / (120 − 79·1.5 Mbps)
+	//        = 0.02173 · 79 · 120e6 bits  (denominator is exactly 1.5 Mbps)
+	got := float64(p.StaticSize(dlRR(), p.N))
+	want := 0.02173 * 79 * 120e6
+	if !relClose(got, want, 1e-9) {
+		t.Errorf("BS(79) = %v bits, want %v", got, want)
+	}
+	// About 25.75 MB, the scale Fig. 9a shows for the static scheme.
+	if mb := si.Bits(got).MegabytesVal(); mb < 25 || mb > 26.5 {
+		t.Errorf("BS(79) = %v MB, want about 25.75", mb)
+	}
+}
+
+// Eq. 11 identity: the fully loaded buffer exactly covers one service of
+// all N buffers: BS(N) = N · (BS(N)/TR + DL) · CR.
+func TestStaticSizeFixpoint(t *testing.T) {
+	p := paperParams()
+	bs := float64(p.StaticSize(dlRR(), p.N))
+	rhs := float64(p.N) * (bs/float64(p.TR) + float64(dlRR())) * float64(p.CR)
+	if !relClose(bs, rhs, 1e-12) {
+		t.Errorf("fixpoint violated: BS = %v, N(BS/TR+DL)CR = %v", bs, rhs)
+	}
+}
+
+// Eq. 5 grows rapidly as n approaches TR/CR, as the paper observes.
+func TestStaticSizeBlowsUpNearCapacity(t *testing.T) {
+	p := paperParams()
+	prev := 0.0
+	for n := 1; n <= p.N; n++ {
+		bs := float64(p.StaticSize(dlRR(), n))
+		if bs <= prev {
+			t.Fatalf("BS(n) not strictly increasing at n = %d", n)
+		}
+		prev = bs
+	}
+	// The last step should dwarf the first: convexity near the pole.
+	first := float64(p.StaticSize(dlRR(), 2) - p.StaticSize(dlRR(), 1))
+	last := float64(p.StaticSize(dlRR(), p.N) - p.StaticSize(dlRR(), p.N-1))
+	if last < 50*first {
+		t.Errorf("expected blow-up near capacity: first step %v, last step %v", first, last)
+	}
+}
+
+func TestNaiveSize(t *testing.T) {
+	p := paperParams()
+	// Naive(n, k) is exactly Eq. 5 at n+k.
+	if got, want := p.NaiveSize(dlRR(), 10, 5), p.StaticSize(dlRR(), 15); got != want {
+		t.Errorf("NaiveSize(10,5) = %v, want BS(15) = %v", got, want)
+	}
+	// Clamped at N.
+	if got, want := p.NaiveSize(dlRR(), 70, 50), p.StaticSize(dlRR(), p.N); got != want {
+		t.Errorf("NaiveSize(70,50) = %v, want BS(N) = %v", got, want)
+	}
+}
+
+func TestCheckPanics(t *testing.T) {
+	p := paperParams()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("n = 0", func() { p.StaticSize(dlRR(), 0) })
+	mustPanic("n > N", func() { p.StaticSize(dlRR(), p.N+1) })
+	mustPanic("zero dl", func() { p.StaticSize(0, 1) })
+	mustPanic("negative k", func() { p.DynamicSize(dlRR(), 1, -1) })
+	mustPanic("invalid params", func() { Params{}.StaticSize(dlRR(), 1) })
+}

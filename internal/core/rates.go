@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/si"
+)
+
+// This file implements footnote 2: adapting the equal-consumption-rate
+// model to variable display rates, by the two methods of Chang &
+// Garcia-Molina. The first treats every stream as consuming at the
+// maximal rate — simple and wasteful. The second uses the greatest common
+// divisor of the display rates as a unit rate and treats a stream of rate
+// m·unit as m unit streams — tight, at the cost of bookkeeping.
+
+// RateSet describes a fixed family of display rates a server supports.
+type RateSet struct {
+	rates []si.BitRate
+	unit  si.BitRate
+	max   si.BitRate
+}
+
+// NewRateSet validates a family of display rates and computes their unit
+// rate (greatest common divisor, computed over whole bits per second).
+func NewRateSet(rates []si.BitRate) (*RateSet, error) {
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("core: empty rate set")
+	}
+	g := int64(0)
+	max := si.BitRate(0)
+	for _, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("core: non-positive rate %v", r)
+		}
+		bps := int64(math.Round(float64(r)))
+		if math.Abs(float64(r)-float64(bps)) > 1e-6 {
+			return nil, fmt.Errorf("core: rate %v is not a whole number of bits per second", r)
+		}
+		g = gcd(g, bps)
+		if r > max {
+			max = r
+		}
+	}
+	return &RateSet{rates: append([]si.BitRate(nil), rates...), unit: si.BitRate(g), max: max}, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Unit reports the unit display rate: the GCD of the set.
+func (s *RateSet) Unit() si.BitRate { return s.unit }
+
+// Max reports the largest rate in the set.
+func (s *RateSet) Max() si.BitRate { return s.max }
+
+// Rates returns the rates in the set.
+func (s *RateSet) Rates() []si.BitRate { return append([]si.BitRate(nil), s.rates...) }
+
+// Multiple reports how many unit streams a display rate amounts to.
+// The rate must be a whole multiple of the unit (members of the set
+// always are).
+func (s *RateSet) Multiple(rate si.BitRate) (int, error) {
+	if rate <= 0 {
+		return 0, fmt.Errorf("core: non-positive rate %v", rate)
+	}
+	m := float64(rate) / float64(s.unit)
+	rounded := math.Round(m)
+	if math.Abs(m-rounded) > 1e-9 {
+		return 0, fmt.Errorf("core: rate %v is not a multiple of the unit %v", rate, s.unit)
+	}
+	return int(rounded), nil
+}
+
+// MaxRateParams builds sizing parameters under the first adaptation
+// method: every stream is budgeted at the set's maximal rate. n then
+// counts streams directly.
+func (s *RateSet) MaxRateParams(tr si.BitRate, alpha int) (Params, error) {
+	p := Params{TR: tr, CR: s.max, N: DeriveN(tr, s.max), Alpha: alpha}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// UnitRateParams builds sizing parameters under the second adaptation
+// method: the consumption rate is the unit rate and capacity is counted
+// in unit streams. A physical stream of rate m·unit occupies m unit
+// slots (use Multiple) and receives m unit-sized buffers' worth of data
+// per period.
+func (s *RateSet) UnitRateParams(tr si.BitRate, alpha int) (Params, error) {
+	p := Params{TR: tr, CR: s.unit, N: DeriveN(tr, s.unit), Alpha: alpha}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// StreamBuffer sizes the buffer for one physical stream under the
+// unit-rate method: m unit buffers, where nUnits and k are counted in
+// unit streams.
+func (s *RateSet) StreamBuffer(p Params, dl si.Seconds, nUnits, k int, rate si.BitRate) (si.Bits, error) {
+	m, err := s.Multiple(rate)
+	if err != nil {
+		return 0, err
+	}
+	return si.Bits(m) * p.DynamicSize(dl, nUnits, k), nil
+}
+
+// CapacityAdvantage reports how many physical streams of each rate the
+// unit-rate method admits versus the max-rate method, assuming a uniform
+// mix of the set's rates. It quantifies the footnote's motivation: the
+// max-rate method wastes the budget difference between each stream's
+// actual rate and the maximum.
+func (s *RateSet) CapacityAdvantage(tr si.BitRate) float64 {
+	var mean float64
+	for _, r := range s.rates {
+		mean += float64(r)
+	}
+	mean /= float64(len(s.rates))
+	return float64(s.max) / mean
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/si"
+)
+
+func TestNewRateSet(t *testing.T) {
+	// MPEG-1 at 1.5 Mbps and a low-rate 0.5 Mbps stream: unit 0.5 Mbps.
+	s, err := NewRateSet([]si.BitRate{si.Mbps(1.5), si.Mbps(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Unit(); got != si.Mbps(0.5) {
+		t.Errorf("unit = %v, want 0.5 Mbps", got)
+	}
+	if got := s.Max(); got != si.Mbps(1.5) {
+		t.Errorf("max = %v, want 1.5 Mbps", got)
+	}
+	if got := len(s.Rates()); got != 2 {
+		t.Errorf("rates = %d", got)
+	}
+}
+
+func TestNewRateSetErrors(t *testing.T) {
+	if _, err := NewRateSet(nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := NewRateSet([]si.BitRate{0}); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := NewRateSet([]si.BitRate{1.5}); err == nil {
+		t.Error("fractional bps should fail")
+	}
+}
+
+func TestMultiple(t *testing.T) {
+	s, err := NewRateSet([]si.BitRate{si.Mbps(1.5), si.Mbps(1), si.Mbps(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Unit(); got != si.Mbps(0.5) {
+		t.Fatalf("unit = %v", got)
+	}
+	for rate, want := range map[si.BitRate]int{si.Mbps(1.5): 3, si.Mbps(1): 2, si.Mbps(2): 4} {
+		m, err := s.Multiple(rate)
+		if err != nil || m != want {
+			t.Errorf("Multiple(%v) = %d, %v; want %d", rate, m, err, want)
+		}
+	}
+	if _, err := s.Multiple(si.Mbps(0.75)); err == nil {
+		t.Error("non-multiple should fail")
+	}
+	if _, err := s.Multiple(0); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+// Property: the unit divides every member rate exactly.
+func TestUnitDividesAll(t *testing.T) {
+	f := func(raws []uint16) bool {
+		if len(raws) == 0 {
+			return true
+		}
+		rates := make([]si.BitRate, 0, len(raws))
+		for _, r := range raws {
+			rates = append(rates, si.BitRate(1000*(1+int(r)%500)))
+		}
+		s, err := NewRateSet(rates)
+		if err != nil {
+			return false
+		}
+		for _, r := range rates {
+			if _, err := s.Multiple(r); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The footnote's motivation: the unit-rate method admits more capacity
+// than the max-rate method when rates differ.
+func TestRateMethodsCapacity(t *testing.T) {
+	s, err := NewRateSet([]si.BitRate{si.Mbps(1.5), si.Mbps(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := si.Mbps(120)
+	maxP, err := s.MaxRateParams(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitP, err := s.UnitRateParams(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxP.N != 79 {
+		t.Errorf("max-rate N = %d, want 79", maxP.N)
+	}
+	if unitP.N != 239 {
+		t.Errorf("unit-rate N = %d, want 239 unit streams", unitP.N)
+	}
+	// A 0.5 Mbps stream costs 3 slots under max-rate accounting but only
+	// 1 unit slot: 79 low-rate streams vs 239.
+	m, err := s.Multiple(si.Mbps(0.5))
+	if err != nil || m != 1 {
+		t.Fatalf("Multiple = %d, %v", m, err)
+	}
+	if adv := s.CapacityAdvantage(tr); adv <= 1 {
+		t.Errorf("capacity advantage = %v, want > 1", adv)
+	}
+}
+
+func TestStreamBuffer(t *testing.T) {
+	s, err := NewRateSet([]si.BitRate{si.Mbps(1.5), si.Mbps(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.UnitRateParams(si.Mbps(120), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := dlRR()
+	// A 1.5 Mbps stream gets exactly three unit buffers.
+	got, err := s.StreamBuffer(p, dl, 30, 4, si.Mbps(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * p.DynamicSize(dl, 30, 4)
+	if got != want {
+		t.Errorf("StreamBuffer = %v, want %v", got, want)
+	}
+	if _, err := s.StreamBuffer(p, dl, 30, 4, si.Mbps(0.7)); err == nil {
+		t.Error("non-multiple rate should fail")
+	}
+}
+
+func TestDybaseSize(t *testing.T) {
+	p := paperParams()
+	dl := dlRR()
+
+	// k = 0 is the Eq. 5 fixpoint at n.
+	if got, want := p.DybaseSize(dl, 10, 0), p.StaticSize(dl, 10); got != want {
+		t.Errorf("Dybase k=0: %v, want Eq.5 %v", got, want)
+	}
+	// Full load matches the boundary.
+	if got, want := p.DybaseSize(dl, p.N, 0), p.StaticSize(dl, p.N); got != want {
+		t.Errorf("Dybase at N: %v, want %v", got, want)
+	}
+}
+
+// Property: the scheme ordering the designs imply — naive (present only)
+// <= DYBASE (constant-k future) <= Theorem 1 (growing-k future) <= static
+// full-load, with room for the Sweep DL artifact excluded by using RR.
+func TestSchemeSizeOrdering(t *testing.T) {
+	p := paperParams()
+	dl := dlRR()
+	full := p.StaticSize(dl, p.N)
+	f := func(a, b uint8) bool {
+		n := 1 + int(a)%p.N
+		k := int(b) % (p.N - n + 1)
+		naive := p.NaiveSize(dl, n, k)
+		dybase := p.DybaseSize(dl, n, k)
+		dynamic := p.DynamicSize(dl, n, k)
+		return naive <= dybase+1 && dybase <= dynamic+1 && dynamic <= full+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DYBASE sizes are monotone in k and equal Theorem 1 when the
+// first chain step already reaches N.
+func TestDybaseProperties(t *testing.T) {
+	p := paperParams()
+	dl := dlRR()
+	f := func(a, b uint8) bool {
+		n := 1 + int(a)%p.N
+		k := int(b) % (p.N - n + 1)
+		if k+1 <= p.N-n && p.DybaseSize(dl, n, k) > p.DybaseSize(dl, n, k+1)+1 {
+			return false
+		}
+		if n+k >= p.N && k > 0 {
+			// One step to N: both recurrences collapse to the same value.
+			d1 := float64(p.DybaseSize(dl, n, k))
+			d2 := float64(p.DynamicSize(dl, n, k))
+			return relClose(d1, d2, 1e-12)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

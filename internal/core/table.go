@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/si"
+)
+
+// DLModel maps the number of requests in service to the per-service worst
+// disk latency of a scheduling method. Round-Robin and GSS* latencies are
+// constant in n; Sweep*'s is γ(Cyln/n) + θ.
+type DLModel func(n int) si.Seconds
+
+// ConstDL adapts a constant latency to a DLModel.
+func ConstDL(dl si.Seconds) DLModel { return func(int) si.Seconds { return dl } }
+
+// Table holds the precomputed buffer sizes §3.3 recommends: Theorem 1 needs
+// a product chain per evaluation, so a server computes all (n, k) pairs at
+// initialization and indexes at allocation time. The space is O(N²), which
+// for N = 79 is a few tens of kilobytes.
+type Table struct {
+	p     Params
+	sizes [][]si.Bits // sizes[n][k], n in [1,N], k in [0,N−n]
+}
+
+// NewTable precomputes DynamicSize for every reachable (n, k) pair under
+// the given per-method latency model.
+func NewTable(p Params, dl DLModel) *Table {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Table{p: p, sizes: make([][]si.Bits, p.N+1)}
+	for n := 1; n <= p.N; n++ {
+		t.sizes[n] = make([]si.Bits, p.N-n+1)
+		for k := 0; k <= p.N-n; k++ {
+			t.sizes[n][k] = p.DynamicSize(dl(n), n, k)
+		}
+	}
+	return t
+}
+
+// Params returns the parameters the table was built with.
+func (t *Table) Params() Params { return t.p }
+
+// Size returns the precomputed BS_k(n). k beyond N−n is clamped (a
+// prediction exceeding capacity sizes for full load). It panics on n
+// outside [1, N]: the caller's admission control owns that bound.
+func (t *Table) Size(n, k int) si.Bits {
+	if n < 1 || n > t.p.N {
+		panic(fmt.Sprintf("core: table lookup with n = %d outside [1, %d]", n, t.p.N))
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("core: table lookup with negative k = %d", k))
+	}
+	if k > t.p.N-n {
+		k = t.p.N - n
+	}
+	return t.sizes[n][k]
+}
+
+// MemoryFootprint reports the number of entries the table stores, for
+// documentation of the O(N²) claim.
+func (t *Table) MemoryFootprint() int {
+	total := 0
+	for _, row := range t.sizes {
+		total += len(row)
+	}
+	return total
+}

@@ -1,0 +1,115 @@
+package diskmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/si"
+)
+
+// Disk is a simulated drive: a Spec plus mutable head state and a private
+// random stream for rotational delays. It is the "actual" view the
+// discrete-event simulation reads from; the analysis never touches it.
+//
+// Disk is not safe for concurrent use. In the simulator each disk is owned
+// by exactly one scheduler process, which is also the physical reality the
+// model captures: one arm, one command at a time.
+type Disk struct {
+	spec Spec
+	head int // current cylinder under the head
+	rng  *rand.Rand
+
+	// Accumulated operation statistics.
+	reads      int64
+	seekTime   si.Seconds
+	rotTime    si.Seconds
+	xferTime   si.Seconds
+	bitsMoved  si.Bits
+	farthest   int
+	totalSeeks int64
+}
+
+// NewDisk returns a disk with the head parked at cylinder 0 and a
+// deterministic rotational-delay stream derived from seed.
+func NewDisk(spec Spec, seed int64) *Disk {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Disk{spec: spec, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Spec returns the disk's parameter set.
+func (d *Disk) Spec() Spec { return d.spec }
+
+// Head reports the cylinder currently under the head.
+func (d *Disk) Head() int { return d.head }
+
+// ReadStats summarizes the operations a disk has performed.
+type ReadStats struct {
+	Reads        int64
+	TotalSeek    si.Seconds
+	TotalRotate  si.Seconds
+	TotalXfer    si.Seconds
+	BitsMoved    si.Bits
+	LongestSeek  int // cylinders
+	SeeksCounted int64
+}
+
+// Stats returns a snapshot of the accumulated operation statistics.
+func (d *Disk) Stats() ReadStats {
+	return ReadStats{
+		Reads:        d.reads,
+		TotalSeek:    d.seekTime,
+		TotalRotate:  d.rotTime,
+		TotalXfer:    d.xferTime,
+		BitsMoved:    d.bitsMoved,
+		LongestSeek:  d.farthest,
+		SeeksCounted: d.totalSeeks,
+	}
+}
+
+// Read simulates reading amount bits starting at cylinder cyl and returns
+// how long the operation takes: an actual seek from the current head
+// position, a sampled rotational delay, and the transfer itself. The head
+// is left at the cylinder holding the end of the extent.
+func (d *Disk) Read(cyl int, amount si.Bits) si.Seconds {
+	if cyl < 0 || cyl >= d.spec.Cylinders {
+		panic(fmt.Sprintf("diskmodel: read at cylinder %d outside [0,%d)", cyl, d.spec.Cylinders))
+	}
+	if amount < 0 {
+		panic("diskmodel: negative read amount")
+	}
+	dist := cyl - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	seek := d.spec.SeekTime(dist)
+	rot := si.Seconds(d.rng.Float64()) * d.spec.MaxRotational
+	xfer := d.spec.TransferRate.TimeToTransfer(amount)
+
+	// Advance the head across the cylinders the extent spans.
+	span := int(float64(amount) / float64(d.spec.BitsPerCylinder()))
+	end := cyl + span
+	if end >= d.spec.Cylinders {
+		end = d.spec.Cylinders - 1
+	}
+	d.head = end
+
+	d.reads++
+	d.totalSeeks++
+	d.seekTime += seek
+	d.rotTime += rot
+	d.xferTime += xfer
+	d.bitsMoved += amount
+	if dist > d.farthest {
+		d.farthest = dist
+	}
+	return seek + rot + xfer
+}
+
+// ServiceTime reports the worst-case time to fill one buffer of the given
+// size when the per-service disk latency budget is dl: dl + size/TR.
+// It is the analysis-side counterpart of Read.
+func (s Spec) ServiceTime(size si.Bits, dl si.Seconds) si.Seconds {
+	return dl + s.TransferRate.TimeToTransfer(size)
+}

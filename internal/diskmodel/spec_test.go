@@ -1,0 +1,191 @@
+package diskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/si"
+)
+
+func TestBarracudaTable3(t *testing.T) {
+	s := Barracuda9LP()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 3 constants.
+	if got := float64(s.TransferRate); got != 120e6 {
+		t.Errorf("TR = %v, want 120 Mbps", got)
+	}
+	if got := s.MaxRotational.Milliseconds(); math.Abs(got-8.33) > 1e-9 {
+		t.Errorf("theta = %vms, want 8.33ms", got)
+	}
+	// Derived geometry: gamma(Cyln) must equal the quoted max seek.
+	if got := s.WorstSeek().Milliseconds(); math.Abs(got-13.4) > 1e-6 {
+		t.Errorf("gamma(Cyln) = %vms, want 13.4ms", got)
+	}
+	// Derived N for MPEG-1 streams must match Table 3.
+	if got := s.MaxConcurrent(si.Mbps(1.5)); got != 79 {
+		t.Errorf("N = %d, want 79", got)
+	}
+	// Worst RR latency: 13.4 + 8.33 = 21.73 ms.
+	if got := s.WorstLatency().Milliseconds(); math.Abs(got-21.73) > 1e-6 {
+		t.Errorf("worst latency = %vms, want 21.73ms", got)
+	}
+}
+
+func TestSeekCurveShape(t *testing.T) {
+	s := Barracuda9LP()
+	if got := s.SeekTime(0); got != 0 {
+		t.Errorf("gamma(0) = %v, want 0", got)
+	}
+	// Single-cylinder seek is mu1 + nu1.
+	if got := s.SeekTime(1).Milliseconds(); math.Abs(got-0.80) > 1e-9 {
+		t.Errorf("gamma(1) = %vms, want 0.80ms", got)
+	}
+	// Square-root regime just below the break.
+	want := 0.54 + 0.26*math.Sqrt(399)
+	if got := s.SeekTime(399).Milliseconds(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("gamma(399) = %vms, want %vms", got, want)
+	}
+	// Linear regime at the break.
+	if got := s.SeekTime(400).Milliseconds(); math.Abs(got-(5+0.0014*400)) > 1e-9 {
+		t.Errorf("gamma(400) = %vms, want 5.56ms", got)
+	}
+	// Clamped above the cylinder count.
+	if got, want := s.SeekTime(s.Cylinders*2), s.WorstSeek(); got != want {
+		t.Errorf("gamma(2*Cyln) = %v, want clamp to %v", got, want)
+	}
+	// Negative distance clamps to zero.
+	if got := s.SeekTime(-5); got != 0 {
+		t.Errorf("gamma(-5) = %v, want 0", got)
+	}
+}
+
+// Property: the seek curve is non-decreasing in distance.
+func TestSeekMonotone(t *testing.T) {
+	s := Barracuda9LP()
+	f := func(a, b uint16) bool {
+		x, y := int(a)%s.Cylinders, int(b)%s.Cylinders
+		if x > y {
+			x, y = y, x
+		}
+		return s.SeekTime(x) <= s.SeekTime(y)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the seek curve is concave on [1, Cyln] (the paper relies on
+// concavity for the Sweep worst case): midpoint value >= chord midpoint.
+func TestSeekConcave(t *testing.T) {
+	s := Barracuda9LP()
+	f := func(a, b uint16) bool {
+		x, y := 1+int(a)%(s.Cylinders-1), 1+int(b)%(s.Cylinders-1)
+		mid := (x + y) / 2
+		chord := (float64(s.SeekTime(x)) + float64(s.SeekTime(y))) / 2
+		return float64(s.SeekTime(mid)) >= chord-1e-6*chord-float64(s.Nu2) // integer-midpoint slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxConcurrent(t *testing.T) {
+	s := Barracuda9LP()
+	tests := []struct {
+		cr   si.BitRate
+		want int
+	}{
+		{si.Mbps(1.5), 79}, // 120/1.5 = 80 exactly -> 79 (strict inequality)
+		{si.Mbps(1.6), 74}, // 120/1.6 = 75 exactly -> 74
+		{si.Mbps(1.7), 70}, // 120/1.7 = 70.58 -> 70
+		{si.Mbps(120), 0},  // equal rates -> no guaranteed stream
+		{si.Mbps(240), 0},  // consumer faster than disk
+		{si.Mbps(0.001), 119999},
+	}
+	for _, tt := range tests {
+		if got := s.MaxConcurrent(tt.cr); got != tt.want {
+			t.Errorf("MaxConcurrent(%v) = %d, want %d", tt.cr, got, tt.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxConcurrent(0) should panic")
+		}
+	}()
+	s.MaxConcurrent(0)
+}
+
+func TestCylinderOf(t *testing.T) {
+	s := Barracuda9LP()
+	if got := s.CylinderOf(0); got != 0 {
+		t.Errorf("CylinderOf(0) = %d", got)
+	}
+	if got := s.CylinderOf(-1); got != 0 {
+		t.Errorf("CylinderOf(-1) = %d, want clamp to 0", got)
+	}
+	if got := s.CylinderOf(s.Capacity * 2); got != s.Cylinders-1 {
+		t.Errorf("CylinderOf(2*capacity) = %d, want %d", got, s.Cylinders-1)
+	}
+	// One cylinder holds capacity/cylinders bits.
+	per := s.BitsPerCylinder()
+	if got := s.CylinderOf(per * 10); got != 10 {
+		t.Errorf("CylinderOf(10 cylinders worth) = %d, want 10", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := Barracuda9LP()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero transfer rate", func(s *Spec) { s.TransferRate = 0 }},
+		{"zero capacity", func(s *Spec) { s.Capacity = 0 }},
+		{"zero cylinders", func(s *Spec) { s.Cylinders = 0 }},
+		{"seek break beyond disk", func(s *Spec) { s.SeekBreak = s.Cylinders + 1 }},
+		{"zero seek break", func(s *Spec) { s.SeekBreak = 0 }},
+		{"zero rotational", func(s *Spec) { s.MaxRotational = 0 }},
+		{"negative coefficient", func(s *Spec) { s.Nu2 = -1 }},
+	}
+	for _, c := range cases {
+		s := base
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	s := Barracuda9LP()
+	// 120 Mbit at 120 Mbps is 1s of transfer plus the latency budget.
+	got := s.ServiceTime(si.Megabits(120), 10*si.Millisecond)
+	if math.Abs(float64(got)-1.010) > 1e-9 {
+		t.Errorf("ServiceTime = %v, want 1.010s", got)
+	}
+}
+
+func TestSynthetic15K(t *testing.T) {
+	s := Synthetic15K()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WorstSeek().Milliseconds(); math.Abs(got-7.5) > 1e-6 {
+		t.Errorf("worst seek = %vms, want 7.5", got)
+	}
+	// Four times the Barracuda's capacity for MPEG-1 streams.
+	if got := s.MaxConcurrent(si.Mbps(1.5)); got != 319 {
+		t.Errorf("N = %d, want 319", got)
+	}
+	// Strictly faster than the Barracuda everywhere.
+	b := Barracuda9LP()
+	if s.WorstLatency() >= b.WorstLatency() {
+		t.Error("15K drive should have lower worst latency")
+	}
+}

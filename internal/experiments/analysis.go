@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/latency"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+// Table3 reproduces the derived constants of the environment (Table 3 and
+// Section 5.1): the seek geometry, the per-method worst disk latencies,
+// and the full-load buffer sizes. It is the calibration artifact every
+// other experiment builds on.
+func Table3(opt Options) (*Report, error) {
+	env := PaperEnv()
+	t := Table{
+		Name:    "Derived constants (Seagate Barracuda 9LP, MPEG-1 1.5 Mbps)",
+		Columns: []string{"quantity", "value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("cylinders (from gamma(Cyln)=13.4ms)", fmt.Sprintf("%d", env.Spec.Cylinders))
+	add("worst seek gamma(Cyln)", env.Spec.WorstSeek().String())
+	add("max rotational delay theta", env.Spec.MaxRotational.String())
+	add("N (max concurrent requests)", fmt.Sprintf("%d", env.Params.N))
+	for _, kind := range sched.Kinds {
+		m := sched.NewMethod(kind)
+		dl := m.WorstDL(env.Spec, env.Params.N)
+		bs := env.Params.StaticSize(dl, env.Params.N)
+		add(fmt.Sprintf("DL %v (n=N)", m), dl.String())
+		add(fmt.Sprintf("static BS(N) %v", m), bs.String())
+		add(fmt.Sprintf("static usage period %v", m), env.Params.UsagePeriod(bs).String())
+	}
+	return &Report{
+		ID:     "table3",
+		Title:  "Environment constants derived from the disk spec",
+		Tables: []Table{t},
+	}, nil
+}
+
+// Fig9 reproduces Fig. 9: buffer size versus the number of requests in
+// service, static versus dynamic, for each scheduling method. The dynamic
+// curves use the representative k of footnote 9.
+func Fig9(opt Options) (*Report, error) {
+	env := PaperEnv()
+	rep := &Report{
+		ID:     "fig9",
+		Title:  "Buffer size vs requests in service (static vs dynamic)",
+		XLabel: "n",
+		YLabel: "buffer size (MB)",
+	}
+	for _, kind := range sched.Kinds {
+		m := sched.NewMethod(kind)
+		k := RepresentativeK(kind)
+		static := Series{Name: fmt.Sprintf("static/%v", m)}
+		dynamic := Series{Name: fmt.Sprintf("dynamic/%v", m)}
+		for n := 1; n <= env.Params.N; n++ {
+			static.X = append(static.X, float64(n))
+			static.Y = append(static.Y, env.Params.StaticSize(m.WorstDL(env.Spec, env.Params.N), env.Params.N).MegabytesVal())
+			kk := k
+			if kk > env.Params.N-n {
+				kk = env.Params.N - n
+			}
+			dynamic.X = append(dynamic.X, float64(n))
+			dynamic.Y = append(dynamic.Y, env.Params.DynamicSize(m.WorstDL(env.Spec, n), n, kk).MegabytesVal())
+		}
+		rep.Series = append(rep.Series, static, dynamic)
+	}
+	rep.Notes = append(rep.Notes, "dynamic k: 4 (Round-Robin), 3 (Sweep*, GSS*) per footnote 9")
+	return rep, nil
+}
+
+// Fig10 reproduces Fig. 10: worst-case initial latency versus requests in
+// service (Eqs. 2–4 applied to each scheme's buffer size).
+func Fig10(opt Options) (*Report, error) {
+	env := PaperEnv()
+	rep := &Report{
+		ID:     "fig10",
+		Title:  "Worst initial latency vs requests in service (analysis)",
+		XLabel: "n",
+		YLabel: "worst initial latency (s)",
+	}
+	for _, kind := range sched.Kinds {
+		m := sched.NewMethod(kind)
+		k := RepresentativeK(kind)
+		static := Series{Name: fmt.Sprintf("static/%v", m)}
+		dynamic := Series{Name: fmt.Sprintf("dynamic/%v", m)}
+		staticBS := env.Params.StaticSize(m.WorstDL(env.Spec, env.Params.N), env.Params.N)
+		for n := 1; n <= env.Params.N; n++ {
+			dl := m.WorstDL(env.Spec, n)
+			kk := k
+			if kk > env.Params.N-n {
+				kk = env.Params.N - n
+			}
+			dynBS := env.Params.DynamicSize(dl, n, kk)
+			static.X = append(static.X, float64(n))
+			static.Y = append(static.Y, float64(latency.Worst(m, env.Spec.TransferRate, dl, staticBS, n)))
+			dynamic.X = append(dynamic.X, float64(n))
+			dynamic.Y = append(dynamic.Y, float64(latency.Worst(m, env.Spec.TransferRate, dl, dynBS, n)))
+		}
+		rep.Series = append(rep.Series, static, dynamic)
+	}
+	return rep, nil
+}
+
+// Fig12 reproduces Fig. 12: the minimum memory requirement versus requests
+// in service (Theorems 2–4 against the static counterparts).
+func Fig12(opt Options) (*Report, error) {
+	env := PaperEnv()
+	rep := &Report{
+		ID:     "fig12",
+		Title:  "Minimum memory requirement vs requests in service (analysis)",
+		XLabel: "n",
+		YLabel: "memory (MB)",
+	}
+	for _, kind := range sched.Kinds {
+		m := sched.NewMethod(kind)
+		k := RepresentativeK(kind)
+		static := Series{Name: fmt.Sprintf("static/%v", m)}
+		dynamic := Series{Name: fmt.Sprintf("dynamic/%v", m)}
+		for n := 1; n <= env.Params.N; n++ {
+			kk := k
+			if kk > env.Params.N-n {
+				kk = env.Params.N - n
+			}
+			static.X = append(static.X, float64(n))
+			static.Y = append(static.Y, memmodel.MinStatic(env.Params, m, env.Spec, n).MegabytesVal())
+			dynamic.X = append(dynamic.X, float64(n))
+			dynamic.Y = append(dynamic.Y, memmodel.MinDynamic(env.Params, m, env.Spec, n, kk).MegabytesVal())
+		}
+		rep.Series = append(rep.Series, static, dynamic)
+	}
+	return rep, nil
+}
+
+// capacityDemand is the peak offered concurrent demand the capacity
+// experiments assume across the 10-disk system. It exceeds the system's
+// aggregate disk capacity (790) so that the memory budget, not the
+// workload, is the binding constraint until disks saturate.
+const capacityDemand = 1000
+
+// capacityDisks is the disk count of Figs. 13–14 (ten Barracudas).
+const capacityDisks = 10
+
+// analyticCapacity computes the maximum number of concurrent requests the
+// 10-disk system serves with total memory budget: per-disk demand caps
+// follow a Zipf(theta) split of the offered load, and memory is assigned
+// greedily to the cheapest next request (the memory functions are convex
+// in n, so even filling maximizes the count).
+func analyticCapacity(env Env, m sched.Method, dynamic bool, theta float64, budget si.Bits) int {
+	weights := catalog.ZipfWeights(capacityDisks, theta)
+	caps := make([]int, capacityDisks)
+	for d := range caps {
+		c := int(weights[d] * capacityDemand)
+		if c > env.Params.N {
+			c = env.Params.N
+		}
+		caps[d] = c
+	}
+	memFor := func(n int) si.Bits {
+		if n == 0 {
+			return 0
+		}
+		if dynamic {
+			k := RepresentativeK(m.Kind)
+			if k > env.Params.N-n {
+				k = env.Params.N - n
+			}
+			return memmodel.MinDynamic(env.Params, m, env.Spec, n, k)
+		}
+		return memmodel.MinStatic(env.Params, m, env.Spec, n)
+	}
+	n := make([]int, capacityDisks)
+	var used si.Bits
+	total := 0
+	for {
+		// Admit the next request on the disk where it costs the least
+		// additional reserved memory.
+		best, bestCost := -1, si.Bits(0)
+		for d := range n {
+			if n[d] >= caps[d] {
+				continue
+			}
+			cost := memFor(n[d]+1) - memFor(n[d])
+			if best < 0 || cost < bestCost {
+				best, bestCost = d, cost
+			}
+		}
+		if best < 0 || used+bestCost > budget {
+			return total
+		}
+		used += bestCost
+		n[best]++
+		total++
+	}
+}
+
+// memoryGrid returns the Fig. 13/14 x axis in GB.
+func memoryGrid(quick bool) []float64 {
+	if quick {
+		return []float64{1, 3, 5, 7, 9, 11}
+	}
+	return []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+}
+
+// Fig13 reproduces Fig. 13: the number of concurrent requests the 10-disk
+// system can service versus available memory, by analysis, for the
+// Round-Robin method under Zipf disk-load splits.
+func Fig13(opt Options) (*Report, error) {
+	opt = opt.normalized()
+	env := PaperEnv()
+	m := sched.NewMethod(sched.RoundRobin)
+	rep := &Report{
+		ID:     "fig13",
+		Title:  "Concurrent requests vs memory, 10 disks (analysis, Round-Robin)",
+		XLabel: "memory (GB)",
+		YLabel: "concurrent requests",
+	}
+	for _, theta := range []float64{0, 0.5, 1} {
+		static := Series{Name: fmt.Sprintf("static/theta=%.1f", theta)}
+		dynamic := Series{Name: fmt.Sprintf("dynamic/theta=%.1f", theta)}
+		for _, gb := range memoryGrid(opt.Quick) {
+			budget := si.Gigabytes(gb)
+			static.X = append(static.X, gb)
+			static.Y = append(static.Y, float64(analyticCapacity(env, m, false, theta, budget)))
+			dynamic.X = append(dynamic.X, gb)
+			dynamic.Y = append(dynamic.Y, float64(analyticCapacity(env, m, true, theta, budget)))
+		}
+		rep.Series = append(rep.Series, static, dynamic)
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("offered peak demand %d concurrent requests split Zipf(theta) across %d disks", capacityDemand, capacityDisks))
+	return rep, nil
+}

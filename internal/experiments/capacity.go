@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/memmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// capacityLibrary builds the Fig. 14 placement: one title per disk, so
+// the per-disk request load follows the Zipf(theta) popularity exactly,
+// the disk-load model Figs. 13–14 assume (after Wolf et al.).
+func capacityLibrary(theta float64) (*catalog.Library, error) {
+	return catalog.New(catalog.Config{
+		Titles:          capacityDisks,
+		Disks:           capacityDisks,
+		Spec:            PaperEnv().Spec,
+		PopularityTheta: theta,
+	})
+}
+
+// capacityTrace offers a flat, heavy load: the steady offered concurrency
+// matches capacityDemand so that memory, then disk capacity, binds.
+func capacityTrace(lib *catalog.Library, seed int64, quick bool) workload.Trace {
+	horizon := si.Hours(8)
+	if quick {
+		horizon = si.Hours(3)
+	}
+	// Offered concurrency = rate * mean viewing (60 min): demand/hour.
+	perDay := float64(capacityDemand) * 24
+	return workload.Generate(
+		workload.ZipfDay(perDay*float64(horizon)/float64(si.Hours(24)), 1, horizon/2, horizon),
+		lib, seed)
+}
+
+// capacitySim measures the peak concurrent requests a memory budget
+// sustains, averaged over seeds.
+func capacitySim(opt Options, scheme sim.Scheme, theta float64, budget si.Bits) (float64, error) {
+	total := 0.0
+	for s := 0; s < opt.Seeds; s++ {
+		lib, err := capacityLibrary(theta)
+		if err != nil {
+			return 0, err
+		}
+		tr := capacityTrace(lib, opt.seed(500+s), opt.Quick)
+		cfg := simConfig(scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(600+s))
+		cfg.MemoryBudget = budget
+		cfg.Grace = si.Minutes(15)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(res.MaxConcurrent)
+	}
+	return total / float64(opt.Seeds), nil
+}
+
+// fig14Cache memoizes Fig. 14 within a process so Table 5 (which is
+// derived from the same sweep) does not repeat the most expensive
+// simulation in an "-run all" invocation.
+var fig14Cache = struct {
+	key string
+	rep *Report
+}{}
+
+// Fig14 reproduces Fig. 14: the number of concurrent requests serviced by
+// the 10-disk system versus available memory, by simulation, Round-Robin.
+func Fig14(opt Options) (*Report, error) {
+	opt = opt.normalized()
+	if opt.Quick && opt.Seeds > 2 {
+		opt.Seeds = 2
+	}
+	key := fmt.Sprintf("%d/%v/%d", opt.Seeds, opt.Quick, opt.BaseSeed)
+	if fig14Cache.key == key {
+		return fig14Cache.rep, nil
+	}
+	rep := &Report{
+		ID:     "fig14",
+		Title:  "Concurrent requests vs memory, 10 disks (simulation, Round-Robin)",
+		XLabel: "memory (GB)",
+		YLabel: "peak concurrent requests",
+	}
+	for _, theta := range []float64{0, 0.5, 1} {
+		static := Series{Name: fmt.Sprintf("static/theta=%.1f", theta)}
+		dynamic := Series{Name: fmt.Sprintf("dynamic/theta=%.1f", theta)}
+		for _, gb := range memoryGrid(opt.Quick) {
+			budget := si.Gigabytes(gb)
+			sv, err := capacitySim(opt, sim.Static, theta, budget)
+			if err != nil {
+				return nil, err
+			}
+			dv, err := capacitySim(opt, sim.Dynamic, theta, budget)
+			if err != nil {
+				return nil, err
+			}
+			static.X = append(static.X, gb)
+			static.Y = append(static.Y, sv)
+			dynamic.X = append(dynamic.X, gb)
+			dynamic.Y = append(dynamic.Y, dv)
+			opt.progress("fig14 theta=%.1f mem=%.1fGB static=%.0f dynamic=%.0f", theta, gb, sv, dv)
+		}
+		rep.Series = append(rep.Series, static, dynamic)
+	}
+	fig14Cache.key, fig14Cache.rep = key, rep
+	return rep, nil
+}
+
+// Table5 reproduces Table 5: the average improvement ratio of concurrent
+// requests for the dynamic scheme over the static one, averaged over the
+// memory grid, per disk-load skew.
+func Table5(opt Options) (*Report, error) {
+	opt = opt.normalized()
+	fig, err := Fig14(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Name:    "Average improvement ratio of concurrent requests (dynamic/static)",
+		Columns: []string{"theta (disk load)", "ratio"},
+	}
+	for _, theta := range []float64{0, 0.5, 1} {
+		var static, dynamic Series
+		for _, s := range fig.Series {
+			if s.Name == fmt.Sprintf("static/theta=%.1f", theta) {
+				static = s
+			}
+			if s.Name == fmt.Sprintf("dynamic/theta=%.1f", theta) {
+				dynamic = s
+			}
+		}
+		sum, n := 0.0, 0
+		for i := range static.X {
+			if static.Y[i] > 0 {
+				sum += dynamic.Y[i] / static.Y[i]
+				n++
+			}
+		}
+		ratio := 0.0
+		if n > 0 {
+			ratio = sum / float64(n)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%.1f", theta), fmt.Sprintf("%.2fx", ratio)})
+	}
+	return &Report{
+		ID:     "table5",
+		Title:  "Concurrency improvement ratios (paper: 2.36 at theta=0, 2.78 at 0.5, 3.25 at 1.0)",
+		Tables: []Table{t},
+		Notes:  []string{"ratio averaged over the memory grid, as the paper averages over memory sizes"},
+	}, nil
+}
+
+// AblationNaive demonstrates Section 3.1's motivating flaw: under a
+// rising arrival rate the naive scheme (Eq. 5 at n+k, no recurrence, no
+// enforcement) starves buffers; the enforced dynamic scheme does not.
+func AblationNaive(opt Options) (*Report, error) {
+	opt = opt.normalized()
+	lib, err := singleDisk()
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Name:    "Starvation under a ramping load (Round-Robin)",
+		Columns: []string{"scheme", "underruns", "starved (s)", "served"},
+	}
+	for _, scheme := range []sim.Scheme{sim.Static, sim.Dynamic, sim.Naive} {
+		var underruns, served int
+		var starved float64
+		for s := 0; s < opt.Seeds; s++ {
+			tr := dayTrace(lib, 0, singleDiskArrivalsPerDay, opt.seed(700+s), opt.Quick)
+			res, err := sim.Run(simConfig(scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(800+s)))
+			if err != nil {
+				return nil, err
+			}
+			underruns += res.Underruns
+			served += res.Served
+			starved += float64(res.Starved)
+		}
+		t.Rows = append(t.Rows, []string{
+			scheme.String(),
+			fmt.Sprintf("%d", underruns),
+			fmt.Sprintf("%.1f", starved),
+			fmt.Sprintf("%d", served),
+		})
+		opt.progress("ablation-naive %v done", scheme)
+	}
+	return &Report{
+		ID:     "ablation-naive",
+		Title:  "Why predict-and-enforce: the naive scheme underruns (Fig. 3's flaw)",
+		Tables: []Table{t},
+	}, nil
+}
+
+// AblationGSSGroup sweeps the GSS* group size g, the design knob Section
+// 5.1 fixes at 8: the analysis shows the memory-minimizing choice.
+func AblationGSSGroup(opt Options) (*Report, error) {
+	env := PaperEnv()
+	rep := &Report{
+		ID:     "ablation-gss-group",
+		Title:  "GSS* group size vs full-load memory and worst latency (analysis)",
+		XLabel: "g (buffers per group)",
+	}
+	mem := Series{Name: "memory at n=N (MB)"}
+	lat := Series{Name: "worst initial latency at n=N (s)"}
+	for _, g := range []int{1, 2, 4, 8, 16, 32, 79} {
+		m := sched.Method{Kind: sched.GSS, Group: g}
+		bs := env.Params.StaticSize(m.WorstDL(env.Spec, env.Params.N), env.Params.N)
+		mm := memMinAtFullLoad(env, m)
+		mem.X = append(mem.X, float64(g))
+		mem.Y = append(mem.Y, mm.MegabytesVal())
+		il := 2 * float64(g) * (float64(m.WorstDL(env.Spec, env.Params.N)) + float64(env.Spec.TransferRate.TimeToTransfer(bs)))
+		lat.X = append(lat.X, float64(g))
+		lat.Y = append(lat.Y, il)
+	}
+	rep.Series = append(rep.Series, mem, lat)
+	rep.Notes = append(rep.Notes, "the paper picks g=8 as the memory-minimizing group size")
+	return rep, nil
+}
+
+// memMinAtFullLoad evaluates the static minimum memory at n = N for a
+// method (used by the group-size ablation).
+func memMinAtFullLoad(env Env, m sched.Method) si.Bits {
+	return memmodel.MinStatic(env.Params, m, env.Spec, env.Params.N)
+}

@@ -1,0 +1,559 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+func quickOpt() Options {
+	return Options{Quick: true, Seeds: 1}
+}
+
+func TestRegistryAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry()) {
+		t.Fatal("IDs and Registry disagree")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "table4", "fig12", "fig13", "fig14", "table5"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, err := Run("nonsense", quickOpt()); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestPaperEnv(t *testing.T) {
+	env := PaperEnv()
+	if env.Params.N != 79 {
+		t.Errorf("N = %d", env.Params.N)
+	}
+	if err := env.Params.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rep, err := Table3(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.String()
+	for _, want := range []string{"N (max concurrent requests) | 79", "21.73ms", "25.75MB"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+// Fig. 9's shape: static curves are flat at BS(N); dynamic curves are
+// increasing in n, far below static at low n, and meet static at n = N
+// (up to Sweep's n-dependent DL).
+func TestFig9Shape(t *testing.T) {
+	rep, err := Fig9(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 6 {
+		t.Fatalf("want 6 series, got %d", len(rep.Series))
+	}
+	for i := 0; i < len(rep.Series); i += 2 {
+		static, dynamic := rep.Series[i], rep.Series[i+1]
+		if len(static.Y) != 79 || len(dynamic.Y) != 79 {
+			t.Fatalf("series length %d/%d", len(static.Y), len(dynamic.Y))
+		}
+		if static.Y[0] != static.Y[78] {
+			t.Errorf("%s: static not flat", static.Name)
+		}
+		if dynamic.Y[0] > static.Y[0]/10 {
+			t.Errorf("%s: dynamic at n=1 (%v) not far below static (%v)", dynamic.Name, dynamic.Y[0], static.Y[0])
+		}
+		// Monotone up to the Sweep*/GSS* artifact that the per-buffer DL
+		// γ(Cyln/n) shrinks slightly as n grows (small local dips allowed).
+		for j := 1; j < 79; j++ {
+			if dynamic.Y[j] < dynamic.Y[j-1]*0.97 {
+				t.Errorf("%s: dynamic dips at n=%d (%v after %v)", dynamic.Name, j+1, dynamic.Y[j], dynamic.Y[j-1])
+				break
+			}
+		}
+		if dynamic.Y[78] < 10*dynamic.Y[0] {
+			t.Errorf("%s: dynamic should grow strongly over the load range", dynamic.Name)
+		}
+	}
+}
+
+// Fig. 10's shape: dynamic worst latency stays at or below static for
+// every n and method, up to the Sweep*/GSS* artifact that the per-buffer
+// worst DL γ(Cyln/n) is evaluated at the current n for the dynamic sizes
+// but at N for the static one (a couple of percent near full load).
+func TestFig10Shape(t *testing.T) {
+	env := PaperEnv()
+	rep, err := Fig10(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []sched.Kind{sched.RoundRobin, sched.Sweep, sched.GSS}
+	for i := 0; i < len(rep.Series); i += 2 {
+		static, dynamic := rep.Series[i], rep.Series[i+1]
+		m := sched.NewMethod(kinds[i/2])
+		for j := range static.Y {
+			slack := float64(m.WorstDL(env.Spec, j+1)) / float64(m.WorstDL(env.Spec, env.Params.N))
+			if dynamic.Y[j] > static.Y[j]*slack*1.0001 {
+				t.Errorf("%s above static at n=%d (%v vs %v)", dynamic.Name, j+1, dynamic.Y[j], static.Y[j])
+				break
+			}
+		}
+		// Away from full load the dynamic advantage is large.
+		if dynamic.Y[4] > static.Y[4]/3 {
+			t.Errorf("%s: no clear advantage at n=5", dynamic.Name)
+		}
+	}
+}
+
+// Fig. 12's shape: dynamic memory below static away from full load, both
+// increasing overall.
+func TestFig12Shape(t *testing.T) {
+	rep, err := Fig12(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(rep.Series); i += 2 {
+		static, dynamic := rep.Series[i], rep.Series[i+1]
+		for j := 0; j < 40; j++ {
+			if dynamic.Y[j] > static.Y[j]*0.9 {
+				t.Errorf("%s: no clear gap at n=%d (%v vs %v)", dynamic.Name, j+1, dynamic.Y[j], static.Y[j])
+				break
+			}
+		}
+		if static.Y[78] < static.Y[0] {
+			t.Errorf("%s: static memory decreasing", static.Name)
+		}
+	}
+}
+
+// Fig. 13's shape: capacity is non-decreasing in memory, the dynamic
+// scheme dominates the static one, and they converge at the top of the
+// memory grid.
+func TestFig13Shape(t *testing.T) {
+	rep, err := Fig13(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 6 {
+		t.Fatalf("want 6 series, got %d", len(rep.Series))
+	}
+	for i := 0; i < len(rep.Series); i += 2 {
+		static, dynamic := rep.Series[i], rep.Series[i+1]
+		last := len(static.Y) - 1
+		for j := range static.Y {
+			if j > 0 && (static.Y[j] < static.Y[j-1] || dynamic.Y[j] < dynamic.Y[j-1]) {
+				t.Errorf("capacity decreasing in memory at %v GB", static.X[j])
+			}
+			if dynamic.Y[j] < static.Y[j] {
+				t.Errorf("%s below static at %v GB", dynamic.Name, static.X[j])
+			}
+		}
+		if dynamic.Y[0] < 3*static.Y[0] {
+			t.Errorf("at 1 GB want a strong dynamic advantage, got %v vs %v", dynamic.Y[0], static.Y[0])
+		}
+		if dynamic.Y[last] != static.Y[last] {
+			t.Errorf("curves should meet at %v GB: %v vs %v", static.X[last], dynamic.Y[last], static.Y[last])
+		}
+	}
+}
+
+// analyticCapacity sanity: with an enormous budget, capacity equals the
+// demand caps; with zero budget, nothing runs.
+func TestAnalyticCapacityLimits(t *testing.T) {
+	env := PaperEnv()
+	m := methodRR()
+	huge := analyticCapacity(env, m, true, 0, si.Bits(1e18))
+	if huge <= 0 || huge > capacityDisks*env.Params.N {
+		t.Errorf("huge-budget capacity = %d", huge)
+	}
+	if got := analyticCapacity(env, m, true, 0, 0); got != 0 {
+		t.Errorf("zero-budget capacity = %d", got)
+	}
+	// More memory never reduces capacity.
+	prev := 0
+	for _, gb := range []float64{0.5, 1, 2, 4, 8} {
+		got := analyticCapacity(env, m, false, 0.5, gigabytes(gb))
+		if got < prev {
+			t.Errorf("capacity fell from %d to %d at %v GB", prev, got, gb)
+		}
+		prev = got
+	}
+}
+
+func TestAblationGSSGroup(t *testing.T) {
+	rep, err := AblationGSSGroup(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := rep.Series[0]
+	// g = 8 must be the arg-min of full-load memory, the paper's claim.
+	best, bestG := mem.Y[0], mem.X[0]
+	for i := range mem.Y {
+		if mem.Y[i] < best {
+			best, bestG = mem.Y[i], mem.X[i]
+		}
+	}
+	if bestG != 8 {
+		t.Errorf("memory-minimizing g = %v, want 8", bestG)
+	}
+	// Latency grows with g (Eq. 4).
+	lat := rep.Series[1]
+	for i := 1; i < len(lat.Y); i++ {
+		if lat.Y[i] < lat.Y[i-1] {
+			t.Errorf("latency not increasing at g=%v", lat.X[i])
+		}
+	}
+}
+
+// The simulation-backed experiments are exercised end-to-end with the
+// smallest configuration; skipped under -short.
+
+func TestFig6Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := Fig6(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(rep.Series))
+	}
+	// The skewed pattern must reach a much higher peak than its mean.
+	s := rep.Series[0]
+	peak, sum := 0.0, 0.0
+	for _, v := range s.Y {
+		if v > peak {
+			peak = v
+		}
+		sum += v
+	}
+	// Quick mode compresses the day, so the skew is milder; the peak
+	// must still clearly exceed the mean and reach the disk's capacity.
+	if mean := sum / float64(len(s.Y)); peak < 1.25*mean || peak < 70 {
+		t.Errorf("theta=0 peak %v vs mean %v: want concentration near capacity", peak, mean)
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := Fig7(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(rep.Series); i += 2 {
+		kSeries, pSeries := rep.Series[i], rep.Series[i+1]
+		// Longer history never reduces the estimate, and success stays
+		// high at the paper's operating points.
+		if kSeries.Y[len(kSeries.Y)-1] < kSeries.Y[0] {
+			t.Errorf("%s: avg k decreased with T_log", kSeries.Name)
+		}
+		for j, p := range pSeries.Y {
+			if p < 0.9 || p > 1 {
+				t.Errorf("%s: success %v at point %d outside [0.9, 1]", pSeriesName(pSeries), p, j)
+			}
+		}
+	}
+}
+
+func pSeriesName(s Series) string { return s.Name }
+
+func TestTable4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := Table4(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 3 {
+		t.Fatalf("unexpected table shape: %+v", rep.Tables)
+	}
+	// Every ratio cell should report a multiple greater than 1.
+	for _, row := range rep.Tables[0].Rows {
+		for _, cell := range row[1:] {
+			if !strings.Contains(cell, "x") {
+				t.Errorf("cell %q has no ratio", cell)
+			}
+			if strings.HasPrefix(cell, "0.") {
+				t.Errorf("ratio below 1 in %q", cell)
+			}
+		}
+	}
+}
+
+func TestFig14AndTable5Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := Table5(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rep.Tables[0].Rows))
+	}
+	for _, row := range rep.Tables[0].Rows {
+		if strings.HasPrefix(row[1], "0.") {
+			t.Errorf("improvement ratio below 1: %v", row)
+		}
+	}
+}
+
+func TestAblationNaiveRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := AblationNaive(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	// naive row must show underruns; static and dynamic rows must show
+	// far less starvation than naive.
+	var naive, dynamic string
+	for _, r := range rows {
+		switch r[0] {
+		case "naive":
+			naive = r[1]
+		case "dynamic":
+			dynamic = r[1]
+		}
+	}
+	if naive == "0" {
+		t.Error("naive scheme showed no underruns under ramp")
+	}
+	if dynamic != "0" && naive == dynamic {
+		t.Errorf("dynamic (%s) should starve far less than naive (%s)", dynamic, naive)
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "t", XLabel: "x",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{5, 6}},
+		},
+		Tables: []Table{{Name: "tb", Columns: []string{"c1", "c2"}, Rows: [][]string{{"r1", "r2"}}}},
+		Notes:  []string{"note1"},
+	}
+	out := rep.String()
+	for _, want := range []string{"== x: t ==", "note: note1", "r1 | r2", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+	if v, ok := rep.Series[0].At(1); !ok || v != 10 {
+		t.Errorf("At(1) = %v, %v", v, ok)
+	}
+	if _, ok := rep.Series[0].At(9); ok {
+		t.Error("At(9) should miss")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Seeds != 3 {
+		t.Errorf("default seeds = %d", o.Seeds)
+	}
+	if (Options{Seeds: 5}).normalized().Seeds != 5 {
+		t.Error("explicit seeds overridden")
+	}
+	a, b := Options{}.seed(1), Options{}.seed(2)
+	if a == b {
+		t.Error("seed indices collide")
+	}
+	if (Options{BaseSeed: 1}).seed(1) == a {
+		t.Error("base seed has no effect")
+	}
+}
+
+func methodRR() sched.Method { return sched.NewMethod(sched.RoundRobin) }
+
+func gigabytes(gb float64) si.Bits { return si.Gigabytes(gb) }
+
+func TestAblationDybase(t *testing.T) {
+	rep, err := AblationDybase(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, dybase, dynamic := rep.Series[0], rep.Series[1], rep.Series[2]
+	for i := range naive.Y {
+		if !(naive.Y[i] <= dybase.Y[i]+1e-9 && dybase.Y[i] <= dynamic.Y[i]+1e-9) {
+			t.Fatalf("ordering violated at n=%d: %v / %v / %v", i+1, naive.Y[i], dybase.Y[i], dynamic.Y[i])
+		}
+	}
+}
+
+func TestAblationChunksRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := AblationChunks(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overhead starts at about 2x for the paper's minimum chunk and
+	// trends down as chunks grow; chunk-count quantization makes the
+	// curve locally bumpy, so check the trend, not strict monotonicity.
+	ov := rep.Series[0]
+	if ov.Y[0] < 1.9 || ov.Y[0] > 2.1 {
+		t.Errorf("minimum-chunk overhead = %v, want about 2", ov.Y[0])
+	}
+	for i := 1; i < len(ov.Y); i++ {
+		if ov.Y[i] >= ov.Y[0] {
+			t.Errorf("overhead at %v MB (%v) not below the minimum-chunk 2x", ov.X[i], ov.Y[i])
+		}
+	}
+	if last := ov.Y[len(ov.Y)-1]; last > 1.35 {
+		t.Errorf("large-chunk overhead = %v, want approaching 1", last)
+	}
+	// Both streaming rows report zero underruns.
+	for _, row := range rep.Tables[0].Rows {
+		if row[2] != "0" {
+			t.Errorf("%s layout underran: %v", row[0], row)
+		}
+	}
+}
+
+func TestAblationPagesRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := AblationPages(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rows))
+	}
+	// The relative differences must be small (the paper's negligibility
+	// claim): under 5 percent even for 64 KB pages.
+	for _, row := range rows[1:] {
+		var pct float64
+		if _, err := fmt.Sscanf(row[2], "+%f%%", &pct); err != nil {
+			t.Fatalf("unparseable delta %q", row[2])
+		}
+		if pct > 5 {
+			t.Errorf("page size %s costs %.2f%%, want negligible", row[0], pct)
+		}
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	rep := &Report{
+		ID: "x", XLabel: "n",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2}, Y: []float64{5}},
+		},
+		Tables: []Table{{Columns: []string{"c1", "c2"}, Rows: [][]string{{"v1", "v2"}}}},
+	}
+	var buf strings.Builder
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"n,a,b", "1,10,", "2,20,5", "c1,c2", "v1,v2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtVCRRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := ExtVCR(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	var staticResp, dynResp float64
+	for _, row := range rows {
+		var v float64
+		if _, err := fmt.Sscanf(row[2], "%f", &v); err != nil {
+			t.Fatalf("unparseable response %q", row[2])
+		}
+		if row[0] == "static" {
+			staticResp = v
+		} else {
+			dynResp = v
+		}
+		if row[1] == "0" {
+			t.Errorf("%s: no VCR actions generated", row[0])
+		}
+	}
+	if dynResp >= staticResp/5 {
+		t.Errorf("dynamic VCR response %v not far below static %v", dynResp, staticResp)
+	}
+}
+
+func TestAblationBubbleUpRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	rep, err := AblationBubbleUp(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := map[string]float64{}
+	for _, row := range rep.Tables[0].Rows {
+		var v float64
+		if _, err := fmt.Sscanf(row[2], "%f", &v); err != nil {
+			t.Fatalf("unparseable latency %q", row[2])
+		}
+		lat[row[0]+"/"+row[1]] = v
+	}
+	if lat["static/BubbleUp"] >= lat["static/Fixed-Stretch"]/3 {
+		t.Errorf("BubbleUp should cut static latency sharply: %v vs %v",
+			lat["static/BubbleUp"], lat["static/Fixed-Stretch"])
+	}
+	if lat["dynamic/BubbleUp"] >= lat["dynamic/Fixed-Stretch"] {
+		t.Errorf("BubbleUp should cut dynamic latency: %v vs %v",
+			lat["dynamic/BubbleUp"], lat["dynamic/Fixed-Stretch"])
+	}
+}
+
+func TestExtModernDisk(t *testing.T) {
+	rep, err := ExtModernDisk(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rep.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if rows[0][1] != "79" || rows[1][1] != "319" {
+		t.Errorf("N columns = %v / %v, want 79 / 319", rows[0][1], rows[1][1])
+	}
+}

@@ -1,0 +1,59 @@
+// Package latency implements the worst-case initial-latency equations of
+// Section 2.2 (Eqs. 2–4). Initial latency is the duration between a
+// request's arrival and the arrival of its first video data in server
+// memory; each scheduling method bounds it differently, but in every case
+// it is linear in the buffer size — the observation that motivates
+// minimizing buffers.
+package latency
+
+import (
+	"fmt"
+
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+// Worst returns the worst-case initial latency of a scheduling method when
+// n requests are in service and each service fills a buffer of the given
+// size. dl must be the method's per-service worst disk latency for n
+// (Method.WorstDL provides it); tr is the disk transfer rate.
+//
+//	Round-Robin (BubbleUp):  2·DL + BS/TR                       (Eq. 2)
+//	Sweep*:                  2·n·(DL + BS/TR) + DL + BS/TR      (Eq. 3)
+//	GSS*:                    2·g·(DL + BS/TR)                   (Eq. 4)
+//
+// For Eq. 2 the first DL-plus-transfer term is the service in execution
+// that BubbleUp must let finish and the second DL is the new request's own
+// seek; the paper folds them into 2·DL + BS/TR. For GSS the group size g
+// caps at n (fewer requests than one group holds means a sweep of n).
+func Worst(m sched.Method, tr si.BitRate, dl si.Seconds, size si.Bits, n int) si.Seconds {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if size < 0 || dl <= 0 || tr <= 0 {
+		panic(fmt.Sprintf("latency: invalid inputs size=%v dl=%v tr=%v", size, dl, tr))
+	}
+	service := dl + tr.TimeToTransfer(size)
+	switch m.Kind {
+	case sched.RoundRobin:
+		return 2*dl + tr.TimeToTransfer(size)
+	case sched.Sweep:
+		return 2*si.Seconds(n)*service + service
+	default: // GSS
+		g := m.Group
+		if g > n {
+			g = n
+		}
+		return 2 * si.Seconds(g) * service
+	}
+}
+
+// WorstFor is the convenience form used by the experiment harness: it
+// derives the method's worst disk latency from the disk spec itself.
+func WorstFor(m sched.Method, spec diskmodel.Spec, size si.Bits, n int) si.Seconds {
+	return Worst(m, spec.TransferRate, m.WorstDL(spec, n), size, n)
+}

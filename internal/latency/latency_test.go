@@ -1,0 +1,124 @@
+package latency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+func TestWorstRoundRobin(t *testing.T) {
+	// Eq. 2: 2·DL + BS/TR with easy numbers: DL = 10 ms, BS = 120 Mbit at
+	// 120 Mbps -> 1 s transfer.
+	got := Worst(sched.NewMethod(sched.RoundRobin), si.Mbps(120), 10*si.Millisecond, si.Megabits(120), 40)
+	if math.Abs(float64(got)-1.020) > 1e-12 {
+		t.Errorf("IL_RR = %v, want 1.020s", got)
+	}
+}
+
+func TestWorstSweep(t *testing.T) {
+	// Eq. 3 with n = 3: 2·3·(DL + x) + DL + x = 7·(DL + x) where
+	// DL = 10 ms, x = 0.1 s.
+	got := Worst(sched.NewMethod(sched.Sweep), si.Mbps(120), 10*si.Millisecond, si.Megabits(12), 3)
+	want := 7 * 0.110
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("IL_Sweep = %v, want %v", got, want)
+	}
+}
+
+func TestWorstGSS(t *testing.T) {
+	// Eq. 4 with g = 8: 16·(DL + x).
+	got := Worst(sched.NewMethod(sched.GSS), si.Mbps(120), 10*si.Millisecond, si.Megabits(12), 40)
+	want := 16 * 0.110
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("IL_GSS = %v, want %v", got, want)
+	}
+	// g caps at n when the system holds fewer requests than one group.
+	got = Worst(sched.NewMethod(sched.GSS), si.Mbps(120), 10*si.Millisecond, si.Megabits(12), 3)
+	want = 6 * 0.110
+	if math.Abs(float64(got)-want) > 1e-12 {
+		t.Errorf("IL_GSS(n=3) = %v, want %v", got, want)
+	}
+}
+
+func TestWorstClampsN(t *testing.T) {
+	m := sched.NewMethod(sched.Sweep)
+	if got, want := Worst(m, si.Mbps(120), 1, 0, 0), Worst(m, si.Mbps(120), 1, 0, 1); got != want {
+		t.Errorf("n = 0 should clamp to 1: %v vs %v", got, want)
+	}
+}
+
+func TestWorstPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad method", func() {
+		Worst(sched.Method{Kind: sched.GSS}, si.Mbps(120), 1, 1, 1)
+	})
+	mustPanic("zero dl", func() {
+		Worst(sched.NewMethod(sched.RoundRobin), si.Mbps(120), 0, 1, 1)
+	})
+	mustPanic("negative size", func() {
+		Worst(sched.NewMethod(sched.RoundRobin), si.Mbps(120), 1, -1, 1)
+	})
+}
+
+// Property: initial latency is strictly increasing in buffer size for all
+// methods — the linearity observation of Section 2.2.
+func TestWorstMonotoneInSize(t *testing.T) {
+	spec := diskmodel.Barracuda9LP()
+	f := func(kindRaw, nRaw uint8, a, b uint32) bool {
+		m := sched.NewMethod(sched.Kinds[int(kindRaw)%3])
+		n := 1 + int(nRaw)%79
+		s1, s2 := si.Bits(a), si.Bits(b)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		dl := m.WorstDL(spec, n)
+		return Worst(m, spec.TransferRate, dl, s1, n) <= Worst(m, spec.TransferRate, dl, s2, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity in size — IL(a+b) − IL(b) is the transfer-time
+// slope times a (times the method's service-count factor).
+func TestWorstLinearity(t *testing.T) {
+	spec := diskmodel.Barracuda9LP()
+	m := sched.NewMethod(sched.Sweep)
+	n := 10
+	dl := m.WorstDL(spec, n)
+	base := Worst(m, spec.TransferRate, dl, 0, n)
+	slope := float64(Worst(m, spec.TransferRate, dl, si.Megabits(1), n)-base) / 1e6
+	f := func(raw uint32) bool {
+		size := si.Bits(raw)
+		want := float64(base) + slope*float64(size)
+		got := float64(Worst(m, spec.TransferRate, dl, size, n))
+		return math.Abs(got-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorstFor(t *testing.T) {
+	spec := diskmodel.Barracuda9LP()
+	for _, k := range sched.Kinds {
+		m := sched.NewMethod(k)
+		got := WorstFor(m, spec, si.Megabits(10), 20)
+		want := Worst(m, spec.TransferRate, m.WorstDL(spec, 20), si.Megabits(10), 20)
+		if got != want {
+			t.Errorf("%v: WorstFor = %v, want %v", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package memmodel implements the minimum-memory-requirement analysis of
+// Section 4: Theorems 2 (Round-Robin/BubbleUp), 3 (Sweep*), and 4 (GSS*)
+// for the dynamic buffer allocation scheme, and their static-scheme
+// counterparts.
+//
+// All three theorems share a structure: buffers are filled at regular
+// offsets within a service period and drain linearly at CR, so the
+// system-wide requirement is the peak of a periodic sawtooth sum. The
+// period is divided into k+n service slots under the dynamic scheme
+// (the sizing predicts k additional requests) and into N slots under the
+// static scheme (sizing always assumes full load); the static formulas are
+// the dynamic ones with that substitution, which reduces to the paper's
+// cited Chang & Garcia-Molina results at full load.
+package memmodel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+// MinDynamic returns the minimum memory required to support n requests in
+// service with k predicted additional requests under the dynamic buffer
+// allocation scheme and the given scheduling method (Theorems 2–4).
+func MinDynamic(p core.Params, m sched.Method, spec diskmodel.Spec, n, k int) si.Bits {
+	checkInputs(p, m, n, k)
+	dl := m.WorstDL(spec, n)
+	bs := p.DynamicSize(dl, n, k)
+	return minMemory(p, m, n, bs, dl, n+k)
+}
+
+// MinStatic returns the minimum memory required to support n requests in
+// service under the static scheme: every buffer has the full-load size
+// BS(N) and services are spaced for N slots per period.
+func MinStatic(p core.Params, m sched.Method, spec diskmodel.Spec, n int) si.Bits {
+	checkInputs(p, m, n, 0)
+	dl := m.WorstDL(spec, p.N) // static sizing assumes the fully loaded state
+	bs := p.StaticSize(dl, p.N)
+	return minMemory(p, m, n, bs, dl, p.N)
+}
+
+func checkInputs(p core.Params, m sched.Method, n, k int) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if n < 1 || n > p.N {
+		panic(fmt.Sprintf("memmodel: n = %d outside [1, %d]", n, p.N))
+	}
+	if k < 0 || n+k > p.N {
+		panic(fmt.Sprintf("memmodel: k = %d outside [0, N−n]", k))
+	}
+}
+
+// minMemory dispatches on the method. div is the number of service slots
+// per period: k+n for the dynamic scheme, N for the static one. bs is the
+// per-buffer size and dl the per-service worst disk latency that sized it;
+// the usage period T = bs/CR in both schemes.
+func minMemory(p core.Params, m sched.Method, n int, bs si.Bits, dl si.Seconds, div int) si.Bits {
+	switch m.Kind {
+	case sched.RoundRobin:
+		return minRR(p, n, bs, dl, div)
+	case sched.Sweep:
+		return minSweep(p, n, bs, dl, div)
+	default: // GSS
+		g := m.Group
+		switch {
+		case g >= n:
+			// One partial group: GSS* services it exactly like Sweep*.
+			return minSweep(p, n, bs, dl, div)
+		case g == 1:
+			// Singleton groups: GSS* is Round-Robin.
+			return minRR(p, n, bs, dl, div)
+		default:
+			return minGSS(p, n, g, bs, dl, div)
+		}
+	}
+}
+
+// minRR is Theorem 2:
+//
+//	Mem = n·BS − BS·n·(n−1)/(2·div) + n·CR·DL
+//
+// The peak occurs right after a fill: the freshest buffer is full, the
+// others have drained by one slot spacing each, and every buffer carries
+// CR·DL of extra data to survive its own service's disk latency.
+func minRR(p core.Params, n int, bs si.Bits, dl si.Seconds, div int) si.Bits {
+	nf := float64(n)
+	mem := nf*float64(bs) -
+		float64(bs)*nf*(nf-1)/(2*float64(div)) +
+		nf*float64(p.CR)*float64(dl)
+	return si.Bits(mem)
+}
+
+// minSweep is Theorem 3. For n > 1 the peak occurs when the (n−1)th buffer
+// of the period has just been allocated:
+//
+//	Mem = (n−1)·BS + (n·T/div − (n−2)·BS/TR)·CR·n
+//
+// and for n = 1 the requirement is the lone buffer plus what its owner
+// consumes while it is being serviced.
+func minSweep(p core.Params, n int, bs si.Bits, dl si.Seconds, div int) si.Bits {
+	if n == 1 {
+		extra := (float64(bs)/float64(p.TR) + float64(dl)) * float64(p.CR)
+		return bs + si.Bits(extra)
+	}
+	t := float64(p.UsagePeriod(bs)) // T = BS/CR
+	nf := float64(n)
+	window := nf*t/float64(div) - (nf-2)*float64(bs)/float64(p.TR)
+	return si.Bits((nf-1)*float64(bs) + window*float64(p.CR)*nf)
+}
+
+// minGSS is Theorem 4, the 1 < g < n case. G = ⌈n/g⌉ groups; the first
+// ⌊n/g⌋ hold g buffers and the last holds g' = n − ⌊n/g⌋·g (zero when
+// groups divide evenly). The peak occurs when a full group has just
+// reached its Sweep* maximum while the other groups have drained by their
+// round-robin offsets.
+func minGSS(p core.Params, n, g int, bs si.Bits, dl si.Seconds, div int) si.Bits {
+	G := (n + g - 1) / g
+	gPrime := n - (n/g)*g
+	t := float64(p.UsagePeriod(bs))
+	bsf, trf, crf := float64(bs), float64(p.TR), float64(p.CR)
+	gf, Gf, nf, divf := float64(g), float64(G), float64(n), float64(div)
+
+	// Sweep*-style peak of the group being serviced.
+	head := (gf-1)*bsf + (t*gf/divf-(gf-2)*bsf/trf)*crf*gf
+
+	if gPrime == 0 {
+		// Every group holds exactly g buffers.
+		drained := gf*bsf - (nf*t/divf+(gf-2)*bsf/trf-gf*t*(Gf+2)/(2*divf))*crf*gf
+		return si.Bits((Gf-1)*drained + head)
+	}
+	// A partial trailing group of g' buffers.
+	gpf := float64(gPrime)
+	drained := gf*bsf - (nf*t/divf+(gf-2)*bsf/trf-gf*t*(Gf+1)/(2*divf))*crf*gf
+	tail := bsf*(gf+gpf-1) +
+		crf*((t*gf/divf-(gf-2)*bsf/trf)*gf-(gf-2)*gpf*bsf/trf)
+	return si.Bits((Gf-2)*drained + tail)
+}

@@ -1,0 +1,258 @@
+package memmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+func paperParams() core.Params {
+	return core.Params{TR: si.Mbps(120), CR: si.Mbps(1.5), N: 79, Alpha: 1}
+}
+
+func spec() diskmodel.Spec { return diskmodel.Barracuda9LP() }
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// At full load with no predicted additional requests, dynamic and static
+// schemes are identical for every method.
+func TestDynamicEqualsStaticAtFullLoad(t *testing.T) {
+	p := paperParams()
+	for _, k := range sched.Kinds {
+		m := sched.NewMethod(k)
+		dyn := float64(MinDynamic(p, m, spec(), p.N, 0))
+		sta := float64(MinStatic(p, m, spec(), p.N))
+		if !relClose(dyn, sta, 1e-9) {
+			t.Errorf("%v: dynamic %v != static %v at full load", m, dyn, sta)
+		}
+	}
+}
+
+// The design-notes calibration: the static Round-Robin requirement at full
+// load is about 1.03 GB per disk (40·BS(79) + N·CR·DL), which is what makes
+// the 10-disk system of Fig. 13 flatten out near 11 GB.
+func TestStaticRRFullLoadCalibration(t *testing.T) {
+	p := paperParams()
+	got := MinStatic(p, sched.NewMethod(sched.RoundRobin), spec(), p.N).GigabytesVal()
+	if got < 0.95 || got < 0 || got > 1.15 {
+		t.Errorf("static RR full-load memory = %.3f GB, want about 1.03", got)
+	}
+}
+
+// Theorem 2 hand check: n·BS − BS·n(n−1)/(2(k+n)) + n·CR·DL.
+func TestTheorem2HandComputed(t *testing.T) {
+	p := paperParams()
+	m := sched.NewMethod(sched.RoundRobin)
+	n, k := 10, 3
+	dl := m.WorstDL(spec(), n)
+	bs := float64(p.DynamicSize(dl, n, k))
+	want := 10*bs - bs*10*9/(2*13.0) + 10*1.5e6*float64(dl)
+	got := float64(MinDynamic(p, m, spec(), n, k))
+	if !relClose(got, want, 1e-12) {
+		t.Errorf("Theorem 2: got %v, want %v", got, want)
+	}
+}
+
+// Theorem 3 hand checks for both branches.
+func TestTheorem3HandComputed(t *testing.T) {
+	p := paperParams()
+	m := sched.NewMethod(sched.Sweep)
+
+	// n = 1: BS + (BS/TR + DL)·CR.
+	dl1 := m.WorstDL(spec(), 1)
+	bs1 := float64(p.DynamicSize(dl1, 1, 2))
+	want1 := bs1 + (bs1/120e6+float64(dl1))*1.5e6
+	got1 := float64(MinDynamic(p, m, spec(), 1, 2))
+	if !relClose(got1, want1, 1e-12) {
+		t.Errorf("Theorem 3 (n=1): got %v, want %v", got1, want1)
+	}
+
+	// n = 5, k = 2: (n−1)·BS + (n·T/(k+n) − (n−2)·BS/TR)·CR·n, T = BS/CR.
+	dl5 := m.WorstDL(spec(), 5)
+	bs5 := float64(p.DynamicSize(dl5, 5, 2))
+	tt := bs5 / 1.5e6
+	want5 := 4*bs5 + (5*tt/7-3*bs5/120e6)*1.5e6*5
+	got5 := float64(MinDynamic(p, m, spec(), 5, 2))
+	if !relClose(got5, want5, 1e-12) {
+		t.Errorf("Theorem 3 (n=5): got %v, want %v", got5, want5)
+	}
+}
+
+// Theorem 4 hand check for the evenly divided case: n = 16, g = 8, G = 2.
+func TestTheorem4EvenGroups(t *testing.T) {
+	p := paperParams()
+	m := sched.NewMethod(sched.GSS) // g = 8
+	n, k := 16, 2
+	dl := m.WorstDL(spec(), n)
+	bs := float64(p.DynamicSize(dl, n, k))
+	tt := bs / 1.5e6
+	div := 18.0
+	G := 2.0
+	g := 8.0
+	head := (g-1)*bs + (tt*g/div-(g-2)*bs/120e6)*1.5e6*g
+	drained := g*bs - (16*tt/div+(g-2)*bs/120e6-g*tt*(G+2)/(2*div))*1.5e6*g
+	want := (G-1)*drained + head
+	got := float64(MinDynamic(p, m, spec(), n, k))
+	if !relClose(got, want, 1e-12) {
+		t.Errorf("Theorem 4 even: got %v, want %v", got, want)
+	}
+}
+
+// Theorem 4 hand check for a partial trailing group: n = 20, g = 8,
+// G = 3, g' = 4.
+func TestTheorem4PartialGroup(t *testing.T) {
+	p := paperParams()
+	m := sched.NewMethod(sched.GSS)
+	n, k := 20, 0
+	dl := m.WorstDL(spec(), n)
+	bs := float64(p.DynamicSize(dl, n, k))
+	tt := bs / 1.5e6
+	div, G, g, gp := 20.0, 3.0, 8.0, 4.0
+	drained := g*bs - (20*tt/div+(g-2)*bs/120e6-g*tt*(G+1)/(2*div))*1.5e6*g
+	tail := bs*(g+gp-1) + 1.5e6*((tt*g/div-(g-2)*bs/120e6)*g-(g-2)*gp*bs/120e6)
+	want := (G-2)*drained + tail
+	got := float64(MinDynamic(p, m, spec(), n, k))
+	if !relClose(got, want, 1e-12) {
+		t.Errorf("Theorem 4 partial: got %v, want %v", got, want)
+	}
+}
+
+// GSS* degenerates to Sweep* when one group holds everyone and to
+// Round-Robin when groups are singletons.
+func TestGSSDegenerateCases(t *testing.T) {
+	p := paperParams()
+	n, k := 5, 1
+	gssBig := sched.Method{Kind: sched.GSS, Group: 10}
+	swp := sched.NewMethod(sched.Sweep)
+	// Compare with identical DL: g >= n makes WorstDL equal to Sweep's.
+	if got, want := MinDynamic(p, gssBig, spec(), n, k), MinDynamic(p, swp, spec(), n, k); got != want {
+		t.Errorf("g >= n: GSS %v, Sweep %v", got, want)
+	}
+	gss1 := sched.Method{Kind: sched.GSS, Group: 1}
+	dl := gss1.WorstDL(spec(), n) // = gamma(Cyln)+theta = RR's
+	rr := sched.NewMethod(sched.RoundRobin)
+	if got, want := MinDynamic(p, gss1, spec(), n, k), MinDynamic(p, rr, spec(), n, k); got != want {
+		t.Errorf("g = 1 (dl %v): GSS %v, RR %v", dl, got, want)
+	}
+}
+
+// Property: for every method and load, the requirement is positive, at
+// least one buffer, and no more than n full buffers plus the latency
+// reserve.
+func TestMemoryBounds(t *testing.T) {
+	p := paperParams()
+	f := func(kindRaw, nRaw, kRaw uint8) bool {
+		m := sched.NewMethod(sched.Kinds[int(kindRaw)%3])
+		n := 1 + int(nRaw)%p.N
+		k := int(kRaw) % (p.N - n + 1)
+		dl := m.WorstDL(spec(), n)
+		bs := p.DynamicSize(dl, n, k)
+		mem := MinDynamic(p, m, spec(), n, k)
+		if mem < bs {
+			return false
+		}
+		// Under GSS with many predicted additional requests, groups are
+		// refilled before they fully drain, so a buffer can briefly hold
+		// close to two allocations; 2·n·BS plus the latency reserve bounds
+		// every method.
+		upper := si.Bits(2*float64(n)*float64(bs)) +
+			si.Bits(float64(n)*float64(p.CR)*float64(dl)) +
+			si.Bits(float64(n)*float64(bs)/float64(p.TR)*float64(p.CR))
+		return mem <= upper+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the dynamic requirement stays below the static one (the
+// paper's Fig. 12), for matching n and the measured worst-case k. Near
+// full load a small excess is possible for Sweep*/GSS*: their per-buffer
+// worst DL γ(Cyln/n)+θ is evaluated at the *current* n, which is slightly
+// larger than the static scheme's γ(Cyln/N)+θ; allow that DL ratio.
+func TestDynamicBelowStatic(t *testing.T) {
+	p := paperParams()
+	f := func(kindRaw, nRaw uint8) bool {
+		m := sched.NewMethod(sched.Kinds[int(kindRaw)%3])
+		n := 1 + int(nRaw)%p.N
+		k := 4
+		if k > p.N-n {
+			k = p.N - n
+		}
+		slack := float64(m.WorstDL(spec(), n)) / float64(m.WorstDL(spec(), p.N))
+		dyn := float64(MinDynamic(p, m, spec(), n, k))
+		sta := float64(MinStatic(p, m, spec(), n))
+		if dyn > sta*slack+1 {
+			return false
+		}
+		// Away from full load the gap must be strict and substantial.
+		if n <= p.N/2 && dyn > 0.8*sta {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: static memory grows monotonically in n (more streams, more
+// full-size buffers).
+func TestStaticMonotone(t *testing.T) {
+	p := paperParams()
+	for _, kind := range sched.Kinds {
+		m := sched.NewMethod(kind)
+		prev := si.Bits(0)
+		for n := 1; n <= p.N; n++ {
+			mem := MinStatic(p, m, spec(), n)
+			if mem < prev-1 {
+				t.Errorf("%v: static memory shrank at n = %d (%v -> %v)", m, n, prev, mem)
+			}
+			prev = mem
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	p := paperParams()
+	m := sched.NewMethod(sched.RoundRobin)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("n = 0", func() { MinDynamic(p, m, spec(), 0, 0) })
+	mustPanic("n > N", func() { MinDynamic(p, m, spec(), p.N+1, 0) })
+	mustPanic("k < 0", func() { MinDynamic(p, m, spec(), 1, -1) })
+	mustPanic("n+k > N", func() { MinDynamic(p, m, spec(), 70, 20) })
+	mustPanic("bad params", func() { MinStatic(core.Params{}, m, spec(), 1) })
+	mustPanic("bad method", func() { MinStatic(p, sched.Method{Kind: sched.GSS}, spec(), 1) })
+}
+
+// The headline Fig. 12 shape: at n = 1 the dynamic requirement is a small
+// fraction of the static one.
+func TestDynamicMuchSmallerAtLowLoad(t *testing.T) {
+	p := paperParams()
+	for _, kind := range sched.Kinds {
+		m := sched.NewMethod(kind)
+		dyn := float64(MinDynamic(p, m, spec(), 1, 4))
+		sta := float64(MinStatic(p, m, spec(), 1))
+		if ratio := sta / dyn; ratio < 5 {
+			t.Errorf("%v: static/dynamic at n=1 = %.2f, want a clear gap", m, ratio)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package metrics provides the small accumulators the simulation uses to
+// report what the paper's figures plot: per-load-level latency averages
+// (Fig. 11), time series of concurrency and memory (Figs. 6 and 14), and
+// counting statistics with online means.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/si"
+)
+
+// ByN accumulates a quantity bucketed by an integer load level n, as
+// Fig. 11 buckets initial latency by the number of requests in service at
+// arrival time.
+type ByN struct {
+	sum   []float64
+	count []int64
+}
+
+// NewByN returns an accumulator for levels 0..max.
+func NewByN(max int) *ByN {
+	if max < 0 {
+		panic(fmt.Sprintf("metrics: negative max level %d", max))
+	}
+	return &ByN{sum: make([]float64, max+1), count: make([]int64, max+1)}
+}
+
+// Add records one observation at level n. Levels outside the range clamp
+// to the edges: observations at unexpectedly high n still count toward the
+// last bucket rather than vanishing.
+func (b *ByN) Add(n int, v float64) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(b.sum) {
+		n = len(b.sum) - 1
+	}
+	b.sum[n] += v
+	b.count[n]++
+}
+
+// Mean reports the average at level n and whether any observation exists.
+func (b *ByN) Mean(n int) (float64, bool) {
+	if n < 0 || n >= len(b.sum) || b.count[n] == 0 {
+		return 0, false
+	}
+	return b.sum[n] / float64(b.count[n]), true
+}
+
+// Count reports the number of observations at level n.
+func (b *ByN) Count(n int) int64 {
+	if n < 0 || n >= len(b.count) {
+		return 0
+	}
+	return b.count[n]
+}
+
+// Levels reports the number of levels (max+1).
+func (b *ByN) Levels() int { return len(b.sum) }
+
+// GrandMean reports the mean over all observations, and whether any exist.
+func (b *ByN) GrandMean() (float64, bool) {
+	var s float64
+	var c int64
+	for i := range b.sum {
+		s += b.sum[i]
+		c += b.count[i]
+	}
+	if c == 0 {
+		return 0, false
+	}
+	return s / float64(c), true
+}
+
+// MeanOfMeans reports the unweighted average of the per-level means over
+// levels that have observations — the paper's "averaged over the number of
+// user requests in service" aggregation for Table 4.
+func (b *ByN) MeanOfMeans() (float64, bool) {
+	var s float64
+	levels := 0
+	for i := range b.sum {
+		if b.count[i] > 0 {
+			s += b.sum[i] / float64(b.count[i])
+			levels++
+		}
+	}
+	if levels == 0 {
+		return 0, false
+	}
+	return s / float64(levels), true
+}
+
+// Merge adds another accumulator's observations into b. The level ranges
+// must match.
+func (b *ByN) Merge(o *ByN) {
+	if len(b.sum) != len(o.sum) {
+		panic(fmt.Sprintf("metrics: merging ByN with %d levels into %d", len(o.sum), len(b.sum)))
+	}
+	for i := range b.sum {
+		b.sum[i] += o.sum[i]
+		b.count[i] += o.count[i]
+	}
+}
+
+// Sample is one point of a time series.
+type Sample struct {
+	At si.Seconds
+	V  float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	samples []Sample
+}
+
+// Add appends a sample; times must be non-decreasing.
+func (s *Series) Add(at si.Seconds, v float64) {
+	if n := len(s.samples); n > 0 && at < s.samples[n-1].At {
+		panic(fmt.Sprintf("metrics: series time moved backward (%v < %v)", at, s.samples[n-1].At))
+	}
+	s.samples = append(s.samples, Sample{At: at, V: v})
+}
+
+// Samples returns the recorded samples.
+func (s *Series) Samples() []Sample { return s.samples }
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Max reports the largest sample value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	best := math.Inf(-1)
+	for _, p := range s.samples {
+		if p.V > best {
+			best = p.V
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// Mean reports the arithmetic mean of sample values, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.samples {
+		sum += p.V
+	}
+	return sum / float64(len(s.samples))
+}
+
+// Counter tracks a running count with an online mean of attached values.
+type Counter struct {
+	n   int64
+	sum float64
+}
+
+// Add records one event with an associated value.
+func (c *Counter) Add(v float64) { c.n++; c.sum += v }
+
+// Inc records one event with no value.
+func (c *Counter) Inc() { c.n++ }
+
+// N reports the number of events.
+func (c *Counter) N() int64 { return c.n }
+
+// Sum reports the total of attached values.
+func (c *Counter) Sum() float64 { return c.sum }
+
+// Mean reports the average attached value, or 0 with no events.
+func (c *Counter) Mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return c.sum / float64(c.n)
+}

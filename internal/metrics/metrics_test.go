@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByNBasics(t *testing.T) {
+	b := NewByN(3)
+	b.Add(1, 10)
+	b.Add(1, 20)
+	b.Add(3, 5)
+	if m, ok := b.Mean(1); !ok || m != 15 {
+		t.Errorf("Mean(1) = %v, %v", m, ok)
+	}
+	if _, ok := b.Mean(2); ok {
+		t.Error("Mean(2) should report no data")
+	}
+	if got := b.Count(1); got != 2 {
+		t.Errorf("Count(1) = %d", got)
+	}
+	if got := b.Levels(); got != 4 {
+		t.Errorf("Levels = %d", got)
+	}
+	if m, ok := b.GrandMean(); !ok || math.Abs(m-35.0/3) > 1e-12 {
+		t.Errorf("GrandMean = %v, %v", m, ok)
+	}
+	// MeanOfMeans: (15 + 5) / 2 levels.
+	if m, ok := b.MeanOfMeans(); !ok || m != 10 {
+		t.Errorf("MeanOfMeans = %v, %v", m, ok)
+	}
+}
+
+func TestByNClamping(t *testing.T) {
+	b := NewByN(2)
+	b.Add(-5, 1)
+	b.Add(99, 2)
+	if got := b.Count(0); got != 1 {
+		t.Errorf("low clamp: Count(0) = %d", got)
+	}
+	if got := b.Count(2); got != 1 {
+		t.Errorf("high clamp: Count(2) = %d", got)
+	}
+	if got := b.Count(-1); got != 0 {
+		t.Errorf("Count(-1) = %d", got)
+	}
+	if _, ok := b.Mean(99); ok {
+		t.Error("Mean out of range should report no data")
+	}
+}
+
+func TestByNEmpty(t *testing.T) {
+	b := NewByN(5)
+	if _, ok := b.GrandMean(); ok {
+		t.Error("empty GrandMean should report no data")
+	}
+	if _, ok := b.MeanOfMeans(); ok {
+		t.Error("empty MeanOfMeans should report no data")
+	}
+}
+
+func TestByNMerge(t *testing.T) {
+	a, b := NewByN(2), NewByN(2)
+	a.Add(0, 1)
+	b.Add(0, 3)
+	b.Add(2, 10)
+	a.Merge(b)
+	if m, _ := a.Mean(0); m != 2 {
+		t.Errorf("merged Mean(0) = %v", m)
+	}
+	if c := a.Count(2); c != 1 {
+		t.Errorf("merged Count(2) = %d", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched merge should panic")
+		}
+	}()
+	a.Merge(NewByN(5))
+}
+
+func TestByNNegativeMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative max should panic")
+		}
+	}()
+	NewByN(-1)
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Error("empty series should report zeros")
+	}
+	s.Add(0, 5)
+	s.Add(1, -2)
+	s.Add(1, 9) // equal times allowed
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len = %d", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Mean(); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("backward time should panic")
+		}
+	}()
+	s.Add(0.5, 1)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Mean() != 0 {
+		t.Error("empty counter mean should be 0")
+	}
+	c.Add(4)
+	c.Add(8)
+	c.Inc()
+	if c.N() != 3 {
+		t.Errorf("N = %d", c.N())
+	}
+	if c.Sum() != 12 {
+		t.Errorf("Sum = %v", c.Sum())
+	}
+	if c.Mean() != 4 {
+		t.Errorf("Mean = %v", c.Mean())
+	}
+}
+
+// Property: GrandMean equals total/count for arbitrary observations.
+func TestByNGrandMeanDefinition(t *testing.T) {
+	f := func(levels []uint8, values []int8) bool {
+		b := NewByN(10)
+		var sum float64
+		var cnt int
+		for i := range levels {
+			if i >= len(values) {
+				break
+			}
+			v := float64(values[i])
+			b.Add(int(levels[i])%11, v)
+			sum += v
+			cnt++
+		}
+		m, ok := b.GrandMean()
+		if cnt == 0 {
+			return !ok
+		}
+		return ok && math.Abs(m-sum/float64(cnt)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package si provides the unit types shared by every subsystem of the
+// reproduction: durations in seconds, data quantities in bits, and data
+// rates in bits per second.
+//
+// All quantities are float64 under the hood. The named types exist to make
+// dimensional mistakes visible in signatures (a Seconds cannot silently be
+// passed where Bits is expected) while keeping arithmetic cheap and
+// allocation-free. Conversions between dimensions go through the methods
+// below so the few legitimate crossings (bits ÷ rate = seconds, and so on)
+// are easy to audit.
+//
+// The paper quotes disk transfer rates in Mbps and memory in GBytes; this
+// package follows its conventions: Mbps is 10^6 bits per second and GByte
+// is 10^9 bytes.
+package si
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Seconds is a duration in seconds.
+type Seconds float64
+
+// Bits is a data quantity in bits.
+type Bits float64
+
+// BitRate is a data rate in bits per second.
+type BitRate float64
+
+// Common scale factors. The paper uses decimal (SI) prefixes throughout:
+// a 120 Mbps disk moves 120·10^6 bits per second, and the memory axis of
+// Fig. 13 is in 10^9-byte "GBytes".
+const (
+	Kilo = 1e3
+	Mega = 1e6
+	Giga = 1e9
+
+	BitsPerByte = 8
+)
+
+// Millisecond is one thousandth of a second, for writing disk constants the
+// way the paper's Table 3 quotes them.
+const Millisecond Seconds = 1e-3
+
+// Mbps returns a BitRate of v·10^6 bits per second.
+func Mbps(v float64) BitRate { return BitRate(v * Mega) }
+
+// Megabits returns a quantity of v·10^6 bits.
+func Megabits(v float64) Bits { return Bits(v * Mega) }
+
+// Gigabytes returns a quantity of v·10^9 bytes expressed in bits.
+func Gigabytes(v float64) Bits { return Bits(v * Giga * BitsPerByte) }
+
+// Megabytes returns a quantity of v·10^6 bytes expressed in bits.
+func Megabytes(v float64) Bits { return Bits(v * Mega * BitsPerByte) }
+
+// Minutes returns a duration of v minutes.
+func Minutes(v float64) Seconds { return Seconds(v * 60) }
+
+// Hours returns a duration of v hours.
+func Hours(v float64) Seconds { return Seconds(v * 3600) }
+
+// Duration converts to a time.Duration, saturating at the representable
+// range. It is used only at the edges (real-time examples, logging).
+func (s Seconds) Duration() time.Duration {
+	d := float64(s) * float64(time.Second)
+	if d > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	if d < math.MinInt64 {
+		return time.Duration(math.MinInt64)
+	}
+	return time.Duration(d)
+}
+
+// Milliseconds reports the duration in milliseconds.
+func (s Seconds) Milliseconds() float64 { return float64(s) * 1e3 }
+
+// Minutes reports the duration in minutes.
+func (s Seconds) Minutes() float64 { return float64(s) / 60 }
+
+// Hours reports the duration in hours.
+func (s Seconds) Hours() float64 { return float64(s) / 3600 }
+
+// String formats the duration with a unit chosen by magnitude.
+func (s Seconds) String() string {
+	abs := math.Abs(float64(s))
+	switch {
+	case abs == 0:
+		return "0s"
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3gµs", float64(s)*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.4gms", float64(s)*1e3)
+	case abs < 120:
+		return fmt.Sprintf("%.4gs", float64(s))
+	case abs < 2*3600:
+		return fmt.Sprintf("%.4gmin", float64(s)/60)
+	default:
+		return fmt.Sprintf("%.4gh", float64(s)/3600)
+	}
+}
+
+// Bytes reports the quantity in bytes.
+func (b Bits) Bytes() float64 { return float64(b) / BitsPerByte }
+
+// MegabytesVal reports the quantity in 10^6-byte megabytes.
+func (b Bits) MegabytesVal() float64 { return b.Bytes() / Mega }
+
+// GigabytesVal reports the quantity in 10^9-byte gigabytes.
+func (b Bits) GigabytesVal() float64 { return b.Bytes() / Giga }
+
+// String formats the quantity in the most readable byte unit.
+func (b Bits) String() string {
+	bytes := math.Abs(b.Bytes())
+	switch {
+	case bytes == 0:
+		return "0B"
+	case bytes < Kilo:
+		return fmt.Sprintf("%.4gB", b.Bytes())
+	case bytes < Mega:
+		return fmt.Sprintf("%.4gKB", b.Bytes()/Kilo)
+	case bytes < Giga:
+		return fmt.Sprintf("%.4gMB", b.Bytes()/Mega)
+	default:
+		return fmt.Sprintf("%.4gGB", b.Bytes()/Giga)
+	}
+}
+
+// String formats the rate in Mbps, the paper's unit.
+func (r BitRate) String() string { return fmt.Sprintf("%.4gMbps", float64(r)/Mega) }
+
+// TimeToTransfer reports how long moving b bits takes at rate r.
+// It panics on a non-positive rate: every call site has a physical rate.
+func (r BitRate) TimeToTransfer(b Bits) Seconds {
+	if r <= 0 {
+		panic("si: TimeToTransfer on non-positive rate")
+	}
+	return Seconds(float64(b) / float64(r))
+}
+
+// DataIn reports how many bits flow in duration s at rate r.
+func (r BitRate) DataIn(s Seconds) Bits { return Bits(float64(r) * float64(s)) }

@@ -1,0 +1,150 @@
+package si
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Mbps", float64(Mbps(120)), 120e6},
+		{"Megabits", float64(Megabits(1.5)), 1.5e6},
+		{"Gigabytes", float64(Gigabytes(1)), 8e9},
+		{"Megabytes", float64(Megabytes(2)), 16e6},
+		{"Minutes", float64(Minutes(2)), 120},
+		{"Hours", float64(Hours(0.5)), 1800},
+		{"Millisecond", float64(Millisecond), 1e-3},
+	}
+	for _, tt := range tests {
+		if !almostEqual(tt.got, tt.want, 1e-12) {
+			t.Errorf("%s: got %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestSecondsDuration(t *testing.T) {
+	if got := Seconds(1.5).Duration(); got != 1500*time.Millisecond {
+		t.Errorf("Duration(1.5s) = %v", got)
+	}
+	if got := Seconds(1e300).Duration(); got != time.Duration(math.MaxInt64) {
+		t.Errorf("Duration should saturate high, got %v", got)
+	}
+	if got := Seconds(-1e300).Duration(); got != time.Duration(math.MinInt64) {
+		t.Errorf("Duration should saturate low, got %v", got)
+	}
+}
+
+func TestSecondsConversions(t *testing.T) {
+	s := Minutes(90)
+	if got := s.Hours(); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("Hours = %v, want 1.5", got)
+	}
+	if got := s.Minutes(); !almostEqual(got, 90, 1e-12) {
+		t.Errorf("Minutes = %v, want 90", got)
+	}
+	if got := Seconds(0.25).Milliseconds(); !almostEqual(got, 250, 1e-12) {
+		t.Errorf("Milliseconds = %v, want 250", got)
+	}
+}
+
+func TestBitsConversions(t *testing.T) {
+	b := Gigabytes(9.19)
+	if got := b.GigabytesVal(); !almostEqual(got, 9.19, 1e-12) {
+		t.Errorf("GigabytesVal = %v, want 9.19", got)
+	}
+	if got := Megabytes(25).MegabytesVal(); !almostEqual(got, 25, 1e-12) {
+		t.Errorf("MegabytesVal = %v, want 25", got)
+	}
+	if got := Bits(16).Bytes(); got != 2 {
+		t.Errorf("Bytes = %v, want 2", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{Seconds(0).String(), "0s"},
+		{Seconds(5e-6).String(), "5µs"},
+		{Seconds(0.0213).String(), "21.3ms"},
+		{Seconds(42).String(), "42s"},
+		{Minutes(30).String(), "30min"},
+		{Hours(9).String(), "9h"},
+		{Bits(0).String(), "0B"},
+		{Bits(800).String(), "100B"},
+		{Megabytes(25.7).String(), "25.7MB"},
+		{Gigabytes(1.03).String(), "1.03GB"},
+		{Mbps(120).String(), "120Mbps"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String: got %q, want %q", tt.got, tt.want)
+		}
+	}
+	if !strings.Contains(Bits(8*2048).String(), "KB") {
+		t.Errorf("2048 bytes should format as KB, got %s", Bits(8*2048))
+	}
+}
+
+func TestTimeToTransfer(t *testing.T) {
+	tr := Mbps(120)
+	if got := tr.TimeToTransfer(Megabits(120)); !almostEqual(float64(got), 1, 1e-12) {
+		t.Errorf("TimeToTransfer = %v, want 1s", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TimeToTransfer on zero rate should panic")
+		}
+	}()
+	BitRate(0).TimeToTransfer(1)
+}
+
+func TestDataIn(t *testing.T) {
+	cr := Mbps(1.5)
+	if got := cr.DataIn(Minutes(120)); !almostEqual(float64(got), 1.5e6*7200, 1e-12) {
+		t.Errorf("DataIn = %v", got)
+	}
+}
+
+// Property: transfer time and data-in are inverse operations for any
+// positive rate and quantity.
+func TestTransferRoundTrip(t *testing.T) {
+	f := func(rate, data float64) bool {
+		r := BitRate(math.Abs(rate)) + 1 // ensure positive
+		b := Bits(math.Abs(data))
+		back := r.DataIn(r.TimeToTransfer(b))
+		return almostEqual(float64(back), float64(b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DataIn is linear in duration.
+func TestDataInLinearity(t *testing.T) {
+	f := func(rate, s1, s2 float64) bool {
+		r := BitRate(math.Abs(rate))
+		a, b := Seconds(math.Abs(s1)), Seconds(math.Abs(s2))
+		lhs := float64(r.DataIn(a + b))
+		rhs := float64(r.DataIn(a) + r.DataIn(b))
+		return almostEqual(lhs, rhs, 1e-9) || (math.IsInf(lhs, 0) && math.IsInf(rhs, 0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/si"
+)
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			at := si.Seconds((j * 7919) % 1000)
+			e.Schedule(at, func() {})
+		}
+		e.Run(1000)
+	}
+}
+
+func BenchmarkEngineNestedEvents(b *testing.B) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(1, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(1, tick)
+	e.Run(si.Seconds(b.N + 2))
+}

@@ -1,0 +1,122 @@
+// Package sim contains the discrete-event simulation of the paper's
+// evaluation (Section 5): a virtual-time event engine, per-disk server
+// processes implementing the three buffer scheduling methods under the
+// static, dynamic, and naive allocation schemes, and a multi-disk system
+// with shared-memory admission for the capacity experiments.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/si"
+)
+
+// Engine is a virtual-clock discrete-event loop. Callbacks scheduled at a
+// time run in time order; ties run in scheduling order, which keeps runs
+// deterministic.
+type Engine struct {
+	now    si.Seconds
+	events eventHeap
+	seq    int64
+}
+
+// Event is a scheduled callback. Cancel it to make it a no-op.
+type Event struct {
+	at       si.Seconds
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap position, -1 once popped
+}
+
+// Cancel prevents the event's callback from running. Canceling an already
+// fired or canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() si.Seconds { return e.now }
+
+// Schedule registers fn to run at time at, which must not precede the
+// current time. It returns a handle for cancellation.
+func (e *Engine) Schedule(at si.Seconds, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling a nil callback")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run delay from now.
+func (e *Engine) After(delay si.Seconds, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue empties or the clock passes until.
+// Events scheduled exactly at until still run.
+func (e *Engine) Run(until si.Seconds) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending reports the number of events still queued (including canceled
+// ones not yet drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/si"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run(10)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want clock advanced to 10", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(1, func() { got = append(got, "a") })
+	e.Schedule(1, func() { got = append(got, "b") })
+	e.Run(2)
+	if got[0] != "a" || got[1] != "b" {
+		t.Errorf("tie order = %v", got)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(1, func() {
+		got = append(got, 1)
+		e.After(1, func() { got = append(got, 2) })
+	})
+	e.Run(5)
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("nested = %v", got)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestEngineRunBoundary(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(5, func() { ran++ })
+	e.Schedule(5.0001, func() { ran++ })
+	e.Run(5) // events exactly at the boundary run; later ones do not
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	e.Run(6)
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2 after extending", ran)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(1, func() { ran = true })
+	ev.Cancel()
+	ev.Cancel() // double cancel is a no-op
+	(*Event)(nil).Cancel()
+	e.Run(2)
+	if ran {
+		t.Error("canceled event ran")
+	}
+}
+
+func TestEnginePanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run(5)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("past", func() { e.Schedule(1, func() {}) })
+	mustPanic("nil fn", func() { e.Schedule(10, nil) })
+	mustPanic("negative delay", func() { e.After(-1, func() {}) })
+}
+
+// Property: any set of events runs in non-decreasing time order and the
+// clock never goes backward inside callbacks.
+func TestEngineMonotoneClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := si.Seconds(-1)
+		ok := true
+		for _, d := range delays {
+			at := si.Seconds(d)
+			e.Schedule(at, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run(1 << 17)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

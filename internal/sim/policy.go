@@ -1,0 +1,405 @@
+package sim
+
+import (
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+// policy is the method-specific part of a disk server: when new requests
+// may be admitted, which stream is serviced next, and how late that
+// service may start.
+//
+// All three implementations schedule lazily — a service starts as late as
+// the batch's deadlines safely allow — which is what gives Sweep* and
+// GSS* their memory-sharing behaviour and keeps the static scheme's
+// servers idle between widely spaced refills.
+type policy interface {
+	// admit incorporates a newly admitted stream.
+	admit(st *stream)
+	// remove drops a departed stream.
+	remove(st *stream)
+	// canAdmit reports whether the method's timing rules allow admitting
+	// new requests at this moment (BubbleUp: always; Sweep*: between
+	// periods; GSS*: between groups).
+	canAdmit() bool
+	// next returns the stream to service next and the latest safe start
+	// time, or nil when nothing needs service. It must be idempotent.
+	next(now si.Seconds) (*stream, si.Seconds)
+	// onServiced records that the stream returned by next was serviced.
+	onServiced(st *stream)
+}
+
+// DebugForm, when set, observes every Sweep* period formation. Debug-only.
+var DebugForm func(now si.Seconds, ids []int)
+
+func newPolicy(s *server) policy {
+	switch s.sys.cfg.Method.Kind {
+	case sched.RoundRobin:
+		return &rrPolicy{s: s, bubbleUp: !s.sys.cfg.DisableBubbleUp}
+	case sched.Sweep:
+		return &sweepPolicy{s: s}
+	default:
+		return &gssPolicy{s: s, cur: -1}
+	}
+}
+
+// rrPolicy is Round-Robin with BubbleUp: earliest-deadline-first over the
+// streams, which reduces to cyclic order in steady state (equal buffer
+// sizes imply equally spaced deadlines) and services fresh streams —
+// whose deadline is their admission instant — immediately.
+type rrPolicy struct {
+	s        *server
+	bubbleUp bool
+}
+
+func (p *rrPolicy) admit(*stream)      {}
+func (p *rrPolicy) remove(*stream)     {}
+func (p *rrPolicy) canAdmit() bool     { return true }
+func (p *rrPolicy) onServiced(*stream) {}
+
+func (p *rrPolicy) next(now si.Seconds) (*stream, si.Seconds) {
+	// Started streams have viewers draining their buffers: hard deadlines.
+	// Fresh streams (first fill pending) are BubbleUp work: serviced
+	// immediately, but never at the cost of starving a started buffer.
+	var started, fresh *stream
+	var startedD si.Seconds
+	for _, st := range p.s.streams {
+		if !st.needService() {
+			continue
+		}
+		if !st.started {
+			if fresh == nil || st.req.Arrival < fresh.req.Arrival {
+				fresh = st
+			}
+			continue
+		}
+		if d := p.s.deadline(st); started == nil || d < startedD {
+			started, startedD = st, d
+		}
+	}
+	if started == nil && fresh == nil {
+		return nil, 0
+	}
+	w := p.s.worstService(p.s.n())
+	if started != nil && startedD-(lazyMarginServices+1)*w <= now {
+		if room := p.s.roomAt(started); room > now {
+			return started, room // full buffer: wait for it to drain
+		}
+		return started, now // a hard deadline is due (within the cushion)
+	}
+	if fresh != nil {
+		if p.bubbleUp {
+			return fresh, now // BubbleUp: no urgent refill, serve the newcomer
+		}
+		// Fixed-Stretch: the newcomer waits until the rotation reaches
+		// it — every started stream refilled once after its arrival.
+		reached := true
+		for _, st := range p.s.streams {
+			if st.started && st.active && st.lastFillAt < fresh.req.Arrival {
+				reached = false
+				break
+			}
+		}
+		if reached {
+			return fresh, now
+		}
+		// Otherwise fall through to refill rotation below (started may
+		// be nil only if no started stream needs service, in which case
+		// the rotation cannot progress and the newcomer is served).
+		if started == nil {
+			return fresh, now
+		}
+	}
+	// Idle long enough that laziness matters: wake at the latest start
+	// that still lets every due buffer be refilled in deadline order.
+	scratch := p.s.deadlineScratch[:0]
+	for _, st := range p.s.streams {
+		if st.needService() {
+			scratch = append(scratch, float64(p.s.deadline(st)))
+		}
+	}
+	p.s.deadlineScratch = scratch
+	start := p.s.latestStart(scratch, w)
+	if room := p.s.roomAt(started); start < room {
+		start = room
+	}
+	if start < now {
+		start = now
+	}
+	return started, start
+}
+
+// sweepPolicy is Sweep*: service periods are formed from every stream
+// needing service, ordered by disk position; new requests join only the
+// next period; each service within the period starts as late as the
+// remaining deadlines allow, which delays the period's tail the way
+// Sweep* prescribes.
+type sweepPolicy struct {
+	s      *server
+	period []*stream
+	idx    int
+}
+
+func (p *sweepPolicy) admit(*stream)  {}
+func (p *sweepPolicy) remove(*stream) {}
+func (p *sweepPolicy) canAdmit() bool { return p.idx >= len(p.period) }
+func (p *sweepPolicy) onServiced(st *stream) {
+	if p.idx < len(p.period) && p.period[p.idx] == st {
+		p.idx++
+	}
+}
+
+func (p *sweepPolicy) next(now si.Seconds) (*stream, si.Seconds) {
+	// Skip members that departed or finished since formation.
+	for p.idx < len(p.period) && !p.period[p.idx].needService() {
+		p.idx++
+	}
+	if p.idx >= len(p.period) {
+		if !p.form() {
+			return nil, 0
+		}
+	}
+	st := p.period[p.idx]
+	if p.idx > 0 {
+		// Periods are compact: once started, services run back-to-back.
+		// Compact fills align the members' deadlines for the next period
+		// (each deadline = fill + T), which is what makes Sweep* periodic
+		// — and is the schedule Theorem 3's memory peak describes.
+		return st, now
+	}
+	// A waiting newcomer pulls the period forward: Eq. 3's worst wait is
+	// two service batches (the current one and the next, which includes
+	// the newcomer), not two full usage periods — top-up fills make the
+	// early period cheap for the other members.
+	start := batchLazyStart(p.s, p.period, now, 0, true)
+	return st, start
+}
+
+// form assembles the next service period in sweep order. Every stream
+// still fetching data joins — Sweep* refills all n buffers once per
+// period, which is precisely why Theorem 3's memory peak holds n−1 full
+// buffers. Period spacing emerges from the lazy start: the next period
+// begins only when the earliest deadline forces it, about one usage
+// period after the last.
+func (p *sweepPolicy) form() bool {
+	p.period = p.period[:0]
+	for _, st := range p.s.streams {
+		if st.needService() {
+			p.period = append(p.period, st)
+		}
+	}
+	p.idx = 0
+	if len(p.period) == 0 {
+		return false
+	}
+	sortByCylinder(p.s, p.period)
+	if DebugForm != nil {
+		ids := make([]int, len(p.period))
+		for i, st := range p.period {
+			ids[i] = st.id
+		}
+		DebugForm(p.s.now(), ids)
+	}
+	return true
+}
+
+// gssPolicy is GSS*: streams are partitioned into groups of at most g;
+// groups are serviced round-robin (BubbleUp across groups), members of
+// the group in service are swept. New requests join the first upcoming
+// group with spare room so they are serviced with the next group.
+type gssPolicy struct {
+	s      *server
+	groups [][]*stream
+	cur    int // index of the group currently being swept; -1 when none
+	sweep  []*stream
+	idx    int
+}
+
+func (p *gssPolicy) canAdmit() bool { return p.idx >= len(p.sweep) }
+
+func (p *gssPolicy) admit(st *stream) {
+	g := p.s.sys.cfg.Method.Group
+	for i := 1; i <= len(p.groups); i++ {
+		gi := (p.cur + i) % len(p.groups)
+		if gi == p.cur {
+			continue // the group in service formed without st
+		}
+		if len(p.groups[gi]) < g {
+			p.groups[gi] = append(p.groups[gi], st)
+			return
+		}
+	}
+	p.groups = append(p.groups, []*stream{st})
+}
+
+func (p *gssPolicy) remove(st *stream) {
+	for gi, members := range p.groups {
+		for i, o := range members {
+			if o != st {
+				continue
+			}
+			p.groups[gi] = append(members[:i], members[i+1:]...)
+			if len(p.groups[gi]) == 0 {
+				p.groups = append(p.groups[:gi], p.groups[gi+1:]...)
+				// Keep cur pointing at the group that was last swept so
+				// rotation resumes at its successor: slide it back when
+				// the removed group was at or before it, or when the
+				// slice shrank past it.
+				if gi <= p.cur || p.cur >= len(p.groups) {
+					p.cur--
+				}
+			}
+			return
+		}
+	}
+}
+
+func (p *gssPolicy) onServiced(st *stream) {
+	if p.idx < len(p.sweep) && p.sweep[p.idx] == st {
+		p.idx++
+	}
+}
+
+func (p *gssPolicy) next(now si.Seconds) (*stream, si.Seconds) {
+	for p.idx < len(p.sweep) && !p.sweep[p.idx].needService() {
+		p.idx++
+	}
+	if p.idx >= len(p.sweep) && !p.advance() {
+		return nil, 0
+	}
+	st := p.sweep[p.idx]
+	if p.idx > 0 {
+		return st, now // compact group sweeps, as in the Sweep* period
+	}
+	// A group's sweep can be blocked by other groups' non-preemptive
+	// sweeps when their due times cluster; earliest-deadline group
+	// selection keeps the queue short, so two group-sweeps of headroom
+	// absorb it without refilling far ahead of need (which would inflate
+	// memory well past Theorem 4). A group holding a fresh member sweeps
+	// immediately: BubbleUp across groups services a newcomer with the
+	// very next group (Eq. 4).
+	queued := len(p.groups) - 1
+	if queued > 2 {
+		queued = 2
+	}
+	if queued < 1 {
+		queued = 1
+	}
+	blocking := si.Seconds(queued*p.s.sys.cfg.Method.Group) * p.s.worstService(p.s.n())
+	start := batchLazyStart(p.s, p.sweep, now, blocking, true)
+	return st, start
+}
+
+// advance picks the group to sweep next: the one whose neediest member
+// has the earliest deadline, with rotation distance from the last swept
+// group breaking ties. In steady state GSS* group deadlines follow the
+// rotation, so this is the round-robin order; under churn (members joining
+// mid-rotation, departures) it prevents an overdue group from waiting out
+// a full rotation behind freshly refilled ones.
+func (p *gssPolicy) advance() bool {
+	if len(p.groups) == 0 {
+		return false
+	}
+	bestGi := -1
+	var bestD si.Seconds
+	for i := 1; i <= len(p.groups); i++ {
+		gi := ((p.cur+i)%len(p.groups) + len(p.groups)) % len(p.groups)
+		for _, st := range p.groups[gi] {
+			if !st.needService() {
+				continue
+			}
+			if d := p.s.deadline(st); bestGi < 0 || d < bestD {
+				bestGi, bestD = gi, d
+			}
+		}
+	}
+	p.sweep = p.sweep[:0]
+	p.idx = 0
+	if bestGi < 0 {
+		return false
+	}
+	// The whole group is swept together; repeated joint fills align the
+	// members' phases, which is what makes GSS*'s rotation periodic.
+	for _, st := range p.groups[bestGi] {
+		if st.needService() {
+			p.sweep = append(p.sweep, st)
+		}
+	}
+	sortByCylinder(p.s, p.sweep)
+	p.cur = bestGi
+	return true
+}
+
+// sortByCylinder orders streams by the disk position of their next read.
+func sortByCylinder(s *server, batch []*stream) {
+	ids := make([]int, len(batch))
+	byID := make(map[int]*stream, len(batch))
+	for i, st := range batch {
+		ids[i] = st.id
+		byID[st.id] = st
+	}
+	sched.SweepOrder(ids, func(id int) int {
+		st := byID[id]
+		return s.sys.cfg.Spec.CylinderOf(st.place.DiskOffset(st.delivered, 0))
+	})
+	for i, id := range ids {
+		batch[i] = byID[id]
+	}
+}
+
+// batchLazyStart computes the latest safe start for servicing the given
+// batch sequentially in its (possibly deadline-adversarial) order: every
+// deadline, sorted ascending, must leave room for the services before it.
+func batchLazyStart(s *server, batch []*stream, now si.Seconds, blocking si.Seconds, freshNow bool) si.Seconds {
+	// Only started members anchor the start time: a fresh request's first
+	// fill rides along with the batch. With freshNow set, any fresh
+	// member starts the batch immediately (GSS*'s BubbleUp across
+	// groups); otherwise fresh members wait for the batch's natural
+	// schedule but their service time still consumes batch room.
+	w := s.worstService(s.n())
+	fresh, startedCount := 0, 0
+	for _, st := range batch {
+		if !st.needService() {
+			continue
+		}
+		if st.started {
+			startedCount++
+		} else {
+			fresh++
+		}
+	}
+	if startedCount == 0 || (freshNow && fresh > 0) {
+		return now // only fresh members, or a newcomer demands the sweep
+	}
+	// The batch executes in the given (cylinder) order, so each member i
+	// must be reachable within (i+1) worst services of the start. The
+	// per-service worst DL for a sweep assumes equally spaced data; the
+	// retrace to the batch's first cylinder and one adversarial jump are
+	// outside that model, so batches also get that much headroom, plus
+	// whatever non-preemptive blocking the caller anticipates, plus the
+	// standard admission cushion.
+	cushion := 2*s.sys.cfg.Spec.WorstSeek() + blocking + lazyMarginServices*w
+	var start si.Seconds
+	pos := 0
+	set := false
+	for _, st := range batch {
+		if !st.needService() {
+			continue
+		}
+		pos++
+		if !st.started {
+			continue
+		}
+		cand := s.deadline(st) - si.Seconds(pos)*w - cushion
+		if room := s.roomAt(st); cand < room {
+			cand = room // never refill a buffer that has not drained
+		}
+		if !set || cand < start {
+			start, set = cand, true
+		}
+	}
+	if start < now {
+		start = now
+	}
+	return start
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// harness builds a server wired into a tiny system without running the
+// engine, so policy mechanics can be driven by hand.
+func harness(t *testing.T, kind sched.Kind, scheme Scheme) *server {
+	t.Helper()
+	lib, err := catalog.New(catalog.Config{
+		Titles: 6, Disks: 1, Spec: diskmodel.Barracuda9LP(), PopularityTheta: 0.271,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		Scheme:  scheme,
+		Method:  sched.NewMethod(kind),
+		Spec:    diskmodel.Barracuda9LP(),
+		CR:      si.Mbps(1.5),
+		Library: lib,
+		Trace:   workload.Trace{Schedule: workload.NewSchedule(si.Minutes(30), []float64{0})},
+	}
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	sys := &system{cfg: cfg, eng: NewEngine()}
+	sys.params = core.Params{TR: si.Mbps(120), CR: si.Mbps(1.5), N: 79, Alpha: 1}
+	sys.table = core.NewTable(sys.params, cfg.Method.DLModel(cfg.Spec))
+	sys.staticSize = sys.params.StaticSize(cfg.Method.WorstDL(cfg.Spec, sys.params.N), sys.params.N)
+	sys.res = &Result{LatencyByN: metrics.NewByN(sys.params.N)}
+	srv := newServer(sys, 0)
+	sys.servers = []*server{srv}
+	return srv
+}
+
+// addStream admits a synthetic stream directly.
+func addStream(t *testing.T, s *server, id int, viewing si.Seconds) *stream {
+	t.Helper()
+	st := &stream{
+		id:       id,
+		place:    s.sys.cfg.Library.Placement(id % s.sys.cfg.Library.Len()),
+		required: s.sys.cfg.CR.DataIn(viewing),
+		deadline: s.now(),
+		active:   true,
+	}
+	s.streams = append(s.streams, st)
+	s.pool.Attach(st.id, s.sys.cfg.CR, s.now())
+	s.policy.admit(st)
+	s.sys.noteAdmit()
+	return st
+}
+
+func TestRRPolicyPrefersFreshWhenIdle(t *testing.T) {
+	s := harness(t, sched.RoundRobin, Dynamic)
+	old := addStream(t, s, 1, si.Minutes(30))
+	// Give the old stream a comfortable buffer.
+	s.pool.BeginFill(old.id, si.Megabits(15), 0)
+	s.pool.CompleteFill(old.id, 0)
+	old.started = true
+	old.deadline = s.pool.EmptyAt(old.id)
+	fresh := addStream(t, s, 2, si.Minutes(30))
+	st, start := s.policy.next(0)
+	if st != fresh {
+		t.Fatalf("next = stream %d, want the fresh stream", st.id)
+	}
+	if start != 0 {
+		t.Errorf("fresh service should start now, got %v", start)
+	}
+}
+
+func TestRRPolicyUrgentRefillBeatsFresh(t *testing.T) {
+	s := harness(t, sched.RoundRobin, Dynamic)
+	old := addStream(t, s, 1, si.Minutes(30))
+	// A nearly empty buffer: due within the cushion window.
+	s.pool.BeginFill(old.id, si.Megabits(0.075), 0) // 0.05 s of content
+	s.pool.CompleteFill(old.id, 0)
+	old.started = true
+	old.deadline = s.pool.EmptyAt(old.id)
+	addStream(t, s, 2, si.Minutes(30))
+	st, _ := s.policy.next(0)
+	if st != old {
+		t.Fatalf("next = stream %d, want the starving started stream", st.id)
+	}
+}
+
+func TestRRPolicyLazyWakeTime(t *testing.T) {
+	s := harness(t, sched.RoundRobin, Static)
+	st := addStream(t, s, 1, si.Minutes(60))
+	s.pool.BeginFill(st.id, s.sys.staticSize, 0)
+	s.pool.CompleteFill(st.id, 0)
+	st.started = true
+	st.deadline = s.pool.EmptyAt(st.id)
+	next, start := s.policy.next(0)
+	if next != st {
+		t.Fatal("want the lone stream")
+	}
+	if start <= 0 {
+		t.Fatalf("lone full buffer should be scheduled lazily, got start %v", start)
+	}
+	if start >= st.deadline {
+		t.Fatalf("start %v must precede the deadline %v", start, st.deadline)
+	}
+}
+
+func TestSweepPolicyFormsCylinderOrder(t *testing.T) {
+	s := harness(t, sched.Sweep, Static)
+	// Three streams at different disk positions: stream ids map to titles
+	// placed contiguously, so higher id = higher cylinder.
+	c := addStream(t, s, 2, si.Minutes(60))
+	a := addStream(t, s, 0, si.Minutes(60))
+	b := addStream(t, s, 1, si.Minutes(60))
+	first, start := s.policy.next(0)
+	if first != a {
+		t.Fatalf("first serviced = stream %d, want lowest cylinder (0)", first.id)
+	}
+	if start != 0 {
+		t.Errorf("fresh members should start the period now, got %v", start)
+	}
+	sp := s.policy.(*sweepPolicy)
+	order := []int{sp.period[0].id, sp.period[1].id, sp.period[2].id}
+	if order[0] != a.id || order[1] != b.id || order[2] != c.id {
+		t.Errorf("period order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestSweepPolicyAdmissionOnlyBetweenPeriods(t *testing.T) {
+	s := harness(t, sched.Sweep, Static)
+	addStream(t, s, 1, si.Minutes(60))
+	if !s.policy.canAdmit() {
+		t.Fatal("no period formed yet: admission allowed")
+	}
+	st, _ := s.policy.next(0) // forms the period
+	if st == nil {
+		t.Fatal("expected work")
+	}
+	if s.policy.canAdmit() {
+		t.Error("mid-period admission should be blocked")
+	}
+	s.policy.onServiced(st)
+	if !s.policy.canAdmit() {
+		t.Error("period exhausted: admission allowed again")
+	}
+}
+
+func TestGSSPolicyGroupAssignment(t *testing.T) {
+	s := harness(t, sched.GSS, Static)
+	var members []*stream
+	for i := 0; i < 10; i++ {
+		members = append(members, addStream(t, s, i, si.Minutes(60)))
+	}
+	gp := s.policy.(*gssPolicy)
+	if len(gp.groups) != 2 {
+		t.Fatalf("10 streams with g=8: want 2 groups, got %d", len(gp.groups))
+	}
+	if len(gp.groups[0]) != 8 || len(gp.groups[1]) != 2 {
+		t.Errorf("group sizes = %d, %d; want 8, 2", len(gp.groups[0]), len(gp.groups[1]))
+	}
+	// Departure shrinks a group; a singleton group vanishes with its
+	// last member.
+	s.removeStream(members[9])
+	s.removeStream(members[8])
+	if len(gp.groups) != 1 {
+		t.Errorf("want 1 group after emptying the second, got %d", len(gp.groups))
+	}
+}
+
+func TestGSSPolicySweepsWholeGroup(t *testing.T) {
+	s := harness(t, sched.GSS, Static)
+	for i := 0; i < 10; i++ {
+		addStream(t, s, i, si.Minutes(60))
+	}
+	st, _ := s.policy.next(0)
+	if st == nil {
+		t.Fatal("expected work")
+	}
+	gp := s.policy.(*gssPolicy)
+	if len(gp.sweep) != 8 {
+		t.Fatalf("sweep covers %d members, want the full group of 8", len(gp.sweep))
+	}
+	// Service the whole sweep; the rotation then reaches group 2.
+	for i := 0; i < 8; i++ {
+		st, _ := s.policy.next(0)
+		if st == nil {
+			t.Fatal("sweep ended early")
+		}
+		st.delivered = st.required // mark done so next() moves on
+		s.policy.onServiced(st)
+	}
+	st2, _ := s.policy.next(0)
+	if st2 == nil {
+		t.Fatal("second group never serviced")
+	}
+	if len(gp.sweep) != 2 {
+		t.Errorf("second sweep covers %d, want 2", len(gp.sweep))
+	}
+}
+
+func TestPolicySkipsFinishedStreams(t *testing.T) {
+	for _, kind := range sched.Kinds {
+		s := harness(t, kind, Static)
+		st := addStream(t, s, 1, si.Minutes(60))
+		st.delivered = st.required
+		if got, _ := s.policy.next(0); got != nil {
+			t.Errorf("%v: finished stream still scheduled", kind)
+		}
+	}
+}
+
+func TestRoomAtFloorsRefills(t *testing.T) {
+	s := harness(t, sched.RoundRobin, Dynamic)
+	st := addStream(t, s, 1, si.Minutes(60))
+	// A full, freshly sized buffer must not be refilled immediately.
+	st.size = si.Megabits(1.5) // 1 s of content
+	s.pool.BeginFill(st.id, st.size, 0)
+	s.pool.CompleteFill(st.id, 0)
+	st.started = true
+	st.deadline = s.pool.EmptyAt(st.id)
+	if got := s.roomAt(st); got <= 0 {
+		t.Errorf("roomAt = %v, want a positive wait for a full buffer", got)
+	}
+	if got := s.roomAt(st); got >= st.deadline {
+		t.Errorf("roomAt %v must precede the deadline %v", got, st.deadline)
+	}
+	// Fresh streams have no floor.
+	fresh := addStream(t, s, 2, si.Minutes(60))
+	if got := s.roomAt(fresh); got != 0 {
+		t.Errorf("fresh roomAt = %v, want 0", got)
+	}
+}

@@ -1,0 +1,52 @@
+package sim
+
+import "fmt"
+
+// Scheme selects the buffer allocation scheme a simulated server runs.
+type Scheme int
+
+const (
+	// Static is the baseline of Section 2.3: every buffer gets the
+	// full-load size BS(N), and admission checks capacity only.
+	Static Scheme = iota
+
+	// Dynamic is the paper's contribution (Section 3): buffers are sized
+	// by Theorem 1 for the current load and prediction, and the inertia
+	// assumptions are enforced by deferring violating admissions.
+	Dynamic
+
+	// Naive is the flawed strawman of Section 3.1 (Fig. 3): Eq. 5
+	// evaluated at n+k, with no recurrence and no enforcement. It exists
+	// to demonstrate the underruns the paper predicts.
+	Naive
+)
+
+// Schemes lists the schemes in presentation order.
+var Schemes = []Scheme{Static, Dynamic, Naive}
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Naive:
+		return "naive"
+	default:
+		return fmt.Sprintf("sim.Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme maps a name produced by String back to its Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "static":
+		return Static, nil
+	case "dynamic":
+		return Dynamic, nil
+	case "naive":
+		return Naive, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheme %q", s)
+}

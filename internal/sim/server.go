@@ -1,0 +1,482 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// stream is one admitted request being serviced by a disk server.
+type stream struct {
+	id         int
+	req        workload.Request
+	place      catalog.Placement
+	nAtArrival int        // requests in service at its arrival (Fig. 11's x-axis)
+	required   si.Bits    // total data the user will consume: CR · viewing
+	delivered  si.Bits    // data read from disk so far
+	size       si.Bits    // most recent allocated buffer size
+	deadline   si.Seconds // cached pool EmptyAt, refreshed at each fill
+	lastFillAt si.Seconds // completion time of the most recent fill
+	firstFill  si.Seconds
+	started    bool // first fill has landed
+	active     bool // still owned by the server
+	doomed     bool // departed mid-service; remove at completion
+	group      int  // GSS group index
+}
+
+// needService reports whether the stream still has data to fetch.
+func (st *stream) needService() bool {
+	return st.active && st.delivered < st.required
+}
+
+// queued is an accepted request waiting for admission (deferral under the
+// dynamic scheme's enforcement, or simply for the next service slot).
+type queued struct {
+	req        workload.Request
+	nAtArrival int
+}
+
+// estEntry is a pending prediction check: at start a buffer was allocated
+// with kc estimated additional requests over its usage period; once the
+// period closes, the estimate is compared with actual arrivals.
+type estEntry struct {
+	start, end si.Seconds
+	kc         int
+}
+
+// server simulates one disk: its scheduler, allocator, admission control,
+// and buffer pool.
+type server struct {
+	sys  *system
+	id   int
+	eng  *Engine
+	disk *diskmodel.Disk
+	pool *buffer.Pool
+
+	streams []*stream
+	queue   []queued
+	book    *core.Book
+	est     *core.Estimator
+
+	policy policy
+
+	busy    bool
+	current *stream
+	wake    *Event
+
+	// k_log caching: the two-pointer window scan is recomputed only when
+	// new arrivals landed or the cache is older than klogRefresh.
+	kcDirty   bool
+	klogCache int
+	klogAt    si.Seconds
+
+	lastPeriod si.Seconds // usage period of the last allocated buffer
+
+	// arrival histories: arrivals feeds k_log (every arrival, as the
+	// estimator sees the raw stream); estArrivals feeds estimation-success
+	// accounting and holds only arrivals the system accepts — a request
+	// rejected outright at capacity is never serviced, so it is not an
+	// "additional request" the prediction needs to cover.
+	arrivals    []si.Seconds
+	estArrivals []si.Seconds
+	pending     []estEntry
+
+	// scratch buffers reused across dispatches.
+	deadlineScratch []float64
+}
+
+// DebugServices, when set, observes every service start:
+// (disk, stream, start, duration, fill, deadline). Debug-only.
+var DebugServices func(disk, stream int, start, dur si.Seconds, fill si.Bits, deadline si.Seconds)
+
+// klogRefresh bounds how stale the cached k_log may get between arrivals:
+// the window only slides, so k_log can only decrease while no arrivals
+// come, and a short staleness is harmless.
+const klogRefresh = si.Seconds(10)
+
+func newServer(sys *system, id int) *server {
+	s := &server{
+		sys:  sys,
+		id:   id,
+		eng:  sys.eng,
+		disk: diskmodel.NewDisk(sys.cfg.Spec, sys.cfg.Seed*1000003+int64(id)),
+		pool: buffer.NewPagedPool(0, sys.cfg.PageSize),
+		book: core.NewBook(),
+		est:  core.NewEstimator(sys.cfg.TLog),
+	}
+	// A sane initial period guess: the usage period of the smallest
+	// dynamic buffer. Updated at every allocation.
+	s.lastPeriod = sys.params.UsagePeriod(sys.sizeFor(s, 1, sys.params.Alpha))
+	s.policy = newPolicy(s)
+	return s
+}
+
+func (s *server) now() si.Seconds { return s.eng.Now() }
+
+// n reports the number of requests in service on this disk.
+func (s *server) n() int { return len(s.streams) }
+
+// committed reports requests in service plus accepted-but-deferred ones,
+// the count capacity rejection uses.
+func (s *server) committed() int { return len(s.streams) + len(s.queue) }
+
+// onArrival handles a request arriving at this disk: record it for the
+// estimator, reject it when the disk or the memory budget is full, else
+// accept it into the deferral queue and try to dispatch.
+func (s *server) onArrival(req workload.Request) {
+	now := s.now()
+	s.arrivals = append(s.arrivals, now)
+	s.est.RecordArrival(now)
+	s.kcDirty = true
+	s.resolveEstimates(now)
+
+	if s.committed() >= s.sys.params.N {
+		s.sys.res.Rejected++
+		return
+	}
+	if g := s.sys.gov; g != nil && !g.tryGrow(s) {
+		s.sys.res.RejectedMemory++
+		return
+	}
+	s.estArrivals = append(s.estArrivals, now)
+	s.queue = append(s.queue, queued{req: req, nAtArrival: s.n()})
+	s.dispatch()
+}
+
+// admitFromQueue moves accepted requests into service while the scheme's
+// admission control allows it.
+func (s *server) admitFromQueue() {
+	for len(s.queue) > 0 {
+		n := s.n()
+		if n >= s.sys.params.N {
+			return
+		}
+		if s.sys.cfg.Scheme == Dynamic && !core.Admit(s.book, n, s.sys.params.N) {
+			s.sys.res.Deferrals++
+			return
+		}
+		q := s.queue[0]
+		s.queue = s.queue[:copy(s.queue, s.queue[1:])]
+		st := &stream{
+			id:         q.req.ID,
+			req:        q.req,
+			place:      s.sys.cfg.Library.Placement(q.req.Video),
+			nAtArrival: q.nAtArrival,
+			required:   maxBits(s.sys.cfg.CR.DataIn(q.req.Viewing), 1),
+			deadline:   s.now(), // fresh: due immediately
+			firstFill:  -1,
+			active:     true,
+		}
+		s.streams = append(s.streams, st)
+		s.pool.Attach(st.id, s.sys.cfg.CR, s.now())
+		s.policy.admit(st)
+		s.sys.noteAdmit()
+	}
+}
+
+// removeStream detaches a departed stream from every structure and frees
+// its capacity.
+func (s *server) removeStream(st *stream) {
+	if !st.active {
+		return
+	}
+	st.active = false
+	s.pool.Detach(st.id, s.now())
+	s.book.Remove(st.id)
+	for i, o := range s.streams {
+		if o == st {
+			s.streams = append(s.streams[:i], s.streams[i+1:]...)
+			break
+		}
+	}
+	s.policy.remove(st)
+	s.sys.noteDepart()
+	if g := s.sys.gov; g != nil {
+		g.shrink(s)
+	}
+	s.dispatch()
+}
+
+// dispatch is the server's main decision point: admit what the policy's
+// timing allows, pick the next service, and either start it, sleep until
+// its lazy start time, or go idle.
+func (s *server) dispatch() {
+	if s.busy {
+		return
+	}
+	if s.wake != nil {
+		s.wake.Cancel()
+		s.wake = nil
+	}
+	if s.policy.canAdmit() {
+		s.admitFromQueue()
+	}
+	st, startAt := s.policy.next(s.now())
+	if st == nil {
+		return // idle: the next arrival or departure re-dispatches
+	}
+	if startAt > s.now() {
+		s.wake = s.eng.Schedule(startAt, s.dispatch)
+		return
+	}
+	s.beginService(st)
+}
+
+// beginService allocates the buffer for st per the configured scheme and
+// starts the disk read.
+func (s *server) beginService(st *stream) {
+	now := s.now()
+	n := s.n()
+	size := s.allocate(st, n)
+	st.size = size
+	fill := size
+	if rem := st.required - st.delivered; fill > rem {
+		fill = rem
+	}
+	// Use-it-and-toss-it: the buffer never holds more than one allocation;
+	// a refill only replenishes what the stream has consumed. A member
+	// swept early may need nothing at all — skip the disk entirely.
+	if room := size - s.pool.Level(st.id, now); fill > room {
+		fill = room
+	}
+	if fill <= 0 {
+		s.policy.onServiced(st)
+		s.dispatch()
+		return
+	}
+	cyl := s.sys.cfg.Spec.CylinderOf(st.place.DiskOffset(st.delivered, fill))
+	if !s.pool.BeginFill(st.id, fill, now) {
+		// Only possible with a hard pool budget (not used by System runs,
+		// which admit by formula); retry shortly and count the stall.
+		s.sys.res.MemoryStalls++
+		s.wake = s.eng.After(s.sys.cfg.Spec.MaxRotational, s.dispatch)
+		return
+	}
+	st.delivered += fill
+	dur := s.disk.Read(cyl, fill)
+	s.busy = true
+	s.current = st
+	if DebugServices != nil {
+		DebugServices(s.id, st.id, now, dur, fill, s.pool.EmptyAt(st.id))
+	}
+	s.eng.After(dur, func() { s.completeService(st) })
+}
+
+// completeService lands the fill, records first-fill latency, schedules
+// the departure, and moves on.
+func (s *server) completeService(st *stream) {
+	now := s.now()
+	s.pool.CompleteFill(st.id, now)
+	st.deadline = s.pool.EmptyAt(st.id)
+	st.lastFillAt = now
+	s.busy = false
+	s.current = nil
+	if !st.started {
+		st.started = true
+		st.firstFill = now
+		s.sys.res.Served++
+		lat := float64(now - st.req.Arrival)
+		s.sys.res.LatencyByN.Add(st.nAtArrival, lat)
+		if st.req.VCR {
+			s.sys.res.VCRLatency.Add(lat)
+		} else {
+			s.sys.res.ColdLatency.Add(lat)
+		}
+		s.eng.Schedule(now+st.req.Viewing, func() { s.depart(st) })
+	}
+	s.policy.onServiced(st)
+	if st.doomed {
+		st.doomed = false
+		s.removeStream(st)
+		return // removeStream dispatched already
+	}
+	s.dispatch()
+}
+
+// depart handles the end of a request's viewing time.
+func (s *server) depart(st *stream) {
+	if !st.active {
+		return
+	}
+	if s.current == st {
+		st.doomed = true // finish the in-flight service first
+		return
+	}
+	s.removeStream(st)
+}
+
+// allocate computes the buffer size for a service per the configured
+// scheme, recording the inertia snapshot for the dynamic scheme.
+func (s *server) allocate(st *stream, n int) si.Bits {
+	switch s.sys.cfg.Scheme {
+	case Static:
+		return s.sys.staticSize
+	case Dynamic:
+		kc := s.estimate(n)
+		size := s.sys.sizeFor(s, n, kc)
+		s.book.Set(st.id, core.Allocation{N: n, K: kc})
+		s.recordEstimate(size, kc)
+		return size
+	default: // Naive
+		kc := s.estimate(n)
+		size := s.sys.naiveSizeFor(n, kc)
+		s.recordEstimate(size, kc)
+		return size
+	}
+}
+
+// recordEstimate logs a (kc, usage period) pair for later success checking
+// and refreshes the rolling period estimate.
+func (s *server) recordEstimate(size si.Bits, kc int) {
+	now := s.now()
+	t := s.sys.params.UsagePeriod(size)
+	s.lastPeriod = t
+	s.pending = append(s.pending, estEntry{start: now, end: now + t, kc: kc})
+	s.sys.res.EstimatedK.Add(float64(kc))
+}
+
+// estimate computes kc per Fig. 5 Step 4, exactly as the paper states it:
+// min(k_log + alpha, min_i(k_i) + alpha), with the k_log window scan
+// cached between arrivals. kc is not clamped to the spare capacity — the
+// sizing table saturates at full load for any k >= N−n (the recurrence
+// chain clamps at N), and clamping the prediction itself would starve the
+// inertia book of realistic snapshots under heavy load.
+func (s *server) estimate(n int) int {
+	now := s.now()
+	if s.kcDirty || now-s.klogAt > klogRefresh {
+		s.klogCache = s.est.KLog(now, s.lastPeriod)
+		s.klogAt = now
+		s.kcDirty = false
+	}
+	p := s.sys.params
+	kc := s.klogCache + p.Alpha
+	if minK := s.book.MinK(); minK <= 2*p.N {
+		if ceil := minK + p.Alpha; ceil < kc {
+			kc = ceil
+		}
+	}
+	if kc < 0 {
+		kc = 0
+	}
+	return kc
+}
+
+// resolveEstimates settles prediction checks whose window has closed:
+// an estimate succeeds when kc is at least the number of actual arrivals
+// within the usage period (Section 5.1's "successful estimation").
+func (s *server) resolveEstimates(now si.Seconds) {
+	i := 0
+	for ; i < len(s.pending); i++ {
+		e := s.pending[i]
+		if e.end > now {
+			break
+		}
+		actual := s.countArrivals(e.start, e.end)
+		s.sys.res.Estimates++
+		if e.kc >= actual {
+			s.sys.res.EstimateHits++
+		}
+	}
+	if i > 0 {
+		s.pending = append(s.pending[:0], s.pending[i:]...)
+	}
+}
+
+// countArrivals counts accepted arrivals in (lo, hi] by binary search
+// over the in-order log.
+func (s *server) countArrivals(lo, hi si.Seconds) int {
+	a := s.estArrivals
+	i := sort.Search(len(a), func(i int) bool { return a[i] > lo })
+	j := sort.Search(len(a), func(i int) bool { return a[i] > hi })
+	return j - i
+}
+
+// worstService bounds the duration of one service at load n: the method's
+// worst disk latency plus the transfer of the size that would be allocated
+// right now.
+func (s *server) worstService(n int) si.Seconds {
+	if n < 1 {
+		n = 1
+	}
+	var size si.Bits
+	switch s.sys.cfg.Scheme {
+	case Static:
+		size = s.sys.staticSize
+	case Dynamic:
+		// Plan with the Assumption-2 worst future prediction: no service
+		// in the batch can allocate with k above min_i(k_i) + alpha
+		// (that is what the estimator enforces), exactly the headroom the
+		// recurrence's BS_{k+alpha} term models.
+		k := s.book.MinK()
+		if k > 2*s.sys.params.N {
+			k = s.estimate(n) // empty book: fall back to the estimate
+		}
+		k += s.sys.params.Alpha
+		size = s.sys.sizeFor(s, n, k)
+	default:
+		size = s.sys.naiveSizeFor(n, s.estimate(n))
+	}
+	return s.sys.cfg.Method.WorstDL(s.sys.cfg.Spec, n) + s.sys.cfg.Spec.TransferRate.TimeToTransfer(size)
+}
+
+// deadline reports when a stream's buffer runs dry (fresh streams are due
+// immediately). It reads the cached value refreshed at each fill, saving
+// a pool lookup on every scheduling decision.
+func (s *server) deadline(st *stream) si.Seconds { return st.deadline }
+
+// roomAt reports the earliest time a refill of st is worthwhile: when the
+// buffer has drained to a quarter of its last allocation. Scheduling
+// cushions must never outpace consumption — for tiny dynamic buffers the
+// cushion can exceed a whole usage period, and without this floor the
+// scheduler would spin refilling already-full buffers.
+func (s *server) roomAt(st *stream) si.Seconds {
+	if st.size <= 0 {
+		return 0 // fresh stream: fillable immediately
+	}
+	return s.deadline(st) - si.Seconds(0.75*float64(s.sys.params.UsagePeriod(st.size)))
+}
+
+// lazyMarginServices is the safety cushion applied to lazy starts,
+// measured in worst-case service times. Perfectly just-in-time refilling
+// leaves no room to absorb a newly admitted stream's immediate first fill
+// (the real Fixed-Stretch/BubbleUp schedule keeps that room as free
+// slots); refilling two services early restores it at a memory cost of
+// 2·w·CR per stream, a couple of percent of a buffer.
+const lazyMarginServices = 2
+
+// latestStart computes the safe lazy start for servicing a batch of
+// streams sequentially when the service order may be adversarial with
+// respect to deadlines: every deadline d_(i) (sorted ascending) must allow
+// i services of duration w first, so start <= min_i(d_(i) − i·w), minus
+// the safety cushion.
+func (s *server) latestStart(deadlines []float64, w si.Seconds) si.Seconds {
+	sort.Float64s(deadlines)
+	best := si.Seconds(deadlines[0]) - w
+	for i, d := range deadlines {
+		if cand := si.Seconds(d) - si.Seconds(i+1)*w; cand < best {
+			best = cand
+		}
+	}
+	return best - lazyMarginServices*w
+}
+
+func maxBits(a, b si.Bits) si.Bits {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sanity check helper used in tests.
+func (s *server) invariants() error {
+	if len(s.streams) > s.sys.params.N {
+		return fmt.Errorf("sim: disk %d exceeds N with %d streams", s.id, len(s.streams))
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/memmodel"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Scheme selects the buffer allocation scheme under test.
+	Scheme Scheme
+
+	// Method selects the buffer scheduling method.
+	Method sched.Method
+
+	// Spec is the disk model; every disk in the system is identical.
+	Spec diskmodel.Spec
+
+	// CR is the streams' consumption rate.
+	CR si.BitRate
+
+	// Alpha is the dynamic scheme's inertia slack (default 1).
+	Alpha int
+
+	// TLog is the arrival-history window for k estimation (default 40
+	// minutes, the paper's Round-Robin choice).
+	TLog si.Seconds
+
+	// Library provides titles, placement, and the disk count.
+	Library *catalog.Library
+
+	// Trace is the workload to replay.
+	Trace workload.Trace
+
+	// MemoryBudget caps the formula-reserved memory across all disks;
+	// zero disables memory admission (the latency experiments).
+	MemoryBudget si.Bits
+
+	// SampleEvery is the spacing of concurrency/memory samples
+	// (default one minute).
+	SampleEvery si.Seconds
+
+	// Grace extends the run past the last arrival so in-flight requests
+	// finish (default 30 minutes).
+	Grace si.Seconds
+
+	// Until cuts the run off early (0 = the trace's full horizon); used
+	// to simulate just the ramp-and-peak window of the capacity runs.
+	Until si.Seconds
+
+	// PageSize accounts buffer memory in whole pages of this size
+	// (0 = exact variable-length accounting, the paper's simplification).
+	PageSize si.Bits
+
+	// DisableBubbleUp runs the Round-Robin method as plain Fixed-Stretch
+	// (Section 2.2.1): a newcomer waits for the rotation to reach it —
+	// every in-service buffer refilled once after its arrival — instead
+	// of being serviced right after the in-flight service. Exists for the
+	// BubbleUp ablation; ignored by Sweep* and GSS*.
+	DisableBubbleUp bool
+
+	// Seed feeds the disks' rotational-delay streams.
+	Seed int64
+}
+
+func (c *Config) normalize() error {
+	if c.Library == nil {
+		return fmt.Errorf("sim: config needs a library")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := c.Method.Validate(); err != nil {
+		return err
+	}
+	if c.CR <= 0 || c.CR >= c.Spec.TransferRate {
+		return fmt.Errorf("sim: consumption rate %v outside (0, TR)", c.CR)
+	}
+	switch c.Scheme {
+	case Static, Dynamic, Naive:
+	default:
+		return fmt.Errorf("sim: unknown scheme %d", int(c.Scheme))
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.Alpha < 1 {
+		return fmt.Errorf("sim: alpha %d must be >= 1", c.Alpha)
+	}
+	if c.TLog == 0 {
+		c.TLog = si.Minutes(40)
+	}
+	if c.TLog < 0 {
+		return fmt.Errorf("sim: negative TLog %v", c.TLog)
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = si.Minutes(1)
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("sim: negative SampleEvery %v", c.SampleEvery)
+	}
+	if c.Grace == 0 {
+		c.Grace = si.Minutes(30)
+	}
+	if c.Grace < 0 || c.Until < 0 || c.MemoryBudget < 0 || c.PageSize < 0 {
+		return fmt.Errorf("sim: negative Grace, Until, MemoryBudget, or PageSize")
+	}
+	for _, r := range c.Trace.Requests {
+		if r.Disk < 0 || r.Disk >= c.Library.Disks() {
+			return fmt.Errorf("sim: trace request %d targets disk %d of %d", r.ID, r.Disk, c.Library.Disks())
+		}
+	}
+	return nil
+}
+
+// Result aggregates everything a run measures.
+type Result struct {
+	// LatencyByN buckets initial latency (seconds) by the number of
+	// requests in service at arrival — Fig. 11's quantity.
+	LatencyByN *metrics.ByN
+
+	// Served counts requests that received their first data; Rejected
+	// counts capacity rejections, RejectedMemory memory-admission
+	// rejections, Deferrals admission deferral decisions (one per
+	// blocked attempt), and MemoryStalls hard pool-budget stalls.
+	Served, Rejected, RejectedMemory int
+	Deferrals, MemoryStalls          int
+
+	// Underruns and Starved aggregate buffer starvation across disks —
+	// zero under the enforced dynamic scheme, positive for the naive one.
+	Underruns int
+	Starved   si.Seconds
+
+	// Estimates / EstimateHits give the successful-estimation probability
+	// of Figs. 7b/8b; EstimatedK averages kc as in Figs. 7a/8a.
+	Estimates, EstimateHits int64
+	EstimatedK              metrics.Counter
+
+	// ColdLatency and VCRLatency separate first-request startup from VCR
+	// response time (Section 1 treats VCR actions as new requests; their
+	// latency is the VCR responsiveness the paper wants improved).
+	ColdLatency, VCRLatency metrics.Counter
+
+	// Concurrency and Memory sample the running system (Figs. 6, 14);
+	// Reserved samples the governor's formula reservation.
+	Concurrency, Memory, Reserved metrics.Series
+
+	// MaxConcurrent is the peak number of requests simultaneously in
+	// service across all disks — Fig. 14's y-axis.
+	MaxConcurrent int
+
+	// PeakMemory is the largest actual pool usage observed (summed over
+	// disks at fill times).
+	PeakMemory si.Bits
+
+	// DiskStats snapshots each disk's operation counters.
+	DiskStats []diskmodel.ReadStats
+
+	// Horizon is the simulated span the run covered (cutoff plus grace).
+	Horizon si.Seconds
+}
+
+// DiskUtilization reports the fraction of the run a disk spent busy
+// (seeking, rotating, or transferring).
+func (r *Result) DiskUtilization(disk int) float64 {
+	if disk < 0 || disk >= len(r.DiskStats) || r.Horizon <= 0 {
+		return 0
+	}
+	st := r.DiskStats[disk]
+	return float64(st.TotalSeek+st.TotalRotate+st.TotalXfer) / float64(r.Horizon)
+}
+
+// SuccessRate reports the successful-estimation probability, or 1 when no
+// estimates were checked (nothing to fail).
+func (r *Result) SuccessRate() float64 {
+	if r.Estimates == 0 {
+		return 1
+	}
+	return float64(r.EstimateHits) / float64(r.Estimates)
+}
+
+// system wires the servers, governor, and result collectors together.
+type system struct {
+	cfg        *Config
+	eng        *Engine
+	params     core.Params
+	table      *core.Table
+	staticSize si.Bits
+	servers    []*server
+	gov        *governor
+	res        *Result
+	concurrent int
+}
+
+// sizeFor returns the dynamic buffer size for a server at load (n, k).
+// The receiver server is unused today (all disks share one table) but
+// keeps the call sites ready for per-disk heterogeneity.
+func (sys *system) sizeFor(_ *server, n, k int) si.Bits { return sys.table.Size(n, k) }
+
+// naiveSizeFor evaluates the naive scheme's Eq. 5 at n+k with the
+// method's current-load disk latency.
+func (sys *system) naiveSizeFor(n, k int) si.Bits {
+	dl := sys.cfg.Method.WorstDL(sys.cfg.Spec, n)
+	return sys.params.NaiveSize(dl, n, k)
+}
+
+func (sys *system) noteAdmit() {
+	sys.concurrent++
+	if sys.concurrent > sys.res.MaxConcurrent {
+		sys.res.MaxConcurrent = sys.concurrent
+	}
+}
+
+func (sys *system) noteDepart() { sys.concurrent-- }
+
+// governor implements the shared-memory admission of the capacity
+// experiments (Figs. 13–14): each disk reserves the analytical minimum
+// memory for its committed load, and an arrival is rejected when the
+// total reservation would exceed the budget.
+type governor struct {
+	sys       *system
+	budget    si.Bits
+	resv      []si.Bits
+	total     si.Bits
+	memStatic []si.Bits   // [n] for the static (and naive) schemes
+	memDyn    [][]si.Bits // [n][k] for the dynamic scheme
+}
+
+func newGovernor(sys *system, budget si.Bits) *governor {
+	g := &governor{sys: sys, budget: budget, resv: make([]si.Bits, len(sys.servers))}
+	p, m, spec := sys.params, sys.cfg.Method, sys.cfg.Spec
+	if sys.cfg.Scheme == Dynamic {
+		g.memDyn = make([][]si.Bits, p.N+1)
+		for n := 1; n <= p.N; n++ {
+			g.memDyn[n] = make([]si.Bits, p.N-n+1)
+			for k := 0; k <= p.N-n; k++ {
+				g.memDyn[n][k] = memmodel.MinDynamic(p, m, spec, n, k)
+			}
+		}
+	} else {
+		// The naive scheme has no memory theory of its own; reserve
+		// like the static scheme (conservative).
+		g.memStatic = make([]si.Bits, p.N+1)
+		for n := 1; n <= p.N; n++ {
+			g.memStatic[n] = memmodel.MinStatic(p, m, spec, n)
+		}
+	}
+	return g
+}
+
+// memFor reports the reservation a disk needs for count committed
+// requests.
+func (g *governor) memFor(s *server, count int) si.Bits {
+	if count <= 0 {
+		return 0
+	}
+	if g.memDyn != nil {
+		k := s.estimate(count)
+		if k > g.sys.params.N-count {
+			k = g.sys.params.N - count
+		}
+		return g.memDyn[count][k]
+	}
+	return g.memStatic[count]
+}
+
+// tryGrow attempts to reserve memory for one more request on s's disk.
+func (g *governor) tryGrow(s *server) bool {
+	newMem := g.memFor(s, s.committed()+1)
+	if g.total-g.resv[s.id]+newMem > g.budget {
+		return false
+	}
+	g.total += newMem - g.resv[s.id]
+	g.resv[s.id] = newMem
+	return true
+}
+
+// shrink refreshes a disk's reservation after a departure.
+func (g *governor) shrink(s *server) {
+	newMem := g.memFor(s, s.committed())
+	g.total += newMem - g.resv[s.id]
+	g.resv[s.id] = newMem
+}
+
+// DebugSample, when set, observes each periodic sample with a lazy
+// per-stream (size, level) dump for disk 0. Debug-only.
+var DebugSample func(dump func() [][2]si.Bits, now si.Seconds, usage si.Bits)
+
+// levelDump returns per-stream (size, level) pairs for disk 0 at now.
+func (sys *system) levelDump(now si.Seconds) [][2]si.Bits {
+	var out [][2]si.Bits
+	for _, st := range sys.servers[0].streams {
+		out = append(out, [2]si.Bits{st.size, sys.servers[0].pool.Level(st.id, now)})
+	}
+	return out
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sys := &system{cfg: &cfg, eng: NewEngine()}
+	sys.params = core.Params{
+		TR:    cfg.Spec.TransferRate,
+		CR:    cfg.CR,
+		N:     core.DeriveN(cfg.Spec.TransferRate, cfg.CR),
+		Alpha: cfg.Alpha,
+	}
+	if err := sys.params.Validate(); err != nil {
+		return nil, err
+	}
+	sys.table = core.NewTable(sys.params, cfg.Method.DLModel(cfg.Spec))
+	sys.staticSize = sys.params.StaticSize(cfg.Method.WorstDL(cfg.Spec, sys.params.N), sys.params.N)
+	// A chunked library must be able to serve the largest buffer the
+	// server will ever allocate from a single chunk.
+	if maxRead := cfg.Library.MaxRead(); maxRead < sys.staticSize {
+		return nil, fmt.Errorf("sim: library max read %v below the largest buffer %v — rebuild the library with a larger MaxRead",
+			maxRead, sys.staticSize)
+	}
+	sys.res = &Result{LatencyByN: metrics.NewByN(sys.params.N)}
+
+	for d := 0; d < cfg.Library.Disks(); d++ {
+		sys.servers = append(sys.servers, newServer(sys, d))
+	}
+	if cfg.MemoryBudget > 0 {
+		sys.gov = newGovernor(sys, cfg.MemoryBudget)
+	}
+
+	// Schedule arrivals.
+	horizon := cfg.Trace.Schedule.Horizon()
+	cutoff := horizon
+	if cfg.Until > 0 && cfg.Until < cutoff {
+		cutoff = cfg.Until
+	}
+	for _, req := range cfg.Trace.Requests {
+		if req.Arrival > cutoff {
+			break
+		}
+		req := req
+		sys.eng.Schedule(req.Arrival, func() { sys.servers[req.Disk].onArrival(req) })
+	}
+
+	// Periodic sampler.
+	end := cutoff + cfg.Grace
+	var sample func()
+	sample = func() {
+		now := sys.eng.Now()
+		var usage si.Bits
+		for _, s := range sys.servers {
+			usage += s.pool.Usage(now)
+		}
+		if DebugSample != nil {
+			DebugSample(func() [][2]si.Bits { return sys.levelDump(now) }, now, usage)
+		}
+		sys.res.Concurrency.Add(now, float64(sys.concurrent))
+		sys.res.Memory.Add(now, float64(usage))
+		if sys.gov != nil {
+			sys.res.Reserved.Add(now, float64(sys.gov.total))
+		}
+		if next := now + cfg.SampleEvery; next <= end {
+			sys.eng.Schedule(next, sample)
+		}
+	}
+	sys.eng.Schedule(0, sample)
+
+	sys.eng.Run(end)
+
+	sys.res.Horizon = end
+
+	// Finalize: settle closed estimation windows and gather pool stats.
+	for _, s := range sys.servers {
+		s.resolveEstimates(sys.eng.Now())
+		st := s.pool.Stats()
+		sys.res.Underruns += st.Underruns
+		sys.res.Starved += st.Starved
+		sys.res.PeakMemory += st.HighWater
+		sys.res.DiskStats = append(sys.res.DiskStats, s.disk.Stats())
+	}
+	return sys.res, nil
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes through the trace parser: it must
+// never panic, and anything it accepts must re-serialize to a parseable
+// trace with identical requests (canonical round trip).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,arrival_s,video,disk,viewing_s,vcr\n0,1.5,0,0,600,0\n1,2,1,0,300,1\n")
+	f.Add("id,arrival_s,video,disk,viewing_s,vcr\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back.Requests) != len(tr.Requests) {
+			t.Fatalf("round trip changed request count: %d vs %d", len(back.Requests), len(tr.Requests))
+		}
+		for i := range tr.Requests {
+			if back.Requests[i] != tr.Requests[i] {
+				t.Fatalf("request %d changed in round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/si"
+)
+
+// Trace serialization: a simple CSV format so generated workloads can be
+// saved, inspected with ordinary tools, edited by hand, and replayed
+// exactly. Columns: id, arrival_s, video, disk, viewing_s. The header row
+// is required.
+
+var traceHeader = []string{"id", "arrival_s", "video", "disk", "viewing_s", "vcr"}
+
+// WriteCSV writes the trace's requests as CSV.
+func (tr Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	for _, r := range tr.Requests {
+		vcr := "0"
+		if r.VCR {
+			vcr = "1"
+		}
+		rec := []string{
+			strconv.Itoa(r.ID),
+			strconv.FormatFloat(float64(r.Arrival), 'g', -1, 64),
+			strconv.Itoa(r.Video),
+			strconv.Itoa(r.Disk),
+			strconv.FormatFloat(float64(r.Viewing), 'g', -1, 64),
+			vcr,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing request %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses requests written by WriteCSV. The schedule is not part
+// of the serialization; ReadCSV reconstructs a flat schedule spanning the
+// arrivals so Horizon-based consumers keep working.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("workload: reading header: %w", err)
+	}
+	for i, h := range traceHeader {
+		if head[i] != h {
+			return Trace{}, fmt.Errorf("workload: header column %d is %q, want %q", i, head[i], h)
+		}
+	}
+	var reqs []Request
+	last := si.Seconds(-1)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		req, err := parseRequest(rec)
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if req.Arrival < last {
+			return Trace{}, fmt.Errorf("workload: line %d: arrivals out of order", line)
+		}
+		last = req.Arrival
+		reqs = append(reqs, req)
+	}
+	horizon := si.Minutes(30)
+	if n := len(reqs); n > 0 {
+		for horizon < reqs[n-1].Arrival {
+			horizon += si.Minutes(30)
+		}
+	}
+	rate := float64(len(reqs)) / float64(horizon)
+	slots := int(horizon / si.Minutes(30))
+	rates := make([]float64, slots)
+	for i := range rates {
+		rates[i] = rate
+	}
+	return Trace{Requests: reqs, Schedule: NewSchedule(si.Minutes(30), rates)}, nil
+}
+
+func parseRequest(rec []string) (Request, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return Request{}, fmt.Errorf("bad id %q", rec[0])
+	}
+	arrival, err := strconv.ParseFloat(rec[1], 64)
+	if err != nil || arrival < 0 {
+		return Request{}, fmt.Errorf("bad arrival %q", rec[1])
+	}
+	video, err := strconv.Atoi(rec[2])
+	if err != nil || video < 0 {
+		return Request{}, fmt.Errorf("bad video %q", rec[2])
+	}
+	disk, err := strconv.Atoi(rec[3])
+	if err != nil || disk < 0 {
+		return Request{}, fmt.Errorf("bad disk %q", rec[3])
+	}
+	viewing, err := strconv.ParseFloat(rec[4], 64)
+	if err != nil || viewing < 0 {
+		return Request{}, fmt.Errorf("bad viewing %q", rec[4])
+	}
+	var vcr bool
+	switch rec[5] {
+	case "0":
+	case "1":
+		vcr = true
+	default:
+		return Request{}, fmt.Errorf("bad vcr flag %q", rec[5])
+	}
+	return Request{
+		ID:      id,
+		Arrival: si.Seconds(arrival),
+		Video:   video,
+		Disk:    disk,
+		Viewing: si.Seconds(viewing),
+		VCR:     vcr,
+	}, nil
+}
+
+// Stats summarizes a trace for inspection.
+type Stats struct {
+	Requests     int
+	Horizon      si.Seconds
+	PeakRate     float64 // arrivals per second in the busiest 30-minute slot
+	MeanViewing  si.Seconds
+	PerDiskShare []float64
+}
+
+// Summarize computes trace statistics over the given disk count.
+func (tr Trace) Summarize(disks int) Stats {
+	st := Stats{Requests: len(tr.Requests), Horizon: tr.Schedule.Horizon()}
+	if disks > 0 {
+		st.PerDiskShare = make([]float64, disks)
+	}
+	if len(tr.Requests) == 0 {
+		return st
+	}
+	slot := si.Minutes(30)
+	counts := map[int]int{}
+	var viewing si.Seconds
+	for _, r := range tr.Requests {
+		counts[int(r.Arrival/slot)]++
+		viewing += r.Viewing
+		if r.Disk >= 0 && r.Disk < disks {
+			st.PerDiskShare[r.Disk]++
+		}
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	st.PeakRate = float64(peak) / float64(slot)
+	st.MeanViewing = viewing / si.Seconds(len(tr.Requests))
+	for i := range st.PerDiskShare {
+		st.PerDiskShare[i] /= float64(len(tr.Requests))
+	}
+	return st
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/si"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	lib := testLibrary(t, 2)
+	orig := Generate(ZipfDay(200, 0.5, si.Hours(2), si.Hours(4)), lib, 5)
+
+	var buf strings.Builder
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(orig.Requests) {
+		t.Fatalf("round trip lost requests: %d vs %d", len(back.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		if back.Requests[i] != orig.Requests[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, back.Requests[i], orig.Requests[i])
+		}
+	}
+	// The reconstructed schedule spans the arrivals.
+	lastArrival := orig.Requests[len(orig.Requests)-1].Arrival
+	if back.Schedule.Horizon() < lastArrival {
+		t.Errorf("reconstructed horizon %v below last arrival %v", back.Schedule.Horizon(), lastArrival)
+	}
+}
+
+func TestTraceCSVEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := (Trace{}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != 0 {
+		t.Errorf("empty trace round-tripped %d requests", len(back.Requests))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"no header", ""},
+		{"bad header", "a,b,c,d,e,f\n"},
+		{"bad id", "id,arrival_s,video,disk,viewing_s,vcr\nx,1,0,0,10,0\n"},
+		{"negative arrival", "id,arrival_s,video,disk,viewing_s,vcr\n0,-1,0,0,10,0\n"},
+		{"bad video", "id,arrival_s,video,disk,viewing_s,vcr\n0,1,-2,0,10,0\n"},
+		{"bad disk", "id,arrival_s,video,disk,viewing_s,vcr\n0,1,0,x,10,0\n"},
+		{"bad viewing", "id,arrival_s,video,disk,viewing_s,vcr\n0,1,0,0,-10,0\n"},
+		{"bad vcr", "id,arrival_s,video,disk,viewing_s,vcr\n0,1,0,0,10,x\n"},
+		{"out of order", "id,arrival_s,video,disk,viewing_s,vcr\n0,10,0,0,1,0\n1,5,0,0,1,0\n"},
+		{"short row", "id,arrival_s,video,disk,viewing_s,vcr\n0,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := Trace{
+		Requests: []Request{
+			{ID: 0, Arrival: si.Minutes(5), Disk: 0, Viewing: si.Minutes(10)},
+			{ID: 1, Arrival: si.Minutes(10), Disk: 0, Viewing: si.Minutes(20)},
+			{ID: 2, Arrival: si.Minutes(40), Disk: 1, Viewing: si.Minutes(30)},
+			{ID: 3, Arrival: si.Minutes(50), Disk: 1, Viewing: si.Minutes(40)},
+		},
+		Schedule: NewSchedule(si.Minutes(30), []float64{1, 1}),
+	}
+	st := tr.Summarize(2)
+	if st.Requests != 4 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	if math.Abs(float64(st.MeanViewing)-float64(si.Minutes(25))) > 1e-9 {
+		t.Errorf("mean viewing = %v, want 25 min", st.MeanViewing)
+	}
+	// Two arrivals in each 30-minute slot: peak rate = 2/1800.
+	if math.Abs(st.PeakRate-2.0/1800) > 1e-12 {
+		t.Errorf("peak rate = %v", st.PeakRate)
+	}
+	if math.Abs(st.PerDiskShare[0]-0.5) > 1e-12 || math.Abs(st.PerDiskShare[1]-0.5) > 1e-12 {
+		t.Errorf("disk shares = %v", st.PerDiskShare)
+	}
+	// Empty trace.
+	empty := Trace{Schedule: NewSchedule(si.Minutes(30), []float64{0})}.Summarize(1)
+	if empty.Requests != 0 || empty.PeakRate != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

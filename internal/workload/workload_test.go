@@ -1,0 +1,323 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+)
+
+func testLibrary(t *testing.T, disks int) *catalog.Library {
+	t.Helper()
+	lib, err := catalog.New(catalog.Config{
+		Titles:          6 * disks,
+		Disks:           disks,
+		Spec:            diskmodel.Barracuda9LP(),
+		PopularityTheta: 0.271,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero slot", func() { NewSchedule(0, []float64{1}) })
+	mustPanic("no rates", func() { NewSchedule(1, nil) })
+	mustPanic("negative rate", func() { NewSchedule(1, []float64{-1}) })
+	mustPanic("NaN rate", func() { NewSchedule(1, []float64{math.NaN()}) })
+}
+
+func TestScheduleRateLookup(t *testing.T) {
+	s := NewSchedule(si.Minutes(30), []float64{1, 2, 3})
+	tests := []struct {
+		t    si.Seconds
+		want float64
+	}{
+		{-1, 0},
+		{0, 1},
+		{si.Minutes(29.9), 1},
+		{si.Minutes(30), 2},
+		{si.Minutes(89), 3},
+		{si.Minutes(90), 0}, // beyond horizon
+	}
+	for _, tt := range tests {
+		if got := s.Rate(tt.t); got != tt.want {
+			t.Errorf("Rate(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if got := s.Horizon(); got != si.Minutes(90) {
+		t.Errorf("Horizon = %v, want 90 min", got)
+	}
+	if got := s.Total(); math.Abs(got-(1+2+3)*1800) > 1e-9 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestZipfDayShape(t *testing.T) {
+	day := si.Hours(24)
+	peak := si.Hours(9)
+	s := ZipfDay(1000, 0, peak, day)
+	// 48 slots of 30 minutes.
+	if got := s.Horizon(); got != day {
+		t.Errorf("Horizon = %v, want 24h", got)
+	}
+	// The highest-rate slot must sit adjacent to the peak time (9h lies
+	// exactly on a slot boundary, so either neighbour may win the tie).
+	bestRate, bestCenter := 0.0, si.Seconds(0)
+	for m := 0.0; m < 24*60; m += 30 {
+		center := si.Minutes(m + 15)
+		if r := s.Rate(center); r > bestRate {
+			bestRate, bestCenter = r, center
+		}
+	}
+	if d := math.Abs(float64(bestCenter - peak)); d > float64(si.Minutes(15))+1e-9 {
+		t.Errorf("highest-rate slot centered at %v, want within 15 min of peak %v", bestCenter, peak)
+	}
+	// Total arrivals are conserved.
+	if got := s.Total(); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("Total = %v, want 1000", got)
+	}
+	// theta = 1 is uniform: every slot has the same rate.
+	u := ZipfDay(960, 1, peak, day)
+	want := 960.0 / (24 * 3600)
+	for m := 0.0; m < 24*60; m += 30 {
+		if r := u.Rate(si.Minutes(m)); math.Abs(r-want) > 1e-12 {
+			t.Errorf("uniform rate at %v = %v, want %v", m, r, want)
+		}
+	}
+}
+
+// theta = 0 concentrates a much larger share near the peak than theta = 1.
+func TestZipfDaySkewOrdering(t *testing.T) {
+	day, peak := si.Hours(24), si.Hours(9)
+	skewed := ZipfDay(1000, 0, peak, day)
+	uniform := ZipfDay(1000, 1, peak, day)
+	if skewed.Rate(peak) < 5*uniform.Rate(peak) {
+		t.Errorf("peak rates: skewed %v, uniform %v — want strong concentration",
+			skewed.Rate(peak), uniform.Rate(peak))
+	}
+}
+
+func TestZipfDayValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative total", func() { ZipfDay(-1, 0, 0, si.Hours(24)) })
+	mustPanic("short horizon", func() { ZipfDay(1, 0, 0, si.Minutes(10)) })
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	lib := testLibrary(t, 2)
+	s := ZipfDay(500, 0.5, si.Hours(9), si.Hours(24))
+	a := Generate(s, lib, 11)
+	b := Generate(s, lib, 11)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	c := Generate(s, lib, 12)
+	if len(c.Requests) == len(a.Requests) {
+		same := true
+		for i := range c.Requests {
+			if c.Requests[i] != a.Requests[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateInvariants(t *testing.T) {
+	lib := testLibrary(t, 3)
+	s := ZipfDay(800, 0, si.Hours(9), si.Hours(24))
+	tr := Generate(s, lib, 5)
+	if len(tr.Requests) < 400 {
+		t.Fatalf("suspiciously few requests: %d", len(tr.Requests))
+	}
+	prev := si.Seconds(-1)
+	for _, r := range tr.Requests {
+		if r.Arrival < prev {
+			t.Fatal("arrivals out of order")
+		}
+		prev = r.Arrival
+		if r.Arrival < 0 || r.Arrival > s.Horizon() {
+			t.Fatalf("arrival %v outside horizon", r.Arrival)
+		}
+		if r.Video < 0 || r.Video >= lib.Len() {
+			t.Fatalf("bad video %d", r.Video)
+		}
+		if r.Disk != lib.Placement(r.Video).Disk {
+			t.Fatalf("request disk %d does not match placement", r.Disk)
+		}
+		if r.Viewing < 0 || r.Viewing > MaxViewing {
+			t.Fatalf("viewing %v outside [0, 120min]", r.Viewing)
+		}
+	}
+}
+
+// Property: Poisson totals concentrate near the schedule's expectation
+// (weak law: within 5 sigma for a few thousand arrivals).
+func TestGeneratePoissonTotal(t *testing.T) {
+	lib := testLibrary(t, 1)
+	s := ZipfDay(2000, 1, si.Hours(9), si.Hours(24))
+	f := func(seed int64) bool {
+		n := float64(len(Generate(s, lib, seed).Requests))
+		return math.Abs(n-2000) < 5*math.Sqrt(2000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The arrival counts must track the rate profile: with theta = 0 the
+// peak-hour slot sees far more arrivals than an off-peak one.
+func TestGenerateFollowsSchedule(t *testing.T) {
+	lib := testLibrary(t, 1)
+	s := ZipfDay(3000, 0, si.Hours(9), si.Hours(24))
+	tr := Generate(s, lib, 21)
+	count := func(lo, hi si.Seconds) int {
+		c := 0
+		for _, r := range tr.Requests {
+			if r.Arrival >= lo && r.Arrival < hi {
+				c++
+			}
+		}
+		return c
+	}
+	peak := count(si.Hours(8.5), si.Hours(9.5))
+	off := count(si.Hours(22), si.Hours(23))
+	if peak < 5*off {
+		t.Errorf("peak hour %d arrivals vs off-peak %d — want strong concentration", peak, off)
+	}
+}
+
+func TestPerDisk(t *testing.T) {
+	lib := testLibrary(t, 3)
+	s := ZipfDay(600, 0.5, si.Hours(9), si.Hours(24))
+	tr := Generate(s, lib, 9)
+	split := tr.PerDisk(3)
+	total := 0
+	for d, reqs := range split {
+		total += len(reqs)
+		prev := si.Seconds(-1)
+		for _, r := range reqs {
+			if r.Disk != d {
+				t.Fatalf("request %d on wrong disk", r.ID)
+			}
+			if r.Arrival < prev {
+				t.Fatal("per-disk order broken")
+			}
+			prev = r.Arrival
+		}
+	}
+	if total != len(tr.Requests) {
+		t.Errorf("split lost requests: %d vs %d", total, len(tr.Requests))
+	}
+	// Popularity skew: disk 0 holds the most popular titles.
+	if len(split[0]) <= len(split[2]) {
+		t.Errorf("expected disk 0 (%d) busier than disk 2 (%d)", len(split[0]), len(split[2]))
+	}
+}
+
+func TestPerDiskPanicsOnBadDisk(t *testing.T) {
+	tr := Trace{Requests: []Request{{Disk: 5}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range disk should panic")
+		}
+	}()
+	tr.PerDisk(2)
+}
+
+func TestGenerateVCRSplitsSessions(t *testing.T) {
+	lib := testLibrary(t, 1)
+	s := ZipfDay(200, 1, si.Hours(2), si.Hours(4))
+	plain := Generate(s, lib, 3)
+	vcr := GenerateVCR(s, lib, 3, VCROptions{ActionsPerHour: 6})
+
+	// Same arrival process: VCR only splits sessions into more requests.
+	if len(vcr.Requests) <= len(plain.Requests) {
+		t.Fatalf("VCR trace has %d requests, plain %d — want more", len(vcr.Requests), len(plain.Requests))
+	}
+	var vcrCount int
+	var totalViewing, plainViewing si.Seconds
+	prev := si.Seconds(-1)
+	for i, r := range vcr.Requests {
+		if r.ID != i {
+			t.Fatalf("ids not renumbered: %d at %d", r.ID, i)
+		}
+		if r.Arrival < prev {
+			t.Fatal("arrivals out of order")
+		}
+		prev = r.Arrival
+		if r.VCR {
+			vcrCount++
+		}
+		totalViewing += r.Viewing
+	}
+	for _, r := range plain.Requests {
+		plainViewing += r.Viewing
+	}
+	if vcrCount == 0 {
+		t.Fatal("no VCR continuations generated")
+	}
+	// Splitting conserves total viewing time.
+	if math.Abs(float64(totalViewing-plainViewing)) > 1e-6*float64(plainViewing) {
+		t.Errorf("viewing not conserved: %v vs %v", totalViewing, plainViewing)
+	}
+	// Cold (non-VCR) request count matches the plain trace's sessions.
+	if cold := len(vcr.Requests) - vcrCount; cold != len(plain.Requests) {
+		t.Errorf("cold requests = %d, want %d sessions", cold, len(plain.Requests))
+	}
+}
+
+func TestGenerateVCRZeroRateIsGenerate(t *testing.T) {
+	lib := testLibrary(t, 1)
+	s := ZipfDay(100, 0.5, si.Hours(1), si.Hours(2))
+	a := Generate(s, lib, 9)
+	b := GenerateVCR(s, lib, 9, VCROptions{})
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Requests), len(b.Requests))
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestGenerateVCRNegativeRatePanics(t *testing.T) {
+	lib := testLibrary(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative VCR rate should panic")
+		}
+	}()
+	GenerateVCR(ZipfDay(10, 1, si.Hours(1), si.Hours(2)), lib, 1, VCROptions{ActionsPerHour: -1})
+}

@@ -1,0 +1,25 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs `make ci`'s
+# steps verbatim.
+
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel experiment runner and the simulator are the packages with
+# shared-state concurrency; keep them race-clean.
+race:
+	$(GO) test -race ./internal/experiments ./internal/sim
+
+bench:
+	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments
+
+ci: vet build test race

@@ -5,13 +5,15 @@
 //
 //	experiments -run all
 //	experiments -run fig9,fig13,table4 -seeds 5
-//	experiments -run fig14 -quick
+//	experiments -run fig14 -quick -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -19,28 +21,44 @@ import (
 )
 
 func main() {
-	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all' / 'list'")
-		seeds   = flag.Int("seeds", 3, "simulation seeds averaged per data point")
-		quick   = flag.Bool("quick", false, "smaller sweeps and shorter horizons")
-		format  = flag.String("format", "text", "output format: text or csv")
-		verbose = flag.Bool("v", false, "print per-step progress to stderr")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *run == "list" {
+// run is the testable entry point: it parses args, executes the selected
+// experiments, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs  = fs.String("run", "all", "comma-separated experiment ids, or 'all' / 'list'")
+		seeds   = fs.Int("seeds", 3, "simulation seeds averaged per data point")
+		quick   = fs.Bool("quick", false, "smaller sweeps and shorter horizons")
+		format  = fs.String("format", "text", "output format: text or csv")
+		workers = fs.Int("workers", runtime.NumCPU(), "max parallel simulation runs (<=0 uses GOMAXPROCS)")
+		seed    = fs.Int64("seed", 0, "base seed for the deterministic run-seed derivation")
+		verbose = fs.Bool("v", false, "print per-step progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(stderr, "unknown -format %q (want text or csv)\n", *format)
+		return 2
+	}
+
+	if *runIDs == "list" {
 		for _, id := range vod.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 	ids := vod.Experiments()
-	if *run != "all" {
-		ids = strings.Split(*run, ",")
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
 	}
-	opt := vod.ExperimentOptions{Seeds: *seeds, Quick: *quick}
+	opt := vod.ExperimentOptions{Seeds: *seeds, Quick: *quick, Workers: *workers, BaseSeed: *seed}
 	if *verbose {
-		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		opt.Progress = func(s string) { fmt.Fprintln(stderr, "  "+s) }
 	}
 
 	failed := false
@@ -49,23 +67,24 @@ func main() {
 		start := time.Now()
 		rep, err := vod.RunExperiment(id, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			fmt.Fprintf(stderr, "%s: %v\n", id, err)
 			failed = true
 			continue
 		}
 		switch *format {
 		case "csv":
-			fmt.Printf("# %s: %s\n", rep.ID, rep.Title)
-			if err := rep.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			fmt.Fprintf(stdout, "# %s: %s\n", rep.ID, rep.Title)
+			if err := rep.WriteCSV(stdout); err != nil {
+				fmt.Fprintf(stderr, "%s: %v\n", id, err)
 				failed = true
 			}
 		default:
-			fmt.Print(rep.String())
+			fmt.Fprint(stdout, rep.String())
 		}
-		fmt.Fprintf(os.Stderr, "%s completed in %v\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "%s completed in %v\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

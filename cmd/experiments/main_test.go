@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCapture(t, "-run", "list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"table3", "fig7", "fig14", "ablation-pages"} {
+		if !strings.Contains(out, id+"\n") {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if code, _, _ := runCapture(t, "-nonsense"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, errw := runCapture(t, "-format", "xml", "-run", "table3"); code != 2 || !strings.Contains(errw, "xml") {
+		t.Errorf("bad format: exit %d stderr %q", code, errw)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errw := runCapture(t, "-run", "no-such-figure")
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "no-such-figure") {
+		t.Errorf("stderr does not name the failing id: %q", errw)
+	}
+}
+
+// Table 3 is analytic (no simulation), so its rendering is a stable,
+// cheap golden for both output formats.
+func TestGoldenTable3(t *testing.T) {
+	code, out, _ := runCapture(t, "-run", "table3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "table3.txt", out)
+
+	code, out, _ = runCapture(t, "-run", "table3", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "table3.csv", out)
+}
+
+// A quick simulated figure with 2 seeds exercises the full pipeline:
+// deterministic parallel seeding plus the replication-statistics columns.
+// The golden is rendered with the default worker count, so a match also
+// re-checks that output does not depend on parallelism.
+func TestGoldenFig7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	code, out, _ := runCapture(t, "-run", "fig7", "-quick", "-seeds", "2", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "stddev") || !strings.Contains(out, "ci95") {
+		t.Error("CSV missing replication-statistics columns")
+	}
+	checkGolden(t, "fig7_quick.csv", out)
+
+	// Same run pinned to one worker must produce the identical bytes.
+	code, seq, _ := runCapture(t, "-run", "fig7", "-quick", "-seeds", "2", "-format", "csv", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if seq != out {
+		t.Error("-workers 1 output differs from default worker count")
+	}
+}

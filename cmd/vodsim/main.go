@@ -1,18 +1,23 @@
 // Command vodsim runs one discrete-event simulation of a VOD server and
 // prints its measurements: admission counts, initial-latency statistics,
-// starvation, estimation quality, and memory usage.
+// starvation, estimation quality, and memory usage. With -reps > 1 it
+// replays the scenario across independent replications (in parallel, up
+// to -workers simulations at once) and reports each metric's mean, sample
+// standard deviation, and 95% confidence interval.
 //
 // Examples:
 //
 //	vodsim -scheme dynamic -method rr -arrivals 2500 -theta 0
 //	vodsim -scheme static -method sweep -hours 8
 //	vodsim -scheme dynamic -disks 10 -memory 4 -arrivals 24000
+//	vodsim -scheme dynamic -reps 10 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	vod "repro"
 )
@@ -28,7 +33,9 @@ func main() {
 		memoryGB   = flag.Float64("memory", 0, "total memory budget in GB (0 = unlimited)")
 		tlog       = flag.Float64("tlog", 0, "estimation window T_log in minutes (0 = paper default)")
 		alpha      = flag.Int("alpha", 1, "inertia slack alpha")
-		seed       = flag.Int64("seed", 1, "random seed")
+		seed       = flag.Int64("seed", 1, "random seed (base seed when -reps > 1)")
+		reps       = flag.Int("reps", 1, "independent replications to run and summarize")
+		workers    = flag.Int("workers", runtime.NumCPU(), "max parallel simulation runs (<=0 uses GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,6 +47,10 @@ func main() {
 	kind, err := vod.ParseMethod(*methodFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "-reps must be at least 1")
 		os.Exit(2)
 	}
 
@@ -59,30 +70,51 @@ func main() {
 	if peak > horizon {
 		peak = horizon / 2
 	}
-	trace := vod.GenerateWorkload(vod.ZipfDaySchedule(*arrivals, *theta, peak, horizon), lib, *seed)
+	schedule := vod.ZipfDaySchedule(*arrivals, *theta, peak, horizon)
 
-	cfg := vod.SimConfig{
-		Scheme:       scheme,
-		Method:       vod.NewMethod(kind),
-		Spec:         spec,
-		CR:           cr,
-		Alpha:        *alpha,
-		Library:      lib,
-		Trace:        trace,
-		Seed:         *seed,
-		MemoryBudget: vod.Gigabytes(*memoryGB),
+	// Each replication gets its own trace and simulation seed derived
+	// deterministically from (base seed, replication index), the same
+	// scheme the experiment runner uses; rep 0 with -reps 1 reproduces
+	// the traditional single-run behavior of -seed alone.
+	build := func(rep int) (vod.SimConfig, error) {
+		traceSeed, simSeed := *seed, *seed
+		if *reps > 1 {
+			traceSeed = vod.MixSeed(*seed, int64(rep), 0)
+			simSeed = vod.MixSeed(*seed, int64(rep), 1)
+		}
+		cfg := vod.SimConfig{
+			Scheme:       scheme,
+			Method:       vod.NewMethod(kind),
+			Spec:         spec,
+			CR:           cr,
+			Alpha:        *alpha,
+			Library:      lib,
+			Trace:        vod.GenerateWorkload(schedule, lib, traceSeed),
+			Seed:         simSeed,
+			MemoryBudget: vod.Gigabytes(*memoryGB),
+		}
+		if *tlog > 0 {
+			cfg.TLog = vod.Minutes(*tlog)
+		}
+		return cfg, nil
 	}
-	if *tlog > 0 {
-		cfg.TLog = vod.Minutes(*tlog)
-	}
-	res, err := vod.Simulate(cfg)
+
+	results, err := vod.SimulateReplications(build, *reps, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("scheme=%v method=%v disks=%d arrivals=%d horizon=%v\n",
-		scheme, cfg.Method, *disks, len(trace.Requests), horizon)
+	fmt.Printf("scheme=%v method=%v disks=%d horizon=%v reps=%d\n",
+		scheme, vod.NewMethod(kind), *disks, horizon, *reps)
+	if *reps == 1 {
+		printSingle(results[0])
+		return
+	}
+	printSummary(results)
+}
+
+func printSingle(res *vod.SimResult) {
 	fmt.Printf("served:               %d\n", res.Served)
 	fmt.Printf("rejected (capacity):  %d\n", res.Rejected)
 	fmt.Printf("rejected (memory):    %d\n", res.RejectedMemory)
@@ -103,4 +135,27 @@ func main() {
 			fmt.Printf("%-6d %13.4gs %10d\n", n, mean, res.LatencyByN.Count(n))
 		}
 	}
+}
+
+func printSummary(results []*vod.SimResult) {
+	metric := func(name string, get func(*vod.SimResult) float64) {
+		samples := make([]float64, len(results))
+		for i, r := range results {
+			samples[i] = get(r)
+		}
+		st := vod.SummarizeReplications(samples)
+		fmt.Printf("%-22s %12.6g %12.6g %12.6g\n", name, st.Mean, st.Std, st.CI95)
+	}
+	fmt.Printf("%-22s %12s %12s %12s\n", "metric", "mean", "stddev", "ci95")
+	metric("served", func(r *vod.SimResult) float64 { return float64(r.Served) })
+	metric("rejected (capacity)", func(r *vod.SimResult) float64 { return float64(r.Rejected) })
+	metric("rejected (memory)", func(r *vod.SimResult) float64 { return float64(r.RejectedMemory) })
+	metric("admission deferrals", func(r *vod.SimResult) float64 { return float64(r.Deferrals) })
+	metric("max concurrent", func(r *vod.SimResult) float64 { return float64(r.MaxConcurrent) })
+	metric("avg initial latency s", func(r *vod.SimResult) float64 {
+		gm, _ := r.LatencyByN.GrandMean()
+		return gm
+	})
+	metric("underruns", func(r *vod.SimResult) float64 { return float64(r.Underruns) })
+	metric("peak memory MB", func(r *vod.SimResult) float64 { return float64(r.PeakMemory) / (1 << 20) })
 }

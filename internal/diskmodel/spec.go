@@ -108,6 +108,13 @@ func (s Spec) Validate() error {
 // γ(0) is 0: servicing the same cylinder needs no arm movement.
 // x outside [0, Cylinders] is clamped; callers derive x from geometry, so a
 // clamp only papers over float jitter at the edges.
+//
+// Below the published break the curve is the lower envelope of the two
+// branches: published coefficient sets (the Barracuda's included) place the
+// break above the distance where the branches cross, and evaluating the
+// square-root branch all the way to the break would make γ jump downward
+// there — violating the monotonicity and concavity the Sweep worst-case
+// analysis relies on. A real arm follows whichever regime is faster.
 func (s Spec) SeekTime(x int) si.Seconds {
 	if x <= 0 {
 		return 0
@@ -115,10 +122,14 @@ func (s Spec) SeekTime(x int) si.Seconds {
 	if x > s.Cylinders {
 		x = s.Cylinders
 	}
-	if x < s.SeekBreak {
-		return s.Mu1 + s.Nu1*si.Seconds(math.Sqrt(float64(x)))
+	lin := s.Mu2 + s.Nu2*si.Seconds(x)
+	if x >= s.SeekBreak {
+		return lin
 	}
-	return s.Mu2 + s.Nu2*si.Seconds(x)
+	if sq := s.Mu1 + s.Nu1*si.Seconds(math.Sqrt(float64(x))); sq < lin {
+		return sq
+	}
+	return lin
 }
 
 // WorstSeek is γ(Cylinders): the time for the arm to cross the whole disk.

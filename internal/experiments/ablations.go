@@ -83,12 +83,14 @@ func AblationChunks(opt Options) (*Report, error) {
 	rep.Series = append(rep.Series, overhead)
 
 	// Streaming equivalence under the dynamic scheme with Sweep*, the
-	// method most sensitive to data placement.
+	// method most sensitive to data placement. Both layouts replay the
+	// same workload seeds (paired) and run concurrently.
 	t := Table{
 		Name:    "Chunked vs contiguous streaming (dynamic, Sweep*)",
 		Columns: []string{"layout", "served", "underruns", "avg latency (s)"},
 	}
-	for _, chunked := range []bool{false, true} {
+	rows, err := runGrid(opt, 2, 1, func(a, _ int) ([]string, error) {
+		chunked := a == 1
 		cfg := catalog.Config{
 			Titles: 4, Disks: 1, Spec: env.Spec, PopularityTheta: 0.271,
 		}
@@ -102,18 +104,24 @@ func AblationChunks(opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr := workload.Generate(workload.ZipfDay(300, 1, si.Hours(2), si.Hours(4)), lib, opt.seed(900))
-		res, err := sim.Run(simConfig(sim.Dynamic, sched.NewMethod(sched.Sweep), lib, tr, opt.seed(901)))
+		tr := workload.Generate(workload.ZipfDay(300, 1, si.Hours(2), si.Hours(4)), lib, opt.runSeed(0, 0, seedTrace))
+		res, err := sim.Run(simConfig(sim.Dynamic, sched.NewMethod(sched.Sweep), lib, tr, opt.runSeed(0, 0, seedSim)))
 		if err != nil {
 			return nil, err
 		}
 		mean, _ := res.LatencyByN.GrandMean()
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			name,
 			fmt.Sprintf("%d", res.Served),
 			fmt.Sprintf("%d", res.Underruns),
 			fmt.Sprintf("%.3f", mean),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.Rows = append(t.Rows, row[0])
 	}
 	rep.Tables = append(rep.Tables, t)
 	return rep, nil
@@ -133,26 +141,33 @@ func AblationPages(opt Options) (*Report, error) {
 		Name:    "Peak memory vs allocation granularity (dynamic, Round-Robin)",
 		Columns: []string{"page size", "peak memory", "vs exact"},
 	}
-	tr := dayTrace(lib, 1, singleDiskArrivalsPerDay/4, opt.seed(950), true)
-	var exact si.Bits
-	for _, page := range []si.Bits{0, si.Bits(8 * 4096), si.Bits(8 * 65536)} {
-		cfg := simConfig(sim.Dynamic, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(951))
-		cfg.PageSize = page
+	// One shared trace and sim seed: the three rows differ only in the
+	// accounting granularity, so the peaks are directly comparable.
+	tr := dayTrace(lib, 1, singleDiskArrivalsPerDay/4, opt.runSeed(0, 0, seedTrace), true)
+	pages := []si.Bits{0, si.Bits(8 * 4096), si.Bits(8 * 65536)}
+	peaks, err := runGrid(opt, len(pages), 1, func(a, _ int) (si.Bits, error) {
+		cfg := simConfig(sim.Dynamic, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, 0, seedSim))
+		cfg.PageSize = pages[a]
 		res, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return res.PeakMemory, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	exact := peaks[0][0]
+	for a, page := range pages {
 		label := "exact"
 		if page > 0 {
-			label = si.Bits(page).String()
+			label = page.String()
 		}
 		rel := "-"
-		if page == 0 {
-			exact = res.PeakMemory
-		} else if exact > 0 {
-			rel = fmt.Sprintf("+%.2f%%", 100*(float64(res.PeakMemory)/float64(exact)-1))
+		if page > 0 && exact > 0 {
+			rel = fmt.Sprintf("+%.2f%%", 100*(float64(peaks[a][0])/float64(exact)-1))
 		}
-		t.Rows = append(t.Rows, []string{label, res.PeakMemory.String(), rel})
+		t.Rows = append(t.Rows, []string{label, peaks[a][0].String(), rel})
 	}
 	return &Report{
 		ID:     "ablation-pages",
@@ -177,40 +192,56 @@ func ExtVCR(opt Options) (*Report, error) {
 		Name:    "VCR response time (6 actions per viewing hour, Round-Robin)",
 		Columns: []string{"scheme", "vcr actions", "mean vcr response (s)", "mean cold startup (s)"},
 	}
-	for _, scheme := range []sim.Scheme{sim.Static, sim.Dynamic} {
-		var actions int64
-		var vcrSum, coldSum, coldN float64
-		for s := 0; s < opt.Seeds; s++ {
-			// Partial load (about a third of capacity): the regime where
-			// dynamic buffers shine and VCR actions should feel instant.
-			horizon := si.Hours(8)
-			total := singleDiskArrivalsPerDay / 12.0
-			tr := workload.GenerateVCR(
-				workload.ZipfDay(total, 1, horizon/2, horizon),
-				lib, opt.seed(970+s), workload.VCROptions{ActionsPerHour: 6})
-			res, err := sim.Run(simConfig(scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(980+s)))
-			if err != nil {
-				return nil, err
-			}
-			actions += res.VCRLatency.N()
-			vcrSum += res.VCRLatency.Sum()
-			coldSum += res.ColdLatency.Sum()
-			coldN += float64(res.ColdLatency.N())
+	schemes := []sim.Scheme{sim.Static, sim.Dynamic}
+	type obs struct {
+		actions               int64
+		vcrSum, coldSum, coldN float64
+	}
+	cells, err := runGrid(opt, len(schemes), opt.Seeds, func(a, rep int) (obs, error) {
+		// Partial load (about a third of capacity): the regime where
+		// dynamic buffers shine and VCR actions should feel instant.
+		// Both schemes replay the same per-replication VCR sessions.
+		horizon := si.Hours(8)
+		total := singleDiskArrivalsPerDay / 12.0
+		tr := workload.GenerateVCR(
+			workload.ZipfDay(total, 1, horizon/2, horizon),
+			lib, opt.runSeed(0, rep, seedTrace), workload.VCROptions{ActionsPerHour: 6})
+		res, err := sim.Run(simConfig(schemes[a], sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim)))
+		if err != nil {
+			return obs{}, err
+		}
+		opt.progress("ext-vcr %v seed %d done", schemes[a], rep)
+		return obs{
+			actions: res.VCRLatency.N(),
+			vcrSum:  res.VCRLatency.Sum(),
+			coldSum: res.ColdLatency.Sum(),
+			coldN:   float64(res.ColdLatency.N()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for a, scheme := range schemes {
+		var sum obs
+		for _, o := range cells[a] {
+			sum.actions += o.actions
+			sum.vcrSum += o.vcrSum
+			sum.coldSum += o.coldSum
+			sum.coldN += o.coldN
 		}
 		vcrMean, coldMean := 0.0, 0.0
-		if actions > 0 {
-			vcrMean = vcrSum / float64(actions)
+		if sum.actions > 0 {
+			vcrMean = sum.vcrSum / float64(sum.actions)
 		}
-		if coldN > 0 {
-			coldMean = coldSum / coldN
+		if sum.coldN > 0 {
+			coldMean = sum.coldSum / sum.coldN
 		}
 		t.Rows = append(t.Rows, []string{
 			scheme.String(),
-			fmt.Sprintf("%d", actions),
+			fmt.Sprintf("%d", sum.actions),
 			fmt.Sprintf("%.4f", vcrMean),
 			fmt.Sprintf("%.4f", coldMean),
 		})
-		opt.progress("ext-vcr %v done", scheme)
 	}
 	return &Report{
 		ID:     "ext-vcr",
@@ -233,35 +264,53 @@ func AblationBubbleUp(opt Options) (*Report, error) {
 		Name:    "Round-Robin initial latency with and without BubbleUp",
 		Columns: []string{"scheme", "scheduling", "mean initial latency (s)"},
 	}
+	type arm struct {
+		scheme  sim.Scheme
+		disable bool
+	}
+	var arms []arm
 	for _, scheme := range []sim.Scheme{sim.Static, sim.Dynamic} {
 		for _, disable := range []bool{false, true} {
-			var sum, count float64
-			for s := 0; s < opt.Seeds; s++ {
-				horizon := si.Hours(6)
-				tr := dayTrace(lib, 1, singleDiskArrivalsPerDay/8, opt.seed(990+s), true)
-				_ = horizon
-				cfg := simConfig(scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(995+s))
-				cfg.DisableBubbleUp = disable
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				if m, ok := res.LatencyByN.GrandMean(); ok {
-					sum += m
-					count++
-				}
-			}
-			name := "BubbleUp"
-			if disable {
-				name = "Fixed-Stretch"
-			}
-			mean := 0.0
-			if count > 0 {
-				mean = sum / count
-			}
-			t.Rows = append(t.Rows, []string{scheme.String(), name, fmt.Sprintf("%.4f", mean)})
-			opt.progress("ablation-bubbleup %v/%s done (%.3fs)", scheme, name, mean)
+			arms = append(arms, arm{scheme: scheme, disable: disable})
 		}
+	}
+	type obs struct {
+		mean float64
+		ok   bool
+	}
+	cells, err := runGrid(opt, len(arms), opt.Seeds, func(a, rep int) (obs, error) {
+		// All four arms replay the same per-replication arrivals.
+		tr := dayTrace(lib, 1, singleDiskArrivalsPerDay/8, opt.runSeed(0, rep, seedTrace), true)
+		cfg := simConfig(arms[a].scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim))
+		cfg.DisableBubbleUp = arms[a].disable
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return obs{}, err
+		}
+		m, ok := res.LatencyByN.GrandMean()
+		return obs{mean: m, ok: ok}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for a := range arms {
+		var sum, count float64
+		for _, o := range cells[a] {
+			if o.ok {
+				sum += o.mean
+				count++
+			}
+		}
+		name := "BubbleUp"
+		if arms[a].disable {
+			name = "Fixed-Stretch"
+		}
+		mean := 0.0
+		if count > 0 {
+			mean = sum / count
+		}
+		t.Rows = append(t.Rows, []string{arms[a].scheme.String(), name, fmt.Sprintf("%.4f", mean)})
+		opt.progress("ablation-bubbleup %v/%s done (%.3fs)", arms[a].scheme, name, mean)
 	}
 	return &Report{
 		ID:     "ablation-bubbleup",

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/memmodel"
@@ -37,44 +38,40 @@ func capacityTrace(lib *catalog.Library, seed int64, quick bool) workload.Trace 
 		lib, seed)
 }
 
-// capacitySim measures the peak concurrent requests a memory budget
-// sustains, averaged over seeds.
-func capacitySim(opt Options, scheme sim.Scheme, theta float64, budget si.Bits) (float64, error) {
-	total := 0.0
-	for s := 0; s < opt.Seeds; s++ {
-		lib, err := capacityLibrary(theta)
-		if err != nil {
-			return 0, err
-		}
-		tr := capacityTrace(lib, opt.seed(500+s), opt.Quick)
-		cfg := simConfig(scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(600+s))
-		cfg.MemoryBudget = budget
-		cfg.Grace = si.Minutes(15)
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return 0, err
-		}
-		total += float64(res.MaxConcurrent)
-	}
-	return total / float64(opt.Seeds), nil
-}
-
 // fig14Cache memoizes Fig. 14 within a process so Table 5 (which is
 // derived from the same sweep) does not repeat the most expensive
-// simulation in an "-run all" invocation.
-var fig14Cache = struct {
+// simulation in an "-run all" invocation. The mutex makes concurrent
+// RunExperiment calls safe; the key omits Workers because reports are
+// byte-identical for every worker count.
+var fig14Cache struct {
+	mu  sync.Mutex
 	key string
 	rep *Report
-}{}
+}
+
+// capacityArm is one (skew, memory budget, scheme) cell of the Fig. 14
+// sweep. Arms with the same thetaIdx share per-replication workload
+// seeds: the budget and the scheme only change admission, so every arm of
+// one skew replays the same offered load (a paired comparison).
+type capacityArm struct {
+	thetaIdx int
+	theta    float64
+	gb       float64
+	scheme   sim.Scheme
+}
 
 // Fig14 reproduces Fig. 14: the number of concurrent requests serviced by
 // the 10-disk system versus available memory, by simulation, Round-Robin.
+// The full theta × memory × scheme × replication grid fans out across the
+// worker pool — the largest simulation surface in the harness.
 func Fig14(opt Options) (*Report, error) {
 	opt = opt.normalized()
 	if opt.Quick && opt.Seeds > 2 {
 		opt.Seeds = 2
 	}
 	key := fmt.Sprintf("%d/%v/%d", opt.Seeds, opt.Quick, opt.BaseSeed)
+	fig14Cache.mu.Lock()
+	defer fig14Cache.mu.Unlock()
 	if fig14Cache.key == key {
 		return fig14Cache.rep, nil
 	}
@@ -84,24 +81,45 @@ func Fig14(opt Options) (*Report, error) {
 		XLabel: "memory (GB)",
 		YLabel: "peak concurrent requests",
 	}
-	for _, theta := range []float64{0, 0.5, 1} {
-		static := Series{Name: fmt.Sprintf("static/theta=%.1f", theta)}
-		dynamic := Series{Name: fmt.Sprintf("dynamic/theta=%.1f", theta)}
-		for _, gb := range memoryGrid(opt.Quick) {
-			budget := si.Gigabytes(gb)
-			sv, err := capacitySim(opt, sim.Static, theta, budget)
-			if err != nil {
-				return nil, err
+	thetas := []float64{0, 0.5, 1}
+	grid := memoryGrid(opt.Quick)
+	var arms []capacityArm
+	for ti, theta := range thetas {
+		for _, gb := range grid {
+			for _, scheme := range []sim.Scheme{sim.Static, sim.Dynamic} {
+				arms = append(arms, capacityArm{thetaIdx: ti, theta: theta, gb: gb, scheme: scheme})
 			}
-			dv, err := capacitySim(opt, sim.Dynamic, theta, budget)
-			if err != nil {
-				return nil, err
-			}
-			static.X = append(static.X, gb)
-			static.Y = append(static.Y, sv)
-			dynamic.X = append(dynamic.X, gb)
-			dynamic.Y = append(dynamic.Y, dv)
-			opt.progress("fig14 theta=%.1f mem=%.1fGB static=%.0f dynamic=%.0f", theta, gb, sv, dv)
+		}
+	}
+	cells, err := runGrid(opt, len(arms), opt.Seeds, func(a, rep int) (float64, error) {
+		arm := arms[a]
+		lib, err := capacityLibrary(arm.theta)
+		if err != nil {
+			return 0, err
+		}
+		tr := capacityTrace(lib, opt.runSeed(arm.thetaIdx, rep, seedTrace), opt.Quick)
+		cfg := simConfig(arm.scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(arm.thetaIdx, rep, seedSim))
+		cfg.MemoryBudget = si.Gigabytes(arm.gb)
+		cfg.Grace = si.Minutes(15)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		opt.progress("fig14 theta=%.1f mem=%.1fGB %v seed %d: peak %d",
+			arm.theta, arm.gb, arm.scheme, rep, res.MaxConcurrent)
+		return float64(res.MaxConcurrent), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := 0
+	for ti := range thetas {
+		static := Series{Name: fmt.Sprintf("static/theta=%.1f", thetas[ti])}
+		dynamic := Series{Name: fmt.Sprintf("dynamic/theta=%.1f", thetas[ti])}
+		for _, gb := range grid {
+			static.AddPoint(gb, Summarize(cells[a]))
+			dynamic.AddPoint(gb, Summarize(cells[a+1]))
+			a += 2
 		}
 		rep.Series = append(rep.Series, static, dynamic)
 	}
@@ -166,26 +184,37 @@ func AblationNaive(opt Options) (*Report, error) {
 		Name:    "Starvation under a ramping load (Round-Robin)",
 		Columns: []string{"scheme", "underruns", "starved (s)", "served"},
 	}
-	for _, scheme := range []sim.Scheme{sim.Static, sim.Dynamic, sim.Naive} {
-		var underruns, served int
-		var starved float64
-		for s := 0; s < opt.Seeds; s++ {
-			tr := dayTrace(lib, 0, singleDiskArrivalsPerDay, opt.seed(700+s), opt.Quick)
-			res, err := sim.Run(simConfig(scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(800+s)))
-			if err != nil {
-				return nil, err
-			}
-			underruns += res.Underruns
-			served += res.Served
-			starved += float64(res.Starved)
+	schemes := []sim.Scheme{sim.Static, sim.Dynamic, sim.Naive}
+	type obs struct {
+		underruns, served int
+		starved           float64
+	}
+	cells, err := runGrid(opt, len(schemes), opt.Seeds, func(a, rep int) (obs, error) {
+		// All three schemes replay the same per-replication ramp.
+		tr := dayTrace(lib, 0, singleDiskArrivalsPerDay, opt.runSeed(0, rep, seedTrace), opt.Quick)
+		res, err := sim.Run(simConfig(schemes[a], sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim)))
+		if err != nil {
+			return obs{}, err
+		}
+		opt.progress("ablation-naive %v seed %d done", schemes[a], rep)
+		return obs{underruns: res.Underruns, served: res.Served, starved: float64(res.Starved)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for a, scheme := range schemes {
+		var sum obs
+		for _, o := range cells[a] {
+			sum.underruns += o.underruns
+			sum.served += o.served
+			sum.starved += o.starved
 		}
 		t.Rows = append(t.Rows, []string{
 			scheme.String(),
-			fmt.Sprintf("%d", underruns),
-			fmt.Sprintf("%.1f", starved),
-			fmt.Sprintf("%d", served),
+			fmt.Sprintf("%d", sum.underruns),
+			fmt.Sprintf("%.1f", sum.starved),
+			fmt.Sprintf("%d", sum.served),
 		})
-		opt.progress("ablation-naive %v done", scheme)
 	}
 	return &Report{
 		ID:     "ablation-naive",

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/diskmodel"
@@ -35,7 +36,17 @@ type Options struct {
 	// BaseSeed offsets all random seeds, for sensitivity checks.
 	BaseSeed int64
 
-	// Progress, when non-nil, receives one line per completed step.
+	// Workers bounds how many simulation runs execute concurrently; zero
+	// or negative means GOMAXPROCS. Per-run seeds derive from the run's
+	// grid position (see MixSeed), and aggregation is positional, so
+	// reports are byte-identical for every worker count — only the wall
+	// clock changes.
+	Workers int
+
+	// Progress, when non-nil, receives one line per completed step. With
+	// Workers > 1 it is invoked from multiple goroutines, but calls are
+	// serialized by the harness, so an ordinary writer is safe; the line
+	// order reflects completion order and is not deterministic.
 	Progress func(string)
 }
 
@@ -48,10 +59,17 @@ func (o Options) normalized() Options {
 
 func (o Options) seed(i int) int64 { return o.BaseSeed + int64(i)*7919 }
 
+// progressMu serializes Progress callbacks across the worker pool.
+var progressMu sync.Mutex
+
 func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		o.Progress(fmt.Sprintf(format, args...))
+	if o.Progress == nil {
+		return
 	}
+	line := fmt.Sprintf(format, args...)
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	o.Progress(line)
 }
 
 // Env is the fixed evaluation environment of Section 5.1.
@@ -97,11 +115,28 @@ func PaperTLog(kind sched.Kind) si.Seconds {
 	return si.Minutes(20)
 }
 
-// Series is one plotted curve: y over x with labels.
+// Series is one plotted curve: y over x with labels. Simulation-backed
+// series whose points average replications also carry per-point dispersion
+// statistics; analysis series leave them nil.
 type Series struct {
 	Name string
 	X    []float64
 	Y    []float64
+
+	// Std and CI95, when non-nil, run parallel to X: the sample standard
+	// deviation across replications at each point, and the half-width of
+	// the 95% confidence interval of the mean recorded in Y.
+	Std  []float64
+	CI95 []float64
+}
+
+// AddPoint appends a replication-averaged point with its dispersion
+// statistics.
+func (s *Series) AddPoint(x float64, st Stats) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, st.Mean)
+	s.Std = append(s.Std, st.Std)
+	s.CI95 = append(s.CI95, st.CI95)
 }
 
 // Table is a printable table of rows.
@@ -133,28 +168,26 @@ func (r *Report) Fprint(w *strings.Builder) {
 		fmt.Fprintf(w, "%-12s", r.XLabel)
 		for _, s := range r.Series {
 			fmt.Fprintf(w, " %16s", s.Name)
-		}
-		fmt.Fprintln(w)
-		// Series may sample different x grids; print the union.
-		xs := map[float64]bool{}
-		for _, s := range r.Series {
-			for _, x := range s.X {
-				xs[x] = true
+			if s.HasStats() {
+				fmt.Fprintf(w, " %12s %12s", "sd", "ci95")
 			}
 		}
-		grid := make([]float64, 0, len(xs))
-		for x := range xs {
-			grid = append(grid, x)
-		}
-		sort.Float64s(grid)
-		for _, x := range grid {
+		fmt.Fprintln(w)
+		for _, x := range r.xGrid() {
 			fmt.Fprintf(w, "%-12.4g", x)
 			for _, s := range r.Series {
-				v, ok := s.At(x)
+				i, ok := s.indexOf(x)
 				if ok {
-					fmt.Fprintf(w, " %16.6g", v)
+					fmt.Fprintf(w, " %16.6g", s.Y[i])
 				} else {
 					fmt.Fprintf(w, " %16s", "-")
+				}
+				if s.HasStats() {
+					if ok {
+						fmt.Fprintf(w, " %12.4g %12.4g", s.Std[i], s.CI95[i])
+					} else {
+						fmt.Fprintf(w, " %12s %12s", "-", "-")
+					}
 				}
 			}
 			fmt.Fprintln(w)
@@ -179,12 +212,41 @@ func (r *Report) String() string {
 
 // At returns the series value at x, if sampled there.
 func (s Series) At(x float64) (float64, bool) {
+	if i, ok := s.indexOf(x); ok {
+		return s.Y[i], true
+	}
+	return 0, false
+}
+
+// indexOf returns the sample index at x, if sampled there.
+func (s Series) indexOf(x float64) (int, bool) {
 	for i, sx := range s.X {
 		if sx == x {
-			return s.Y[i], true
+			return i, true
 		}
 	}
 	return 0, false
+}
+
+// HasStats reports whether the series carries per-point replication
+// dispersion statistics.
+func (s Series) HasStats() bool { return len(s.Std) > 0 && len(s.CI95) > 0 }
+
+// xGrid returns the sorted union of the x grids of all series: series may
+// sample different x values, so output renders over the union.
+func (r *Report) xGrid() []float64 {
+	xs := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	grid := make([]float64, 0, len(xs))
+	for x := range xs {
+		grid = append(grid, x)
+	}
+	sort.Float64s(grid)
+	return grid
 }
 
 // Runner produces one experiment's report.
@@ -249,28 +311,29 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		head := []string{r.XLabel}
 		for _, s := range r.Series {
 			head = append(head, s.Name)
+			if s.HasStats() {
+				head = append(head, s.Name+" stddev", s.Name+" ci95")
+			}
 		}
 		if err := cw.Write(head); err != nil {
 			return err
 		}
-		xs := map[float64]bool{}
-		for _, s := range r.Series {
-			for _, x := range s.X {
-				xs[x] = true
-			}
-		}
-		grid := make([]float64, 0, len(xs))
-		for x := range xs {
-			grid = append(grid, x)
-		}
-		sort.Float64s(grid)
-		for _, x := range grid {
-			row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		for _, x := range r.xGrid() {
+			row := []string{f(x)}
 			for _, s := range r.Series {
-				if v, ok := s.At(x); ok {
-					row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+				i, ok := s.indexOf(x)
+				if ok {
+					row = append(row, f(s.Y[i]))
 				} else {
 					row = append(row, "")
+				}
+				if s.HasStats() {
+					if ok {
+						row = append(row, f(s.Std[i]), f(s.CI95[i]))
+					} else {
+						row = append(row, "", "")
+					}
 				}
 			}
 			if err := cw.Write(row); err != nil {

@@ -13,6 +13,22 @@ func quickOpt() Options {
 	return Options{Quick: true, Seeds: 1}
 }
 
+// skipSlowUnderRace skips the simulation-backed value-regression tests
+// when the race detector is on: their outputs are deterministic (race
+// mode cannot change them), they dominate the package's runtime at the
+// detector's 10x-plus slowdown, and the worker-pool concurrency they
+// share is exercised directly — with many workers — by the dedicated
+// tests in runner_test.go, which do run under race.
+func skipSlowUnderRace(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	if raceEnabled {
+		t.Skip("value regression; concurrency covered by runner_test.go under race")
+	}
+}
+
 func TestRegistryAndIDs(t *testing.T) {
 	ids := IDs()
 	if len(ids) != len(Registry()) {
@@ -227,9 +243,7 @@ func TestAblationGSSGroup(t *testing.T) {
 // smallest configuration; skipped under -short.
 
 func TestFig6Runs(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := Fig6(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -254,9 +268,7 @@ func TestFig6Runs(t *testing.T) {
 }
 
 func TestFig7Runs(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := Fig7(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -279,9 +291,7 @@ func TestFig7Runs(t *testing.T) {
 func pSeriesName(s Series) string { return s.Name }
 
 func TestTable4Runs(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := Table4(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -303,9 +313,7 @@ func TestTable4Runs(t *testing.T) {
 }
 
 func TestFig14AndTable5Run(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := Table5(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -321,9 +329,7 @@ func TestFig14AndTable5Run(t *testing.T) {
 }
 
 func TestAblationNaiveRuns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := AblationNaive(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -410,9 +416,7 @@ func TestAblationDybase(t *testing.T) {
 }
 
 func TestAblationChunksRuns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := AblationChunks(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -441,9 +445,7 @@ func TestAblationChunksRuns(t *testing.T) {
 }
 
 func TestAblationPagesRuns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := AblationPages(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -487,9 +489,7 @@ func TestReportWriteCSV(t *testing.T) {
 }
 
 func TestExtVCRRuns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := ExtVCR(quickOpt())
 	if err != nil {
 		t.Fatal(err)
@@ -519,9 +519,7 @@ func TestExtVCRRuns(t *testing.T) {
 }
 
 func TestAblationBubbleUpRuns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("simulation experiment")
-	}
+	skipSlowUnderRace(t)
 	rep, err := AblationBubbleUp(quickOpt())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMixSeed(t *testing.T) {
+	// Deterministic: equal inputs, equal outputs.
+	if MixSeed(1, 2, 3) != MixSeed(1, 2, 3) {
+		t.Error("MixSeed not deterministic")
+	}
+	// Non-negative (rand.NewSource accepts any int64, but readable seeds
+	// help debugging).
+	seen := map[int64]bool{}
+	for base := int64(0); base < 4; base++ {
+		for p := 0; p < 8; p++ {
+			for r := 0; r < 8; r++ {
+				for s := 0; s < 2; s++ {
+					v := MixSeed(base, int64(p), int64(r), int64(s))
+					if v < 0 {
+						t.Fatalf("MixSeed(%d,%d,%d,%d) = %d negative", base, p, r, s, v)
+					}
+					if seen[v] {
+						t.Fatalf("seed collision at (%d,%d,%d,%d)", base, p, r, s)
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+	// Every coordinate matters.
+	base := MixSeed(7, 1, 1, 1)
+	for _, other := range []int64{MixSeed(8, 1, 1, 1), MixSeed(7, 2, 1, 1), MixSeed(7, 1, 2, 1), MixSeed(7, 1, 1, 2)} {
+		if other == base {
+			t.Error("coordinate change did not change the seed")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// Hand-computed: {1,2,3} has mean 2, sample stddev 1, and a 95% CI
+	// half-width of t_{0.975,2} / sqrt(3) = 4.303/1.7320508 = 2.4843.
+	st := Summarize([]float64{1, 2, 3})
+	if st.N != 3 || st.Mean != 2 {
+		t.Errorf("mean stats = %+v", st)
+	}
+	if math.Abs(st.Std-1) > 1e-12 {
+		t.Errorf("std = %v, want 1", st.Std)
+	}
+	if want := 4.303 / math.Sqrt(3); math.Abs(st.CI95-want) > 1e-9 {
+		t.Errorf("ci95 = %v, want %v", st.CI95, want)
+	}
+	// Hand-computed: {1,2,3,4,5} has stddev sqrt(2.5) and CI half-width
+	// 2.776 * sqrt(2.5)/sqrt(5) = 1.96292...
+	st = Summarize([]float64{1, 2, 3, 4, 5})
+	if math.Abs(st.Mean-3) > 1e-12 || math.Abs(st.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stats = %+v", st)
+	}
+	if want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5); math.Abs(st.CI95-want) > 1e-9 {
+		t.Errorf("ci95 = %v, want %v", st.CI95, want)
+	}
+	// Degenerate cases: empty and single samples carry no dispersion.
+	if st := Summarize(nil); st.N != 0 || st.Mean != 0 || st.Std != 0 || st.CI95 != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if st := Summarize([]float64{42}); st.N != 1 || st.Mean != 42 || st.Std != 0 || st.CI95 != 0 {
+		t.Errorf("singleton stats = %+v", st)
+	}
+	// Constant samples have zero spread.
+	if st := Summarize([]float64{2, 2, 2, 2}); st.Std != 0 || st.CI95 != 0 {
+		t.Errorf("constant stats = %+v", st)
+	}
+	// Large n converges to the normal critical value.
+	if got := tCrit95(200); got != 1.960 {
+		t.Errorf("tCrit95(200) = %v", got)
+	}
+	if got := tCrit95(0); got != 0 {
+		t.Errorf("tCrit95(0) = %v", got)
+	}
+}
+
+func TestRunGridOrderAndErrors(t *testing.T) {
+	// Results land positionally for any worker count.
+	for _, workers := range []int{1, 3, 16} {
+		opt := Options{Workers: workers}
+		got, err := runGrid(opt, 4, 3, func(p, r int) (int, error) {
+			return p*100 + r, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 4; p++ {
+			for r := 0; r < 3; r++ {
+				if got[p][r] != p*100+r {
+					t.Fatalf("workers=%d: cell (%d,%d) = %d", workers, p, r, got[p][r])
+				}
+			}
+		}
+	}
+	// An error surfaces and cancels the undispatched remainder.
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := runGrid(Options{Workers: 2}, 50, 1, func(p, r int) (int, error) {
+		ran.Add(1)
+		if p == 3 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 50 {
+		t.Errorf("error did not stop dispatch: %d cells ran", n)
+	}
+	// Zero-size grids are a no-op.
+	if out, err := runGrid[int](Options{}, 0, 3, nil); err != nil || len(out) != 0 {
+		t.Errorf("empty grid: %v %v", out, err)
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if got := (Options{}).workerCount(100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d", got)
+	}
+	if got := (Options{Workers: 8}).workerCount(3); got != 3 {
+		t.Errorf("workers not capped at runs: %d", got)
+	}
+	if got := (Options{Workers: -1}).workerCount(0); got != 1 {
+		t.Errorf("degenerate workers = %d", got)
+	}
+}
+
+func TestProgressSerialized(t *testing.T) {
+	var lines []string
+	opt := Options{Workers: 8, Progress: func(s string) { lines = append(lines, s) }}
+	_, err := runGrid(opt, 8, 4, func(p, r int) (int, error) {
+		opt.progress("cell %d/%d", p, r)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The callback appends to a plain slice with no locking of its own;
+	// under -race this fails if the harness did not serialize calls.
+	if len(lines) != 32 {
+		t.Errorf("got %d progress lines, want 32", len(lines))
+	}
+}
+
+// TestParallelDeterminism is the tentpole's regression test: one
+// experiment run sequentially and run with many workers at the same base
+// seed must render byte-identical reports, and repeated parallel runs
+// must be stable across goroutine schedules.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	render := func(workers int) (string, string) {
+		opt := Options{Quick: true, Seeds: 2, BaseSeed: 42, Workers: workers}
+		rep, err := Fig7(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv strings.Builder
+		if err := rep.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return rep.String(), csv.String()
+	}
+	seqText, seqCSV := render(1)
+	parText, parCSV := render(8)
+	if seqText != parText {
+		t.Errorf("Workers=8 text differs from Workers=1:\n--- seq ---\n%s\n--- par ---\n%s", seqText, parText)
+	}
+	if seqCSV != parCSV {
+		t.Error("Workers=8 CSV differs from Workers=1")
+	}
+	par2Text, par2CSV := render(8)
+	if parText != par2Text || parCSV != par2CSV {
+		t.Error("two Workers=8 runs differ: output depends on goroutine schedule")
+	}
+	// The stats columns actually carry data: with 2 seeds at least one
+	// simulated point should show nonzero spread.
+	if !strings.Contains(seqCSV, "stddev") || !strings.Contains(seqCSV, "ci95") {
+		t.Error("CSV missing replication-statistics columns")
+	}
+}
+
+// The ablation and table experiments run under many workers must also be
+// order-independent; exercise the cheapest simulation-backed ones.
+func TestParallelDeterminismAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	for _, run := range []struct {
+		id string
+		fn Runner
+	}{
+		{"ablation-pages", AblationPages},
+		{"ablation-chunks", AblationChunks},
+	} {
+		render := func(workers int) string {
+			rep, err := run.fn(Options{Quick: true, Seeds: 1, BaseSeed: 7, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep.String()
+		}
+		if seq, par := render(1), render(6); seq != par {
+			t.Errorf("%s: parallel output differs from sequential:\n%s\nvs\n%s", run.id, seq, par)
+		}
+	}
+}
+
+func TestSimulateReplications(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	lib, err := singleDisk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(rep int) (sim.Config, error) {
+		tr := dayTrace(lib, 1, 200, MixSeed(9, int64(rep), seedTrace), true)
+		return simConfig(sim.Dynamic, methodRR(), lib, tr, MixSeed(9, int64(rep), seedSim)), nil
+	}
+	par, err := SimulateReplications(build, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := SimulateReplications(build, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par {
+		if par[i].Served != seq[i].Served || par[i].Rejected != seq[i].Rejected {
+			t.Errorf("replication %d differs between parallel and sequential", i)
+		}
+	}
+	if par[0].Served == 0 {
+		t.Error("no requests served")
+	}
+	wantErr := errors.New("nope")
+	if _, err := SimulateReplications(func(int) (sim.Config, error) { return sim.Config{}, wantErr }, 2, 2); !errors.Is(err, wantErr) {
+		t.Errorf("build error not surfaced: %v", err)
+	}
+}
+
+// Concurrent RunExperiment calls must be safe (the fig14 cache is shared
+// process state).
+func TestConcurrentRunExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Run("ablation-pages", Options{Quick: true, Seeds: 1, Workers: 2})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// BenchmarkRunExperimentParallel compares the wall clock of one quick
+// simulation-backed experiment at Workers=1 against Workers=NumCPU. On a
+// multicore machine the parallel case should approach a NumCPU-fold
+// speedup (the runs are independent and CPU-bound); on a single-core
+// machine the two are equivalent.
+func BenchmarkRunExperimentParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig7(Options{Quick: true, Seeds: 2, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

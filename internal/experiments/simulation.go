@@ -60,7 +60,8 @@ func simConfig(scheme sim.Scheme, m sched.Method, lib *catalog.Library, tr workl
 }
 
 // Fig6 reproduces Fig. 6: the number of concurrent requests over the day
-// for the three arrival-pattern skews.
+// for the three arrival-pattern skews. The three skews are independent
+// runs, fanned out across the worker pool.
 func Fig6(opt Options) (*Report, error) {
 	opt = opt.normalized()
 	lib, err := singleDisk()
@@ -73,28 +74,43 @@ func Fig6(opt Options) (*Report, error) {
 		XLabel: "time (h)",
 		YLabel: "requests in service",
 	}
-	for _, theta := range []float64{0, 0.5, 1} {
-		tr := dayTrace(lib, theta, singleDiskArrivalsPerDay, opt.seed(1), opt.Quick)
-		cfg := simConfig(sim.Dynamic, sched.NewMethod(sched.RoundRobin), lib, tr, opt.seed(2))
+	thetas := []float64{0, 0.5, 1}
+	cells, err := runGrid(opt, len(thetas), 1, func(p, _ int) (Series, error) {
+		theta := thetas[p]
+		tr := dayTrace(lib, theta, singleDiskArrivalsPerDay, opt.runSeed(p, 0, seedTrace), opt.Quick)
+		cfg := simConfig(sim.Dynamic, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(p, 0, seedSim))
 		cfg.SampleEvery = si.Minutes(10)
 		res, err := sim.Run(cfg)
 		if err != nil {
-			return nil, err
+			return Series{}, err
 		}
 		s := Series{Name: fmt.Sprintf("theta=%.1f", theta)}
-		for _, p := range res.Concurrency.Samples() {
-			s.X = append(s.X, p.At.Hours())
-			s.Y = append(s.Y, p.V)
+		for _, pt := range res.Concurrency.Samples() {
+			s.X = append(s.X, pt.At.Hours())
+			s.Y = append(s.Y, pt.V)
 		}
-		rep.Series = append(rep.Series, s)
 		opt.progress("fig6 theta=%.1f done (rejected %d)", theta, res.Rejected)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range cells {
+		rep.Series = append(rep.Series, row[0])
 	}
 	return rep, nil
 }
 
+// estObs is one run's estimation-quality observation.
+type estObs struct{ k, p float64 }
+
 // estimationSweep runs the dynamic scheme over one knob (T_log or alpha)
 // and reports the mean estimated k and the successful-estimation
-// probability per method — the machinery behind Figs. 7 and 8.
+// probability per method — the machinery behind Figs. 7 and 8. Every
+// (method, knob value, replication) triple is an independent run; all
+// triples share per-replication workload seeds (the knob under test is a
+// configuration change, so sharing the arrivals pairs the comparison),
+// and the whole grid fans out across the worker pool.
 func estimationSweep(opt Options, id, title, xlabel string,
 	points []float64, configure func(*sim.Config, float64, sched.Kind)) (*Report, error) {
 	opt = opt.normalized()
@@ -103,28 +119,37 @@ func estimationSweep(opt Options, id, title, xlabel string,
 		return nil, err
 	}
 	rep := &Report{ID: id, Title: title, XLabel: xlabel}
-	for _, kind := range sched.Kinds {
+	arms := len(sched.Kinds) * len(points)
+	cells, err := runGrid(opt, arms, opt.Seeds, func(arm, rep int) (estObs, error) {
+		kind := sched.Kinds[arm/len(points)]
+		x := points[arm%len(points)]
+		m := sched.NewMethod(kind)
+		tr := dayTrace(lib, 0.5, singleDiskArrivalsPerDay, opt.runSeed(0, rep, seedTrace), opt.Quick)
+		cfg := simConfig(sim.Dynamic, m, lib, tr, opt.runSeed(0, rep, seedSim))
+		configure(&cfg, x, kind)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return estObs{}, err
+		}
+		opt.progress("%s %v x=%v seed %d done", id, m, x, rep)
+		return estObs{k: res.EstimatedK.Mean(), p: res.SuccessRate()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, kind := range sched.Kinds {
 		m := sched.NewMethod(kind)
 		kSeries := Series{Name: fmt.Sprintf("avg-k/%v", m)}
 		pSeries := Series{Name: fmt.Sprintf("success/%v", m)}
-		for _, x := range points {
-			var kSum, pSum float64
-			for s := 0; s < opt.Seeds; s++ {
-				tr := dayTrace(lib, 0.5, singleDiskArrivalsPerDay, opt.seed(100+s), opt.Quick)
-				cfg := simConfig(sim.Dynamic, m, lib, tr, opt.seed(200+s))
-				configure(&cfg, x, kind)
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				kSum += res.EstimatedK.Mean()
-				pSum += res.SuccessRate()
+		for xi, x := range points {
+			reps := cells[ki*len(points)+xi]
+			ks := make([]float64, len(reps))
+			ps := make([]float64, len(reps))
+			for i, o := range reps {
+				ks[i], ps[i] = o.k, o.p
 			}
-			kSeries.X = append(kSeries.X, x)
-			kSeries.Y = append(kSeries.Y, kSum/float64(opt.Seeds))
-			pSeries.X = append(pSeries.X, x)
-			pSeries.Y = append(pSeries.Y, pSum/float64(opt.Seeds))
-			opt.progress("%s %v x=%v done", id, m, x)
+			kSeries.AddPoint(x, Summarize(ks))
+			pSeries.AddPoint(x, Summarize(ps))
 		}
 		rep.Series = append(rep.Series, kSeries, pSeries)
 	}
@@ -163,24 +188,49 @@ func Fig8(opt Options) (*Report, error) {
 		})
 }
 
-// latencyByN merges per-seed simulated latency-by-n data for one scheme,
-// method, and arrival skew.
-func latencyByN(opt Options, scheme sim.Scheme, m sched.Method, theta float64) (*metrics.ByN, error) {
+// latencyArm is one (scheme, method, skew) combination of the latency
+// experiments. Arms with equal thetaIdx share per-replication workload
+// seeds: static and dynamic — and the three methods — replay the same
+// arrivals, so the paper's reduction ratios are paired comparisons.
+type latencyArm struct {
+	scheme   sim.Scheme
+	kind     sched.Kind
+	thetaIdx int
+	theta    float64
+}
+
+// latencyByNArms simulates every arm × replication on the worker pool and
+// returns, per arm, the latency-by-n data merged over replications in
+// replication order.
+func latencyByNArms(opt Options, id string, arms []latencyArm) ([]*metrics.ByN, error) {
 	lib, err := singleDisk()
 	if err != nil {
 		return nil, err
 	}
-	env := PaperEnv()
-	merged := metrics.NewByN(env.Params.N)
-	for s := 0; s < opt.Seeds; s++ {
-		tr := dayTrace(lib, theta, singleDiskArrivalsPerDay, opt.seed(300+s), opt.Quick)
-		res, err := sim.Run(simConfig(scheme, m, lib, tr, opt.seed(400+s)))
+	cells, err := runGrid(opt, len(arms), opt.Seeds, func(a, rep int) (*metrics.ByN, error) {
+		arm := arms[a]
+		m := sched.NewMethod(arm.kind)
+		tr := dayTrace(lib, arm.theta, singleDiskArrivalsPerDay, opt.runSeed(arm.thetaIdx, rep, seedTrace), opt.Quick)
+		res, err := sim.Run(simConfig(arm.scheme, m, lib, tr, opt.runSeed(arm.thetaIdx, rep, seedSim)))
 		if err != nil {
 			return nil, err
 		}
-		merged.Merge(res.LatencyByN)
+		opt.progress("%s %v/%v theta=%.1f seed %d done", id, arm.scheme, m, arm.theta, rep)
+		return res.LatencyByN, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return merged, nil
+	env := PaperEnv()
+	out := make([]*metrics.ByN, len(arms))
+	for a := range arms {
+		merged := metrics.NewByN(env.Params.N)
+		for _, byn := range cells[a] {
+			merged.Merge(byn)
+		}
+		out[a] = merged
+	}
+	return out, nil
 }
 
 // fig11Theta is the arrival skew the Fig. 11 curves use; Table 4 sweeps
@@ -197,23 +247,26 @@ func Fig11(opt Options) (*Report, error) {
 		XLabel: "n at arrival",
 		YLabel: "avg initial latency (s)",
 	}
+	var arms []latencyArm
 	for _, kind := range sched.Kinds {
-		m := sched.NewMethod(kind)
 		for _, scheme := range []sim.Scheme{sim.Static, sim.Dynamic} {
-			byN, err := latencyByN(opt, scheme, m, fig11Theta)
-			if err != nil {
-				return nil, err
-			}
-			s := Series{Name: fmt.Sprintf("%v/%v", scheme, m)}
-			for n := 0; n < byN.Levels(); n++ {
-				if mean, ok := byN.Mean(n); ok {
-					s.X = append(s.X, float64(n))
-					s.Y = append(s.Y, mean)
-				}
-			}
-			rep.Series = append(rep.Series, s)
-			opt.progress("fig11 %v/%v done", scheme, m)
+			arms = append(arms, latencyArm{scheme: scheme, kind: kind, thetaIdx: 0, theta: fig11Theta})
 		}
+	}
+	merged, err := latencyByNArms(opt, "fig11", arms)
+	if err != nil {
+		return nil, err
+	}
+	for a, arm := range arms {
+		byN := merged[a]
+		s := Series{Name: fmt.Sprintf("%v/%v", arm.scheme, sched.NewMethod(arm.kind))}
+		for n := 0; n < byN.Levels(); n++ {
+			if mean, ok := byN.Mean(n); ok {
+				s.X = append(s.X, float64(n))
+				s.Y = append(s.Y, mean)
+			}
+		}
+		rep.Series = append(rep.Series, s)
 	}
 	return rep, nil
 }
@@ -223,25 +276,31 @@ func Fig11(opt Options) (*Report, error) {
 // numbers of requests in service, per arrival skew and method.
 func Table4(opt Options) (*Report, error) {
 	opt = opt.normalized()
+	thetas := []float64{0, 0.5, 1}
+	var arms []latencyArm
+	for ti, theta := range thetas {
+		for _, kind := range sched.Kinds {
+			for _, scheme := range []sim.Scheme{sim.Static, sim.Dynamic} {
+				arms = append(arms, latencyArm{scheme: scheme, kind: kind, thetaIdx: ti, theta: theta})
+			}
+		}
+	}
+	merged, err := latencyByNArms(opt, "table4", arms)
+	if err != nil {
+		return nil, err
+	}
 	t := Table{
 		Name:    "Average reduction ratio of initial latency (static/dynamic)",
 		Columns: []string{"theta", "Round-Robin", "Sweep*", "GSS*"},
 	}
-	for _, theta := range []float64{0, 0.5, 1} {
+	i := 0
+	for _, theta := range thetas {
 		row := []string{fmt.Sprintf("%.1f", theta)}
-		for _, kind := range sched.Kinds {
-			m := sched.NewMethod(kind)
-			stat, err := latencyByN(opt, sim.Static, m, theta)
-			if err != nil {
-				return nil, err
-			}
-			dyn, err := latencyByN(opt, sim.Dynamic, m, theta)
-			if err != nil {
-				return nil, err
-			}
+		for range sched.Kinds {
+			stat, dyn := merged[i], merged[i+1]
+			i += 2
 			ratio, n := avgRatio(stat, dyn)
 			row = append(row, fmt.Sprintf("%.1fx (over %d levels)", ratio, n))
-			opt.progress("table4 theta=%.1f %v done (ratio %.1f)", theta, m, ratio)
 		}
 		t.Rows = append(t.Rows, row)
 	}

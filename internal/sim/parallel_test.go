@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// Concurrent Run calls sharing one immutable Library must be race-free
+// (this test is the -race canary for the property the parallel experiment
+// runner depends on) and, given equal configs, must produce identical
+// measurements regardless of interleaving.
+func TestRunConcurrentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	lib, err := catalog.New(catalog.Config{
+		Titles: 4, Disks: 1, Spec: diskmodel.Barracuda9LP(), PopularityTheta: 0.271,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Generate(workload.ZipfDay(300, 0.5, si.Hours(2), si.Hours(4)), lib, 11)
+	cfg := Config{
+		Scheme:  Dynamic,
+		Method:  sched.NewMethod(sched.RoundRobin),
+		Spec:    diskmodel.Barracuda9LP(),
+		CR:      si.Mbps(1.5),
+		Library: lib,
+		Trace:   tr,
+		Seed:    17,
+	}
+	const runs = 6
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	first := results[0]
+	if first.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	for i, r := range results[1:] {
+		if r.Served != first.Served || r.Rejected != first.Rejected ||
+			r.Underruns != first.Underruns || r.Deferrals != first.Deferrals ||
+			r.MaxConcurrent != first.MaxConcurrent || r.PeakMemory != first.PeakMemory {
+			t.Errorf("concurrent run %d diverged from run 0: %+v vs %+v", i+1, r, first)
+		}
+		gm0, _ := first.LatencyByN.GrandMean()
+		gmi, _ := r.LatencyByN.GrandMean()
+		if gm0 != gmi {
+			t.Errorf("concurrent run %d latency diverged: %v vs %v", i+1, gmi, gm0)
+		}
+	}
+}

@@ -304,6 +304,13 @@ func (sys *system) levelDump(now si.Seconds) [][2]si.Bits {
 }
 
 // Run executes one simulation and returns its measurements.
+//
+// Run is safe to call concurrently from multiple goroutines: all mutable
+// state (engine, disks, pools, RNG streams) is created per call, the
+// Config is copied, and a *catalog.Library is immutable after
+// construction, so independent runs may share one. Given equal configs —
+// including Seed — concurrent runs produce identical Results; the
+// experiment harness's parallel runner relies on both properties.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err

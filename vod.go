@@ -279,8 +279,34 @@ type SimConfig = sim.Config
 type SimResult = sim.Result
 
 // Simulate executes one discrete-event simulation of the configured VOD
-// server replaying the configured trace.
+// server replaying the configured trace. Simulate is safe to call
+// concurrently; runs with equal configs produce identical results.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateReplications runs reps independent simulations across at most
+// workers goroutines (workers <= 0 means GOMAXPROCS), building each run's
+// configuration with build — typically a fresh trace and seed per
+// replication derived with MixSeed. Results are returned in replication
+// order regardless of goroutine scheduling.
+func SimulateReplications(build func(rep int) (SimConfig, error), reps, workers int) ([]*SimResult, error) {
+	return experiments.SimulateReplications(build, reps, workers)
+}
+
+// ReplicationStats summarizes replications of one measurement: count,
+// mean, sample standard deviation, and the half-width of the 95%
+// confidence interval of the mean.
+type ReplicationStats = experiments.Stats
+
+// SummarizeReplications computes replication statistics over samples.
+func SummarizeReplications(samples []float64) ReplicationStats {
+	return experiments.Summarize(samples)
+}
+
+// MixSeed derives a deterministic 63-bit seed from a base seed and run
+// coordinates (a splitmix64 mixing chain): the seeding scheme the parallel
+// experiment runner uses so that every run's random streams depend only on
+// the run's position in the experiment grid, never on execution order.
+func MixSeed(base int64, coords ...int64) int64 { return experiments.MixSeed(base, coords...) }
 
 // ExperimentOptions tunes the experiment harness.
 type ExperimentOptions = experiments.Options

@@ -14,10 +14,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel experiment runner and the simulator are the packages with
-# shared-state concurrency; keep them race-clean.
+# The packages with shared-state concurrency: the parallel experiment
+# runner, the simulator, and the live-serving side of the engine — the
+# wall clock's lock discipline, the buffer pool under serialized
+# concurrent callers, and the vodserver driver. Keep them race-clean.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./cmd/vodserver
 
 bench:
 	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments

@@ -83,6 +83,24 @@ func TestGoldenTable3(t *testing.T) {
 	checkGolden(t, "table3.csv", out)
 }
 
+// Determinism regression for the engine refactor: the Table 3 report is
+// byte-identical at one worker and at eight, and matches the golden
+// committed before internal/sim was split into engine + driver.
+func TestTable3DeterministicAcrossWorkers(t *testing.T) {
+	code, one, _ := runCapture(t, "-run", "table3", "-format", "csv", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	code, eight, _ := runCapture(t, "-run", "table3", "-format", "csv", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if one != eight {
+		t.Error("-workers 1 and -workers 8 reports differ")
+	}
+	checkGolden(t, "table3.csv", one)
+}
+
 // A quick simulated figure with 2 seeds exercises the full pipeline:
 // deterministic parallel seeding plus the replication-statistics columns.
 // The golden is rendered with the default worker count, so a match also

@@ -1,14 +1,17 @@
-// Command vodserver is a miniature VOD server over TCP: goroutine per
-// viewer, buffers sized from the paper's dynamic table, admission through
-// the predict-and-enforce controller, and a simulated single disk pacing
-// the fills. Time is compressed (one simulated minute per wall second by
-// default) so demos finish quickly.
+// Command vodserver is a miniature VOD server over TCP driven by the
+// shared streaming runtime in internal/engine: the same admission,
+// allocation, and scheduling code the simulator validates paces real
+// deliveries here under a scaled wall clock. The server itself owns no
+// buffer-sizing or admission logic — it is a driver: it translates TCP
+// connections into engine arrivals and engine fill completions into
+// frames on the wire. Time is compressed (one simulated minute per wall
+// second by default) so demos finish quickly.
 //
 // Protocol: the client sends one line, "WATCH <seconds>\n"; the server
-// answers "OK <id>\n" (admitted) or "BUSY\n" (deferred past patience) and
-// then streams length-prefixed frames ([4-byte big-endian length][bytes])
-// until the requested content has been delivered, closing with a zero
-// length frame.
+// answers "OK <id>\n" (admitted) or "BUSY\n" (rejected, or deferred past
+// patience) and then streams length-prefixed frames
+// ([4-byte big-endian length][bytes]) until the requested content has
+// been delivered, closing with a zero length frame.
 //
 //	vodserver -listen :9000            # serve
 //	vodserver -selftest 8              # in-process demo: 8 viewers
@@ -21,7 +24,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net"
 	"os"
 	"strings"
@@ -29,89 +31,216 @@ import (
 	"time"
 
 	vod "repro"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/si"
+	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		listen   = flag.String("listen", "127.0.0.1:9000", "address to serve on")
-		scale    = flag.Float64("scale", 60, "simulated seconds per wall second")
-		selftest = flag.Int("selftest", 0, "run N in-process viewers against the server and exit")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	srv := newServer(*scale)
+// run is the testable entry point: it parses args, serves, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vodserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:9000", "address to serve on")
+		scale    = fs.Float64("scale", 60, "simulated seconds per wall second")
+		selftest = fs.Int("selftest", 0, "run N in-process viewers against the server and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv, err := newServer(*scale)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer ln.Close()
 	log.Printf("vodserver listening on %s (time x%g)", ln.Addr(), *scale)
 
 	if *selftest > 0 {
 		go srv.acceptLoop(ln)
-		if err := runSelfTest(ln.Addr().String(), *selftest, *scale, os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := runSelfTest(srv, ln.Addr().String(), *selftest, stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		return
+		return 0
 	}
 	srv.acceptLoop(ln)
+	return 0
 }
 
-// server is the shared state: the controller, the simulated disk, and the
-// viewer registry.
+// patience bounds how long an arrival may sit in the deferral queue
+// before the frontend gives up, in engine seconds. It matches the old
+// hand-rolled server's 100 one-second retries.
+const patience = si.Seconds(100)
+
+// server is the live driver: an engine System under a WallClock plus the
+// viewer registry. All fields below the clock are engine state — they are
+// read and written only under the clock's lock (inside clock.Do or inside
+// Observer callbacks, which the clock serializes).
 type server struct {
-	spec  vod.DiskSpec
+	clock *engine.WallClock
+	sys   *engine.System
+	disk  *engine.Disk
+	lib   *catalog.Library
 	cr    vod.BitRate
-	ctl   *vod.Controller
-	scale float64
 
-	mu      sync.Mutex
-	nextID  int
-	viewers map[int]*session
-	diskAt  float64 // simulated time the disk is busy through
-	epoch   time.Time
-}
+	engine.NopObserver // the server observes only what it overrides
 
-// session is one connected viewer's server-side state.
-type session struct {
-	id        int
-	remaining int64 // bytes still to deliver
-}
-
-func newServer(scale float64) *server {
-	spec, cr, params := vod.PaperEnvironment()
-	return &server{
-		spec:    spec,
-		cr:      cr,
-		ctl:     vod.NewController(params, vod.NewMethod(vod.RoundRobin), spec, vod.Minutes(40)),
-		scale:   scale,
-		viewers: make(map[int]*session),
-		epoch:   time.Now(),
+	nextID   int
+	sessions map[int]*session
+	tally    struct {
+		admitted, deferred, rejected, departed int
 	}
 }
 
-// simNow is the current simulated time.
-func (s *server) simNow() vod.Seconds {
-	return vod.Seconds(time.Since(s.epoch).Seconds() * s.scale)
+// session is one connected viewer. The observer side (engine lock) pushes
+// completed fills; the connection goroutine pops and ships them. The two
+// sides share only the small mu-guarded queue, so observer callbacks
+// never block on the network.
+type session struct {
+	id      int
+	decided chan bool // admission outcome, buffered
+
+	mu      sync.Mutex
+	pending []int64 // frame sizes (bytes) ready to ship
+	done    bool    // all content delivered (or the stream departed)
+	notify  chan struct{} // buffered kick for the writer
+
+	sent int64 // cumulative bytes handed to the writer (engine lock side)
 }
 
-// wall converts a simulated duration to wall time.
-func (s *server) wall(d vod.Seconds) time.Duration {
-	return (d / vod.Seconds(s.scale)).Duration()
+// push queues n bytes for the writer (engine lock held by the caller).
+func (s *session) push(n int64, done bool) {
+	s.mu.Lock()
+	if n > 0 {
+		s.pending = append(s.pending, n)
+	}
+	if done {
+		s.done = true
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
 }
 
-func (s *server) acceptLoop(ln net.Listener) {
+func newServer(scale float64) (*server, error) {
+	spec, cr, _ := vod.PaperEnvironment()
+	lib, err := catalog.New(catalog.Config{
+		Titles: 6, Disks: 1, Spec: spec, PopularityTheta: 0.271,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := &server{
+		clock:    engine.NewWallClock(scale),
+		lib:      lib,
+		cr:       cr,
+		sessions: make(map[int]*session),
+	}
+	sys, err := engine.New(engine.Config{
+		Clock:     srv.clock,
+		Allocator: engine.DynamicAllocator{},
+		Method:    vod.NewMethod(vod.RoundRobin),
+		Spec:      spec,
+		CR:        cr,
+		Alpha:     1,
+		TLog:      vod.Minutes(40),
+		Library:   lib,
+		Seed:      1,
+		Observer:  srv,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.sys = sys
+	srv.disk = sys.Disk(0)
+	return srv, nil
+}
+
+// OnAdmit resolves the viewer's admission wait. Engine lock held.
+func (srv *server) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
+	srv.tally.admitted++
+	if sess := srv.sessions[st.ID()]; sess != nil {
+		sess.decided <- true
+	}
+}
+
+// OnDefer counts enforcement deferrals (Fig. 5). Engine lock held.
+func (srv *server) OnDefer(disk int, now si.Seconds) { srv.tally.deferred++ }
+
+// OnReject resolves the viewer's admission wait negatively. Engine lock
+// held.
+func (srv *server) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
+	srv.tally.rejected++
+	if sess := srv.sessions[req.ID]; sess != nil {
+		sess.decided <- false
+	}
+}
+
+// OnFillComplete ships a landed fill to the viewer: the frame carries the
+// integral bytes newly available, by cumulative flooring so the total
+// delivered equals the content length exactly. Engine lock held.
+func (srv *server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now si.Seconds) {
+	sess := srv.sessions[st.ID()]
+	if sess == nil {
+		return
+	}
+	complete := st.Delivered() >= st.Required()
+	total := int64(st.Delivered().Bytes())
+	if complete {
+		total = int64(st.Required().Bytes())
+	}
+	n := total - sess.sent
+	if n > 0 {
+		sess.sent += n
+	}
+	sess.push(n, complete)
+}
+
+// OnDepart finishes the viewer's stream. Under a wall clock, fill timers
+// accumulate jitter while the single departure timer does not, so a
+// departing stream may still owe a tail of content; flush it here so the
+// client always receives exactly the requested length. Engine lock held.
+func (srv *server) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	srv.tally.departed++
+	sess := srv.sessions[st.ID()]
+	if sess == nil {
+		return
+	}
+	n := int64(st.Required().Bytes()) - sess.sent
+	if n > 0 {
+		sess.sent += n
+	}
+	sess.push(n, true)
+}
+
+func (srv *server) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go s.handle(conn)
+		go srv.handle(conn)
 	}
 }
 
-// handle runs one viewer's session: parse, admit, stream.
-func (s *server) handle(conn net.Conn) {
+// handle runs one viewer's session: parse, feed the engine an arrival,
+// await its admission decision, then relay completed fills as frames.
+func (srv *server) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	line, err := r.ReadString('\n')
@@ -124,99 +253,107 @@ func (s *server) handle(conn net.Conn) {
 		return
 	}
 
-	// Admission with bounded patience: Fig. 5 defers violating arrivals;
-	// a real frontend gives up eventually.
-	s.ctl.ObserveArrival(s.simNow())
-	admitted := false
-	for tries := 0; tries < 100; tries++ {
-		if s.ctl.Admit(s.simNow()) {
-			admitted = true
-			break
+	var sess *session
+	srv.clock.Do(func() {
+		srv.nextID++
+		sess = &session{
+			id:      srv.nextID,
+			decided: make(chan bool, 1),
+			notify:  make(chan struct{}, 1),
 		}
-		time.Sleep(s.wall(1))
+		srv.sessions[sess.id] = sess
+		srv.sys.OnArrival(workload.Request{
+			ID:      sess.id,
+			Arrival: srv.clock.Now(),
+			Video:   sess.id % srv.lib.Len(),
+			Disk:    0,
+			Viewing: si.Seconds(seconds),
+		})
+	})
+	defer srv.clock.Do(func() {
+		srv.disk.Cancel(sess.id) // no-op once the stream has departed
+		delete(srv.sessions, sess.id)
+	})
+
+	// Await the engine's admission decision with bounded patience:
+	// Fig. 5 defers violating arrivals; a real frontend gives up
+	// eventually.
+	admitted := false
+	select {
+	case admitted = <-sess.decided:
+	case <-time.After(srv.clock.WallDuration(patience)):
+		srv.clock.Do(func() {
+			select {
+			case admitted = <-sess.decided: // the decision raced the timeout
+			default:
+				srv.disk.Cancel(sess.id) // withdraw from the deferral queue
+			}
+		})
 	}
 	if !admitted {
 		fmt.Fprintf(conn, "BUSY\n")
 		return
 	}
-
-	s.mu.Lock()
-	s.nextID++
-	sess := &session{id: s.nextID, remaining: int64(s.cr.DataIn(vod.Seconds(seconds)).Bytes())}
-	s.viewers[sess.id] = sess
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.viewers, sess.id)
-		s.mu.Unlock()
-		s.ctl.Release(sess.id)
-	}()
-
 	if _, err := fmt.Fprintf(conn, "OK %d\n", sess.id); err != nil {
 		return
 	}
 
-	// Stream: each iteration is one service — allocate via the table,
-	// occupy the simulated disk, then ship the bytes. Delivery is paced
-	// so the client's buffer never holds more than one allocation.
+	// Relay loop: ship each completed fill as one frame. Pacing comes from
+	// the engine — fills land when its scheduler runs them on the scaled
+	// wall clock — so delivery never runs ahead of the modelled buffer.
 	var frame [4]byte
 	payload := make([]byte, 0, 1<<20)
-	for sess.remaining > 0 {
-		size, _, err := s.ctl.Allocate(sess.id, s.simNow())
-		if err != nil {
-			return
+	for {
+		sess.mu.Lock()
+		for len(sess.pending) == 0 && !sess.done {
+			sess.mu.Unlock()
+			<-sess.notify
+			sess.mu.Lock()
 		}
-		bytes := int64(size.Bytes())
-		if bytes < 1 {
-			bytes = 1
-		}
-		if bytes > sess.remaining {
-			bytes = sess.remaining
-		}
-		fill := vod.Bits(bytes * 8)
-		s.diskService(fill)
-		sess.remaining -= bytes
+		batch := sess.pending
+		sess.pending = nil
+		done := sess.done
+		sess.mu.Unlock()
 
-		if int64(cap(payload)) < bytes {
-			payload = make([]byte, bytes)
+		for _, n := range batch {
+			if int64(cap(payload)) < n {
+				payload = make([]byte, n)
+			}
+			payload = payload[:n]
+			binary.BigEndian.PutUint32(frame[:], uint32(n))
+			if _, err := conn.Write(frame[:]); err != nil {
+				return
+			}
+			if _, err := conn.Write(payload); err != nil {
+				return
+			}
 		}
-		payload = payload[:bytes]
-		binary.BigEndian.PutUint32(frame[:], uint32(bytes))
-		if _, err := conn.Write(frame[:]); err != nil {
+		if done {
+			binary.BigEndian.PutUint32(frame[:], 0)
+			conn.Write(frame[:])
 			return
 		}
-		if _, err := conn.Write(payload); err != nil {
-			return
-		}
-		// Pace: do not run ahead of consumption by more than one buffer.
-		time.Sleep(s.wall(s.cr.TimeToTransfer(fill)))
 	}
-	binary.BigEndian.PutUint32(frame[:], 0)
-	conn.Write(frame[:])
 }
 
-// diskService occupies the shared simulated disk for one fill: a sampled
-// seek and rotational delay plus the transfer, paced against the wall
-// clock by absolute target so overshoot never accumulates.
-func (s *server) diskService(fill vod.Bits) {
-	s.mu.Lock()
-	dl := s.spec.SeekTime(rand.Intn(s.spec.Cylinders)) +
-		vod.Seconds(rand.Float64())*s.spec.MaxRotational
-	now := float64(s.simNow())
-	if s.diskAt < now {
-		s.diskAt = now
-	}
-	s.diskAt += float64(dl + s.spec.TransferRate.TimeToTransfer(fill))
-	target := s.epoch.Add(s.wall(vod.Seconds(s.diskAt)).Truncate(0))
-	s.mu.Unlock()
-	if d := time.Until(target); d > 0 {
-		time.Sleep(d)
-	}
+// counters snapshots the admission tallies and the engine's live state
+// under the clock lock.
+func (srv *server) counters() (admitted, deferred, rejected, departed, inService, book int) {
+	srv.clock.Do(func() {
+		admitted = srv.tally.admitted
+		deferred = srv.tally.deferred
+		rejected = srv.tally.rejected
+		departed = srv.tally.departed
+		inService = srv.disk.InService()
+		book = srv.disk.BookLen()
+	})
+	return
 }
 
 // runSelfTest connects n viewers watching 20–90 simulated seconds each
-// and reports their startup latency and delivery.
-func runSelfTest(addr string, n int, scale float64, w io.Writer) error {
+// and reports their startup latency and delivery, then a summary of the
+// engine's admission accounting.
+func runSelfTest(srv *server, addr string, n int, w io.Writer) error {
 	type result struct {
 		id      int
 		watch   float64
@@ -274,7 +411,7 @@ func runSelfTest(addr string, n int, scale float64, w io.Writer) error {
 				res.bytes += int64(length)
 			}
 		}(i)
-		time.Sleep(time.Duration(float64(2*time.Second) / scale * 10)) // stagger
+		time.Sleep(time.Duration(float64(2*time.Second) / srv.clock.Scale() * 10)) // stagger
 	}
 	wg.Wait()
 
@@ -287,5 +424,17 @@ func runSelfTest(addr string, n int, scale float64, w io.Writer) error {
 		fmt.Fprintf(w, "%-8d %10.0f %14s %12d %s\n",
 			res.id, res.watch, res.startup.Round(time.Microsecond), res.bytes, status)
 	}
+
+	// Let the handlers' deferred cleanup drain before summarizing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, _, _, inService, _ := srv.counters(); inService == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	admitted, deferred, rejected, departed, inService, book := srv.counters()
+	fmt.Fprintf(w, "summary: admitted=%d deferred=%d rejected=%d departed=%d inservice=%d book=%d\n",
+		admitted, deferred, rejected, departed, inService, book)
 	return nil
 }

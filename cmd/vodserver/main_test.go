@@ -15,7 +15,10 @@ import (
 // time compression so tests finish quickly.
 func startTestServer(t *testing.T) (*server, string) {
 	t.Helper()
-	srv := newServer(600)
+	srv, err := newServer(600)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +62,20 @@ func watch(t *testing.T, addr string, seconds float64) int64 {
 	}
 }
 
+// drained waits until the engine holds no in-service streams.
+func drained(t *testing.T, srv *server) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, _, _, inService, _ := srv.counters(); inService == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, _, _, _, inService, _ := srv.counters()
+	t.Errorf("engine still holds %d in-service streams", inService)
+}
+
 func TestServerDeliversExactContent(t *testing.T) {
 	_, addr := startTestServer(t)
 	// 10 simulated seconds at 1.5 Mbps = 15 Mbit = 1,875,000 bytes.
@@ -79,15 +96,36 @@ func TestServerConcurrentViewers(t *testing.T) {
 			t.Errorf("viewer delivered %d bytes, want 937500", got)
 		}
 	}
-	// All sessions released.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if srv.ctl.InService() == 0 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
+	drained(t, srv)
+}
+
+// The server's tallies are fed by engine observer callbacks, so after all
+// viewers finish they must agree with the engine's own books: everyone
+// admitted has departed, and the inertia admission book is empty again.
+func TestServerCountsMatchAdmissionBook(t *testing.T) {
+	srv, addr := startTestServer(t)
+	const viewers = 3
+	done := make(chan int64, viewers)
+	for i := 0; i < viewers; i++ {
+		go func() { done <- watch(t, addr, 5) }()
 	}
-	t.Errorf("controller still holds %d sessions", srv.ctl.InService())
+	for i := 0; i < viewers; i++ {
+		<-done
+	}
+	drained(t, srv)
+	admitted, deferred, rejected, departed, inService, book := srv.counters()
+	if admitted != viewers || rejected != 0 {
+		t.Errorf("admitted=%d rejected=%d, want %d admitted and 0 rejected", admitted, rejected, viewers)
+	}
+	if departed != admitted {
+		t.Errorf("departed=%d, want every admitted stream (%d) departed", departed, admitted)
+	}
+	if inService != 0 || book != 0 {
+		t.Errorf("engine books not drained: inservice=%d book=%d", inService, book)
+	}
+	if deferred < 0 {
+		t.Errorf("deferred=%d", deferred)
+	}
 }
 
 func TestServerRejectsBadRequest(t *testing.T) {
@@ -107,12 +145,33 @@ func TestServerRejectsBadRequest(t *testing.T) {
 }
 
 func TestRunSelfTest(t *testing.T) {
-	_, addr := startTestServer(t)
+	srv, addr := startTestServer(t)
 	var out strings.Builder
-	if err := runSelfTest(addr, 3, 600, &out); err != nil {
+	if err := runSelfTest(srv, addr, 3, &out); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.Count(out.String(), " ok"); got != 3 {
 		t.Errorf("self test ok lines = %d, want 3\n%s", got, out.String())
+	}
+	// The summary line reports the engine's admission accounting.
+	var admitted, deferred, rejected, departed, inService, book int
+	sum := out.String()[strings.Index(out.String(), "summary:"):]
+	if _, err := fmt.Sscanf(sum, "summary: admitted=%d deferred=%d rejected=%d departed=%d inservice=%d book=%d",
+		&admitted, &deferred, &rejected, &departed, &inService, &book); err != nil {
+		t.Fatalf("unparsable summary %q: %v", strings.TrimSpace(sum), err)
+	}
+	if admitted != 3 || departed != 3 || inService != 0 || book != 0 {
+		t.Errorf("summary admitted=%d departed=%d inservice=%d book=%d, want 3/3/0/0", admitted, departed, inService, book)
+	}
+}
+
+// run wires flags, the server, and the self test together end to end.
+func TestRunSelfTestFlag(t *testing.T) {
+	var out, errs strings.Builder
+	if code := run([]string{"-listen", "127.0.0.1:0", "-scale", "600", "-selftest", "2"}, &out, &errs); code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, errs.String())
+	}
+	if got := strings.Count(out.String(), " ok"); got != 2 {
+		t.Errorf("ok lines = %d, want 2\n%s", got, out.String())
 	}
 }

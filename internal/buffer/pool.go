@@ -30,11 +30,12 @@ type Pool struct {
 	// order lists states in a deterministic order (attach order with
 	// swap-removal) so Usage sums floats identically across runs; map
 	// iteration order would make high-water marks seed-dependent.
-	order     []*state
-	underruns int
-	starved   si.Seconds
-	highWater si.Bits
-	highAt    si.Seconds
+	order      []*state
+	underruns  int
+	starved    si.Seconds
+	highWater  si.Bits
+	highAt     si.Seconds
+	onUnderrun func(now, gap si.Seconds)
 }
 
 type state struct {
@@ -93,6 +94,12 @@ func (p *Pool) footprint(bits si.Bits) si.Bits {
 	pages := si.Bits(int64((bits + p.page - 1) / p.page))
 	return pages * p.page
 }
+
+// SetUnderrunFunc installs a per-pool underrun callback, invoked with the
+// detection time and the starvation gap on every underrun. Unlike the
+// global DebugUnderruns hook, it is owner-scoped: the engine routes it to
+// its Observer so live instrumentation never crosses pools.
+func (p *Pool) SetUnderrunFunc(fn func(now, gap si.Seconds)) { p.onUnderrun = fn }
 
 // PageSize reports the allocation granularity (0 = exact).
 func (p *Pool) PageSize() si.Bits { return p.page }
@@ -153,6 +160,9 @@ func (p *Pool) drain(s *state, now si.Seconds) {
 		if gap := now - s.emptyAt; gap > UnderrunTolerance {
 			p.underruns++
 			p.starved += gap
+			if p.onUnderrun != nil {
+				p.onUnderrun(now, gap)
+			}
 			if DebugUnderruns != nil {
 				DebugUnderruns(now, gap)
 			}

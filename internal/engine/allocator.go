@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/si"
+)
+
+// Allocator is a buffer allocation scheme: how large the next buffer is,
+// what size worst-case service planning should assume, and whether the
+// scheme's admission rules allow one more request. The paper's three
+// schemes — static (Section 2.3), dynamic (Section 3, the contribution),
+// and the naive strawman (Section 3.1) — plus the DYBASE precursor are
+// provided; an Allocator is chosen per engine System via Config.
+//
+// Size may record per-allocation bookkeeping on the disk (the dynamic
+// scheme's inertia snapshot and prediction-success entry); Admit and
+// PlanSize must not mutate anything other than the disk's k_log cache.
+type Allocator interface {
+	// Size computes the buffer size for the next service of st when n
+	// requests are in service, recording whatever bookkeeping the scheme
+	// needs (inertia snapshots, prediction estimates).
+	Size(d *Disk, st *Stream, n int) si.Bits
+	// PlanSize is the buffer size worst-case service planning assumes at
+	// load n — the term feeding the lazy-start and admission cushions.
+	PlanSize(d *Disk, n int) si.Bits
+	// Admit reports whether the scheme's runtime enforcement allows
+	// admitting one more request when n are in service. Capacity (n < N)
+	// is checked by the engine; this is the scheme-specific rule
+	// (Assumption 1 for the dynamic scheme, always true otherwise).
+	Admit(d *Disk, n int) bool
+}
+
+// StaticAllocator always allocates the full-load buffer size BS(N)
+// (Section 2.3): correct at any load, maximally wasteful below full load.
+type StaticAllocator struct{}
+
+func (StaticAllocator) Size(d *Disk, st *Stream, n int) si.Bits { return d.sys.staticSize }
+func (StaticAllocator) PlanSize(d *Disk, n int) si.Bits         { return d.sys.staticSize }
+func (StaticAllocator) Admit(d *Disk, n int) bool               { return true }
+
+// DynamicAllocator is the paper's predict-and-enforce scheme (Section 3):
+// buffers sized by Theorem 1 for the current load n and the estimate kc of
+// near-future additional requests, with the inertia snapshot recorded for
+// runtime enforcement and violating admissions deferred (Fig. 5).
+type DynamicAllocator struct{}
+
+func (DynamicAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
+	kc := d.Estimate(n)
+	size := d.sys.sizeFor(d, n, kc)
+	d.book.Set(st.id, core.Allocation{N: n, K: kc})
+	d.recordEstimate(size, kc)
+	return size
+}
+
+func (DynamicAllocator) PlanSize(d *Disk, n int) si.Bits {
+	// Plan with the Assumption-2 worst future prediction: no service in
+	// the batch can allocate with k above min_i(k_i) + alpha (that is what
+	// the estimator enforces), exactly the headroom the recurrence's
+	// BS_{k+alpha} term models.
+	k := d.book.MinK()
+	if k > 2*d.sys.params.N {
+		k = d.Estimate(n) // empty book: fall back to the estimate
+	}
+	k += d.sys.params.Alpha
+	return d.sys.sizeFor(d, n, k)
+}
+
+func (DynamicAllocator) Admit(d *Disk, n int) bool {
+	return core.Admit(d.book, n, d.sys.params.N)
+}
+
+// NaiveAllocator is the flawed strawman of Section 3.1: Eq. 5 evaluated at
+// n+k with no recurrence and no enforcement. It underruns under rising
+// load — the failure (Fig. 3) that motivates the dynamic scheme.
+type NaiveAllocator struct{}
+
+func (NaiveAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
+	kc := d.Estimate(n)
+	size := d.sys.naiveSizeFor(n, kc)
+	d.recordEstimate(size, kc)
+	return size
+}
+
+func (NaiveAllocator) PlanSize(d *Disk, n int) si.Bits {
+	return d.sys.naiveSizeFor(n, d.Estimate(n))
+}
+
+func (NaiveAllocator) Admit(d *Disk, n int) bool { return true }
+
+// DybaseAllocator sizes by the DYBASE recurrence (the paper's cited
+// precursor, Information Sciences 137, 2001): Theorem 1's chain with k
+// held constant instead of growing by alpha per step, and no runtime
+// enforcement. It sits between the naive and dynamic schemes and exists
+// for comparison runs.
+type DybaseAllocator struct{}
+
+func (DybaseAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
+	kc := d.Estimate(n)
+	size := d.sys.dybaseSizeFor(n, kc)
+	d.recordEstimate(size, kc)
+	return size
+}
+
+func (DybaseAllocator) PlanSize(d *Disk, n int) si.Bits {
+	return d.sys.dybaseSizeFor(n, d.Estimate(n))
+}
+
+func (DybaseAllocator) Admit(d *Disk, n int) bool { return true }

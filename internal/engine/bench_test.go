@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"testing"
@@ -6,10 +6,10 @@ import (
 	"repro/internal/si"
 )
 
-func BenchmarkEngineScheduleRun(b *testing.B) {
+func BenchmarkVirtualClockScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e := NewEngine()
+		e := NewVirtualClock()
 		for j := 0; j < 1000; j++ {
 			at := si.Seconds((j * 7919) % 1000)
 			e.Schedule(at, func() {})
@@ -18,8 +18,8 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 }
 
-func BenchmarkEngineNestedEvents(b *testing.B) {
-	e := NewEngine()
+func BenchmarkVirtualClockNestedEvents(b *testing.B) {
+	e := NewVirtualClock()
 	count := 0
 	var tick func()
 	tick = func() {

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/si"
+)
+
+// Clock abstracts time for the streaming runtime. The engine never reads
+// time.Now or sleeps; it asks its Clock for the current instant and
+// schedules callbacks at future instants. Two implementations exist:
+//
+//   - VirtualClock, a discrete-event loop whose time jumps from event to
+//     event. The simulator (internal/sim) uses it to replay a day of
+//     arrivals in milliseconds with perfectly reproducible results.
+//   - WallClock, real time scaled by a constant factor. The live server
+//     (cmd/vodserver) uses it so the same service loop paces actual
+//     deliveries.
+//
+// A Clock implementation must run callbacks one at a time: the engine's
+// per-disk state is synchronized only by this serialization (the
+// VirtualClock is single-threaded; the WallClock holds a mutex across
+// every callback).
+type Clock interface {
+	// Now reports the current time.
+	Now() si.Seconds
+	// Schedule registers fn to run at time at and returns a handle for
+	// cancellation. Scheduling into the past is a programming error for
+	// the virtual clock; the wall clock clamps it to "immediately".
+	Schedule(at si.Seconds, fn func()) Timer
+	// After schedules fn to run delay from now.
+	After(delay si.Seconds, fn func()) Timer
+}
+
+// Timer is a scheduled callback handle. Cancel it to make it a no-op.
+type Timer interface {
+	// Cancel prevents the callback from running. Canceling an already
+	// fired or canceled timer is a no-op.
+	Cancel()
+}
+
+// VirtualClock is a virtual-time discrete-event loop. Callbacks scheduled
+// at a time run in time order; ties run in scheduling order, which keeps
+// runs deterministic.
+type VirtualClock struct {
+	now    si.Seconds
+	events eventHeap
+	seq    int64
+}
+
+// Event is a callback scheduled on a VirtualClock. Cancel it to make it a
+// no-op.
+type Event struct {
+	at       si.Seconds
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap position, -1 once popped
+}
+
+// Cancel prevents the event's callback from running. Canceling an already
+// fired or canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// NewVirtualClock returns a virtual clock with the time at zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now reports the current virtual time.
+func (e *VirtualClock) Now() si.Seconds { return e.now }
+
+// Schedule registers fn to run at time at, which must not precede the
+// current time. It returns a handle for cancellation.
+func (e *VirtualClock) Schedule(at si.Seconds, fn func()) Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: scheduling into the past (%v < %v)", at, e.now))
+	}
+	if fn == nil {
+		panic("engine: scheduling a nil callback")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run delay from now.
+func (e *VirtualClock) After(delay si.Seconds, fn func()) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("engine: negative delay %v", delay))
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue empties or the clock passes until.
+// Events scheduled exactly at until still run.
+func (e *VirtualClock) Run(until si.Seconds) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending reports the number of events still queued (including canceled
+// ones not yet drained).
+func (e *VirtualClock) Pending() int { return len(e.events) }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,511 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// Stream is one admitted request being serviced by a disk.
+type Stream struct {
+	id         int
+	req        workload.Request
+	place      catalog.Placement
+	nAtArrival int        // requests in service at its arrival (Fig. 11's x-axis)
+	required   si.Bits    // total data the user will consume: CR · viewing
+	delivered  si.Bits    // data read from disk so far
+	size       si.Bits    // most recent allocated buffer size
+	lastFill   si.Bits    // amount of the in-flight or most recent fill
+	deadline   si.Seconds // cached pool EmptyAt, refreshed at each fill
+	lastFillAt si.Seconds // completion time of the most recent fill
+	firstFill  si.Seconds
+	started    bool // first fill has landed
+	active     bool // still owned by the disk
+	doomed     bool // departed mid-service; remove at completion
+	group      int  // GSS group index
+}
+
+// ID returns the stream's request ID.
+func (st *Stream) ID() int { return st.id }
+
+// Req returns the request the stream serves.
+func (st *Stream) Req() workload.Request { return st.req }
+
+// NAtArrival reports how many requests were in service on the stream's
+// disk when it arrived (Fig. 11's x-axis).
+func (st *Stream) NAtArrival() int { return st.nAtArrival }
+
+// Required is the total data the viewer will consume: CR · viewing time.
+func (st *Stream) Required() si.Bits { return st.required }
+
+// Delivered is the data read from disk so far (including the in-flight
+// fill once it has been issued).
+func (st *Stream) Delivered() si.Bits { return st.delivered }
+
+// Size is the stream's most recently allocated buffer size.
+func (st *Stream) Size() si.Bits { return st.size }
+
+// Started reports whether the stream's first fill has landed.
+func (st *Stream) Started() bool { return st.started }
+
+// needService reports whether the stream still has data to fetch.
+func (st *Stream) needService() bool {
+	return st.active && st.delivered < st.required
+}
+
+// queued is an accepted request waiting for admission (deferral under the
+// dynamic scheme's enforcement, or simply for the next service slot).
+type queued struct {
+	req        workload.Request
+	nAtArrival int
+}
+
+// estEntry is a pending prediction check: at start a buffer was allocated
+// with kc estimated additional requests over its usage period; once the
+// period closes, the estimate is compared with actual arrivals.
+type estEntry struct {
+	start, end si.Seconds
+	kc         int
+}
+
+// Disk runs one disk's streaming service: its scheduler, allocator
+// bookkeeping, admission control, and buffer pool.
+type Disk struct {
+	sys   *System
+	id    int
+	clock Clock
+	disk  *diskmodel.Disk
+	pool  *buffer.Pool
+
+	streams []*Stream
+	queue   []queued
+	book    *core.Book
+	est     *core.Estimator
+
+	sched Scheduler
+
+	busy    bool
+	current *Stream
+	wake    Timer
+
+	// k_log caching: the two-pointer window scan is recomputed only when
+	// new arrivals landed or the cache is older than klogRefresh.
+	kcDirty   bool
+	klogCache int
+	klogAt    si.Seconds
+
+	lastPeriod si.Seconds // usage period of the last allocated buffer
+
+	// arrival histories: arrivals feeds k_log (every arrival, as the
+	// estimator sees the raw stream); estArrivals feeds estimation-success
+	// accounting and holds only arrivals the system accepts — a request
+	// rejected outright at capacity is never serviced, so it is not an
+	// "additional request" the prediction needs to cover.
+	arrivals    []si.Seconds
+	estArrivals []si.Seconds
+	pending     []estEntry
+
+	// scratch buffers reused across dispatches.
+	deadlineScratch []float64
+}
+
+// klogRefresh bounds how stale the cached k_log may get between arrivals:
+// the window only slides, so k_log can only decrease while no arrivals
+// come, and a short staleness is harmless.
+const klogRefresh = si.Seconds(10)
+
+func newDisk(sys *System, id int) *Disk {
+	d := &Disk{
+		sys:   sys,
+		id:    id,
+		clock: sys.clock,
+		disk:  diskmodel.NewDisk(sys.cfg.Spec, sys.cfg.Seed*1000003+int64(id)),
+		pool:  buffer.NewPagedPool(0, sys.cfg.PageSize),
+		book:  core.NewBook(),
+		est:   core.NewEstimator(sys.cfg.TLog),
+	}
+	// A sane initial period guess: the usage period of the smallest
+	// dynamic buffer. Updated at every allocation.
+	d.lastPeriod = sys.params.UsagePeriod(sys.sizeFor(d, 1, sys.params.Alpha))
+	if sys.cfg.NewScheduler != nil {
+		d.sched = sys.cfg.NewScheduler(d)
+	} else {
+		d.sched = NewScheduler(d)
+	}
+	d.pool.SetUnderrunFunc(func(now, gap si.Seconds) {
+		sys.obs.OnUnderrun(d.id, now, gap)
+	})
+	return d
+}
+
+func (d *Disk) now() si.Seconds { return d.clock.Now() }
+
+// ID reports the disk's index in the system.
+func (d *Disk) ID() int { return d.id }
+
+// n reports the number of requests in service on this disk.
+func (d *Disk) n() int { return len(d.streams) }
+
+// InService reports the number of requests in service on this disk.
+func (d *Disk) InService() int { return len(d.streams) }
+
+// QueueLen reports accepted requests still waiting for admission.
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// committed reports requests in service plus accepted-but-deferred ones,
+// the count capacity rejection uses.
+func (d *Disk) committed() int { return len(d.streams) + len(d.queue) }
+
+// Committed reports requests in service plus accepted-but-deferred ones.
+func (d *Disk) Committed() int { return len(d.streams) + len(d.queue) }
+
+// BookLen reports the number of inertia-book entries (dynamic scheme).
+func (d *Disk) BookLen() int { return d.book.Len() }
+
+// Pool returns the disk's buffer pool.
+func (d *Disk) Pool() *buffer.Pool { return d.pool }
+
+// DiskStats returns the disk model's operation counters.
+func (d *Disk) DiskStats() diskmodel.ReadStats { return d.disk.Stats() }
+
+// Streams returns the streams in service, in admission order. The slice
+// is the disk's own — callers must not mutate it.
+func (d *Disk) Streams() []*Stream { return d.streams }
+
+// onArrival handles a request arriving at this disk: record it for the
+// estimator, reject it when the disk or the admission gate is full, else
+// accept it into the deferral queue and try to dispatch.
+func (d *Disk) onArrival(req workload.Request) {
+	now := d.now()
+	d.arrivals = append(d.arrivals, now)
+	d.est.RecordArrival(now)
+	d.kcDirty = true
+	d.resolveEstimates(now)
+
+	if d.committed() >= d.sys.params.N {
+		d.sys.obs.OnReject(d.id, req, RejectCapacity, now)
+		return
+	}
+	if g := d.sys.gate; g != nil && !g.TryAdmit(d) {
+		d.sys.obs.OnReject(d.id, req, RejectMemory, now)
+		return
+	}
+	d.estArrivals = append(d.estArrivals, now)
+	d.queue = append(d.queue, queued{req: req, nAtArrival: d.n()})
+	d.dispatch()
+}
+
+// Cancel withdraws a request by ID, whether it is still queued for
+// admission or already in service. The live driver uses it for viewers
+// that hang up or time out; the simulator never cancels, so simulation
+// schedules are unaffected.
+func (d *Disk) Cancel(id int) {
+	for i, q := range d.queue {
+		if q.req.ID == id {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			if g := d.sys.gate; g != nil {
+				g.Release(d)
+			}
+			return
+		}
+	}
+	for _, st := range d.streams {
+		if st.id == id {
+			d.depart(st)
+			return
+		}
+	}
+}
+
+// admitFromQueue moves accepted requests into service while the scheme's
+// admission control allows it.
+func (d *Disk) admitFromQueue() {
+	for len(d.queue) > 0 {
+		n := d.n()
+		if n >= d.sys.params.N {
+			return
+		}
+		if !d.sys.cfg.Allocator.Admit(d, n) {
+			d.sys.obs.OnDefer(d.id, d.now())
+			return
+		}
+		q := d.queue[0]
+		d.queue = d.queue[:copy(d.queue, d.queue[1:])]
+		st := &Stream{
+			id:         q.req.ID,
+			req:        q.req,
+			place:      d.sys.cfg.Library.Placement(q.req.Video),
+			nAtArrival: q.nAtArrival,
+			required:   maxBits(d.sys.cfg.CR.DataIn(q.req.Viewing), 1),
+			deadline:   d.now(), // fresh: due immediately
+			firstFill:  -1,
+			active:     true,
+		}
+		d.streams = append(d.streams, st)
+		d.pool.Attach(st.id, d.sys.cfg.CR, d.now())
+		d.sched.Admit(st)
+		d.sys.obs.OnAdmit(d.id, st, d.now())
+	}
+}
+
+// removeStream detaches a departed stream from every structure and frees
+// its capacity.
+func (d *Disk) removeStream(st *Stream) {
+	if !st.active {
+		return
+	}
+	st.active = false
+	d.pool.Detach(st.id, d.now())
+	d.book.Remove(st.id)
+	for i, o := range d.streams {
+		if o == st {
+			d.streams = append(d.streams[:i], d.streams[i+1:]...)
+			break
+		}
+	}
+	d.sched.Remove(st)
+	d.sys.obs.OnDepart(d.id, st, d.now())
+	if g := d.sys.gate; g != nil {
+		g.Release(d)
+	}
+	d.dispatch()
+}
+
+// dispatch is the disk's main decision point: admit what the scheduler's
+// timing allows, pick the next service, and either start it, sleep until
+// its lazy start time, or go idle.
+func (d *Disk) dispatch() {
+	if d.busy {
+		return
+	}
+	if d.wake != nil {
+		d.wake.Cancel()
+		d.wake = nil
+	}
+	if d.sched.CanAdmit() {
+		d.admitFromQueue()
+	}
+	st, startAt := d.sched.Next(d.now())
+	if st == nil {
+		return // idle: the next arrival or departure re-dispatches
+	}
+	if startAt > d.now() {
+		d.wake = d.clock.Schedule(startAt, d.dispatch)
+		return
+	}
+	d.beginService(st)
+}
+
+// beginService allocates the buffer for st per the configured scheme and
+// starts the disk read.
+func (d *Disk) beginService(st *Stream) {
+	now := d.now()
+	n := d.n()
+	size := d.sys.cfg.Allocator.Size(d, st, n)
+	st.size = size
+	fill := size
+	if rem := st.required - st.delivered; fill > rem {
+		fill = rem
+	}
+	// Use-it-and-toss-it: the buffer never holds more than one allocation;
+	// a refill only replenishes what the stream has consumed. A member
+	// swept early may need nothing at all — skip the disk entirely.
+	if room := size - d.pool.Level(st.id, now); fill > room {
+		fill = room
+	}
+	if fill <= 0 {
+		d.sched.OnServiced(st)
+		d.dispatch()
+		return
+	}
+	cyl := d.sys.cfg.Spec.CylinderOf(st.place.DiskOffset(st.delivered, fill))
+	if !d.pool.BeginFill(st.id, fill, now) {
+		// Only possible with a hard pool budget (not used by System runs,
+		// which admit by formula); retry shortly and count the stall.
+		d.sys.obs.OnStall(d.id, now)
+		d.wake = d.clock.After(d.sys.cfg.Spec.MaxRotational, d.dispatch)
+		return
+	}
+	st.delivered += fill
+	st.lastFill = fill
+	dur := d.disk.Read(cyl, fill)
+	d.busy = true
+	d.current = st
+	d.sys.obs.OnFill(d.id, st, now, dur, fill, d.pool.EmptyAt(st.id))
+	d.clock.After(dur, func() { d.completeService(st) })
+}
+
+// completeService lands the fill, records first-fill latency, schedules
+// the departure, and moves on.
+func (d *Disk) completeService(st *Stream) {
+	now := d.now()
+	d.pool.CompleteFill(st.id, now)
+	st.deadline = d.pool.EmptyAt(st.id)
+	st.lastFillAt = now
+	d.busy = false
+	d.current = nil
+	d.sys.obs.OnFillComplete(d.id, st, st.lastFill, now)
+	if !st.started {
+		st.started = true
+		st.firstFill = now
+		d.sys.obs.OnStart(d.id, st, now)
+		d.clock.Schedule(now+st.req.Viewing, func() { d.depart(st) })
+	}
+	d.sched.OnServiced(st)
+	if st.doomed {
+		st.doomed = false
+		d.removeStream(st)
+		return // removeStream dispatched already
+	}
+	d.dispatch()
+}
+
+// depart handles the end of a request's viewing time.
+func (d *Disk) depart(st *Stream) {
+	if !st.active {
+		return
+	}
+	if d.current == st {
+		st.doomed = true // finish the in-flight service first
+		return
+	}
+	d.removeStream(st)
+}
+
+// recordEstimate logs a (kc, usage period) pair for later success checking
+// and refreshes the rolling period estimate.
+func (d *Disk) recordEstimate(size si.Bits, kc int) {
+	now := d.now()
+	t := d.sys.params.UsagePeriod(size)
+	d.lastPeriod = t
+	d.pending = append(d.pending, estEntry{start: now, end: now + t, kc: kc})
+	d.sys.obs.OnEstimate(d.id, kc, size, now)
+}
+
+// Estimate computes kc per Fig. 5 Step 4, exactly as the paper states it:
+// min(k_log + alpha, min_i(k_i) + alpha), with the k_log window scan
+// cached between arrivals. kc is not clamped to the spare capacity — the
+// sizing table saturates at full load for any k >= N−n (the recurrence
+// chain clamps at N), and clamping the prediction itself would starve the
+// inertia book of realistic snapshots under heavy load.
+func (d *Disk) Estimate(n int) int {
+	now := d.now()
+	if d.kcDirty || now-d.klogAt > klogRefresh {
+		d.klogCache = d.est.KLog(now, d.lastPeriod)
+		d.klogAt = now
+		d.kcDirty = false
+	}
+	p := d.sys.params
+	kc := d.klogCache + p.Alpha
+	if minK := d.book.MinK(); minK <= 2*p.N {
+		if ceil := minK + p.Alpha; ceil < kc {
+			kc = ceil
+		}
+	}
+	if kc < 0 {
+		kc = 0
+	}
+	return kc
+}
+
+// ResolveEstimates settles prediction checks whose window has closed:
+// an estimate succeeds when kc is at least the number of actual arrivals
+// within the usage period (Section 5.1's "successful estimation").
+func (d *Disk) ResolveEstimates(now si.Seconds) { d.resolveEstimates(now) }
+
+func (d *Disk) resolveEstimates(now si.Seconds) {
+	i := 0
+	for ; i < len(d.pending); i++ {
+		e := d.pending[i]
+		if e.end > now {
+			break
+		}
+		actual := d.countArrivals(e.start, e.end)
+		d.sys.obs.OnEstimateResolved(d.id, e.kc >= actual, now)
+	}
+	if i > 0 {
+		d.pending = append(d.pending[:0], d.pending[i:]...)
+	}
+}
+
+// countArrivals counts accepted arrivals in (lo, hi] by binary search
+// over the in-order log.
+func (d *Disk) countArrivals(lo, hi si.Seconds) int {
+	a := d.estArrivals
+	i := sort.Search(len(a), func(i int) bool { return a[i] > lo })
+	j := sort.Search(len(a), func(i int) bool { return a[i] > hi })
+	return j - i
+}
+
+// worstService bounds the duration of one service at load n: the method's
+// worst disk latency plus the transfer of the size the allocator would
+// plan for right now.
+func (d *Disk) worstService(n int) si.Seconds {
+	if n < 1 {
+		n = 1
+	}
+	size := d.sys.cfg.Allocator.PlanSize(d, n)
+	return d.sys.cfg.Method.WorstDL(d.sys.cfg.Spec, n) + d.sys.cfg.Spec.TransferRate.TimeToTransfer(size)
+}
+
+// deadlineOf reports when a stream's buffer runs dry (fresh streams are
+// due immediately). It reads the cached value refreshed at each fill,
+// saving a pool lookup on every scheduling decision.
+func (d *Disk) deadlineOf(st *Stream) si.Seconds { return st.deadline }
+
+// roomAt reports the earliest time a refill of st is worthwhile: when the
+// buffer has drained to a quarter of its last allocation. Scheduling
+// cushions must never outpace consumption — for tiny dynamic buffers the
+// cushion can exceed a whole usage period, and without this floor the
+// scheduler would spin refilling already-full buffers.
+func (d *Disk) roomAt(st *Stream) si.Seconds {
+	if st.size <= 0 {
+		return 0 // fresh stream: fillable immediately
+	}
+	return d.deadlineOf(st) - si.Seconds(0.75*float64(d.sys.params.UsagePeriod(st.size)))
+}
+
+// lazyMarginServices is the safety cushion applied to lazy starts,
+// measured in worst-case service times. Perfectly just-in-time refilling
+// leaves no room to absorb a newly admitted stream's immediate first fill
+// (the real Fixed-Stretch/BubbleUp schedule keeps that room as free
+// slots); refilling two services early restores it at a memory cost of
+// 2·w·CR per stream, a couple of percent of a buffer.
+const lazyMarginServices = 2
+
+// latestStart computes the safe lazy start for servicing a batch of
+// streams sequentially when the service order may be adversarial with
+// respect to deadlines: every deadline d_(i) (sorted ascending) must allow
+// i services of duration w first, so start <= min_i(d_(i) − i·w), minus
+// the safety cushion.
+func (d *Disk) latestStart(deadlines []float64, w si.Seconds) si.Seconds {
+	sort.Float64s(deadlines)
+	best := si.Seconds(deadlines[0]) - w
+	for i, dl := range deadlines {
+		if cand := si.Seconds(dl) - si.Seconds(i+1)*w; cand < best {
+			best = cand
+		}
+	}
+	return best - lazyMarginServices*w
+}
+
+func maxBits(a, b si.Bits) si.Bits {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sanity check helper used in tests.
+func (d *Disk) invariants() error {
+	if len(d.streams) > d.sys.params.N {
+		return fmt.Errorf("engine: disk %d exceeds N with %d streams", d.id, len(d.streams))
+	}
+	return nil
+}

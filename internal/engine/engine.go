@@ -1,0 +1,211 @@
+// Package engine is the clock-abstracted streaming runtime of the
+// reproduction: the scheme-agnostic machinery that admits requests, sizes
+// and schedules buffer fills, paces disk reads, and enforces the paper's
+// predict-and-enforce dynamic allocation — independent of whether time is
+// virtual or real.
+//
+// The engine is deliberately a library with two drivers:
+//
+//   - internal/sim feeds it a workload.Trace under a VirtualClock and
+//     collects a Result through an Observer — the discrete-event
+//     simulation reproducing the paper's evaluation (Section 5).
+//   - cmd/vodserver feeds it live TCP requests under a WallClock and
+//     relays completed fills to viewers — a real server running the very
+//     same admission/allocation code the experiments validate.
+//
+// The pluggable pieces are the Clock (virtual or scaled wall time), the
+// Scheduler (Round-Robin/BubbleUp, Sweep*, GSS* — Section 2.2), the
+// Allocator (static, dynamic, naive, DYBASE — Sections 2.3 and 3), the
+// Observer instrumentation fan-out, and an optional admission Gate (the
+// capacity experiments' shared-memory governor). Everything else — the
+// per-disk service loop, the deferral queue, the prediction-estimate
+// bookkeeping — is the invariant core.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// Gate is an optional admission hook consulted after capacity: the
+// capacity experiments' shared-memory governor reserves the analytical
+// minimum memory for a disk's committed load and rejects arrivals whose
+// reservation would exceed the budget (Figs. 13-14).
+type Gate interface {
+	// TryAdmit attempts to reserve resources for one more committed
+	// request on d's disk; false rejects the arrival.
+	TryAdmit(d *Disk) bool
+	// Release refreshes d's reservation after a departure.
+	Release(d *Disk)
+}
+
+// Config parameterizes an engine System.
+type Config struct {
+	// Clock supplies time and callback scheduling. Required.
+	Clock Clock
+
+	// Allocator is the buffer allocation scheme. Required.
+	Allocator Allocator
+
+	// Method selects the buffer scheduling method (Section 2.2). The
+	// default Scheduler factory maps it to Round-Robin/Sweep*/GSS*.
+	Method sched.Method
+
+	// NewScheduler overrides the Scheduler a disk runs; nil uses the
+	// method's standard implementation.
+	NewScheduler func(*Disk) Scheduler
+
+	// Spec is the disk model; every disk in the system is identical.
+	Spec diskmodel.Spec
+
+	// CR is the streams' consumption rate.
+	CR si.BitRate
+
+	// Alpha is the dynamic scheme's inertia slack (>= 1).
+	Alpha int
+
+	// TLog is the arrival-history window for k estimation.
+	TLog si.Seconds
+
+	// Library provides titles, placement, and the disk count.
+	Library *catalog.Library
+
+	// PageSize accounts buffer memory in whole pages of this size
+	// (0 = exact variable-length accounting, the paper's simplification).
+	PageSize si.Bits
+
+	// DisableBubbleUp runs the Round-Robin method as plain Fixed-Stretch
+	// (Section 2.2.1). Ignored by Sweep* and GSS*.
+	DisableBubbleUp bool
+
+	// Seed feeds the disks' rotational-delay streams.
+	Seed int64
+
+	// Observer receives instrumentation callbacks; nil observes nothing.
+	Observer Observer
+
+	// Gate, when set, is consulted on every arrival after the capacity
+	// check and released on departures.
+	Gate Gate
+}
+
+// System is a group of disks sharing one clock, allocator, and parameter
+// set — the runtime a driver feeds requests into.
+type System struct {
+	cfg        Config
+	clock      Clock
+	obs        Observer
+	gate       Gate
+	params     core.Params
+	table      *core.Table
+	staticSize si.Bits
+	disks      []*Disk
+}
+
+// New builds a System: derives the sizing parameters from the disk and
+// consumption rate (Eq. 1), precomputes the dynamic size table
+// (Section 3.3), and creates one Disk per library disk.
+func New(cfg Config) (*System, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("engine: config needs a clock")
+	}
+	if cfg.Allocator == nil {
+		return nil, fmt.Errorf("engine: config needs an allocator")
+	}
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("engine: config needs a library")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Method.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CR <= 0 || cfg.CR >= cfg.Spec.TransferRate {
+		return nil, fmt.Errorf("engine: consumption rate %v outside (0, TR)", cfg.CR)
+	}
+	if cfg.TLog <= 0 {
+		return nil, fmt.Errorf("engine: non-positive TLog %v", cfg.TLog)
+	}
+	sys := &System{cfg: cfg, clock: cfg.Clock, gate: cfg.Gate}
+	sys.obs = cfg.Observer
+	if sys.obs == nil {
+		sys.obs = NopObserver{}
+	}
+	sys.params = core.Params{
+		TR:    cfg.Spec.TransferRate,
+		CR:    cfg.CR,
+		N:     core.DeriveN(cfg.Spec.TransferRate, cfg.CR),
+		Alpha: cfg.Alpha,
+	}
+	if err := sys.params.Validate(); err != nil {
+		return nil, err
+	}
+	sys.table = core.NewTable(sys.params, cfg.Method.DLModel(cfg.Spec))
+	sys.staticSize = sys.params.StaticSize(cfg.Method.WorstDL(cfg.Spec, sys.params.N), sys.params.N)
+	// A chunked library must be able to serve the largest buffer the
+	// server will ever allocate from a single chunk.
+	if maxRead := cfg.Library.MaxRead(); maxRead < sys.staticSize {
+		return nil, fmt.Errorf("engine: library max read %v below the largest buffer %v — rebuild the library with a larger MaxRead",
+			maxRead, sys.staticSize)
+	}
+	for d := 0; d < cfg.Library.Disks(); d++ {
+		sys.disks = append(sys.disks, newDisk(sys, d))
+	}
+	return sys, nil
+}
+
+// SetGate installs an admission gate. It must be set before the system
+// processes arrivals (the simulator's governor needs the built System, so
+// it cannot ride in on the Config).
+func (sys *System) SetGate(g Gate) { sys.gate = g }
+
+// Clock returns the system's clock.
+func (sys *System) Clock() Clock { return sys.clock }
+
+// Params returns the sizing parameters (TR, CR, N, alpha).
+func (sys *System) Params() core.Params { return sys.params }
+
+// StaticSize returns the full-load buffer size BS(N).
+func (sys *System) StaticSize() si.Bits { return sys.staticSize }
+
+// Table returns the precomputed dynamic sizing table.
+func (sys *System) Table() *core.Table { return sys.table }
+
+// Disks reports the number of disks.
+func (sys *System) Disks() int { return len(sys.disks) }
+
+// Disk returns the i'th disk.
+func (sys *System) Disk(i int) *Disk { return sys.disks[i] }
+
+// OnArrival routes a request to the disk holding its title and runs the
+// arrival protocol: record for prediction, reject at capacity or by the
+// gate, else queue for admission and dispatch.
+func (sys *System) OnArrival(req workload.Request) {
+	sys.disks[req.Disk].onArrival(req)
+}
+
+// sizeFor returns the dynamic buffer size for a disk at load (n, k).
+// The receiver disk is unused today (all disks share one table) but
+// keeps the call sites ready for per-disk heterogeneity.
+func (sys *System) sizeFor(_ *Disk, n, k int) si.Bits { return sys.table.Size(n, k) }
+
+// naiveSizeFor evaluates the naive scheme's Eq. 5 at n+k with the
+// method's current-load disk latency.
+func (sys *System) naiveSizeFor(n, k int) si.Bits {
+	dl := sys.cfg.Method.WorstDL(sys.cfg.Spec, n)
+	return sys.params.NaiveSize(dl, n, k)
+}
+
+// dybaseSizeFor evaluates the DYBASE recurrence at (n, k) with the
+// method's current-load disk latency.
+func (sys *System) dybaseSizeFor(n, k int) si.Bits {
+	dl := sys.cfg.Method.WorstDL(sys.cfg.Spec, n)
+	return sys.params.DybaseSize(dl, n, k)
+}

@@ -1,69 +1,75 @@
-package sim
+package engine
 
 import (
 	"repro/internal/sched"
 	"repro/internal/si"
 )
 
-// policy is the method-specific part of a disk server: when new requests
-// may be admitted, which stream is serviced next, and how late that
-// service may start.
+// Scheduler is the method-specific part of a disk: when new requests may
+// be admitted, which stream is serviced next, and how late that service
+// may start. It realises the paper's buffer scheduling methods
+// (Section 2.2): Round-Robin with BubbleUp, Sweep*, and GSS*.
 //
 // All three implementations schedule lazily — a service starts as late as
 // the batch's deadlines safely allow — which is what gives Sweep* and
 // GSS* their memory-sharing behaviour and keeps the static scheme's
-// servers idle between widely spaced refills.
-type policy interface {
-	// admit incorporates a newly admitted stream.
-	admit(st *stream)
-	// remove drops a departed stream.
-	remove(st *stream)
-	// canAdmit reports whether the method's timing rules allow admitting
+// disks idle between widely spaced refills.
+//
+// Scheduler methods are called by the engine with the clock's
+// serialization guarantee; implementations need no locking of their own.
+type Scheduler interface {
+	// Admit incorporates a newly admitted stream.
+	Admit(st *Stream)
+	// Remove drops a departed stream.
+	Remove(st *Stream)
+	// CanAdmit reports whether the method's timing rules allow admitting
 	// new requests at this moment (BubbleUp: always; Sweep*: between
 	// periods; GSS*: between groups).
-	canAdmit() bool
-	// next returns the stream to service next and the latest safe start
+	CanAdmit() bool
+	// Next returns the stream to service next and the latest safe start
 	// time, or nil when nothing needs service. It must be idempotent.
-	next(now si.Seconds) (*stream, si.Seconds)
-	// onServiced records that the stream returned by next was serviced.
-	onServiced(st *stream)
+	Next(now si.Seconds) (*Stream, si.Seconds)
+	// OnServiced records that the stream returned by Next was serviced.
+	OnServiced(st *Stream)
 }
 
 // DebugForm, when set, observes every Sweep* period formation. Debug-only.
 var DebugForm func(now si.Seconds, ids []int)
 
-func newPolicy(s *server) policy {
-	switch s.sys.cfg.Method.Kind {
+// NewScheduler builds the standard Scheduler for the disk's configured
+// method: Round-Robin (with BubbleUp unless disabled), Sweep*, or GSS*.
+func NewScheduler(d *Disk) Scheduler {
+	switch d.sys.cfg.Method.Kind {
 	case sched.RoundRobin:
-		return &rrPolicy{s: s, bubbleUp: !s.sys.cfg.DisableBubbleUp}
+		return &rrScheduler{d: d, bubbleUp: !d.sys.cfg.DisableBubbleUp}
 	case sched.Sweep:
-		return &sweepPolicy{s: s}
+		return &sweepScheduler{d: d}
 	default:
-		return &gssPolicy{s: s, cur: -1}
+		return &gssScheduler{d: d, cur: -1}
 	}
 }
 
-// rrPolicy is Round-Robin with BubbleUp: earliest-deadline-first over the
-// streams, which reduces to cyclic order in steady state (equal buffer
+// rrScheduler is Round-Robin with BubbleUp: earliest-deadline-first over
+// the streams, which reduces to cyclic order in steady state (equal buffer
 // sizes imply equally spaced deadlines) and services fresh streams —
 // whose deadline is their admission instant — immediately.
-type rrPolicy struct {
-	s        *server
+type rrScheduler struct {
+	d        *Disk
 	bubbleUp bool
 }
 
-func (p *rrPolicy) admit(*stream)      {}
-func (p *rrPolicy) remove(*stream)     {}
-func (p *rrPolicy) canAdmit() bool     { return true }
-func (p *rrPolicy) onServiced(*stream) {}
+func (p *rrScheduler) Admit(*Stream)      {}
+func (p *rrScheduler) Remove(*Stream)     {}
+func (p *rrScheduler) CanAdmit() bool     { return true }
+func (p *rrScheduler) OnServiced(*Stream) {}
 
-func (p *rrPolicy) next(now si.Seconds) (*stream, si.Seconds) {
+func (p *rrScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 	// Started streams have viewers draining their buffers: hard deadlines.
 	// Fresh streams (first fill pending) are BubbleUp work: serviced
 	// immediately, but never at the cost of starving a started buffer.
-	var started, fresh *stream
+	var started, fresh *Stream
 	var startedD si.Seconds
-	for _, st := range p.s.streams {
+	for _, st := range p.d.streams {
 		if !st.needService() {
 			continue
 		}
@@ -73,16 +79,16 @@ func (p *rrPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 			}
 			continue
 		}
-		if d := p.s.deadline(st); started == nil || d < startedD {
+		if d := p.d.deadlineOf(st); started == nil || d < startedD {
 			started, startedD = st, d
 		}
 	}
 	if started == nil && fresh == nil {
 		return nil, 0
 	}
-	w := p.s.worstService(p.s.n())
+	w := p.d.worstService(p.d.n())
 	if started != nil && startedD-(lazyMarginServices+1)*w <= now {
-		if room := p.s.roomAt(started); room > now {
+		if room := p.d.roomAt(started); room > now {
 			return started, room // full buffer: wait for it to drain
 		}
 		return started, now // a hard deadline is due (within the cushion)
@@ -94,7 +100,7 @@ func (p *rrPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 		// Fixed-Stretch: the newcomer waits until the rotation reaches
 		// it — every started stream refilled once after its arrival.
 		reached := true
-		for _, st := range p.s.streams {
+		for _, st := range p.d.streams {
 			if st.started && st.active && st.lastFillAt < fresh.req.Arrival {
 				reached = false
 				break
@@ -112,15 +118,15 @@ func (p *rrPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 	}
 	// Idle long enough that laziness matters: wake at the latest start
 	// that still lets every due buffer be refilled in deadline order.
-	scratch := p.s.deadlineScratch[:0]
-	for _, st := range p.s.streams {
+	scratch := p.d.deadlineScratch[:0]
+	for _, st := range p.d.streams {
 		if st.needService() {
-			scratch = append(scratch, float64(p.s.deadline(st)))
+			scratch = append(scratch, float64(p.d.deadlineOf(st)))
 		}
 	}
-	p.s.deadlineScratch = scratch
-	start := p.s.latestStart(scratch, w)
-	if room := p.s.roomAt(started); start < room {
+	p.d.deadlineScratch = scratch
+	start := p.d.latestStart(scratch, w)
+	if room := p.d.roomAt(started); start < room {
 		start = room
 	}
 	if start < now {
@@ -129,27 +135,27 @@ func (p *rrPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 	return started, start
 }
 
-// sweepPolicy is Sweep*: service periods are formed from every stream
+// sweepScheduler is Sweep*: service periods are formed from every stream
 // needing service, ordered by disk position; new requests join only the
 // next period; each service within the period starts as late as the
 // remaining deadlines allow, which delays the period's tail the way
 // Sweep* prescribes.
-type sweepPolicy struct {
-	s      *server
-	period []*stream
+type sweepScheduler struct {
+	d      *Disk
+	period []*Stream
 	idx    int
 }
 
-func (p *sweepPolicy) admit(*stream)  {}
-func (p *sweepPolicy) remove(*stream) {}
-func (p *sweepPolicy) canAdmit() bool { return p.idx >= len(p.period) }
-func (p *sweepPolicy) onServiced(st *stream) {
+func (p *sweepScheduler) Admit(*Stream)  {}
+func (p *sweepScheduler) Remove(*Stream) {}
+func (p *sweepScheduler) CanAdmit() bool { return p.idx >= len(p.period) }
+func (p *sweepScheduler) OnServiced(st *Stream) {
 	if p.idx < len(p.period) && p.period[p.idx] == st {
 		p.idx++
 	}
 }
 
-func (p *sweepPolicy) next(now si.Seconds) (*stream, si.Seconds) {
+func (p *sweepScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 	// Skip members that departed or finished since formation.
 	for p.idx < len(p.period) && !p.period[p.idx].needService() {
 		p.idx++
@@ -171,7 +177,7 @@ func (p *sweepPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 	// two service batches (the current one and the next, which includes
 	// the newcomer), not two full usage periods — top-up fills make the
 	// early period cheap for the other members.
-	start := batchLazyStart(p.s, p.period, now, 0, true)
+	start := batchLazyStart(p.d, p.period, now, 0, true)
 	return st, start
 }
 
@@ -181,9 +187,9 @@ func (p *sweepPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 // buffers. Period spacing emerges from the lazy start: the next period
 // begins only when the earliest deadline forces it, about one usage
 // period after the last.
-func (p *sweepPolicy) form() bool {
+func (p *sweepScheduler) form() bool {
 	p.period = p.period[:0]
-	for _, st := range p.s.streams {
+	for _, st := range p.d.streams {
 		if st.needService() {
 			p.period = append(p.period, st)
 		}
@@ -192,33 +198,33 @@ func (p *sweepPolicy) form() bool {
 	if len(p.period) == 0 {
 		return false
 	}
-	sortByCylinder(p.s, p.period)
+	sortByCylinder(p.d, p.period)
 	if DebugForm != nil {
 		ids := make([]int, len(p.period))
 		for i, st := range p.period {
 			ids[i] = st.id
 		}
-		DebugForm(p.s.now(), ids)
+		DebugForm(p.d.now(), ids)
 	}
 	return true
 }
 
-// gssPolicy is GSS*: streams are partitioned into groups of at most g;
+// gssScheduler is GSS*: streams are partitioned into groups of at most g;
 // groups are serviced round-robin (BubbleUp across groups), members of
 // the group in service are swept. New requests join the first upcoming
 // group with spare room so they are serviced with the next group.
-type gssPolicy struct {
-	s      *server
-	groups [][]*stream
+type gssScheduler struct {
+	d      *Disk
+	groups [][]*Stream
 	cur    int // index of the group currently being swept; -1 when none
-	sweep  []*stream
+	sweep  []*Stream
 	idx    int
 }
 
-func (p *gssPolicy) canAdmit() bool { return p.idx >= len(p.sweep) }
+func (p *gssScheduler) CanAdmit() bool { return p.idx >= len(p.sweep) }
 
-func (p *gssPolicy) admit(st *stream) {
-	g := p.s.sys.cfg.Method.Group
+func (p *gssScheduler) Admit(st *Stream) {
+	g := p.d.sys.cfg.Method.Group
 	for i := 1; i <= len(p.groups); i++ {
 		gi := (p.cur + i) % len(p.groups)
 		if gi == p.cur {
@@ -229,10 +235,10 @@ func (p *gssPolicy) admit(st *stream) {
 			return
 		}
 	}
-	p.groups = append(p.groups, []*stream{st})
+	p.groups = append(p.groups, []*Stream{st})
 }
 
-func (p *gssPolicy) remove(st *stream) {
+func (p *gssScheduler) Remove(st *Stream) {
 	for gi, members := range p.groups {
 		for i, o := range members {
 			if o != st {
@@ -254,13 +260,13 @@ func (p *gssPolicy) remove(st *stream) {
 	}
 }
 
-func (p *gssPolicy) onServiced(st *stream) {
+func (p *gssScheduler) OnServiced(st *Stream) {
 	if p.idx < len(p.sweep) && p.sweep[p.idx] == st {
 		p.idx++
 	}
 }
 
-func (p *gssPolicy) next(now si.Seconds) (*stream, si.Seconds) {
+func (p *gssScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 	for p.idx < len(p.sweep) && !p.sweep[p.idx].needService() {
 		p.idx++
 	}
@@ -285,8 +291,8 @@ func (p *gssPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 	if queued < 1 {
 		queued = 1
 	}
-	blocking := si.Seconds(queued*p.s.sys.cfg.Method.Group) * p.s.worstService(p.s.n())
-	start := batchLazyStart(p.s, p.sweep, now, blocking, true)
+	blocking := si.Seconds(queued*p.d.sys.cfg.Method.Group) * p.d.worstService(p.d.n())
+	start := batchLazyStart(p.d, p.sweep, now, blocking, true)
 	return st, start
 }
 
@@ -296,7 +302,7 @@ func (p *gssPolicy) next(now si.Seconds) (*stream, si.Seconds) {
 // rotation, so this is the round-robin order; under churn (members joining
 // mid-rotation, departures) it prevents an overdue group from waiting out
 // a full rotation behind freshly refilled ones.
-func (p *gssPolicy) advance() bool {
+func (p *gssScheduler) advance() bool {
 	if len(p.groups) == 0 {
 		return false
 	}
@@ -308,7 +314,7 @@ func (p *gssPolicy) advance() bool {
 			if !st.needService() {
 				continue
 			}
-			if d := p.s.deadline(st); bestGi < 0 || d < bestD {
+			if d := p.d.deadlineOf(st); bestGi < 0 || d < bestD {
 				bestGi, bestD = gi, d
 			}
 		}
@@ -325,22 +331,22 @@ func (p *gssPolicy) advance() bool {
 			p.sweep = append(p.sweep, st)
 		}
 	}
-	sortByCylinder(p.s, p.sweep)
+	sortByCylinder(p.d, p.sweep)
 	p.cur = bestGi
 	return true
 }
 
 // sortByCylinder orders streams by the disk position of their next read.
-func sortByCylinder(s *server, batch []*stream) {
+func sortByCylinder(d *Disk, batch []*Stream) {
 	ids := make([]int, len(batch))
-	byID := make(map[int]*stream, len(batch))
+	byID := make(map[int]*Stream, len(batch))
 	for i, st := range batch {
 		ids[i] = st.id
 		byID[st.id] = st
 	}
 	sched.SweepOrder(ids, func(id int) int {
 		st := byID[id]
-		return s.sys.cfg.Spec.CylinderOf(st.place.DiskOffset(st.delivered, 0))
+		return d.sys.cfg.Spec.CylinderOf(st.place.DiskOffset(st.delivered, 0))
 	})
 	for i, id := range ids {
 		batch[i] = byID[id]
@@ -350,13 +356,13 @@ func sortByCylinder(s *server, batch []*stream) {
 // batchLazyStart computes the latest safe start for servicing the given
 // batch sequentially in its (possibly deadline-adversarial) order: every
 // deadline, sorted ascending, must leave room for the services before it.
-func batchLazyStart(s *server, batch []*stream, now si.Seconds, blocking si.Seconds, freshNow bool) si.Seconds {
+func batchLazyStart(d *Disk, batch []*Stream, now si.Seconds, blocking si.Seconds, freshNow bool) si.Seconds {
 	// Only started members anchor the start time: a fresh request's first
 	// fill rides along with the batch. With freshNow set, any fresh
 	// member starts the batch immediately (GSS*'s BubbleUp across
 	// groups); otherwise fresh members wait for the batch's natural
 	// schedule but their service time still consumes batch room.
-	w := s.worstService(s.n())
+	w := d.worstService(d.n())
 	fresh, startedCount := 0, 0
 	for _, st := range batch {
 		if !st.needService() {
@@ -378,7 +384,7 @@ func batchLazyStart(s *server, batch []*stream, now si.Seconds, blocking si.Seco
 	// outside that model, so batches also get that much headroom, plus
 	// whatever non-preemptive blocking the caller anticipates, plus the
 	// standard admission cushion.
-	cushion := 2*s.sys.cfg.Spec.WorstSeek() + blocking + lazyMarginServices*w
+	cushion := 2*d.sys.cfg.Spec.WorstSeek() + blocking + lazyMarginServices*w
 	var start si.Seconds
 	pos := 0
 	set := false
@@ -390,8 +396,8 @@ func batchLazyStart(s *server, batch []*stream, now si.Seconds, blocking si.Seco
 		if !st.started {
 			continue
 		}
-		cand := s.deadline(st) - si.Seconds(pos)*w - cushion
-		if room := s.roomAt(st); cand < room {
+		cand := d.deadlineOf(st) - si.Seconds(pos)*w - cushion
+		if room := d.roomAt(st); cand < room {
 			cand = room // never refill a buffer that has not drained
 		}
 		if !set || cand < start {

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/si"
+)
+
+// WallClock is real time scaled by a constant factor: one wall second is
+// scale engine seconds. It is the live server's Clock — the same service
+// loop the simulator runs under virtual time paces actual deliveries when
+// driven by a WallClock (scale 1 is real time; demos compress time with
+// scale 60 and up).
+//
+// Serialization contract: every scheduled callback runs with the clock's
+// internal lock held, and drivers must enter the engine the same way —
+// wrap each call into System/Disk in Do. This gives the engine the
+// single-threaded view its state machines assume while arrivals come from
+// arbitrarily many goroutines.
+type WallClock struct {
+	mu    sync.Mutex
+	epoch time.Time
+	scale float64
+}
+
+// NewWallClock returns a wall clock whose time starts at zero now and
+// advances scale engine seconds per wall second.
+func NewWallClock(scale float64) *WallClock {
+	if scale <= 0 {
+		panic(fmt.Sprintf("engine: non-positive wall clock scale %v", scale))
+	}
+	return &WallClock{epoch: time.Now(), scale: scale}
+}
+
+// Scale reports the time-compression factor.
+func (c *WallClock) Scale() float64 { return c.scale }
+
+// Now reports the scaled time elapsed since the clock was created.
+func (c *WallClock) Now() si.Seconds {
+	return si.Seconds(time.Since(c.epoch).Seconds() * c.scale)
+}
+
+// WallDuration converts an engine duration to the wall time it spans.
+func (c *WallClock) WallDuration(d si.Seconds) time.Duration {
+	return (d / si.Seconds(c.scale)).Duration()
+}
+
+// Do runs fn with the engine lock held. Every driver call into an engine
+// System or Disk running under this clock must go through Do; callbacks
+// fired by Schedule/After already hold the lock.
+func (c *WallClock) Do(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fn()
+}
+
+// Schedule registers fn to run at engine time at. Instants that have
+// already passed (the engine computed a start time that wall time
+// overtook) run as soon as possible rather than panicking: under real
+// time, "now" moves while the engine thinks.
+func (c *WallClock) Schedule(at si.Seconds, fn func()) Timer {
+	if fn == nil {
+		panic("engine: scheduling a nil callback")
+	}
+	delay := at - c.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	return c.schedule(delay, fn)
+}
+
+// After schedules fn to run delay engine seconds from now.
+func (c *WallClock) After(delay si.Seconds, fn func()) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("engine: negative delay %v", delay))
+	}
+	if fn == nil {
+		panic("engine: scheduling a nil callback")
+	}
+	return c.schedule(delay, fn)
+}
+
+func (c *WallClock) schedule(delay si.Seconds, fn func()) Timer {
+	wt := &wallTimer{}
+	wt.t = time.AfterFunc(c.WallDuration(delay), func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if wt.canceled.Load() {
+			return
+		}
+		fn()
+	})
+	return wt
+}
+
+// wallTimer is a Timer over time.AfterFunc. The canceled flag is atomic so
+// Cancel is safe both from inside engine callbacks (lock held) and from
+// driver goroutines.
+type wallTimer struct {
+	t        *time.Timer
+	canceled atomic.Bool
+}
+
+func (t *wallTimer) Cancel() {
+	if t == nil {
+		return
+	}
+	t.canceled.Store(true)
+	t.t.Stop()
+}

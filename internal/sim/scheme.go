@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
 
 // Scheme selects the buffer allocation scheme a simulated server runs.
 type Scheme int
@@ -35,6 +39,20 @@ func (s Scheme) String() string {
 		return "naive"
 	default:
 		return fmt.Sprintf("sim.Scheme(%d)", int(s))
+	}
+}
+
+// AllocatorFor returns the engine Allocator that implements the scheme:
+// the static full-load size, the paper's predict-and-enforce dynamic
+// allocation, or the naive strawman.
+func AllocatorFor(s Scheme) engine.Allocator {
+	switch s {
+	case Static:
+		return engine.StaticAllocator{}
+	case Dynamic:
+		return engine.DynamicAllocator{}
+	default:
+		return engine.NaiveAllocator{}
 	}
 }
 

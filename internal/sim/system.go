@@ -1,3 +1,10 @@
+// Package sim is the discrete-event simulation driver over the streaming
+// runtime in internal/engine: it replays a workload.Trace under a virtual
+// clock and collects the paper's measurements (latency by load, memory
+// and concurrency series, estimation success) through the engine's
+// Observer interface. All admission, allocation, and scheduling mechanics
+// live in the engine; the simulator owns only the clock, the workload,
+// the optional memory governor, and the result bookkeeping.
 package sim
 
 import (
@@ -6,6 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/diskmodel"
+	"repro/internal/engine"
 	"repro/internal/memmodel"
 	"repro/internal/metrics"
 	"repro/internal/sched"
@@ -69,6 +77,11 @@ type Config struct {
 
 	// Seed feeds the disks' rotational-delay streams.
 	Seed int64
+
+	// Observer, when set, receives every engine instrumentation callback
+	// alongside the simulator's own result collector. Simulation results
+	// are independent of observers; use it for tracing and debugging.
+	Observer engine.Observer
 }
 
 func (c *Config) normalize() error {
@@ -187,46 +200,66 @@ func (r *Result) SuccessRate() float64 {
 	return float64(r.EstimateHits) / float64(r.Estimates)
 }
 
-// system wires the servers, governor, and result collectors together.
-type system struct {
-	cfg        *Config
-	eng        *Engine
-	params     core.Params
-	table      *core.Table
-	staticSize si.Bits
-	servers    []*server
-	gov        *governor
+// collector translates the engine's Observer callbacks into the Result the
+// experiments consume. It is the simulator's entire measurement apparatus:
+// the engine itself keeps no counters.
+type collector struct {
+	engine.NopObserver
 	res        *Result
 	concurrent int
 }
 
-// sizeFor returns the dynamic buffer size for a server at load (n, k).
-// The receiver server is unused today (all disks share one table) but
-// keeps the call sites ready for per-disk heterogeneity.
-func (sys *system) sizeFor(_ *server, n, k int) si.Bits { return sys.table.Size(n, k) }
-
-// naiveSizeFor evaluates the naive scheme's Eq. 5 at n+k with the
-// method's current-load disk latency.
-func (sys *system) naiveSizeFor(n, k int) si.Bits {
-	dl := sys.cfg.Method.WorstDL(sys.cfg.Spec, n)
-	return sys.params.NaiveSize(dl, n, k)
-}
-
-func (sys *system) noteAdmit() {
-	sys.concurrent++
-	if sys.concurrent > sys.res.MaxConcurrent {
-		sys.res.MaxConcurrent = sys.concurrent
+func (c *collector) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
+	c.concurrent++
+	if c.concurrent > c.res.MaxConcurrent {
+		c.res.MaxConcurrent = c.concurrent
 	}
 }
 
-func (sys *system) noteDepart() { sys.concurrent-- }
+func (c *collector) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	c.concurrent--
+}
+
+func (c *collector) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
+	if reason == engine.RejectMemory {
+		c.res.RejectedMemory++
+	} else {
+		c.res.Rejected++
+	}
+}
+
+func (c *collector) OnDefer(disk int, now si.Seconds) { c.res.Deferrals++ }
+
+func (c *collector) OnStall(disk int, now si.Seconds) { c.res.MemoryStalls++ }
+
+func (c *collector) OnStart(disk int, st *engine.Stream, now si.Seconds) {
+	c.res.Served++
+	lat := float64(now - st.Req().Arrival)
+	c.res.LatencyByN.Add(st.NAtArrival(), lat)
+	if st.Req().VCR {
+		c.res.VCRLatency.Add(lat)
+	} else {
+		c.res.ColdLatency.Add(lat)
+	}
+}
+
+func (c *collector) OnEstimate(disk int, kc int, size si.Bits, now si.Seconds) {
+	c.res.EstimatedK.Add(float64(kc))
+}
+
+func (c *collector) OnEstimateResolved(disk int, hit bool, now si.Seconds) {
+	c.res.Estimates++
+	if hit {
+		c.res.EstimateHits++
+	}
+}
 
 // governor implements the shared-memory admission of the capacity
-// experiments (Figs. 13–14): each disk reserves the analytical minimum
-// memory for its committed load, and an arrival is rejected when the
-// total reservation would exceed the budget.
+// experiments (Figs. 13–14) as an engine.Gate: each disk reserves the
+// analytical minimum memory for its committed load, and an arrival is
+// rejected when the total reservation would exceed the budget.
 type governor struct {
-	sys       *system
+	params    core.Params
 	budget    si.Bits
 	resv      []si.Bits
 	total     si.Bits
@@ -234,10 +267,10 @@ type governor struct {
 	memDyn    [][]si.Bits // [n][k] for the dynamic scheme
 }
 
-func newGovernor(sys *system, budget si.Bits) *governor {
-	g := &governor{sys: sys, budget: budget, resv: make([]si.Bits, len(sys.servers))}
-	p, m, spec := sys.params, sys.cfg.Method, sys.cfg.Spec
-	if sys.cfg.Scheme == Dynamic {
+func newGovernor(cfg *Config, p core.Params, disks int) *governor {
+	g := &governor{params: p, budget: cfg.MemoryBudget, resv: make([]si.Bits, disks)}
+	m, spec := cfg.Method, cfg.Spec
+	if cfg.Scheme == Dynamic {
 		g.memDyn = make([][]si.Bits, p.N+1)
 		for n := 1; n <= p.N; n++ {
 			g.memDyn[n] = make([]si.Bits, p.N-n+1)
@@ -258,36 +291,36 @@ func newGovernor(sys *system, budget si.Bits) *governor {
 
 // memFor reports the reservation a disk needs for count committed
 // requests.
-func (g *governor) memFor(s *server, count int) si.Bits {
+func (g *governor) memFor(d *engine.Disk, count int) si.Bits {
 	if count <= 0 {
 		return 0
 	}
 	if g.memDyn != nil {
-		k := s.estimate(count)
-		if k > g.sys.params.N-count {
-			k = g.sys.params.N - count
+		k := d.Estimate(count)
+		if k > g.params.N-count {
+			k = g.params.N - count
 		}
 		return g.memDyn[count][k]
 	}
 	return g.memStatic[count]
 }
 
-// tryGrow attempts to reserve memory for one more request on s's disk.
-func (g *governor) tryGrow(s *server) bool {
-	newMem := g.memFor(s, s.committed()+1)
-	if g.total-g.resv[s.id]+newMem > g.budget {
+// TryAdmit attempts to reserve memory for one more request on d's disk.
+func (g *governor) TryAdmit(d *engine.Disk) bool {
+	newMem := g.memFor(d, d.Committed()+1)
+	if g.total-g.resv[d.ID()]+newMem > g.budget {
 		return false
 	}
-	g.total += newMem - g.resv[s.id]
-	g.resv[s.id] = newMem
+	g.total += newMem - g.resv[d.ID()]
+	g.resv[d.ID()] = newMem
 	return true
 }
 
-// shrink refreshes a disk's reservation after a departure.
-func (g *governor) shrink(s *server) {
-	newMem := g.memFor(s, s.committed())
-	g.total += newMem - g.resv[s.id]
-	g.resv[s.id] = newMem
+// Release refreshes a disk's reservation after a departure.
+func (g *governor) Release(d *engine.Disk) {
+	newMem := g.memFor(d, d.Committed())
+	g.total += newMem - g.resv[d.ID()]
+	g.resv[d.ID()] = newMem
 }
 
 // DebugSample, when set, observes each periodic sample with a lazy
@@ -295,10 +328,11 @@ func (g *governor) shrink(s *server) {
 var DebugSample func(dump func() [][2]si.Bits, now si.Seconds, usage si.Bits)
 
 // levelDump returns per-stream (size, level) pairs for disk 0 at now.
-func (sys *system) levelDump(now si.Seconds) [][2]si.Bits {
+func levelDump(sys *engine.System, now si.Seconds) [][2]si.Bits {
 	var out [][2]si.Bits
-	for _, st := range sys.servers[0].streams {
-		out = append(out, [2]si.Bits{st.size, sys.servers[0].pool.Level(st.id, now)})
+	d := sys.Disk(0)
+	for _, st := range d.Streams() {
+		out = append(out, [2]si.Bits{st.Size(), d.Pool().Level(st.ID(), now)})
 	}
 	return out
 }
@@ -306,7 +340,7 @@ func (sys *system) levelDump(now si.Seconds) [][2]si.Bits {
 // Run executes one simulation and returns its measurements.
 //
 // Run is safe to call concurrently from multiple goroutines: all mutable
-// state (engine, disks, pools, RNG streams) is created per call, the
+// state (clock, disks, pools, RNG streams) is created per call, the
 // Config is copied, and a *catalog.Library is immutable after
 // construction, so independent runs may share one. Given equal configs —
 // including Seed — concurrent runs produce identical Results; the
@@ -315,31 +349,36 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	sys := &system{cfg: &cfg, eng: NewEngine()}
-	sys.params = core.Params{
-		TR:    cfg.Spec.TransferRate,
-		CR:    cfg.CR,
-		N:     core.DeriveN(cfg.Spec.TransferRate, cfg.CR),
-		Alpha: cfg.Alpha,
+	clock := engine.NewVirtualClock()
+	col := &collector{}
+	var obs engine.Observer = col
+	if cfg.Observer != nil {
+		obs = engine.Observers{col, cfg.Observer}
 	}
-	if err := sys.params.Validate(); err != nil {
+	sys, err := engine.New(engine.Config{
+		Clock:           clock,
+		Allocator:       AllocatorFor(cfg.Scheme),
+		Method:          cfg.Method,
+		Spec:            cfg.Spec,
+		CR:              cfg.CR,
+		Alpha:           cfg.Alpha,
+		TLog:            cfg.TLog,
+		Library:         cfg.Library,
+		PageSize:        cfg.PageSize,
+		DisableBubbleUp: cfg.DisableBubbleUp,
+		Seed:            cfg.Seed,
+		Observer:        obs,
+	})
+	if err != nil {
 		return nil, err
 	}
-	sys.table = core.NewTable(sys.params, cfg.Method.DLModel(cfg.Spec))
-	sys.staticSize = sys.params.StaticSize(cfg.Method.WorstDL(cfg.Spec, sys.params.N), sys.params.N)
-	// A chunked library must be able to serve the largest buffer the
-	// server will ever allocate from a single chunk.
-	if maxRead := cfg.Library.MaxRead(); maxRead < sys.staticSize {
-		return nil, fmt.Errorf("sim: library max read %v below the largest buffer %v — rebuild the library with a larger MaxRead",
-			maxRead, sys.staticSize)
-	}
-	sys.res = &Result{LatencyByN: metrics.NewByN(sys.params.N)}
+	res := &Result{LatencyByN: metrics.NewByN(sys.Params().N)}
+	col.res = res
 
-	for d := 0; d < cfg.Library.Disks(); d++ {
-		sys.servers = append(sys.servers, newServer(sys, d))
-	}
+	var gov *governor
 	if cfg.MemoryBudget > 0 {
-		sys.gov = newGovernor(sys, cfg.MemoryBudget)
+		gov = newGovernor(&cfg, sys.Params(), sys.Disks())
+		sys.SetGate(gov)
 	}
 
 	// Schedule arrivals.
@@ -353,44 +392,45 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 		req := req
-		sys.eng.Schedule(req.Arrival, func() { sys.servers[req.Disk].onArrival(req) })
+		clock.Schedule(req.Arrival, func() { sys.OnArrival(req) })
 	}
 
 	// Periodic sampler.
 	end := cutoff + cfg.Grace
 	var sample func()
 	sample = func() {
-		now := sys.eng.Now()
+		now := clock.Now()
 		var usage si.Bits
-		for _, s := range sys.servers {
-			usage += s.pool.Usage(now)
+		for i := 0; i < sys.Disks(); i++ {
+			usage += sys.Disk(i).Pool().Usage(now)
 		}
 		if DebugSample != nil {
-			DebugSample(func() [][2]si.Bits { return sys.levelDump(now) }, now, usage)
+			DebugSample(func() [][2]si.Bits { return levelDump(sys, now) }, now, usage)
 		}
-		sys.res.Concurrency.Add(now, float64(sys.concurrent))
-		sys.res.Memory.Add(now, float64(usage))
-		if sys.gov != nil {
-			sys.res.Reserved.Add(now, float64(sys.gov.total))
+		res.Concurrency.Add(now, float64(col.concurrent))
+		res.Memory.Add(now, float64(usage))
+		if gov != nil {
+			res.Reserved.Add(now, float64(gov.total))
 		}
 		if next := now + cfg.SampleEvery; next <= end {
-			sys.eng.Schedule(next, sample)
+			clock.Schedule(next, sample)
 		}
 	}
-	sys.eng.Schedule(0, sample)
+	clock.Schedule(0, sample)
 
-	sys.eng.Run(end)
+	clock.Run(end)
 
-	sys.res.Horizon = end
+	res.Horizon = end
 
 	// Finalize: settle closed estimation windows and gather pool stats.
-	for _, s := range sys.servers {
-		s.resolveEstimates(sys.eng.Now())
-		st := s.pool.Stats()
-		sys.res.Underruns += st.Underruns
-		sys.res.Starved += st.Starved
-		sys.res.PeakMemory += st.HighWater
-		sys.res.DiskStats = append(sys.res.DiskStats, s.disk.Stats())
+	for i := 0; i < sys.Disks(); i++ {
+		d := sys.Disk(i)
+		d.ResolveEstimates(clock.Now())
+		st := d.Pool().Stats()
+		res.Underruns += st.Underruns
+		res.Starved += st.Starved
+		res.PeakMemory += st.HighWater
+		res.DiskStats = append(res.DiskStats, d.DiskStats())
 	}
-	return sys.res, nil
+	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/diskmodel"
+	"repro/internal/engine"
 	"repro/internal/memmodel"
 	"repro/internal/sched"
 	"repro/internal/si"
@@ -563,12 +564,22 @@ func TestMemoryFormulaGroundsSimulation(t *testing.T) {
 	}
 }
 
-// The debug hooks are an observability feature: when set, they fire on
-// the events they observe.
+// fillObserver counts service starts through the engine's Observer
+// interface — the replacement for the old DebugServices hook.
+type fillObserver struct {
+	engine.NopObserver
+	fills int
+}
+
+func (f *fillObserver) OnFill(disk int, st *engine.Stream, start, dur si.Seconds, fill si.Bits, deadline si.Seconds) {
+	f.fills++
+}
+
+// The observability hooks: the engine's Observer fan-out and the
+// simulator's debug hooks fire on the events they observe.
 func TestDebugHooks(t *testing.T) {
-	var forms, services, samples int
-	DebugForm = func(now si.Seconds, ids []int) { forms++ }
-	DebugServices = func(disk, stream int, start, dur si.Seconds, fill si.Bits, deadline si.Seconds) { services++ }
+	var forms, samples int
+	engine.DebugForm = func(now si.Seconds, ids []int) { forms++ }
 	DebugSample = func(dump func() [][2]si.Bits, now si.Seconds, usage si.Bits) {
 		samples++
 		if samples == 3 {
@@ -577,15 +588,18 @@ func TestDebugHooks(t *testing.T) {
 			}
 		}
 	}
-	defer func() { DebugForm, DebugServices, DebugSample = nil, nil, nil }()
+	defer func() { engine.DebugForm, DebugSample = nil, nil }()
 
 	lib := testLibrary(t, 1)
 	tr := lightTrace(t, lib, 30, 1, 31)
-	if _, err := Run(testConfig(t, Dynamic, sched.Sweep, lib, tr)); err != nil {
+	fo := &fillObserver{}
+	cfg := testConfig(t, Dynamic, sched.Sweep, lib, tr)
+	cfg.Observer = fo
+	if _, err := Run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if forms == 0 || services == 0 || samples == 0 {
-		t.Errorf("hooks did not fire: forms=%d services=%d samples=%d", forms, services, samples)
+	if forms == 0 || fo.fills == 0 || samples == 0 {
+		t.Errorf("hooks did not fire: forms=%d fills=%d samples=%d", forms, fo.fills, samples)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/diskmodel"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/latency"
 	"repro/internal/memmodel"
@@ -358,6 +359,87 @@ func ReadTraceCSV(r io.Reader) (Trace, error) { return workload.ReadCSV(r) }
 
 // TraceStats summarizes a trace (Trace.Summarize).
 type TraceStats = workload.Stats
+
+// Clock abstracts time for the streaming engine. The paper's mechanism
+// is clock-agnostic: the simulator drives it with a VirtualClock
+// (discrete-event time) and a live server with a WallClock (scaled real
+// time), and the engine behaves identically under both.
+type Clock = engine.Clock
+
+// ClockTimer is a cancelable pending callback on a Clock.
+type ClockTimer = engine.Timer
+
+// VirtualClock is a discrete-event clock: callbacks run in (time,
+// scheduling-order) sequence as the clock jumps between events. It is
+// what makes simulation runs deterministic and byte-identical.
+type VirtualClock = engine.VirtualClock
+
+// NewVirtualClock returns a virtual clock at time zero.
+func NewVirtualClock() *VirtualClock { return engine.NewVirtualClock() }
+
+// WallClock is a scaled real-time clock whose lock serializes every
+// engine callback, so a live multi-goroutine server satisfies the same
+// single-threaded discipline the simulator gets for free.
+type WallClock = engine.WallClock
+
+// NewWallClock returns a wall clock running at the given number of
+// engine seconds per wall second.
+func NewWallClock(scale float64) *WallClock { return engine.NewWallClock(scale) }
+
+// Scheduler orders buffer services on one disk: the paper's three
+// methods — Round-Robin with BubbleUp, Sweep*, GSS* (Section 2.2) —
+// implement it, and NewEngine picks one by Method.
+type Scheduler = engine.Scheduler
+
+// Allocator sizes buffers and rules on admissions: the static scheme
+// (Eq. 5 at N), the dynamic predict-and-enforce scheme (Theorem 1 +
+// Assumption 1), the naive strawman of Section 3.1, or DYBASE.
+type Allocator = engine.Allocator
+
+// The engine's buffer allocation policies.
+type (
+	// StaticAllocator always allocates the full-load size (Section 2.3).
+	StaticAllocator = engine.StaticAllocator
+	// DynamicAllocator implements predict-and-enforce (Section 3): sizes
+	// by Theorem 1, records inertia snapshots, defers violating
+	// admissions per Fig. 5.
+	DynamicAllocator = engine.DynamicAllocator
+	// NaiveAllocator is the flawed strawman of Section 3.1.
+	NaiveAllocator = engine.NaiveAllocator
+	// DybaseAllocator sizes by the DYBASE recurrence (constant k).
+	DybaseAllocator = engine.DybaseAllocator
+)
+
+// Observer receives engine instrumentation callbacks — admissions,
+// deferrals (Fig. 5 enforcement), fills, k_log estimates and their
+// resolutions, underruns, departures. The simulator's metrics and the
+// live server's session plumbing are both Observers.
+type Observer = engine.Observer
+
+// NopObserver ignores every callback; embed it to observe selectively.
+type NopObserver = engine.NopObserver
+
+// ObserverList fans callbacks out to several observers in order.
+type ObserverList = engine.Observers
+
+// RejectReason says why the engine turned an arrival away: disk
+// capacity (n = N, Eq. 1) or the memory budget.
+type RejectReason = engine.RejectReason
+
+// Engine is the shared streaming runtime: per-disk service loops,
+// deferral queues, and prediction bookkeeping, driven by any Clock.
+type Engine = engine.System
+
+// EngineConfig parameterizes NewEngine.
+type EngineConfig = engine.Config
+
+// EngineStream is one in-service request inside the engine.
+type EngineStream = engine.Stream
+
+// NewEngine builds the streaming runtime both drivers share: Simulate
+// wraps it under a VirtualClock; cmd/vodserver drives it live under a
+// WallClock.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
 
 // Controller is the thread-safe runtime form of the dynamic scheme for a
 // real server: sizing table, arrival estimator, and inertia book behind

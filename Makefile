@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench bench-smoke bench-snapshot ci
 
 build:
 	$(GO) build ./...
@@ -24,4 +24,14 @@ race:
 bench:
 	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments
 
-ci: vet build test race
+# The tracked performance cases, gated on allocs/op against the committed
+# baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
+# gate measures allocations, which -race instrumentation would distort.
+bench-smoke:
+	$(GO) run ./cmd/bench -baseline BENCH_PR3.json -check -out /dev/null
+
+# Regenerate the committed baseline after an intentional perf change.
+bench-snapshot:
+	$(GO) run ./cmd/bench -out BENCH_PR3.json
+
+ci: vet build test race bench-smoke

@@ -1,0 +1,159 @@
+// Command bench runs the repository's tracked performance cases
+// (internal/bench) with fixed iteration counts and writes the results as
+// a BENCH_*.json snapshot — the committed record of each PR's
+// performance trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_PR3.json            # snapshot
+//	go run ./cmd/bench -baseline BENCH_PR3.json -check # regression gate
+//
+// The -check gate compares allocs/op only: with fixed iteration counts it
+// is reproducible run to run, unlike ns/op, which drifts with machine
+// load. A case regresses when its allocs/op exceeds the baseline's by
+// more than 10% plus one allocation of slack.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Report is the BENCH_*.json schema.
+type Report struct {
+	// Schema versions the format.
+	Schema string `json:"schema"`
+	// Go is the toolchain that produced the numbers.
+	Go string `json:"go"`
+	// Cases holds one result per tracked benchmark, in registry order.
+	Cases []CaseResult `json:"cases"`
+}
+
+// CaseResult is one benchmark's snapshot.
+type CaseResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SimDaysPerSec is set only for end-to-end day-simulation cases.
+	SimDaysPerSec float64 `json:"sim_days_per_sec,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		baseline = flag.String("baseline", "", "compare against this committed BENCH_*.json")
+		check    = flag.Bool("check", false, "exit non-zero when allocs/op regresses >10% over -baseline")
+		filter   = flag.String("filter", "", "run only cases whose name contains this substring")
+		list     = flag.Bool("list", false, "list tracked cases and exit")
+	)
+	testing.Init()
+	flag.Parse()
+
+	cases := bench.Cases()
+	if *list {
+		for _, c := range cases {
+			fmt.Printf("%-32s %dx\n", c.Name, c.Iters)
+		}
+		return
+	}
+
+	rep := Report{Schema: "repro-bench/v1", Go: runtime.Version()}
+	for _, c := range cases {
+		if *filter != "" && !strings.Contains(c.Name, *filter) {
+			continue
+		}
+		if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", c.Iters)); err != nil {
+			fatalf("setting benchtime: %v", err)
+		}
+		r := testing.Benchmark(c.Bench)
+		cr := CaseResult{
+			Name:        c.Name,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if c.SimDays && r.T > 0 {
+			cr.SimDaysPerSec = float64(r.N) / r.T.Seconds()
+		}
+		rep.Cases = append(rep.Cases, cr)
+		fmt.Fprintf(os.Stderr, "%-32s %12.1f ns/op %10d B/op %8d allocs/op\n",
+			c.Name, cr.NsPerOp, cr.BytesPerOp, cr.AllocsPerOp)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	if *baseline != "" {
+		regressions, err := compare(*baseline, rep)
+		if err != nil {
+			fatalf("comparing against %s: %v", *baseline, err)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			if *check {
+				os.Exit(1)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "bench: no allocs/op regressions against", *baseline)
+		}
+	}
+}
+
+// compare reports the cases whose allocs/op exceed the baseline's by more
+// than 10% plus one allocation. Cases absent from either side are skipped:
+// the set may grow between PRs.
+func compare(path string, cur Report) ([]string, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return nil, err
+	}
+	old := make(map[string]CaseResult, len(base.Cases))
+	for _, c := range base.Cases {
+		old[c.Name] = c
+	}
+	var regressions []string
+	for _, c := range cur.Cases {
+		b, ok := old[c.Name]
+		if !ok {
+			continue
+		}
+		limit := int64(float64(b.AllocsPerOp)*1.10) + 1
+		if c.AllocsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (limit %d)",
+				c.Name, c.AllocsPerOp, b.AllocsPerOp, limit))
+		}
+	}
+	return regressions, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+// Package bench defines the repository's performance-trajectory cases:
+// the named micro and end-to-end benchmarks whose numbers cmd/bench
+// snapshots into the committed BENCH_*.json files, one per tracked PR.
+//
+// Every case fixes its iteration count (a "benchtime Nx" run) so the
+// allocs/op it reports is reproducible run to run — that is the metric
+// CI's bench-smoke gate compares against the committed baseline, because
+// unlike ns/op it does not drift with machine load.
+package bench
+
+import (
+	"testing"
+
+	vod "repro"
+)
+
+// Case is one tracked benchmark.
+type Case struct {
+	// Name identifies the case in BENCH_*.json; stable across PRs so
+	// baselines stay comparable.
+	Name string
+	// Iters is the fixed iteration count the harness runs (benchtime Nx).
+	Iters int
+	// SimDays marks end-to-end cases whose iterations are whole simulated
+	// days; the harness derives sim-days/sec for them.
+	SimDays bool
+	// Bench is the benchmark body. It must call b.ReportAllocs.
+	Bench func(b *testing.B)
+}
+
+// Cases returns the tracked benchmark set in a stable order.
+func Cases() []Case {
+	cases := []Case{
+		{
+			// The engine steady state: every fired event schedules its
+			// successor, exercising the virtual clock's event freelist.
+			Name:  "clock/nested-events",
+			Iters: 2_000_000,
+			Bench: func(b *testing.B) {
+				e := vod.NewVirtualClock()
+				count := 0
+				var tick func()
+				tick = func() {
+					count++
+					if count < b.N {
+						e.After(1, tick)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				e.After(1, tick)
+				e.Run(vod.Seconds(b.N + 2))
+			},
+		},
+		{
+			// Cold-clock churn: a fresh clock absorbing a burst of 1000
+			// one-shot closures per op. Pays the pool's warm-up cost every
+			// iteration — the worst case for the freelist design.
+			Name:  "clock/schedule-run-1000",
+			Iters: 2_000,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e := vod.NewVirtualClock()
+					for j := 0; j < 1000; j++ {
+						at := vod.Seconds((j * 7919) % 1000)
+						e.Schedule(at, func() {})
+					}
+					e.Run(1000)
+				}
+			},
+		},
+		{
+			// The per-fill sizing path: one memoized table lookup.
+			Name:  "core/size-table-lookup",
+			Iters: 2_000_000,
+			Bench: func(b *testing.B) {
+				spec, _, p := vod.PaperEnvironment()
+				tab := vod.NewSizeTable(p, vod.NewMethod(vod.RoundRobin), spec)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = tab.Size(1+i%p.N, i%8)
+				}
+			},
+		},
+		{
+			// The unmemoized Theorem 1 recurrence — what each fill would
+			// cost without the table.
+			Name:  "core/dynamic-size-recurrence",
+			Iters: 100_000,
+			Bench: func(b *testing.B) {
+				spec, _, p := vod.PaperEnvironment()
+				dl := vod.WorstDiskLatency(vod.NewMethod(vod.RoundRobin), spec, 1)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = vod.DynamicBufferSize(p, dl, 1+i%p.N, i%4)
+				}
+			},
+		},
+	}
+	for _, day := range dayCases() {
+		cases = append(cases, day)
+	}
+	return cases
+}
+
+// dayCases builds the end-to-end allocator x method day-simulation matrix
+// (the same grid BenchmarkDaySimulation runs under go test).
+func dayCases() []Case {
+	type cell struct {
+		name   string
+		scheme vod.Scheme
+		kind   vod.MethodKind
+	}
+	grid := []cell{
+		{"sim/day/static-rr", vod.Static, vod.RoundRobin},
+		{"sim/day/static-sweep", vod.Static, vod.Sweep},
+		{"sim/day/static-gss", vod.Static, vod.GSS},
+		{"sim/day/dynamic-rr", vod.Dynamic, vod.RoundRobin},
+		{"sim/day/dynamic-sweep", vod.Dynamic, vod.Sweep},
+		{"sim/day/dynamic-gss", vod.Dynamic, vod.GSS},
+	}
+	out := make([]Case, 0, len(grid))
+	for _, c := range grid {
+		c := c
+		out = append(out, Case{
+			Name:    c.name,
+			Iters:   1,
+			SimDays: true,
+			Bench: func(b *testing.B) {
+				spec, cr, _ := vod.PaperEnvironment()
+				lib, err := vod.NewLibrary(vod.LibraryConfig{
+					Titles: 6, Disks: 1, Spec: spec, PopularityTheta: 0.271,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := vod.GenerateWorkload(vod.ZipfDaySchedule(350, 1, vod.Hours(9), vod.Hours(24)), lib, 1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := vod.Simulate(vod.SimConfig{
+						Scheme: c.scheme, Method: vod.NewMethod(c.kind),
+						Spec: spec, CR: cr, Library: lib, Trace: tr, Seed: int64(i),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Served == 0 {
+						b.Fatal("nothing served")
+					}
+				}
+			},
+		})
+	}
+	return out
+}

@@ -28,21 +28,17 @@ func (p Params) DybaseSize(dl si.Seconds, n, k int) si.Bits {
 		// Fixpoint of the stationary recurrence: Eq. 5 at n.
 		return p.StaticSize(dl, n)
 	}
-	var chain []int
-	for cn := n + k; ; cn += k {
-		m := cn
+	// The chain loads are n + i·k for i = 1..⌈(N−n)/k⌉, clamped at N;
+	// substitute backward without materializing them.
+	steps := (p.N - n + k - 1) / k
+	bs := float64(p.StaticSize(dl, p.N))
+	tr, cr, dlf := float64(p.TR), float64(p.CR), float64(dl)
+	for i := steps; i >= 1; i-- {
+		m := n + i*k
 		if m > p.N {
 			m = p.N
 		}
-		chain = append(chain, m)
-		if cn >= p.N {
-			break
-		}
-	}
-	bs := float64(p.StaticSize(dl, p.N))
-	tr, cr, dlf := float64(p.TR), float64(p.CR), float64(dl)
-	for i := len(chain) - 1; i >= 0; i-- {
-		bs = float64(chain[i]) * (bs/tr + dlf) * cr
+		bs = float64(m) * (bs/tr + dlf) * cr
 	}
 	return si.Bits(bs)
 }

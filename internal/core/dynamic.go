@@ -73,22 +73,22 @@ func (p Params) DynamicSize(dl si.Seconds, n, k int) si.Bits {
 	if n >= p.N {
 		return p.StaticSize(dl, p.N)
 	}
-	// Collect the multiplier chain m_1..m_e (predicted loads), clamped.
-	var chain []int
-	cn, ck := n, k
-	for cn < p.N {
+	// Walk the chain once to find its length e, then substitute backward
+	// from the fully loaded boundary using the closed-form step loads
+	// m(i) = n + i·k + (i−1)·i·α/2 (clamped at N) — the same integers the
+	// forward walk produces, without materializing the chain.
+	e := 0
+	for cn, ck := n, k; cn < p.N; e++ {
 		cn, ck = p.inertiaStep(cn, ck)
-		m := cn
+	}
+	bs := float64(p.StaticSize(dl, p.N))
+	tr, cr, dlf := float64(p.TR), float64(p.CR), float64(dl)
+	for i := e; i >= 1; i-- {
+		m := n + i*k + (i-1)*i*p.Alpha/2
 		if m > p.N {
 			m = p.N
 		}
-		chain = append(chain, m)
-	}
-	// Backward substitution from the fully loaded boundary.
-	bs := float64(p.StaticSize(dl, p.N))
-	tr, cr, dlf := float64(p.TR), float64(p.CR), float64(dl)
-	for i := len(chain) - 1; i >= 0; i-- {
-		bs = float64(chain[i]) * (bs/tr + dlf) * cr
+		bs = float64(m) * (bs/tr + dlf) * cr
 	}
 	return si.Bits(bs)
 }

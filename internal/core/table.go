@@ -26,6 +26,16 @@ type Table struct {
 // NewTable precomputes DynamicSize for every reachable (n, k) pair under
 // the given per-method latency model.
 func NewTable(p Params, dl DLModel) *Table {
+	return NewTableWith(p, dl, Params.DynamicSize)
+}
+
+// NewTableWith precomputes an arbitrary sizing function for every
+// reachable (n, k) pair under the given per-method latency model. It is
+// how the naive and DYBASE comparison schemes get the same compute-once,
+// index-per-fill treatment §3.3 prescribes for the dynamic scheme: pass
+// Params.NaiveSize or Params.DybaseSize (any function whose result
+// saturates at the full-load size for k ≥ N−n, matching Size's clamp).
+func NewTableWith(p Params, dl DLModel, size func(Params, si.Seconds, int, int) si.Bits) *Table {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
@@ -33,7 +43,7 @@ func NewTable(p Params, dl DLModel) *Table {
 	for n := 1; n <= p.N; n++ {
 		t.sizes[n] = make([]si.Bits, p.N-n+1)
 		for k := 0; k <= p.N-n; k++ {
-			t.sizes[n][k] = p.DynamicSize(dl(n), n, k)
+			t.sizes[n][k] = size(p, dl(n), n, k)
 		}
 	}
 	return t

@@ -31,38 +31,73 @@ type Clock interface {
 	Schedule(at si.Seconds, fn func()) Timer
 	// After schedules fn to run delay from now.
 	After(delay si.Seconds, fn func()) Timer
+	// ScheduleFunc registers the pre-bound callback fn(arg) to run at
+	// time at. Unlike Schedule, recurring call sites pay no per-call
+	// closure: fn is typically a package-level function and arg the
+	// object it operates on, so a steady-state caller allocates nothing.
+	ScheduleFunc(at si.Seconds, fn func(arg any), arg any) Timer
+	// AfterFunc schedules fn(arg) to run delay from now.
+	AfterFunc(delay si.Seconds, fn func(arg any), arg any) Timer
 }
 
-// Timer is a scheduled callback handle. Cancel it to make it a no-op.
-type Timer interface {
-	// Cancel prevents the callback from running. Canceling an already
-	// fired or canceled timer is a no-op.
-	Cancel()
+// Timer is a scheduled-callback handle, returned by value so issuing one
+// never allocates. The zero Timer is inert: Cancel on it is a no-op, as
+// is Cancel on an already fired or canceled timer. Virtual-clock events
+// are pooled on a freelist; the generation captured here keeps a stale
+// handle from canceling the slot's next occupant.
+type Timer struct {
+	ev  *Event
+	gen uint64
+	wt  *wallTimer
 }
+
+// Cancel prevents the callback from running. Canceling an already fired
+// or canceled timer — or the zero Timer — is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.cancel(t.gen)
+	}
+	if t.wt != nil {
+		t.wt.Cancel()
+	}
+}
+
+// Active reports whether the timer holds a live handle (it may still
+// have fired already; Active only distinguishes the zero Timer).
+func (t Timer) Active() bool { return t.ev != nil || t.wt != nil }
 
 // VirtualClock is a virtual-time discrete-event loop. Callbacks scheduled
 // at a time run in time order; ties run in scheduling order, which keeps
 // runs deterministic.
+//
+// Fired and canceled events are recycled on a freelist, so a steady-state
+// workload (every callback scheduling a successor) runs without heap
+// allocation.
 type VirtualClock struct {
 	now    si.Seconds
 	events eventHeap
 	seq    int64
+	free   []*Event
 }
 
-// Event is a callback scheduled on a VirtualClock. Cancel it to make it a
-// no-op.
+// Event is a callback scheduled on a VirtualClock. Events are owned and
+// recycled by the clock; external code holds them only inside a Timer,
+// whose generation check makes stale handles harmless.
 type Event struct {
 	at       si.Seconds
 	seq      int64
 	fn       func()
+	afn      func(arg any)
+	arg      any
+	gen      uint64
 	canceled bool
 	index    int // heap position, -1 once popped
 }
 
-// Cancel prevents the event's callback from running. Canceling an already
-// fired or canceled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
+// cancel marks the event canceled if gen still identifies the scheduling
+// that issued the handle; a recycled event (gen advanced) is untouched.
+func (e *Event) cancel(gen uint64) {
+	if e != nil && e.gen == gen {
 		e.canceled = true
 	}
 }
@@ -73,19 +108,46 @@ func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
 // Now reports the current virtual time.
 func (e *VirtualClock) Now() si.Seconds { return e.now }
 
-// Schedule registers fn to run at time at, which must not precede the
-// current time. It returns a handle for cancellation.
-func (e *VirtualClock) Schedule(at si.Seconds, fn func()) Timer {
+// alloc takes an event from the freelist, or makes a new one.
+func (e *VirtualClock) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// release returns a fired or canceled event to the freelist. The
+// generation bump invalidates every Timer handle issued for it.
+func (e *VirtualClock) release(ev *Event) {
+	ev.gen++
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.canceled = false
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+func (e *VirtualClock) push(at si.Seconds, fn func(), afn func(any), arg any) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("engine: scheduling into the past (%v < %v)", at, e.now))
 	}
+	ev := e.alloc()
+	e.seq++
+	ev.at, ev.seq = at, e.seq
+	ev.fn, ev.afn, ev.arg = fn, afn, arg
+	heap.Push(&e.events, ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// Schedule registers fn to run at time at, which must not precede the
+// current time. It returns a handle for cancellation.
+func (e *VirtualClock) Schedule(at si.Seconds, fn func()) Timer {
 	if fn == nil {
 		panic("engine: scheduling a nil callback")
 	}
-	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	return e.push(at, fn, nil, nil)
 }
 
 // After schedules fn to run delay from now.
@@ -94,6 +156,25 @@ func (e *VirtualClock) After(delay si.Seconds, fn func()) Timer {
 		panic(fmt.Sprintf("engine: negative delay %v", delay))
 	}
 	return e.Schedule(e.now+delay, fn)
+}
+
+// ScheduleFunc registers the pre-bound callback fn(arg) to run at time
+// at. With fn a package-level function, a recurring call site allocates
+// nothing in steady state: the event comes off the freelist and arg rides
+// in the event's payload slot.
+func (e *VirtualClock) ScheduleFunc(at si.Seconds, fn func(arg any), arg any) Timer {
+	if fn == nil {
+		panic("engine: scheduling a nil callback")
+	}
+	return e.push(at, nil, fn, arg)
+}
+
+// AfterFunc schedules fn(arg) to run delay from now.
+func (e *VirtualClock) AfterFunc(delay si.Seconds, fn func(arg any), arg any) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("engine: negative delay %v", delay))
+	}
+	return e.ScheduleFunc(e.now+delay, fn, arg)
 }
 
 // Run processes events until the queue empties or the clock passes until.
@@ -106,10 +187,19 @@ func (e *VirtualClock) Run(until si.Seconds) {
 		}
 		heap.Pop(&e.events)
 		if next.canceled {
+			e.release(next)
 			continue
 		}
 		e.now = next.at
-		next.fn()
+		// Copy the callback out and recycle the event before running it:
+		// the callback may schedule again and reuse this very slot.
+		fn, afn, arg := next.fn, next.afn, next.arg
+		e.release(next)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 	}
 	if e.now < until {
 		e.now = until
@@ -119,6 +209,10 @@ func (e *VirtualClock) Run(until si.Seconds) {
 // Pending reports the number of events still queued (including canceled
 // ones not yet drained).
 func (e *VirtualClock) Pending() int { return len(e.events) }
+
+// FreeListLen reports the number of recycled events available for reuse
+// (exposed for pooling tests).
+func (e *VirtualClock) FreeListLen() int { return len(e.free) }
 
 // eventHeap orders events by (time, sequence).
 type eventHeap []*Event

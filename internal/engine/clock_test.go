@@ -75,10 +75,85 @@ func TestVirtualClockCancel(t *testing.T) {
 	ev := e.Schedule(1, func() { ran = true })
 	ev.Cancel()
 	ev.Cancel() // double cancel is a no-op
-	(*Event)(nil).Cancel()
+	(Timer{}).Cancel() // zero Timer is inert
 	e.Run(2)
 	if ran {
 		t.Error("canceled event ran")
+	}
+}
+
+// A Timer whose event already fired must stay inert: the event slot is
+// recycled, and a late Cancel must not cancel the slot's next occupant.
+func TestVirtualClockCancelAfterFire(t *testing.T) {
+	e := NewVirtualClock()
+	firstRan, secondRan := false, false
+	tm := e.Schedule(1, func() { firstRan = true })
+	e.Run(1)
+	if !firstRan {
+		t.Fatal("first event never ran")
+	}
+	if e.FreeListLen() != 1 {
+		t.Fatalf("freelist = %d after fire, want the event recycled", e.FreeListLen())
+	}
+	// The next scheduling reuses the fired event's slot.
+	tm2 := e.Schedule(2, func() { secondRan = true })
+	if e.FreeListLen() != 0 {
+		t.Fatal("second schedule did not draw from the freelist")
+	}
+	tm.Cancel() // stale handle onto a reused slot: must be a no-op
+	e.Run(3)
+	if !secondRan {
+		t.Error("stale Cancel killed the slot's next occupant")
+	}
+	tm2.Cancel() // cancel after fire on the live handle: also a no-op
+}
+
+// A canceled-then-recycled slot behaves the same: double Cancel on the
+// stale handle never reaches the new occupant.
+func TestVirtualClockStaleCancelOnRecycledSlot(t *testing.T) {
+	e := NewVirtualClock()
+	tm := e.Schedule(1, func() { t.Error("canceled event ran") })
+	tm.Cancel()
+	e.Run(1) // drains the canceled event onto the freelist
+	ran := false
+	e.Schedule(2, func() { ran = true })
+	tm.Cancel() // stale: generation advanced at recycling
+	tm.Cancel() // and double-cancel stays a no-op
+	e.Run(3)
+	if !ran {
+		t.Error("stale double-Cancel killed the recycled slot's occupant")
+	}
+}
+
+// Steady-state recurrence reuses one pooled event: after warmup the
+// freelist neither grows nor drains.
+func TestVirtualClockEventPooling(t *testing.T) {
+	e := NewVirtualClock()
+	count := 0
+	var tick func(arg any)
+	tick = func(arg any) {
+		count++
+		if count < 1000 {
+			e.AfterFunc(1, tick, nil)
+		}
+	}
+	e.AfterFunc(1, tick, nil)
+	e.Run(2000)
+	if count != 1000 {
+		t.Fatalf("ticks = %d, want 1000", count)
+	}
+	if got := e.FreeListLen(); got != 1 {
+		t.Errorf("freelist = %d after steady-state recurrence, want exactly 1 pooled event", got)
+	}
+}
+
+func TestVirtualClockActive(t *testing.T) {
+	e := NewVirtualClock()
+	if (Timer{}).Active() {
+		t.Error("zero Timer reports active")
+	}
+	if tm := e.Schedule(1, func() {}); !tm.Active() {
+		t.Error("live timer reports inactive")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 // Stream is one admitted request being serviced by a disk.
 type Stream struct {
+	disk       *Disk // owning disk, for pre-bound clock callbacks
 	id         int
 	req        workload.Request
 	place      catalog.Placement
@@ -25,10 +26,14 @@ type Stream struct {
 	deadline   si.Seconds // cached pool EmptyAt, refreshed at each fill
 	lastFillAt si.Seconds // completion time of the most recent fill
 	firstFill  si.Seconds
-	started    bool // first fill has landed
-	active     bool // still owned by the disk
-	doomed     bool // departed mid-service; remove at completion
-	group      int  // GSS group index
+	slot       int        // index in Disk.streams (admission order)
+	admitSeq   int64      // monotone admission sequence, ties in byDeadline
+	dlKey      si.Seconds // deadline value the byDeadline index holds
+	inDl       bool       // member of the byDeadline index
+	started    bool       // first fill has landed
+	active     bool       // still owned by the disk
+	doomed     bool       // departed mid-service; remove at completion
+	group      int        // GSS group index
 }
 
 // ID returns the stream's request ID.
@@ -59,6 +64,14 @@ func (st *Stream) needService() bool {
 	return st.active && st.delivered < st.required
 }
 
+// Pre-bound clock callbacks: package-level functions carry no per-call
+// closure, so a steady-state stream schedules its recurring events
+// (dispatch wake-ups, fill completions, departures) with zero heap
+// allocations — the event payload slot carries the receiver.
+func dispatchCB(arg any) { arg.(*Disk).dispatch() }
+func departCB(arg any)   { st := arg.(*Stream); st.disk.depart(st) }
+func completeCB(arg any) { st := arg.(*Stream); st.disk.completeService(st) }
+
 // queued is an accepted request waiting for admission (deferral under the
 // dynamic scheme's enforcement, or simply for the next service slot).
 type queued struct {
@@ -83,16 +96,43 @@ type Disk struct {
 	disk  *diskmodel.Disk
 	pool  *buffer.Pool
 
+	// streams holds the in-service streams in admission order. The order
+	// is load-bearing: scheduler tie-breaks (equal deadlines, equal
+	// arrivals) resolve by admission order, so removal must shift, not
+	// swap-delete — each stream's slot field makes the position lookup
+	// O(1) and the shift a single memmove.
 	streams []*Stream
-	queue   []queued
-	book    *core.Book
-	est     *core.Estimator
+
+	// queue is the admission-deferral FIFO, popped by head index instead
+	// of re-slicing so steady-state admission touches O(1) entries.
+	queue []queued
+	qhead int
+
+	book *core.Book
+	est  *core.Estimator
 
 	sched Scheduler
 
 	busy    bool
 	current *Stream
 	wake    Timer
+
+	admitSeq int64 // next stream's admission sequence number
+
+	// byDeadline indexes started streams that still need service, in
+	// ascending (deadline, admitSeq) order. It replaces both the per-
+	// dispatch min-deadline scan and the per-period sort.Float64s of the
+	// lazy-start computation: a deadline changes only at fill completion,
+	// so the index absorbs one O(n) memmove there instead of an
+	// O(n log n) sort at every scheduling decision.
+	byDeadline []*Stream
+
+	// fresh is a FIFO of admitted streams awaiting their first fill.
+	// Admission order is arrival order, so the head is the scan winner
+	// (earliest arrival, earliest admission on ties); entries that
+	// started or departed are skipped lazily — neither state reverts.
+	fresh     []*Stream
+	freshHead int
 
 	// k_log caching: the two-pointer window scan is recomputed only when
 	// new arrivals landed or the cache is older than klogRefresh.
@@ -102,17 +142,19 @@ type Disk struct {
 
 	lastPeriod si.Seconds // usage period of the last allocated buffer
 
-	// arrival histories: arrivals feeds k_log (every arrival, as the
-	// estimator sees the raw stream); estArrivals feeds estimation-success
-	// accounting and holds only arrivals the system accepts — a request
-	// rejected outright at capacity is never serviced, so it is not an
-	// "additional request" the prediction needs to cover.
-	arrivals    []si.Seconds
+	// estArrivals holds accepted arrivals for estimation-success
+	// accounting — a request rejected outright at capacity is never
+	// serviced, so it is not an "additional request" the prediction needs
+	// to cover. (The raw stream every arrival joins lives in est, which
+	// prunes itself to the T_log window.) Entries at or below the oldest
+	// pending window's start are pruned in resolveEstimates, so the log
+	// stays bounded over arbitrarily long runs.
 	estArrivals []si.Seconds
 	pending     []estEntry
 
 	// scratch buffers reused across dispatches.
-	deadlineScratch []float64
+	deadlineScratch []si.Seconds
+	cylSort         cylSorter
 }
 
 // klogRefresh bounds how stale the cached k_log may get between arrivals:
@@ -156,14 +198,14 @@ func (d *Disk) n() int { return len(d.streams) }
 func (d *Disk) InService() int { return len(d.streams) }
 
 // QueueLen reports accepted requests still waiting for admission.
-func (d *Disk) QueueLen() int { return len(d.queue) }
+func (d *Disk) QueueLen() int { return len(d.queue) - d.qhead }
 
 // committed reports requests in service plus accepted-but-deferred ones,
 // the count capacity rejection uses.
-func (d *Disk) committed() int { return len(d.streams) + len(d.queue) }
+func (d *Disk) committed() int { return len(d.streams) + d.QueueLen() }
 
 // Committed reports requests in service plus accepted-but-deferred ones.
-func (d *Disk) Committed() int { return len(d.streams) + len(d.queue) }
+func (d *Disk) Committed() int { return d.committed() }
 
 // BookLen reports the number of inertia-book entries (dynamic scheme).
 func (d *Disk) BookLen() int { return d.book.Len() }
@@ -183,7 +225,6 @@ func (d *Disk) Streams() []*Stream { return d.streams }
 // accept it into the deferral queue and try to dispatch.
 func (d *Disk) onArrival(req workload.Request) {
 	now := d.now()
-	d.arrivals = append(d.arrivals, now)
 	d.est.RecordArrival(now)
 	d.kcDirty = true
 	d.resolveEstimates(now)
@@ -206,9 +247,12 @@ func (d *Disk) onArrival(req workload.Request) {
 // that hang up or time out; the simulator never cancels, so simulation
 // schedules are unaffected.
 func (d *Disk) Cancel(id int) {
-	for i, q := range d.queue {
-		if q.req.ID == id {
+	for i := d.qhead; i < len(d.queue); i++ {
+		if d.queue[i].req.ID == id {
 			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			if d.qhead == len(d.queue) {
+				d.queue, d.qhead = d.queue[:0], 0
+			}
 			if g := d.sys.gate; g != nil {
 				g.Release(d)
 			}
@@ -226,7 +270,7 @@ func (d *Disk) Cancel(id int) {
 // admitFromQueue moves accepted requests into service while the scheme's
 // admission control allows it.
 func (d *Disk) admitFromQueue() {
-	for len(d.queue) > 0 {
+	for d.qhead < len(d.queue) {
 		n := d.n()
 		if n >= d.sys.params.N {
 			return
@@ -235,9 +279,14 @@ func (d *Disk) admitFromQueue() {
 			d.sys.obs.OnDefer(d.id, d.now())
 			return
 		}
-		q := d.queue[0]
-		d.queue = d.queue[:copy(d.queue, d.queue[1:])]
+		q := d.queue[d.qhead]
+		d.qhead++
+		if d.qhead == len(d.queue) {
+			d.queue, d.qhead = d.queue[:0], 0
+		}
+		d.admitSeq++
 		st := &Stream{
+			disk:       d,
 			id:         q.req.ID,
 			req:        q.req,
 			place:      d.sys.cfg.Library.Placement(q.req.Video),
@@ -245,9 +294,12 @@ func (d *Disk) admitFromQueue() {
 			required:   maxBits(d.sys.cfg.CR.DataIn(q.req.Viewing), 1),
 			deadline:   d.now(), // fresh: due immediately
 			firstFill:  -1,
+			slot:       len(d.streams),
+			admitSeq:   d.admitSeq,
 			active:     true,
 		}
 		d.streams = append(d.streams, st)
+		d.fresh = append(d.fresh, st)
 		d.pool.Attach(st.id, d.sys.cfg.CR, d.now())
 		d.sched.Admit(st)
 		d.sys.obs.OnAdmit(d.id, st, d.now())
@@ -261,13 +313,15 @@ func (d *Disk) removeStream(st *Stream) {
 		return
 	}
 	st.active = false
+	d.dlRemove(st)
 	d.pool.Detach(st.id, d.now())
 	d.book.Remove(st.id)
-	for i, o := range d.streams {
-		if o == st {
-			d.streams = append(d.streams[:i], d.streams[i+1:]...)
-			break
-		}
+	i, last := st.slot, len(d.streams)-1
+	copy(d.streams[i:], d.streams[i+1:])
+	d.streams[last] = nil
+	d.streams = d.streams[:last]
+	for j := i; j < last; j++ {
+		d.streams[j].slot = j
 	}
 	d.sched.Remove(st)
 	d.sys.obs.OnDepart(d.id, st, d.now())
@@ -277,6 +331,90 @@ func (d *Disk) removeStream(st *Stream) {
 	d.dispatch()
 }
 
+// dlInsert adds st to the deadline index if it qualifies (started and
+// still fetching). Position is the ascending (deadline, admitSeq) rank.
+func (d *Disk) dlInsert(st *Stream) {
+	if st.inDl || !st.started || !st.needService() {
+		return
+	}
+	key, seq := st.deadline, st.admitSeq
+	lo, hi := 0, len(d.byDeadline)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		o := d.byDeadline[mid]
+		if o.dlKey < key || (o.dlKey == key && o.admitSeq < seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	d.byDeadline = append(d.byDeadline, nil)
+	copy(d.byDeadline[lo+1:], d.byDeadline[lo:])
+	d.byDeadline[lo] = st
+	st.inDl = true
+	st.dlKey = key
+}
+
+// dlRemove drops st from the deadline index if present.
+func (d *Disk) dlRemove(st *Stream) {
+	if !st.inDl {
+		return
+	}
+	key, seq := st.dlKey, st.admitSeq
+	lo, hi := 0, len(d.byDeadline)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		o := d.byDeadline[mid]
+		if o.dlKey < key || (o.dlKey == key && o.admitSeq < seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(d.byDeadline) || d.byDeadline[lo] != st {
+		panic("engine: deadline index out of sync")
+	}
+	last := len(d.byDeadline) - 1
+	copy(d.byDeadline[lo:], d.byDeadline[lo+1:])
+	d.byDeadline[last] = nil
+	d.byDeadline = d.byDeadline[:last]
+	st.inDl = false
+}
+
+// dlFix re-indexes st after its deadline or service need changed.
+func (d *Disk) dlFix(st *Stream) {
+	d.dlRemove(st)
+	d.dlInsert(st)
+}
+
+// minDeadlineStream returns the started stream with the earliest
+// deadline still needing service (admission order breaks ties), or nil.
+func (d *Disk) minDeadlineStream() *Stream {
+	if len(d.byDeadline) == 0 {
+		return nil
+	}
+	return d.byDeadline[0]
+}
+
+// firstFresh returns the earliest-admitted stream awaiting its first
+// fill, or nil. Disqualified entries (started, finished, departed) are
+// discarded lazily from the head; neither condition ever reverts, so a
+// skipped entry can never qualify again.
+func (d *Disk) firstFresh() *Stream {
+	for d.freshHead < len(d.fresh) {
+		st := d.fresh[d.freshHead]
+		if !st.started && st.needService() {
+			return st
+		}
+		d.fresh[d.freshHead] = nil
+		d.freshHead++
+	}
+	if len(d.fresh) > 0 {
+		d.fresh, d.freshHead = d.fresh[:0], 0
+	}
+	return nil
+}
+
 // dispatch is the disk's main decision point: admit what the scheduler's
 // timing allows, pick the next service, and either start it, sleep until
 // its lazy start time, or go idle.
@@ -284,10 +422,8 @@ func (d *Disk) dispatch() {
 	if d.busy {
 		return
 	}
-	if d.wake != nil {
-		d.wake.Cancel()
-		d.wake = nil
-	}
+	d.wake.Cancel()
+	d.wake = Timer{}
 	if d.sched.CanAdmit() {
 		d.admitFromQueue()
 	}
@@ -296,7 +432,7 @@ func (d *Disk) dispatch() {
 		return // idle: the next arrival or departure re-dispatches
 	}
 	if startAt > d.now() {
-		d.wake = d.clock.Schedule(startAt, d.dispatch)
+		d.wake = d.clock.ScheduleFunc(startAt, dispatchCB, d)
 		return
 	}
 	d.beginService(st)
@@ -329,16 +465,21 @@ func (d *Disk) beginService(st *Stream) {
 		// Only possible with a hard pool budget (not used by System runs,
 		// which admit by formula); retry shortly and count the stall.
 		d.sys.obs.OnStall(d.id, now)
-		d.wake = d.clock.After(d.sys.cfg.Spec.MaxRotational, d.dispatch)
+		d.wake = d.clock.AfterFunc(d.sys.cfg.Spec.MaxRotational, dispatchCB, d)
 		return
 	}
 	st.delivered += fill
+	if !st.needService() {
+		// The in-flight fill is the stream's last: it no longer anchors
+		// refill deadlines.
+		d.dlRemove(st)
+	}
 	st.lastFill = fill
 	dur := d.disk.Read(cyl, fill)
 	d.busy = true
 	d.current = st
 	d.sys.obs.OnFill(d.id, st, now, dur, fill, d.pool.EmptyAt(st.id))
-	d.clock.After(dur, func() { d.completeService(st) })
+	d.clock.AfterFunc(dur, completeCB, st)
 }
 
 // completeService lands the fill, records first-fill latency, schedules
@@ -355,8 +496,9 @@ func (d *Disk) completeService(st *Stream) {
 		st.started = true
 		st.firstFill = now
 		d.sys.obs.OnStart(d.id, st, now)
-		d.clock.Schedule(now+st.req.Viewing, func() { d.depart(st) })
+		d.clock.ScheduleFunc(now+st.req.Viewing, departCB, st)
 	}
+	d.dlFix(st)
 	d.sched.OnServiced(st)
 	if st.doomed {
 		st.doomed = false
@@ -430,8 +572,36 @@ func (d *Disk) resolveEstimates(now si.Seconds) {
 		d.sys.obs.OnEstimateResolved(d.id, e.kc >= actual, now)
 	}
 	if i > 0 {
-		d.pending = append(d.pending[:0], d.pending[i:]...)
+		d.pending = compactTail(d.pending, i)
 	}
+	// Prune accepted arrivals no outstanding window can query: pending
+	// entries are in start order, countArrivals treats its lower bound
+	// exclusively, and every future window starts at or after now.
+	lo := now
+	if len(d.pending) > 0 {
+		lo = d.pending[0].start
+	}
+	if cut := sort.Search(len(d.estArrivals), func(i int) bool { return d.estArrivals[i] > lo }); cut > 0 {
+		d.estArrivals = compactTail(d.estArrivals, cut)
+	}
+}
+
+// shrinkThreshold is the capacity above which a compacted slice is
+// reallocated when it has become mostly slack, so a burst does not pin
+// its high-water memory for the rest of an arbitrarily long run.
+const shrinkThreshold = 256
+
+// compactTail drops the first cut elements of s in place, reallocating
+// to a tight slice when a large capacity has drained below a quarter.
+func compactTail[T any](s []T, cut int) []T {
+	n := copy(s, s[cut:])
+	s = s[:n]
+	if cap(s) > shrinkThreshold && n*4 <= cap(s) {
+		out := make([]T, n)
+		copy(out, s)
+		return out
+	}
+	return s
 }
 
 // countArrivals counts accepted arrivals in (lo, hi] by binary search
@@ -479,16 +649,16 @@ func (d *Disk) roomAt(st *Stream) si.Seconds {
 // 2·w·CR per stream, a couple of percent of a buffer.
 const lazyMarginServices = 2
 
-// latestStart computes the safe lazy start for servicing a batch of
+// latestStartSorted computes the safe lazy start for servicing a batch of
 // streams sequentially when the service order may be adversarial with
-// respect to deadlines: every deadline d_(i) (sorted ascending) must allow
-// i services of duration w first, so start <= min_i(d_(i) − i·w), minus
-// the safety cushion.
-func (d *Disk) latestStart(deadlines []float64, w si.Seconds) si.Seconds {
-	sort.Float64s(deadlines)
-	best := si.Seconds(deadlines[0]) - w
+// respect to deadlines: every deadline d_(i) (ascending — the input MUST
+// already be sorted, which the byDeadline index provides for free) must
+// allow i services of duration w first, so start <= min_i(d_(i) − i·w),
+// minus the safety cushion.
+func latestStartSorted(deadlines []si.Seconds, w si.Seconds) si.Seconds {
+	best := deadlines[0] - w
 	for i, dl := range deadlines {
-		if cand := si.Seconds(dl) - si.Seconds(i+1)*w; cand < best {
+		if cand := dl - si.Seconds(i+1)*w; cand < best {
 			best = cand
 		}
 	}
@@ -506,6 +676,17 @@ func maxBits(a, b si.Bits) si.Bits {
 func (d *Disk) invariants() error {
 	if len(d.streams) > d.sys.params.N {
 		return fmt.Errorf("engine: disk %d exceeds N with %d streams", d.id, len(d.streams))
+	}
+	for i, st := range d.streams {
+		if st.slot != i {
+			return fmt.Errorf("engine: disk %d stream %d slot %d at index %d", d.id, st.id, st.slot, i)
+		}
+	}
+	for i := 1; i < len(d.byDeadline); i++ {
+		a, b := d.byDeadline[i-1], d.byDeadline[i]
+		if a.dlKey > b.dlKey || (a.dlKey == b.dlKey && a.admitSeq > b.admitSeq) {
+			return fmt.Errorf("engine: disk %d deadline index out of order at %d", d.id, i)
+		}
 	}
 	return nil
 }

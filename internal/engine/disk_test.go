@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+func TestCompactTail(t *testing.T) {
+	s := make([]int, 1024)
+	for i := range s {
+		s[i] = i
+	}
+	s = compactTail(s, 1020)
+	if len(s) != 4 || s[0] != 1020 || s[3] != 1023 {
+		t.Fatalf("compacted to %v (len %d)", s, len(s))
+	}
+	if cap(s) != 4 {
+		t.Errorf("cap = %d after draining a large slice, want a tight reallocation", cap(s))
+	}
+
+	// Small slices are compacted in place: no reallocation churn.
+	s2 := make([]int, 100)
+	s2 = compactTail(s2, 90)
+	if len(s2) != 10 || cap(s2) != 100 {
+		t.Errorf("small slice: len %d cap %d, want 10 in the original backing array", len(s2), cap(s2))
+	}
+
+	// Above threshold but still mostly full: kept in place too.
+	s3 := make([]int, 1024)
+	s3 = compactTail(s3, 100)
+	if cap(s3) != 1024 {
+		t.Errorf("cap = %d, want a mostly-full slice left in place", cap(s3))
+	}
+}
+
+// A burst of long estimation windows must not pin its high-water memory:
+// once the windows close and the logs drain, their capacity shrinks.
+func TestEstimateLogsShrinkAfterBurst(t *testing.T) {
+	d := harness(t, sched.RoundRobin, DynamicAllocator{})
+	vc := d.clock.(*VirtualClock)
+	const burst = 5000
+	window := si.Seconds(20000)
+	size := d.sys.cfg.CR.DataIn(window) // usage period = window
+	for i := 0; i < burst; i++ {
+		now := si.Seconds(i)
+		vc.Run(now)
+		d.estArrivals = append(d.estArrivals, now)
+		d.recordEstimate(size, 1)
+		d.resolveEstimates(now)
+	}
+	peakPending, peakArr := cap(d.pending), cap(d.estArrivals)
+	// The arrival at t=0 equals the oldest window's start, which the
+	// exclusive lower bound can never count, so it prunes immediately.
+	if len(d.pending) != burst || len(d.estArrivals) < burst-1 {
+		t.Fatalf("burst did not accumulate: pending %d arrivals %d", len(d.pending), len(d.estArrivals))
+	}
+	// All windows close; both logs drain and release their slack.
+	vc.Run(si.Seconds(burst) + window + 1)
+	d.resolveEstimates(d.now())
+	if len(d.pending) != 0 || len(d.estArrivals) != 0 {
+		t.Fatalf("logs not drained: pending %d arrivals %d", len(d.pending), len(d.estArrivals))
+	}
+	if cap(d.pending) > peakPending/4 {
+		t.Errorf("pending cap %d after drain, want under a quarter of the %d peak", cap(d.pending), peakPending)
+	}
+	if cap(d.estArrivals) > peakArr/4 {
+		t.Errorf("estArrivals cap %d after drain, want under a quarter of the %d peak", cap(d.estArrivals), peakArr)
+	}
+}
+
+// Steady-state estimation keeps both logs bounded: a long run at constant
+// rate never grows them past the live window's worth of entries.
+func TestEstimateLogsBoundedSteadyState(t *testing.T) {
+	d := harness(t, sched.RoundRobin, DynamicAllocator{})
+	vc := d.clock.(*VirtualClock)
+	window := si.Seconds(10)
+	size := d.sys.cfg.CR.DataIn(window)
+	for i := 0; i < 50000; i++ {
+		now := si.Seconds(i)
+		vc.Run(now)
+		d.estArrivals = append(d.estArrivals, now)
+		d.recordEstimate(size, 1)
+		d.resolveEstimates(now)
+		if len(d.pending) > 16 || len(d.estArrivals) > 16 {
+			t.Fatalf("step %d: pending %d estArrivals %d — logs growing without bound",
+				i, len(d.pending), len(d.estArrivals))
+		}
+	}
+	if cap(d.pending) > shrinkThreshold*4 || cap(d.estArrivals) > shrinkThreshold*4 {
+		t.Errorf("caps %d/%d after a long steady run, want bounded",
+			cap(d.pending), cap(d.estArrivals))
+	}
+}

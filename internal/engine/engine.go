@@ -104,6 +104,8 @@ type System struct {
 	gate       Gate
 	params     core.Params
 	table      *core.Table
+	naiveTab   *core.Table // lazily memoized Eq. 5 sizes (naive scheme)
+	dybaseTab  *core.Table // lazily memoized DYBASE recurrence sizes
 	staticSize si.Bits
 	disks      []*Disk
 }
@@ -197,15 +199,23 @@ func (sys *System) OnArrival(req workload.Request) {
 func (sys *System) sizeFor(_ *Disk, n, k int) si.Bits { return sys.table.Size(n, k) }
 
 // naiveSizeFor evaluates the naive scheme's Eq. 5 at n+k with the
-// method's current-load disk latency.
+// method's current-load disk latency, memoized per (n, k) on first use.
+// The lazy build is safe under the clock's serialization contract: every
+// call into the system runs one callback at a time.
 func (sys *System) naiveSizeFor(n, k int) si.Bits {
-	dl := sys.cfg.Method.WorstDL(sys.cfg.Spec, n)
-	return sys.params.NaiveSize(dl, n, k)
+	if sys.naiveTab == nil {
+		sys.naiveTab = core.NewTableWith(sys.params, sys.cfg.Method.DLModel(sys.cfg.Spec), core.Params.NaiveSize)
+	}
+	return sys.naiveTab.Size(n, k)
 }
 
 // dybaseSizeFor evaluates the DYBASE recurrence at (n, k) with the
-// method's current-load disk latency.
+// method's current-load disk latency. The recurrence chain is walked
+// once per (n, k) — the table memoizes it, as §3.3 prescribes for the
+// dynamic scheme — instead of on every fill.
 func (sys *System) dybaseSizeFor(n, k int) si.Bits {
-	dl := sys.cfg.Method.WorstDL(sys.cfg.Spec, n)
-	return sys.params.DybaseSize(dl, n, k)
+	if sys.dybaseTab == nil {
+		sys.dybaseTab = core.NewTableWith(sys.params, sys.cfg.Method.DLModel(sys.cfg.Spec), core.Params.DybaseSize)
+	}
+	return sys.dybaseTab.Size(n, k)
 }

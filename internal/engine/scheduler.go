@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+
 	"repro/internal/sched"
 	"repro/internal/si"
 )
@@ -67,24 +69,18 @@ func (p *rrScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 	// Started streams have viewers draining their buffers: hard deadlines.
 	// Fresh streams (first fill pending) are BubbleUp work: serviced
 	// immediately, but never at the cost of starving a started buffer.
-	var started, fresh *Stream
-	var startedD si.Seconds
-	for _, st := range p.d.streams {
-		if !st.needService() {
-			continue
-		}
-		if !st.started {
-			if fresh == nil || st.req.Arrival < fresh.req.Arrival {
-				fresh = st
-			}
-			continue
-		}
-		if d := p.d.deadlineOf(st); started == nil || d < startedD {
-			started, startedD = st, d
-		}
-	}
+	// Both are O(1) reads off the disk's maintained indexes: byDeadline
+	// holds started streams in (deadline, admission) order — the scan
+	// winner with its tie-breaks — and the fresh FIFO's head is the
+	// earliest-arrived newcomer.
+	started := p.d.minDeadlineStream()
+	fresh := p.d.firstFresh()
 	if started == nil && fresh == nil {
 		return nil, 0
+	}
+	var startedD si.Seconds
+	if started != nil {
+		startedD = p.d.deadlineOf(started)
 	}
 	w := p.d.worstService(p.d.n())
 	if started != nil && startedD-(lazyMarginServices+1)*w <= now {
@@ -118,14 +114,19 @@ func (p *rrScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 	}
 	// Idle long enough that laziness matters: wake at the latest start
 	// that still lets every due buffer be refilled in deadline order.
+	// The byDeadline index is already the ascending deadline sequence;
+	// only the Fixed-Stretch ablation, whose waiting newcomers count as
+	// due-at-admission, needs their (also ascending) deadlines merged in.
 	scratch := p.d.deadlineScratch[:0]
-	for _, st := range p.d.streams {
-		if st.needService() {
-			scratch = append(scratch, float64(p.d.deadlineOf(st)))
+	if fresh == nil {
+		for _, st := range p.d.byDeadline {
+			scratch = append(scratch, st.deadline)
 		}
+	} else {
+		scratch = mergeFreshDeadlines(p.d, scratch)
 	}
 	p.d.deadlineScratch = scratch
-	start := p.d.latestStart(scratch, w)
+	start := latestStartSorted(scratch, w)
 	if room := p.d.roomAt(started); start < room {
 		start = room
 	}
@@ -133,6 +134,33 @@ func (p *rrScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 		start = now
 	}
 	return started, start
+}
+
+// mergeFreshDeadlines merges the started streams' deadline index with the
+// waiting fresh streams' admission-time deadlines, both ascending, into
+// one sorted sequence (the Fixed-Stretch lazy-start input).
+func mergeFreshDeadlines(d *Disk, scratch []si.Seconds) []si.Seconds {
+	i, fr := 0, d.fresh[d.freshHead:]
+	for _, st := range d.byDeadline {
+		dl := st.deadline
+		for ; i < len(fr); i++ {
+			f := fr[i]
+			if f.started || !f.needService() {
+				continue
+			}
+			if f.deadline > dl {
+				break
+			}
+			scratch = append(scratch, f.deadline)
+		}
+		scratch = append(scratch, dl)
+	}
+	for ; i < len(fr); i++ {
+		if f := fr[i]; !f.started && f.needService() {
+			scratch = append(scratch, f.deadline)
+		}
+	}
+	return scratch
 }
 
 // sweepScheduler is Sweep*: service periods are formed from every stream
@@ -336,21 +364,38 @@ func (p *gssScheduler) advance() bool {
 	return true
 }
 
-// sortByCylinder orders streams by the disk position of their next read.
+// cylSorter sorts a batch of streams by (cylinder of next read, id) —
+// sched.SweepOrder's exact total order — with the key slice kept on the
+// disk so period formation allocates nothing in steady state.
+type cylSorter struct {
+	batch []*Stream
+	keys  []int
+}
+
+func (s *cylSorter) Len() int { return len(s.batch) }
+func (s *cylSorter) Less(i, j int) bool {
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] < s.keys[j]
+	}
+	return s.batch[i].id < s.batch[j].id
+}
+func (s *cylSorter) Swap(i, j int) {
+	s.batch[i], s.batch[j] = s.batch[j], s.batch[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// sortByCylinder orders streams by the disk position of their next read,
+// ties by id. The (cylinder, id) order is total, so any sort yields the
+// same deterministic permutation sched.SweepOrder produced.
 func sortByCylinder(d *Disk, batch []*Stream) {
-	ids := make([]int, len(batch))
-	byID := make(map[int]*Stream, len(batch))
-	for i, st := range batch {
-		ids[i] = st.id
-		byID[st.id] = st
+	s := &d.cylSort
+	s.batch = batch
+	s.keys = s.keys[:0]
+	for _, st := range batch {
+		s.keys = append(s.keys, d.sys.cfg.Spec.CylinderOf(st.place.DiskOffset(st.delivered, 0)))
 	}
-	sched.SweepOrder(ids, func(id int) int {
-		st := byID[id]
-		return d.sys.cfg.Spec.CylinderOf(st.place.DiskOffset(st.delivered, 0))
-	})
-	for i, id := range ids {
-		batch[i] = byID[id]
-	}
+	sort.Sort(s)
+	s.batch = nil
 }
 
 // batchLazyStart computes the latest safe start for servicing the given

@@ -35,20 +35,34 @@ func harness(t *testing.T, kind sched.Kind, alloc Allocator) *Disk {
 	return sys.Disk(0)
 }
 
-// addStream admits a synthetic stream directly.
+// addStream admits a synthetic stream directly, maintaining the same
+// per-disk indexes (slot, fresh FIFO) real admission would.
 func addStream(t *testing.T, d *Disk, id int, viewing si.Seconds) *Stream {
 	t.Helper()
+	d.admitSeq++
 	st := &Stream{
+		disk:     d,
 		id:       id,
 		place:    d.sys.cfg.Library.Placement(id % d.sys.cfg.Library.Len()),
 		required: d.sys.cfg.CR.DataIn(viewing),
 		deadline: d.now(),
+		slot:     len(d.streams),
+		admitSeq: d.admitSeq,
 		active:   true,
 	}
 	d.streams = append(d.streams, st)
+	d.fresh = append(d.fresh, st)
 	d.pool.Attach(st.id, d.sys.cfg.CR, d.now())
 	d.sched.Admit(st)
 	return st
+}
+
+// markStarted flips a synthetic stream to started with the given cached
+// deadline and re-indexes it, as completeService would.
+func markStarted(d *Disk, st *Stream, deadline si.Seconds) {
+	st.started = true
+	st.deadline = deadline
+	d.dlFix(st)
 }
 
 func TestRRSchedulerPrefersFreshWhenIdle(t *testing.T) {
@@ -57,8 +71,7 @@ func TestRRSchedulerPrefersFreshWhenIdle(t *testing.T) {
 	// Give the old stream a comfortable buffer.
 	d.pool.BeginFill(old.id, si.Megabits(15), 0)
 	d.pool.CompleteFill(old.id, 0)
-	old.started = true
-	old.deadline = d.pool.EmptyAt(old.id)
+	markStarted(d, old, d.pool.EmptyAt(old.id))
 	fresh := addStream(t, d, 2, si.Minutes(30))
 	st, start := d.sched.Next(0)
 	if st != fresh {
@@ -75,8 +88,7 @@ func TestRRSchedulerUrgentRefillBeatsFresh(t *testing.T) {
 	// A nearly empty buffer: due within the cushion window.
 	d.pool.BeginFill(old.id, si.Megabits(0.075), 0) // 0.05 s of content
 	d.pool.CompleteFill(old.id, 0)
-	old.started = true
-	old.deadline = d.pool.EmptyAt(old.id)
+	markStarted(d, old, d.pool.EmptyAt(old.id))
 	addStream(t, d, 2, si.Minutes(30))
 	st, _ := d.sched.Next(0)
 	if st != old {
@@ -89,8 +101,7 @@ func TestRRSchedulerLazyWakeTime(t *testing.T) {
 	st := addStream(t, d, 1, si.Minutes(60))
 	d.pool.BeginFill(st.id, d.sys.staticSize, 0)
 	d.pool.CompleteFill(st.id, 0)
-	st.started = true
-	st.deadline = d.pool.EmptyAt(st.id)
+	markStarted(d, st, d.pool.EmptyAt(st.id))
 	next, start := d.sched.Next(0)
 	if next != st {
 		t.Fatal("want the lone stream")
@@ -214,8 +225,7 @@ func TestRoomAtFloorsRefills(t *testing.T) {
 	st.size = si.Megabits(1.5) // 1 s of content
 	d.pool.BeginFill(st.id, st.size, 0)
 	d.pool.CompleteFill(st.id, 0)
-	st.started = true
-	st.deadline = d.pool.EmptyAt(st.id)
+	markStarted(d, st, d.pool.EmptyAt(st.id))
 	if got := d.roomAt(st); got <= 0 {
 		t.Errorf("roomAt = %v, want a positive wait for a full buffer", got)
 	}

@@ -69,7 +69,7 @@ func (c *WallClock) Schedule(at si.Seconds, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
-	return c.schedule(delay, fn)
+	return c.schedule(delay, fn, nil, nil)
 }
 
 // After schedules fn to run delay engine seconds from now.
@@ -80,10 +80,36 @@ func (c *WallClock) After(delay si.Seconds, fn func()) Timer {
 	if fn == nil {
 		panic("engine: scheduling a nil callback")
 	}
-	return c.schedule(delay, fn)
+	return c.schedule(delay, fn, nil, nil)
 }
 
-func (c *WallClock) schedule(delay si.Seconds, fn func()) Timer {
+// ScheduleFunc registers the pre-bound callback fn(arg) to run at engine
+// time at. The wall clock allocates a timer per call either way (the OS
+// timer dominates); the payload form exists so engine hot paths use one
+// Clock API under both clocks.
+func (c *WallClock) ScheduleFunc(at si.Seconds, fn func(arg any), arg any) Timer {
+	if fn == nil {
+		panic("engine: scheduling a nil callback")
+	}
+	delay := at - c.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	return c.schedule(delay, nil, fn, arg)
+}
+
+// AfterFunc schedules fn(arg) to run delay engine seconds from now.
+func (c *WallClock) AfterFunc(delay si.Seconds, fn func(arg any), arg any) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("engine: negative delay %v", delay))
+	}
+	if fn == nil {
+		panic("engine: scheduling a nil callback")
+	}
+	return c.schedule(delay, nil, fn, arg)
+}
+
+func (c *WallClock) schedule(delay si.Seconds, fn func(), afn func(any), arg any) Timer {
 	wt := &wallTimer{}
 	wt.t = time.AfterFunc(c.WallDuration(delay), func() {
 		c.mu.Lock()
@@ -91,9 +117,13 @@ func (c *WallClock) schedule(delay si.Seconds, fn func()) Timer {
 		if wt.canceled.Load() {
 			return
 		}
-		fn()
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 	})
-	return wt
+	return Timer{wt: wt}
 }
 
 // wallTimer is a Timer over time.AfterFunc. The canceled flag is atomic so

@@ -15,11 +15,12 @@ test:
 	$(GO) test ./...
 
 # The packages with shared-state concurrency: the parallel experiment
-# runner, the simulator, and the live-serving side of the engine — the
-# wall clock's lock discipline, the buffer pool under serialized
+# runner, the simulator, the large-N scale scenario (shared sizing
+# tables), and the live-serving side of the engine — the sharded wall
+# clock's per-shard lock discipline, the buffer pool under serialized
 # concurrent callers, and the vodserver driver. Keep them race-clean.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./cmd/vodserver
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./internal/scale ./cmd/vodserver
 
 bench:
 	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments
@@ -28,10 +29,10 @@ bench:
 # baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
 # gate measures allocations, which -race instrumentation would distort.
 bench-smoke:
-	$(GO) run ./cmd/bench -baseline BENCH_PR3.json -check -out /dev/null
+	$(GO) run ./cmd/bench -baseline BENCH_PR4.json -check -out /dev/null
 
 # Regenerate the committed baseline after an intentional perf change.
 bench-snapshot:
-	$(GO) run ./cmd/bench -out BENCH_PR3.json
+	$(GO) run ./cmd/bench -out BENCH_PR4.json
 
 ci: vet build test race bench-smoke

@@ -7,6 +7,13 @@
 // frames on the wire. Time is compressed (one simulated minute per wall
 // second by default) so demos finish quickly.
 //
+// The server is sharded per disk, mirroring the paper's per-disk service
+// model: every disk runs on its own WallClock shard (its own lock, timer
+// wheel, and driver goroutine), sessions are routed to the shard holding
+// their title by the catalog's placement, and admission tallies merge
+// across shards through lock-free per-shard counters — no global lock
+// anywhere on the serving path.
+//
 // Protocol: the client sends one line, "WATCH <seconds>\n"; the server
 // answers "OK <id>\n" (admitted) or "BUSY\n" (rejected, or deferred past
 // patience) and then streams length-prefixed frames
@@ -14,6 +21,7 @@
 // been delivered, closing with a zero length frame.
 //
 //	vodserver -listen :9000            # serve
+//	vodserver -disks 8                 # shard across 8 disks
 //	vodserver -selftest 8              # in-process demo: 8 viewers
 package main
 
@@ -28,6 +36,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	vod "repro"
@@ -49,24 +58,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		listen   = fs.String("listen", "127.0.0.1:9000", "address to serve on")
 		scale    = fs.Float64("scale", 60, "simulated seconds per wall second")
+		disks    = fs.Int("disks", 1, "disk shards to serve from")
 		selftest = fs.Int("selftest", 0, "run N in-process viewers against the server and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	srv, err := newServer(*scale)
+	srv, err := newServer(*scale, *disks)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	defer srv.clock.Stop()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	defer ln.Close()
-	log.Printf("vodserver listening on %s (time x%g)", ln.Addr(), *scale)
+	log.Printf("vodserver listening on %s (time x%g, %d disk shards)", ln.Addr(), *scale, *disks)
 
 	if *selftest > 0 {
 		go srv.acceptLoop(ln)
@@ -85,24 +96,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 // hand-rolled server's 100 one-second retries.
 const patience = si.Seconds(100)
 
-// server is the live driver: an engine System under a WallClock plus the
-// viewer registry. All fields below the clock are engine state — they are
-// read and written only under the clock's lock (inside clock.Do or inside
-// Observer callbacks, which the clock serializes).
+// server is the live driver: an engine System under a sharded WallClock
+// plus one serverShard of viewer registry per disk. Nothing here is
+// guarded by a global lock — session state lives in the owning shard
+// (guarded by that shard's clock lock), IDs come from an atomic counter,
+// and tallies merge lock-free.
 type server struct {
 	clock *engine.WallClock
 	sys   *engine.System
-	disk  *engine.Disk
 	lib   *catalog.Library
 	cr    vod.BitRate
 
 	engine.NopObserver // the server observes only what it overrides
 
-	nextID   int
+	nextID atomic.Int64
+	shards []*serverShard
+}
+
+// serverShard is one disk's slice of the driver: the engine disk, the
+// wall-clock shard that drives it, and the sessions it serves. The
+// sessions map is engine state — read and written only under the shard's
+// clock lock (inside clock.Do or inside Observer callbacks, which the
+// shard serializes). Two shards never touch each other's state, so the
+// serving path has no cross-disk contention.
+type serverShard struct {
+	disk     *engine.Disk
+	clock    *engine.WallShard
 	sessions map[int]*session
-	tally    struct {
-		admitted, deferred, rejected, departed int
-	}
+	tally    shardTally
+}
+
+// shardTally counts one disk's admission outcomes. The fields are atomic
+// so counters() can merge every shard's tally without taking any shard's
+// engine lock: each shard's observer callbacks write only their own
+// shard's counters, and readers sum across shards lock-free. The pad
+// keeps neighbouring shards' counters off one cache line.
+type shardTally struct {
+	admitted, deferred, rejected, departed atomic.Int64
+	_                                      [4]int64
 }
 
 // session is one connected viewer. The observer side (engine lock) pushes
@@ -137,19 +168,21 @@ func (s *session) push(n int64, done bool) {
 	}
 }
 
-func newServer(scale float64) (*server, error) {
+func newServer(scale float64, disks int) (*server, error) {
+	if disks < 1 {
+		return nil, fmt.Errorf("vodserver: need at least 1 disk, got %d", disks)
+	}
 	spec, cr, _ := vod.PaperEnvironment()
 	lib, err := catalog.New(catalog.Config{
-		Titles: 6, Disks: 1, Spec: spec, PopularityTheta: 0.271,
+		Titles: 6 * disks, Disks: disks, Spec: spec, PopularityTheta: 0.271,
 	})
 	if err != nil {
 		return nil, err
 	}
 	srv := &server{
-		clock:    engine.NewWallClock(scale),
-		lib:      lib,
-		cr:       cr,
-		sessions: make(map[int]*session),
+		clock: engine.NewWallClock(scale),
+		lib:   lib,
+		cr:    cr,
 	}
 	sys, err := engine.New(engine.Config{
 		Clock:     srv.clock,
@@ -167,35 +200,45 @@ func newServer(scale float64) (*server, error) {
 		return nil, err
 	}
 	srv.sys = sys
-	srv.disk = sys.Disk(0)
+	for d := 0; d < disks; d++ {
+		srv.shards = append(srv.shards, &serverShard{
+			disk:     sys.Disk(d),
+			clock:    srv.clock.Shard(d),
+			sessions: make(map[int]*session),
+		})
+	}
 	return srv, nil
 }
 
-// OnAdmit resolves the viewer's admission wait. Engine lock held.
+// OnAdmit resolves the viewer's admission wait. Shard lock held.
 func (srv *server) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
-	srv.tally.admitted++
-	if sess := srv.sessions[st.ID()]; sess != nil {
+	sh := srv.shards[disk]
+	sh.tally.admitted.Add(1)
+	if sess := sh.sessions[st.ID()]; sess != nil {
 		sess.decided <- true
 	}
 }
 
-// OnDefer counts enforcement deferrals (Fig. 5). Engine lock held.
-func (srv *server) OnDefer(disk int, now si.Seconds) { srv.tally.deferred++ }
+// OnDefer counts enforcement deferrals (Fig. 5). Shard lock held.
+func (srv *server) OnDefer(disk int, now si.Seconds) {
+	srv.shards[disk].tally.deferred.Add(1)
+}
 
-// OnReject resolves the viewer's admission wait negatively. Engine lock
+// OnReject resolves the viewer's admission wait negatively. Shard lock
 // held.
 func (srv *server) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
-	srv.tally.rejected++
-	if sess := srv.sessions[req.ID]; sess != nil {
+	sh := srv.shards[disk]
+	sh.tally.rejected.Add(1)
+	if sess := sh.sessions[req.ID]; sess != nil {
 		sess.decided <- false
 	}
 }
 
 // OnFillComplete ships a landed fill to the viewer: the frame carries the
 // integral bytes newly available, by cumulative flooring so the total
-// delivered equals the content length exactly. Engine lock held.
+// delivered equals the content length exactly. Shard lock held.
 func (srv *server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now si.Seconds) {
-	sess := srv.sessions[st.ID()]
+	sess := srv.shards[disk].sessions[st.ID()]
 	if sess == nil {
 		return
 	}
@@ -214,10 +257,11 @@ func (srv *server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now
 // OnDepart finishes the viewer's stream. Under a wall clock, fill timers
 // accumulate jitter while the single departure timer does not, so a
 // departing stream may still owe a tail of content; flush it here so the
-// client always receives exactly the requested length. Engine lock held.
+// client always receives exactly the requested length. Shard lock held.
 func (srv *server) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
-	srv.tally.departed++
-	sess := srv.sessions[st.ID()]
+	sh := srv.shards[disk]
+	sh.tally.departed.Add(1)
+	sess := sh.sessions[st.ID()]
 	if sess == nil {
 		return
 	}
@@ -253,26 +297,30 @@ func (srv *server) handle(conn net.Conn) {
 		return
 	}
 
-	var sess *session
-	srv.clock.Do(func() {
-		srv.nextID++
-		sess = &session{
-			id:      srv.nextID,
-			decided: make(chan bool, 1),
-			notify:  make(chan struct{}, 1),
-		}
-		srv.sessions[sess.id] = sess
+	// Route the session to the disk shard holding its title: IDs come
+	// from the global atomic counter, everything else happens on the
+	// owning shard under its own lock.
+	id := int(srv.nextID.Add(1))
+	video := id % srv.lib.Len()
+	sh := srv.shards[srv.lib.Placement(video).Disk]
+	sess := &session{
+		id:      id,
+		decided: make(chan bool, 1),
+		notify:  make(chan struct{}, 1),
+	}
+	sh.clock.Do(func() {
+		sh.sessions[id] = sess
 		srv.sys.OnArrival(workload.Request{
-			ID:      sess.id,
+			ID:      id,
 			Arrival: srv.clock.Now(),
-			Video:   sess.id % srv.lib.Len(),
-			Disk:    0,
+			Video:   video,
+			Disk:    sh.disk.ID(),
 			Viewing: si.Seconds(seconds),
 		})
 	})
-	defer srv.clock.Do(func() {
-		srv.disk.Cancel(sess.id) // no-op once the stream has departed
-		delete(srv.sessions, sess.id)
+	defer sh.clock.Do(func() {
+		sh.disk.Cancel(id) // no-op once the stream has departed
+		delete(sh.sessions, id)
 	})
 
 	// Await the engine's admission decision with bounded patience:
@@ -282,11 +330,11 @@ func (srv *server) handle(conn net.Conn) {
 	select {
 	case admitted = <-sess.decided:
 	case <-time.After(srv.clock.WallDuration(patience)):
-		srv.clock.Do(func() {
+		sh.clock.Do(func() {
 			select {
 			case admitted = <-sess.decided: // the decision raced the timeout
 			default:
-				srv.disk.Cancel(sess.id) // withdraw from the deferral queue
+				sh.disk.Cancel(id) // withdraw from the deferral queue
 			}
 		})
 	}
@@ -336,17 +384,20 @@ func (srv *server) handle(conn net.Conn) {
 	}
 }
 
-// counters snapshots the admission tallies and the engine's live state
-// under the clock lock.
+// counters snapshots the admission tallies and the engine's live state.
+// Tallies merge lock-free across shards; the engine reads take each
+// shard's lock in turn, never more than one at a time.
 func (srv *server) counters() (admitted, deferred, rejected, departed, inService, book int) {
-	srv.clock.Do(func() {
-		admitted = srv.tally.admitted
-		deferred = srv.tally.deferred
-		rejected = srv.tally.rejected
-		departed = srv.tally.departed
-		inService = srv.disk.InService()
-		book = srv.disk.BookLen()
-	})
+	for _, sh := range srv.shards {
+		admitted += int(sh.tally.admitted.Load())
+		deferred += int(sh.tally.deferred.Load())
+		rejected += int(sh.tally.rejected.Load())
+		departed += int(sh.tally.departed.Load())
+		sh.clock.Do(func() {
+			inService += sh.disk.InService()
+			book += sh.disk.BookLen()
+		})
+	}
 	return
 }
 

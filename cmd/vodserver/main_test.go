@@ -14,8 +14,13 @@ import (
 // startTestServer spins a server on an ephemeral port with aggressive
 // time compression so tests finish quickly.
 func startTestServer(t *testing.T) (*server, string) {
+	return startTestServerDisks(t, 1)
+}
+
+// startTestServerDisks is startTestServer sharded across disks.
+func startTestServerDisks(t *testing.T, disks int) (*server, string) {
 	t.Helper()
-	srv, err := newServer(600)
+	srv, err := newServer(600, disks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +28,10 @@ func startTestServer(t *testing.T) (*server, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { ln.Close() })
+	t.Cleanup(func() {
+		ln.Close()
+		srv.clock.Stop()
+	})
 	go srv.acceptLoop(ln)
 	return srv, ln.Addr().String()
 }
@@ -125,6 +133,42 @@ func TestServerCountsMatchAdmissionBook(t *testing.T) {
 	}
 	if deferred < 0 {
 		t.Errorf("deferred=%d", deferred)
+	}
+}
+
+// Across disk shards, viewers are routed by the catalog's placement and
+// served concurrently by independent shard drivers; every shard's tally
+// and book must still reconcile.
+func TestServerShardedDisks(t *testing.T) {
+	srv, addr := startTestServerDisks(t, 4)
+	const viewers = 8
+	done := make(chan int64, viewers)
+	for i := 0; i < viewers; i++ {
+		go func() { done <- watch(t, addr, 5) }()
+	}
+	for i := 0; i < viewers; i++ {
+		if got := <-done; got != 937_500 {
+			t.Errorf("viewer delivered %d bytes, want 937500", got)
+		}
+	}
+	drained(t, srv)
+	admitted, _, rejected, departed, inService, book := srv.counters()
+	if admitted != viewers || rejected != 0 || departed != viewers {
+		t.Errorf("admitted=%d rejected=%d departed=%d, want %d/0/%d", admitted, rejected, departed, viewers, viewers)
+	}
+	if inService != 0 || book != 0 {
+		t.Errorf("engine books not drained: inservice=%d book=%d", inService, book)
+	}
+	// Placement must have spread the 8 sequential viewer IDs over more
+	// than one shard (titles stripe across disks).
+	used := 0
+	for _, sh := range srv.shards {
+		if sh.tally.admitted.Load() > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d shard(s) served traffic, want routing across disks", used)
 	}
 }
 

@@ -138,6 +138,12 @@ type Config struct {
 	// Video overrides the default MPEG-1 title parameters when non-nil.
 	Video func(id int) Video
 
+	// Place overrides the round-robin title-to-disk assignment when
+	// non-nil: Place(id) returns the disk for title id, in [0, Disks).
+	// Popularity-skewed catalogs use it to balance expected load across
+	// disks (e.g. a serpentine deal of titles in popularity order).
+	Place func(id int) int
+
 	// ChunkSize, when positive, stores videos as replicated chunks of
 	// this size instead of one contiguous extent (footnote 3's layout).
 	// It must be at least twice MaxRead.
@@ -186,6 +192,11 @@ func New(cfg Config) (*Library, error) {
 			return nil, fmt.Errorf("catalog: video %d has non-positive rate or length", id)
 		}
 		disk := id % cfg.Disks
+		if cfg.Place != nil {
+			if disk = cfg.Place(id); disk < 0 || disk >= cfg.Disks {
+				return nil, fmt.Errorf("catalog: Place(%d) = %d outside [0, %d)", id, disk, cfg.Disks)
+			}
+		}
 		if cfg.ChunkSize > 0 {
 			layout, err := chunk.NewLayout(v.Size(), cfg.ChunkSize, cfg.MaxRead)
 			if err != nil {
@@ -246,6 +257,27 @@ func (l *Library) Pick(u float64) int {
 func (l *Library) MaxRead() si.Bits {
 	min := si.Bits(math.Inf(1))
 	for _, p := range l.placements {
+		if m := p.MaxRead(); m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// ChunkedMaxRead reports the binding single-read bound of the library's
+// chunked placements: the largest read they all guarantee to serve with
+// one disk latency. Contiguous placements impose no bound — a server's
+// fills are clamped inside the video, and any read inside one extent
+// costs one latency — so a library with no chunked placement reports
+// +Inf. This, not MaxRead, is the constraint a server's buffer sizes
+// must respect: MaxRead also folds in contiguous videos' sizes, which
+// bound nothing when buffers may exceed a short title's length.
+func (l *Library) ChunkedMaxRead() si.Bits {
+	min := si.Bits(math.Inf(1))
+	for _, p := range l.placements {
+		if p.Chunks == nil {
+			continue
+		}
 		if m := p.MaxRead(); m < min {
 			min = m
 		}

@@ -151,3 +151,25 @@ func Admit(b *Book, n, nmax int) bool {
 	}
 	return n+1 <= b.MinNK()
 }
+
+// AdmitBudget implements the churn-safe form of the same enforcement.
+// Here b records, for every in-service buffer, Allocation{N: the
+// cumulative admission count stamped at its most recent fill, K: k_i},
+// so MinNK() is min_i(stamp_i + k_i) and one more admission is safe iff
+// every buffer still has budget — admitted − stamp_i < k_i for all i:
+//
+//	admitted + 1 <= min_i(stamp_i + k_i)
+//
+// where admitted is the cumulative admission count so far.
+//
+// While no stream departs inside an open usage period, admissions are
+// pure growth (admitted − stamp_i = n − n_i) and this is exactly Admit's
+// concurrency rule — the paper's regime, where viewing times dwarf usage
+// periods. Under heavy churn the concurrency rule lets a replacement
+// (departure + new admission, net zero load) through unchecked even
+// though its first fill consumes a service slot the open windows were
+// sized for; charging every admission against the k_i budgets is what
+// Theorem 2's service counting actually requires.
+func AdmitBudget(b *Book, admitted int) bool {
+	return admitted+1 <= b.MinNK()
+}

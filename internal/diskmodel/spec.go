@@ -174,6 +174,34 @@ func (s Spec) CylinderOf(offset si.Bits) int {
 	return c
 }
 
+// ModernNearline returns a present-day nearline drive for the large-N
+// scale scenario: a 2.4 Gbps sustained transfer rate — twenty times the
+// Barracuda's — so one spindle supports N = ceil(2400/1.5) − 1 = 1599
+// concurrent 1.5 Mbps streams (Eq. 1), three orders of magnitude beyond
+// the paper's N = 79. Mechanics improved far less than bandwidth over
+// the same generations: the spindle still turns at 7200 RPM (8.33 ms
+// worst rotational delay) and the arm's full sweep costs 8.5 ms, which
+// is exactly the regime where buffer sizing matters — per-service
+// latency is mechanical, so large n means large rounds and large
+// buffers. The seek curve keeps Eq. 7's shape with the linear segment
+// meeting gamma(Cyln) = 2.5 ms + 0.0003 ms · 20000 = 8.5 ms.
+func ModernNearline() Spec {
+	return Spec{
+		Name:          "Modern Nearline 2.4G",
+		Capacity:      si.Gigabytes(4000),
+		TransferRate:  si.Mbps(2400),
+		RPM:           7200,
+		MaxRotational: 8.33 * si.Millisecond,
+		MaxSeek:       8.5 * si.Millisecond,
+		Mu1:           0.3 * si.Millisecond,
+		Nu1:           0.12 * si.Millisecond,
+		Mu2:           2.5 * si.Millisecond,
+		Nu2:           0.0003 * si.Millisecond,
+		SeekBreak:     400,
+		Cylinders:     20000,
+	}
+}
+
 // Synthetic15K returns a faster, later-generation drive (in the spirit of
 // the 15k-RPM SCSI disks that followed the Barracuda): four times the
 // Barracuda's transfer rate, half its rotational delay, and a quicker arm.

@@ -48,6 +48,11 @@ func (DynamicAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	kc := d.Estimate(n)
 	size := d.sys.sizeFor(d, n, kc)
 	d.book.Set(st.id, core.Allocation{N: n, K: kc})
+	if d.budget != nil {
+		// Churn-safe enforcement: this fill opens a fresh k_i admission
+		// budget, charged from the disk's current admission count.
+		d.budget.Set(st.id, core.Allocation{N: d.admits, K: kc})
+	}
 	d.recordEstimate(size, kc)
 	return size
 }
@@ -66,7 +71,10 @@ func (DynamicAllocator) PlanSize(d *Disk, n int) si.Bits {
 }
 
 func (DynamicAllocator) Admit(d *Disk, n int) bool {
-	return core.Admit(d.book, n, d.sys.params.N)
+	if !core.Admit(d.book, n, d.sys.params.N) {
+		return false
+	}
+	return d.budget == nil || core.AdmitBudget(d.budget, d.admits)
 }
 
 // NaiveAllocator is the flawed strawman of Section 3.1: Eq. 5 evaluated at

@@ -40,11 +40,33 @@ type Clock interface {
 	AfterFunc(delay si.Seconds, fn func(arg any), arg any) Timer
 }
 
+// ClockDomain hands out the clock that drives each disk. The paper's
+// service model is per-disk — every disk runs its own period-by-period
+// fill schedule — so nothing in the engine requires two disks to share a
+// timer queue, only that each disk's own callbacks are serialized.
+//
+//   - VirtualClock is a single-shard domain: DiskClock returns the same
+//     deterministic event loop for every disk, which is what keeps
+//     simulation output byte-identical (one global (time, seq) order).
+//   - WallClock is a sharded domain: DiskClock returns an independent
+//     WallShard per disk, each with its own lock and timer wheel, so live
+//     traffic on one disk never contends on another disk's lock.
+//
+// The serialization contract is per shard: two disks mapped to different
+// shards run their callbacks concurrently, so cross-disk mutable state
+// (an engine Gate, an Observer) must either be sharded itself or be safe
+// under concurrent calls when driven by a multi-shard domain.
+type ClockDomain interface {
+	// DiskClock returns the clock that drives disk i.
+	DiskClock(i int) Clock
+}
+
 // Timer is a scheduled-callback handle, returned by value so issuing one
 // never allocates. The zero Timer is inert: Cancel on it is a no-op, as
 // is Cancel on an already fired or canceled timer. Virtual-clock events
-// are pooled on a freelist; the generation captured here keeps a stale
-// handle from canceling the slot's next occupant.
+// and wall-shard timers are both pooled on freelists; the generation
+// captured here keeps a stale handle from canceling the slot's next
+// occupant.
 type Timer struct {
 	ev  *Event
 	gen uint64
@@ -58,7 +80,7 @@ func (t Timer) Cancel() {
 		t.ev.cancel(t.gen)
 	}
 	if t.wt != nil {
-		t.wt.Cancel()
+		t.wt.cancel(t.gen)
 	}
 }
 
@@ -104,6 +126,11 @@ func (e *Event) cancel(gen uint64) {
 
 // NewVirtualClock returns a virtual clock with the time at zero.
 func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// DiskClock returns the clock itself for every disk: the virtual clock is
+// a single-shard ClockDomain, so all disks share one deterministic
+// (time, scheduling-order) event sequence.
+func (e *VirtualClock) DiskClock(int) Clock { return e }
 
 // Now reports the current virtual time.
 func (e *VirtualClock) Now() si.Seconds { return e.now }

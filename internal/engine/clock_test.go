@@ -74,7 +74,7 @@ func TestVirtualClockCancel(t *testing.T) {
 	ran := false
 	ev := e.Schedule(1, func() { ran = true })
 	ev.Cancel()
-	ev.Cancel() // double cancel is a no-op
+	ev.Cancel()        // double cancel is a no-op
 	(Timer{}).Cancel() // zero Timer is inert
 	e.Run(2)
 	if ran {
@@ -235,7 +235,7 @@ func TestWallClockCancel(t *testing.T) {
 	var tm Timer
 	c.Do(func() { tm = c.After(50, func() { fired <- struct{}{} }) })
 	tm.Cancel()
-	(*wallTimer)(nil).Cancel()
+	(*wallTimer)(nil).cancel(0)
 	select {
 	case <-fired:
 		t.Error("canceled timer fired")

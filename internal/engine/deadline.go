@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/si"
+)
+
+// deadlineIndex orders a disk's started streams that still need service
+// by ascending (deadline, admitSeq) — the Round-Robin/BubbleUp scan
+// winner with its tie-breaks. Deadlines change once per fill completion,
+// so insert/remove are the hot operations; min backs every scheduling
+// decision; the ascending traversal feeds only the lazy-start
+// computation at idle transitions.
+//
+// The index holds the deadline in each stream's dlKey (frozen at insert;
+// dlFix re-files a stream whose deadline moved), and keeps the stream's
+// position in dlPos so removal needs no search.
+type deadlineIndex interface {
+	// insert files st by its (dlKey, admitSeq). st must not be indexed.
+	insert(st *Stream)
+	// remove unfiles st. Panics if st's position is out of sync.
+	remove(st *Stream)
+	// min returns the indexed stream with the smallest (dlKey, admitSeq),
+	// or nil when the index is empty.
+	min() *Stream
+	// size reports the number of indexed streams.
+	size() int
+	// appendAscending appends the indexed streams' deadline values to
+	// scratch in ascending order and returns the grown slice. Equal
+	// deadlines are interchangeable as values, so no admitSeq tie-break
+	// is promised here — only min carries the full order.
+	appendAscending(scratch []si.Seconds) []si.Seconds
+	// check validates the internal structure (tests only).
+	check() error
+}
+
+// dlBefore is the index's strict total order.
+func dlBefore(a, b *Stream) bool {
+	return a.dlKey < b.dlKey || (a.dlKey == b.dlKey && a.admitSeq < b.admitSeq)
+}
+
+// deadlineHeap is a 4-ary min-heap deadlineIndex: O(log n) insert and
+// remove with zero steady-state allocation (the backing array is reused,
+// positions live in the streams). 4-ary rather than binary because the
+// heap holds pointers: a quarter of the depth means a quarter of the
+// cache misses on the sift path, and the 4-child min scan stays in one
+// cache line.
+type deadlineHeap struct {
+	items []*Stream
+}
+
+const dlArity = 4
+
+func newDeadlineIndex() deadlineIndex { return &deadlineHeap{} }
+
+func (h *deadlineHeap) size() int { return len(h.items) }
+
+func (h *deadlineHeap) min() *Stream {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *deadlineHeap) insert(st *Stream) {
+	st.dlPos = len(h.items)
+	h.items = append(h.items, st)
+	h.siftUp(st.dlPos)
+}
+
+func (h *deadlineHeap) remove(st *Stream) {
+	pos, last := st.dlPos, len(h.items)-1
+	if pos < 0 || pos > last || h.items[pos] != st {
+		panic("engine: deadline index out of sync")
+	}
+	moved := h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	st.dlPos = -1
+	if pos == last {
+		return
+	}
+	h.items[pos] = moved
+	moved.dlPos = pos
+	if !h.siftDown(pos) {
+		h.siftUp(pos)
+	}
+}
+
+func (h *deadlineHeap) siftUp(pos int) {
+	it := h.items
+	st := it[pos]
+	for pos > 0 {
+		parent := (pos - 1) / dlArity
+		p := it[parent]
+		if !dlBefore(st, p) {
+			break
+		}
+		it[pos] = p
+		p.dlPos = pos
+		pos = parent
+	}
+	it[pos] = st
+	st.dlPos = pos
+}
+
+// siftDown restores the heap below pos, reporting whether anything moved.
+func (h *deadlineHeap) siftDown(pos int) bool {
+	it := h.items
+	st := it[pos]
+	start := pos
+	n := len(it)
+	for {
+		first := pos*dlArity + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + dlArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if dlBefore(it[c], it[best]) {
+				best = c
+			}
+		}
+		if !dlBefore(it[best], st) {
+			break
+		}
+		it[pos] = it[best]
+		it[pos].dlPos = pos
+		pos = best
+	}
+	it[pos] = st
+	st.dlPos = pos
+	return pos != start
+}
+
+func (h *deadlineHeap) appendAscending(scratch []si.Seconds) []si.Seconds {
+	base := len(scratch)
+	for _, st := range h.items {
+		scratch = append(scratch, st.dlKey)
+	}
+	slices.Sort(scratch[base:])
+	return scratch
+}
+
+// DeadlineIndexChurn exercises the deadline index with its hot-path
+// operation mix at a fixed population: fill the index to n streams, then
+// rounds times remove the earliest stream and re-file it behind the rest
+// — each fill completion's remove+insert pair. It returns the final
+// minimum's admission sequence as a checksum. The function exists for
+// the tracked benchmark cases (internal/bench): after the first round
+// the backing array stops growing, so cmd/bench's allocs/op gate pins
+// the steady-state index path to zero allocations.
+func DeadlineIndexChurn(n, rounds int) int64 {
+	if n <= 0 {
+		return -1
+	}
+	idx := newDeadlineIndex()
+	streams := make([]*Stream, n)
+	deadline := si.Seconds(0)
+	for i := range streams {
+		deadline += si.Seconds(1+i%7) / 16
+		streams[i] = &Stream{id: i, admitSeq: int64(i), dlKey: deadline, dlPos: -1}
+		idx.insert(streams[i])
+	}
+	seq := int64(n)
+	for r := 0; r < rounds; r++ {
+		st := idx.min()
+		idx.remove(st)
+		deadline += si.Seconds(1+r%7) / 16
+		seq++
+		st.dlKey, st.admitSeq = deadline, seq
+		idx.insert(st)
+	}
+	return idx.min().admitSeq
+}
+
+func (h *deadlineHeap) check() error {
+	for i, st := range h.items {
+		if st.dlPos != i {
+			return fmt.Errorf("stream %d dlPos %d at heap index %d", st.id, st.dlPos, i)
+		}
+		if i > 0 {
+			parent := (i - 1) / dlArity
+			if dlBefore(st, h.items[parent]) {
+				return fmt.Errorf("heap order violated at index %d (parent %d)", i, parent)
+			}
+		}
+	}
+	return nil
+}

@@ -27,9 +27,10 @@ type Stream struct {
 	lastFillAt si.Seconds // completion time of the most recent fill
 	firstFill  si.Seconds
 	slot       int        // index in Disk.streams (admission order)
-	admitSeq   int64      // monotone admission sequence, ties in byDeadline
-	dlKey      si.Seconds // deadline value the byDeadline index holds
-	inDl       bool       // member of the byDeadline index
+	admitSeq   int64      // monotone admission sequence, ties in the deadline index
+	dlKey      si.Seconds // deadline value the deadline index holds
+	dlPos      int        // position in the deadline index, -1 outside
+	inDl       bool       // member of the deadline index
 	started    bool       // first fill has landed
 	active     bool       // still owned by the disk
 	doomed     bool       // departed mid-service; remove at completion
@@ -111,6 +112,13 @@ type Disk struct {
 	book *core.Book
 	est  *core.Estimator
 
+	// admits counts streams that entered service over the disk's
+	// lifetime. Under churn-safe admission, budget mirrors book but
+	// stamps each allocation with the admission count at fill time, so
+	// min_i(stamp_i + k_i) bounds further admissions (core.AdmitBudget).
+	admits int
+	budget *core.Book // nil unless Config.ChurnSafeAdmission
+
 	sched Scheduler
 
 	busy    bool
@@ -119,13 +127,14 @@ type Disk struct {
 
 	admitSeq int64 // next stream's admission sequence number
 
-	// byDeadline indexes started streams that still need service, in
-	// ascending (deadline, admitSeq) order. It replaces both the per-
-	// dispatch min-deadline scan and the per-period sort.Float64s of the
-	// lazy-start computation: a deadline changes only at fill completion,
-	// so the index absorbs one O(n) memmove there instead of an
-	// O(n log n) sort at every scheduling decision.
-	byDeadline []*Stream
+	// deadlines indexes started streams that still need service by
+	// (deadline, admitSeq). It replaces both the per-dispatch min-deadline
+	// scan and the per-period sort.Float64s of the lazy-start computation:
+	// a deadline changes only at fill completion, so the index absorbs an
+	// O(log n) heap fixup there instead of an O(n log n) sort at every
+	// scheduling decision (and instead of the O(n) memmove the previous
+	// sorted-slice index paid — material at modern-disk stream counts).
+	deadlines deadlineIndex
 
 	// fresh is a FIFO of admitted streams awaiting their first fill.
 	// Admission order is arrival order, so the head is the scan winner
@@ -154,6 +163,7 @@ type Disk struct {
 
 	// scratch buffers reused across dispatches.
 	deadlineScratch []si.Seconds
+	dlMerge         []si.Seconds
 	cylSort         cylSorter
 }
 
@@ -164,13 +174,17 @@ const klogRefresh = si.Seconds(10)
 
 func newDisk(sys *System, id int) *Disk {
 	d := &Disk{
-		sys:   sys,
-		id:    id,
-		clock: sys.clock,
-		disk:  diskmodel.NewDisk(sys.cfg.Spec, sys.cfg.Seed*1000003+int64(id)),
-		pool:  buffer.NewPagedPool(0, sys.cfg.PageSize),
-		book:  core.NewBook(),
-		est:   core.NewEstimator(sys.cfg.TLog),
+		sys:       sys,
+		id:        id,
+		clock:     sys.domain.DiskClock(id),
+		disk:      diskmodel.NewDisk(sys.cfg.Spec, sys.cfg.Seed*1000003+int64(id)),
+		pool:      buffer.NewPagedPool(0, sys.cfg.PageSize),
+		book:      core.NewBook(),
+		est:       core.NewEstimator(sys.cfg.TLog),
+		deadlines: newDeadlineIndex(),
+	}
+	if sys.cfg.ChurnSafeAdmission {
+		d.budget = core.NewBook()
 	}
 	// A sane initial period guess: the usage period of the smallest
 	// dynamic buffer. Updated at every allocation.
@@ -285,6 +299,7 @@ func (d *Disk) admitFromQueue() {
 			d.queue, d.qhead = d.queue[:0], 0
 		}
 		d.admitSeq++
+		d.admits++
 		st := &Stream{
 			disk:       d,
 			id:         q.req.ID,
@@ -294,6 +309,7 @@ func (d *Disk) admitFromQueue() {
 			required:   maxBits(d.sys.cfg.CR.DataIn(q.req.Viewing), 1),
 			deadline:   d.now(), // fresh: due immediately
 			firstFill:  -1,
+			dlPos:      -1,
 			slot:       len(d.streams),
 			admitSeq:   d.admitSeq,
 			active:     true,
@@ -316,6 +332,9 @@ func (d *Disk) removeStream(st *Stream) {
 	d.dlRemove(st)
 	d.pool.Detach(st.id, d.now())
 	d.book.Remove(st.id)
+	if d.budget != nil {
+		d.budget.Remove(st.id)
+	}
 	i, last := st.slot, len(d.streams)-1
 	copy(d.streams[i:], d.streams[i+1:])
 	d.streams[last] = nil
@@ -332,27 +351,14 @@ func (d *Disk) removeStream(st *Stream) {
 }
 
 // dlInsert adds st to the deadline index if it qualifies (started and
-// still fetching). Position is the ascending (deadline, admitSeq) rank.
+// still fetching), keyed by its current (deadline, admitSeq).
 func (d *Disk) dlInsert(st *Stream) {
 	if st.inDl || !st.started || !st.needService() {
 		return
 	}
-	key, seq := st.deadline, st.admitSeq
-	lo, hi := 0, len(d.byDeadline)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		o := d.byDeadline[mid]
-		if o.dlKey < key || (o.dlKey == key && o.admitSeq < seq) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	d.byDeadline = append(d.byDeadline, nil)
-	copy(d.byDeadline[lo+1:], d.byDeadline[lo:])
-	d.byDeadline[lo] = st
+	st.dlKey = st.deadline
 	st.inDl = true
-	st.dlKey = key
+	d.deadlines.insert(st)
 }
 
 // dlRemove drops st from the deadline index if present.
@@ -360,24 +366,7 @@ func (d *Disk) dlRemove(st *Stream) {
 	if !st.inDl {
 		return
 	}
-	key, seq := st.dlKey, st.admitSeq
-	lo, hi := 0, len(d.byDeadline)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		o := d.byDeadline[mid]
-		if o.dlKey < key || (o.dlKey == key && o.admitSeq < seq) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo >= len(d.byDeadline) || d.byDeadline[lo] != st {
-		panic("engine: deadline index out of sync")
-	}
-	last := len(d.byDeadline) - 1
-	copy(d.byDeadline[lo:], d.byDeadline[lo+1:])
-	d.byDeadline[last] = nil
-	d.byDeadline = d.byDeadline[:last]
+	d.deadlines.remove(st)
 	st.inDl = false
 }
 
@@ -390,10 +379,7 @@ func (d *Disk) dlFix(st *Stream) {
 // minDeadlineStream returns the started stream with the earliest
 // deadline still needing service (admission order breaks ties), or nil.
 func (d *Disk) minDeadlineStream() *Stream {
-	if len(d.byDeadline) == 0 {
-		return nil
-	}
-	return d.byDeadline[0]
+	return d.deadlines.min()
 }
 
 // firstFresh returns the earliest-admitted stream awaiting its first
@@ -652,7 +638,7 @@ const lazyMarginServices = 2
 // latestStartSorted computes the safe lazy start for servicing a batch of
 // streams sequentially when the service order may be adversarial with
 // respect to deadlines: every deadline d_(i) (ascending — the input MUST
-// already be sorted, which the byDeadline index provides for free) must
+// already be sorted, which deadlineIndex.appendAscending provides) must
 // allow i services of duration w first, so start <= min_i(d_(i) − i·w),
 // minus the safety cushion.
 func latestStartSorted(deadlines []si.Seconds, w si.Seconds) si.Seconds {
@@ -682,11 +668,8 @@ func (d *Disk) invariants() error {
 			return fmt.Errorf("engine: disk %d stream %d slot %d at index %d", d.id, st.id, st.slot, i)
 		}
 	}
-	for i := 1; i < len(d.byDeadline); i++ {
-		a, b := d.byDeadline[i-1], d.byDeadline[i]
-		if a.dlKey > b.dlKey || (a.dlKey == b.dlKey && a.admitSeq > b.admitSeq) {
-			return fmt.Errorf("engine: disk %d deadline index out of order at %d", d.id, i)
-		}
+	if err := d.deadlines.check(); err != nil {
+		return fmt.Errorf("engine: disk %d deadline index: %w", d.id, err)
 	}
 	return nil
 }

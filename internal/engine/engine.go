@@ -24,6 +24,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -47,8 +48,11 @@ type Gate interface {
 
 // Config parameterizes an engine System.
 type Config struct {
-	// Clock supplies time and callback scheduling. Required.
-	Clock Clock
+	// Clock supplies time and callback scheduling: each disk runs on
+	// Clock.DiskClock(disk). A VirtualClock is a single-shard domain
+	// (all disks on one deterministic event loop); a WallClock gives
+	// every disk its own concurrent shard. Required.
+	Clock ClockDomain
 
 	// Allocator is the buffer allocation scheme. Required.
 	Allocator Allocator
@@ -70,6 +74,31 @@ type Config struct {
 	// Alpha is the dynamic scheme's inertia slack (>= 1).
 	Alpha int
 
+	// ChurnSafeAdmission tightens the dynamic scheme's runtime
+	// enforcement from Fig. 5's concurrency form — n+1 ≤ min_i(n_i+k_i)
+	// — to per-buffer admission budgets: at most k_i requests may enter
+	// service between buffer i's consecutive fills (core.AdmitBudget).
+	// The two rules are equivalent while no stream departs inside an
+	// open usage period, which the paper's two-hour titles guarantee;
+	// with short titles at modern-disk loads, usage periods stretch to
+	// minutes and replacement churn injects first fills the concurrency
+	// form never counts, voiding the sizing guarantee. Scenarios in that
+	// regime set this. Only the dynamic allocator consults it.
+	ChurnSafeAdmission bool
+
+	// DeadlineAwareBubbleUp gates Round-Robin/BubbleUp's immediate
+	// service of newcomers on the started backlog's schedule: a fresh
+	// stream is serviced at once only when the latest safe start of the
+	// pending refills leaves room for the inserted service. The paper's
+	// BubbleUp checks only the earliest deadline, which is sound while
+	// buffer sizes are stable between refill generations; at modern
+	// scale, growing loads compress a refill generation's deadline
+	// spacing below the next generation's service time, and newcomers
+	// inserted mid-catch-up push the tail of the backlog past its
+	// deadlines. Scenarios in that regime set this alongside
+	// ChurnSafeAdmission.
+	DeadlineAwareBubbleUp bool
+
 	// TLog is the arrival-history window for k estimation.
 	TLog si.Seconds
 
@@ -87,6 +116,15 @@ type Config struct {
 	// Seed feeds the disks' rotational-delay streams.
 	Seed int64
 
+	// SizeTable, when non-nil, supplies the precomputed dynamic sizing
+	// table instead of building one. The table is immutable after
+	// construction and the build is O(N²·√N), so callers running many
+	// systems with identical (Spec, Method, CR, Alpha) — the experiment
+	// harness's replications — share one. It must have been built with
+	// NewTable under exactly this config's parameters and latency model;
+	// New rejects tables whose parameters or full-load size disagree.
+	SizeTable *core.Table
+
 	// Observer receives instrumentation callbacks; nil observes nothing.
 	Observer Observer
 
@@ -95,16 +133,18 @@ type Config struct {
 	Gate Gate
 }
 
-// System is a group of disks sharing one clock, allocator, and parameter
-// set — the runtime a driver feeds requests into.
+// System is a group of disks sharing one clock domain, allocator, and
+// parameter set — the runtime a driver feeds requests into.
 type System struct {
 	cfg        Config
-	clock      Clock
+	domain     ClockDomain
 	obs        Observer
 	gate       Gate
 	params     core.Params
 	table      *core.Table
+	naiveOnce  sync.Once
 	naiveTab   *core.Table // lazily memoized Eq. 5 sizes (naive scheme)
+	dybaseOnce sync.Once
 	dybaseTab  *core.Table // lazily memoized DYBASE recurrence sizes
 	staticSize si.Bits
 	disks      []*Disk
@@ -135,7 +175,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.TLog <= 0 {
 		return nil, fmt.Errorf("engine: non-positive TLog %v", cfg.TLog)
 	}
-	sys := &System{cfg: cfg, clock: cfg.Clock, gate: cfg.Gate}
+	sys := &System{cfg: cfg, domain: cfg.Clock, gate: cfg.Gate}
 	sys.obs = cfg.Observer
 	if sys.obs == nil {
 		sys.obs = NopObserver{}
@@ -149,12 +189,28 @@ func New(cfg Config) (*System, error) {
 	if err := sys.params.Validate(); err != nil {
 		return nil, err
 	}
-	sys.table = core.NewTable(sys.params, cfg.Method.DLModel(cfg.Spec))
 	sys.staticSize = sys.params.StaticSize(cfg.Method.WorstDL(cfg.Spec, sys.params.N), sys.params.N)
+	if cfg.SizeTable != nil {
+		if cfg.SizeTable.Params() != sys.params {
+			return nil, fmt.Errorf("engine: shared sizing table built for %+v, config derives %+v",
+				cfg.SizeTable.Params(), sys.params)
+		}
+		// The parameters don't capture the latency model; probe the
+		// full-load boundary, which every correctly built table pins to
+		// the method's worst disk latency at N.
+		if got := cfg.SizeTable.Size(sys.params.N, 0); got != sys.staticSize {
+			return nil, fmt.Errorf("engine: shared sizing table full-load size %v, method/spec derive %v",
+				got, sys.staticSize)
+		}
+		sys.table = cfg.SizeTable
+	} else {
+		sys.table = core.NewTable(sys.params, cfg.Method.DLModel(cfg.Spec))
+	}
 	// A chunked library must be able to serve the largest buffer the
-	// server will ever allocate from a single chunk.
-	if maxRead := cfg.Library.MaxRead(); maxRead < sys.staticSize {
-		return nil, fmt.Errorf("engine: library max read %v below the largest buffer %v — rebuild the library with a larger MaxRead",
+	// server will ever allocate from a single chunk. Contiguous
+	// placements impose no bound: fills are clamped inside the video.
+	if maxRead := cfg.Library.ChunkedMaxRead(); maxRead < sys.staticSize {
+		return nil, fmt.Errorf("engine: library chunked max read %v below the largest buffer %v — rebuild the library with a larger MaxRead",
 			maxRead, sys.staticSize)
 	}
 	for d := 0; d < cfg.Library.Disks(); d++ {
@@ -168,8 +224,8 @@ func New(cfg Config) (*System, error) {
 // it cannot ride in on the Config).
 func (sys *System) SetGate(g Gate) { sys.gate = g }
 
-// Clock returns the system's clock.
-func (sys *System) Clock() Clock { return sys.clock }
+// Clock returns the system's clock domain.
+func (sys *System) Clock() ClockDomain { return sys.domain }
 
 // Params returns the sizing parameters (TR, CR, N, alpha).
 func (sys *System) Params() core.Params { return sys.params }
@@ -200,12 +256,12 @@ func (sys *System) sizeFor(_ *Disk, n, k int) si.Bits { return sys.table.Size(n,
 
 // naiveSizeFor evaluates the naive scheme's Eq. 5 at n+k with the
 // method's current-load disk latency, memoized per (n, k) on first use.
-// The lazy build is safe under the clock's serialization contract: every
-// call into the system runs one callback at a time.
+// The build is guarded by a Once because disks on different shards of a
+// multi-shard clock domain race to trigger it.
 func (sys *System) naiveSizeFor(n, k int) si.Bits {
-	if sys.naiveTab == nil {
+	sys.naiveOnce.Do(func() {
 		sys.naiveTab = core.NewTableWith(sys.params, sys.cfg.Method.DLModel(sys.cfg.Spec), core.Params.NaiveSize)
-	}
+	})
 	return sys.naiveTab.Size(n, k)
 }
 
@@ -214,8 +270,8 @@ func (sys *System) naiveSizeFor(n, k int) si.Bits {
 // once per (n, k) — the table memoizes it, as §3.3 prescribes for the
 // dynamic scheme — instead of on every fill.
 func (sys *System) dybaseSizeFor(n, k int) si.Bits {
-	if sys.dybaseTab == nil {
+	sys.dybaseOnce.Do(func() {
 		sys.dybaseTab = core.NewTableWith(sys.params, sys.cfg.Method.DLModel(sys.cfg.Spec), core.Params.DybaseSize)
-	}
+	})
 	return sys.dybaseTab.Size(n, k)
 }

@@ -67,17 +67,17 @@ type Observer interface {
 // the callbacks of interest.
 type NopObserver struct{}
 
-func (NopObserver) OnAdmit(int, *Stream, si.Seconds)                             {}
-func (NopObserver) OnDefer(int, si.Seconds)                                      {}
-func (NopObserver) OnReject(int, workload.Request, RejectReason, si.Seconds)     {}
+func (NopObserver) OnAdmit(int, *Stream, si.Seconds)                                 {}
+func (NopObserver) OnDefer(int, si.Seconds)                                          {}
+func (NopObserver) OnReject(int, workload.Request, RejectReason, si.Seconds)         {}
 func (NopObserver) OnFill(int, *Stream, si.Seconds, si.Seconds, si.Bits, si.Seconds) {}
-func (NopObserver) OnFillComplete(int, *Stream, si.Bits, si.Seconds)             {}
-func (NopObserver) OnStart(int, *Stream, si.Seconds)                             {}
-func (NopObserver) OnStall(int, si.Seconds)                                      {}
-func (NopObserver) OnEstimate(int, int, si.Bits, si.Seconds)                     {}
-func (NopObserver) OnEstimateResolved(int, bool, si.Seconds)                     {}
-func (NopObserver) OnUnderrun(int, si.Seconds, si.Seconds)                       {}
-func (NopObserver) OnDepart(int, *Stream, si.Seconds)                            {}
+func (NopObserver) OnFillComplete(int, *Stream, si.Bits, si.Seconds)                 {}
+func (NopObserver) OnStart(int, *Stream, si.Seconds)                                 {}
+func (NopObserver) OnStall(int, si.Seconds)                                          {}
+func (NopObserver) OnEstimate(int, int, si.Bits, si.Seconds)                         {}
+func (NopObserver) OnEstimateResolved(int, bool, si.Seconds)                         {}
+func (NopObserver) OnUnderrun(int, si.Seconds, si.Seconds)                           {}
+func (NopObserver) OnDepart(int, *Stream, si.Seconds)                                {}
 
 // Observers fans every callback out to each member in order.
 type Observers []Observer

@@ -69,10 +69,10 @@ func (p *rrScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 	// Started streams have viewers draining their buffers: hard deadlines.
 	// Fresh streams (first fill pending) are BubbleUp work: serviced
 	// immediately, but never at the cost of starving a started buffer.
-	// Both are O(1) reads off the disk's maintained indexes: byDeadline
-	// holds started streams in (deadline, admission) order — the scan
-	// winner with its tie-breaks — and the fresh FIFO's head is the
-	// earliest-arrived newcomer.
+	// Both are O(1) reads off the disk's maintained indexes: the deadline
+	// heap's min is the started stream with the earliest (deadline,
+	// admission) — the scan winner with its tie-breaks — and the fresh
+	// FIFO's head is the earliest-arrived newcomer.
 	started := p.d.minDeadlineStream()
 	fresh := p.d.firstFresh()
 	if started == nil && fresh == nil {
@@ -89,44 +89,63 @@ func (p *rrScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 		}
 		return started, now // a hard deadline is due (within the cushion)
 	}
+	dlAware := p.bubbleUp && p.d.sys.cfg.DeadlineAwareBubbleUp
 	if fresh != nil {
 		if p.bubbleUp {
-			return fresh, now // BubbleUp: no urgent refill, serve the newcomer
-		}
-		// Fixed-Stretch: the newcomer waits until the rotation reaches
-		// it — every started stream refilled once after its arrival.
-		reached := true
-		for _, st := range p.d.streams {
-			if st.started && st.active && st.lastFillAt < fresh.req.Arrival {
-				reached = false
-				break
+			if started == nil || !dlAware {
+				return fresh, now // BubbleUp: no urgent refill, serve the newcomer
 			}
-		}
-		if reached {
-			return fresh, now
-		}
-		// Otherwise fall through to refill rotation below (started may
-		// be nil only if no started stream needs service, in which case
-		// the rotation cannot progress and the newcomer is served).
-		if started == nil {
-			return fresh, now
+			// Deadline-aware BubbleUp: the newcomer's service inserts one
+			// worst service ahead of every pending refill, so it is served
+			// now only if the backlog's latest safe start (computed below)
+			// leaves that much room. The earliest-deadline check above is
+			// not enough once a refill generation's deadline spacing drops
+			// below the current service time: the backlog is then a cluster
+			// whose tail has far less slack than its head.
+		} else {
+			// Fixed-Stretch: the newcomer waits until the rotation reaches
+			// it — every started stream refilled once after its arrival.
+			reached := true
+			for _, st := range p.d.streams {
+				if st.started && st.active && st.lastFillAt < fresh.req.Arrival {
+					reached = false
+					break
+				}
+			}
+			if reached {
+				return fresh, now
+			}
+			// Otherwise fall through to refill rotation below (started may
+			// be nil only if no started stream needs service, in which case
+			// the rotation cannot progress and the newcomer is served).
+			if started == nil {
+				return fresh, now
+			}
 		}
 	}
 	// Idle long enough that laziness matters: wake at the latest start
 	// that still lets every due buffer be refilled in deadline order.
-	// The byDeadline index is already the ascending deadline sequence;
-	// only the Fixed-Stretch ablation, whose waiting newcomers count as
-	// due-at-admission, needs their (also ascending) deadlines merged in.
+	// The deadline index yields the ascending deadline sequence; only
+	// the Fixed-Stretch ablation, whose waiting newcomers count as
+	// due-at-admission, needs their (also ascending) deadlines merged in
+	// (a gated BubbleUp newcomer does not: it waits for slack, it is not
+	// due).
 	scratch := p.d.deadlineScratch[:0]
-	if fresh == nil {
-		for _, st := range p.d.byDeadline {
-			scratch = append(scratch, st.deadline)
-		}
+	if fresh == nil || p.bubbleUp {
+		scratch = p.d.deadlines.appendAscending(scratch)
 	} else {
 		scratch = mergeFreshDeadlines(p.d, scratch)
 	}
 	p.d.deadlineScratch = scratch
 	start := latestStartSorted(scratch, w)
+	if fresh != nil && dlAware && start >= now {
+		// The backlog affords the inserted service: pushed back by one
+		// worst service it still makes every deadline with a service-time
+		// to spare (latestStartSorted embeds the 2w cushion). In a cluster
+		// catch-up the deep-tail minimum drives start below now and blocks
+		// the insert — the case the earliest-deadline check cannot see.
+		return fresh, now
+	}
 	if room := p.d.roomAt(started); start < room {
 		start = room
 	}
@@ -136,13 +155,14 @@ func (p *rrScheduler) Next(now si.Seconds) (*Stream, si.Seconds) {
 	return started, start
 }
 
-// mergeFreshDeadlines merges the started streams' deadline index with the
+// mergeFreshDeadlines merges the started streams' deadlines with the
 // waiting fresh streams' admission-time deadlines, both ascending, into
 // one sorted sequence (the Fixed-Stretch lazy-start input).
 func mergeFreshDeadlines(d *Disk, scratch []si.Seconds) []si.Seconds {
+	started := d.deadlines.appendAscending(d.dlMerge[:0])
+	d.dlMerge = started
 	i, fr := 0, d.fresh[d.freshHead:]
-	for _, st := range d.byDeadline {
-		dl := st.deadline
+	for _, dl := range started {
 		for ; i < len(fr); i++ {
 			f := fr[i]
 			if f.started || !f.needService() {

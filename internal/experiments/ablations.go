@@ -105,7 +105,7 @@ func AblationChunks(opt Options) (*Report, error) {
 			return nil, err
 		}
 		tr := workload.Generate(workload.ZipfDay(300, 1, si.Hours(2), si.Hours(4)), lib, opt.runSeed(0, 0, seedTrace))
-		res, err := sim.Run(simConfig(sim.Dynamic, sched.NewMethod(sched.Sweep), lib, tr, opt.runSeed(0, 0, seedSim)))
+		res, err := runSim(simConfig(sim.Dynamic, sched.NewMethod(sched.Sweep), lib, tr, opt.runSeed(0, 0, seedSim)))
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +148,7 @@ func AblationPages(opt Options) (*Report, error) {
 	peaks, err := runGrid(opt, len(pages), 1, func(a, _ int) (si.Bits, error) {
 		cfg := simConfig(sim.Dynamic, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, 0, seedSim))
 		cfg.PageSize = pages[a]
-		res, err := sim.Run(cfg)
+		res, err := runSim(cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -194,7 +194,7 @@ func ExtVCR(opt Options) (*Report, error) {
 	}
 	schemes := []sim.Scheme{sim.Static, sim.Dynamic}
 	type obs struct {
-		actions               int64
+		actions                int64
 		vcrSum, coldSum, coldN float64
 	}
 	cells, err := runGrid(opt, len(schemes), opt.Seeds, func(a, rep int) (obs, error) {
@@ -206,7 +206,7 @@ func ExtVCR(opt Options) (*Report, error) {
 		tr := workload.GenerateVCR(
 			workload.ZipfDay(total, 1, horizon/2, horizon),
 			lib, opt.runSeed(0, rep, seedTrace), workload.VCROptions{ActionsPerHour: 6})
-		res, err := sim.Run(simConfig(schemes[a], sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim)))
+		res, err := runSim(simConfig(schemes[a], sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim)))
 		if err != nil {
 			return obs{}, err
 		}
@@ -283,7 +283,7 @@ func AblationBubbleUp(opt Options) (*Report, error) {
 		tr := dayTrace(lib, 1, singleDiskArrivalsPerDay/8, opt.runSeed(0, rep, seedTrace), true)
 		cfg := simConfig(arms[a].scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim))
 		cfg.DisableBubbleUp = arms[a].disable
-		res, err := sim.Run(cfg)
+		res, err := runSim(cfg)
 		if err != nil {
 			return obs{}, err
 		}

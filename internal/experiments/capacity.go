@@ -101,7 +101,7 @@ func Fig14(opt Options) (*Report, error) {
 		cfg := simConfig(arm.scheme, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(arm.thetaIdx, rep, seedSim))
 		cfg.MemoryBudget = si.Gigabytes(arm.gb)
 		cfg.Grace = si.Minutes(15)
-		res, err := sim.Run(cfg)
+		res, err := runSim(cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -192,7 +192,7 @@ func AblationNaive(opt Options) (*Report, error) {
 	cells, err := runGrid(opt, len(schemes), opt.Seeds, func(a, rep int) (obs, error) {
 		// All three schemes replay the same per-replication ramp.
 		tr := dayTrace(lib, 0, singleDiskArrivalsPerDay, opt.runSeed(0, rep, seedTrace), opt.Quick)
-		res, err := sim.Run(simConfig(schemes[a], sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim)))
+		res, err := runSim(simConfig(schemes[a], sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(0, rep, seedSim)))
 		if err != nil {
 			return obs{}, err
 		}

@@ -281,6 +281,7 @@ func Registry() []struct {
 		{"ext-vcr", ExtVCR},
 		{"ablation-bubbleup", AblationBubbleUp},
 		{"ext-modern-disk", ExtModernDisk},
+		{"scale-largen", ScaleLargeN},
 	}
 }
 

@@ -555,3 +555,35 @@ func TestExtModernDisk(t *testing.T) {
 		t.Errorf("N columns = %v / %v, want 79 / 319", rows[0][1], rows[1][1])
 	}
 }
+
+func TestScaleLargeNRuns(t *testing.T) {
+	skipSlowUnderRace(t)
+	rep, err := ScaleLargeN(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 2 || len(rep.Series[0].X) != 8 {
+		t.Fatalf("want 2 series over 8 disks, got %d series over %d points",
+			len(rep.Series), len(rep.Series[0].X))
+	}
+	// Every disk must reach the large-n regime the scenario exists for.
+	for d, peak := range rep.Series[0].Y {
+		if peak < 600 {
+			t.Errorf("disk %d mean peak %v below the large-n regime (>= 600)", d, peak)
+		}
+	}
+	// The knee table must show super-linear growth somewhere past N/2: the
+	// report's headline claim is that sizes explode while n only creeps.
+	knee := rep.Tables[0]
+	last := knee.Rows[len(knee.Rows)-1][3]
+	if !strings.HasSuffix(last, "x") || strings.HasPrefix(last, "0.") || strings.HasPrefix(last, "1.") {
+		t.Errorf("knee table's last growth cell %q should be a multiple well above 1", last)
+	}
+	// The simulation arm must certify the sizing guarantee.
+	underruns := rep.Tables[1]
+	for _, row := range underruns.Rows {
+		if row[4] != "0" {
+			t.Errorf("replication %s underran %s times", row[0], row[4])
+		}
+	}
+}

@@ -5,6 +5,10 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
 	"repro/internal/sim"
 )
 
@@ -169,6 +173,54 @@ func runGrid[T any](opt Options, points, reps int, fn func(point, rep int) (T, e
 	return out, nil
 }
 
+// tableKey identifies a dynamic sizing table by its derivation inputs:
+// the disk model, the scheduling method (whose worst-case latency model
+// the recurrence integrates), the consumption rate, and the inertia
+// slack. Spec is a plain value type, so the key is comparable.
+type tableKey struct {
+	spec  diskmodel.Spec
+	kind  sched.Kind
+	cr    si.BitRate
+	alpha int
+}
+
+var (
+	tableCacheMu sync.Mutex
+	tableCache   = map[tableKey]*core.Table{}
+)
+
+// sharedSizeTable returns the memoized dynamic sizing table for the
+// given derivation inputs, building it on first use. Tables are immutable
+// after construction, so one instance is safely shared by every cell of
+// every grid in the process — the replicated (point, seed) runs of one
+// experiment, and equally the repeated experiments of a full regeneration
+// — instead of each sim.Run rebuilding the same O(N²·√N) table. Sharing
+// is a pure memoization: the engine validates the table against the
+// config it is handed and would reject a mismatched one, and results are
+// bit-identical with and without the cache.
+func sharedSizeTable(spec diskmodel.Spec, kind sched.Kind, cr si.BitRate, alpha int) *core.Table {
+	key := tableKey{spec: spec, kind: kind, cr: cr, alpha: alpha}
+	tableCacheMu.Lock()
+	defer tableCacheMu.Unlock()
+	if t, ok := tableCache[key]; ok {
+		return t
+	}
+	p := core.Params{TR: spec.TransferRate, CR: cr, N: core.DeriveN(spec.TransferRate, cr), Alpha: alpha}
+	t := core.NewTable(p, sched.NewMethod(kind).DLModel(spec))
+	tableCache[key] = t
+	return t
+}
+
+// runSim executes one simulation with the cached sizing table for the
+// config's parameters installed. Every simulation-backed runner goes
+// through it; configs that already carry a table keep it.
+func runSim(cfg sim.Config) (*sim.Result, error) {
+	if cfg.SizeTable == nil {
+		cfg.SizeTable = sharedSizeTable(cfg.Spec, cfg.Method.Kind, cfg.CR, cfg.Alpha)
+	}
+	return sim.Run(cfg)
+}
+
 // SimulateReplications runs reps independent simulations across at most
 // workers goroutines (workers <= 0 means GOMAXPROCS), building each run's
 // configuration with build — typically a fresh trace and seeds per
@@ -181,7 +233,7 @@ func SimulateReplications(build func(rep int) (sim.Config, error), reps, workers
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(cfg)
+		res, err := runSim(cfg)
 		if err != nil {
 			return err
 		}

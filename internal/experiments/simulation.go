@@ -80,7 +80,7 @@ func Fig6(opt Options) (*Report, error) {
 		tr := dayTrace(lib, theta, singleDiskArrivalsPerDay, opt.runSeed(p, 0, seedTrace), opt.Quick)
 		cfg := simConfig(sim.Dynamic, sched.NewMethod(sched.RoundRobin), lib, tr, opt.runSeed(p, 0, seedSim))
 		cfg.SampleEvery = si.Minutes(10)
-		res, err := sim.Run(cfg)
+		res, err := runSim(cfg)
 		if err != nil {
 			return Series{}, err
 		}
@@ -127,7 +127,7 @@ func estimationSweep(opt Options, id, title, xlabel string,
 		tr := dayTrace(lib, 0.5, singleDiskArrivalsPerDay, opt.runSeed(0, rep, seedTrace), opt.Quick)
 		cfg := simConfig(sim.Dynamic, m, lib, tr, opt.runSeed(0, rep, seedSim))
 		configure(&cfg, x, kind)
-		res, err := sim.Run(cfg)
+		res, err := runSim(cfg)
 		if err != nil {
 			return estObs{}, err
 		}
@@ -211,7 +211,7 @@ func latencyByNArms(opt Options, id string, arms []latencyArm) ([]*metrics.ByN, 
 		arm := arms[a]
 		m := sched.NewMethod(arm.kind)
 		tr := dayTrace(lib, arm.theta, singleDiskArrivalsPerDay, opt.runSeed(arm.thetaIdx, rep, seedTrace), opt.Quick)
-		res, err := sim.Run(simConfig(arm.scheme, m, lib, tr, opt.runSeed(arm.thetaIdx, rep, seedSim)))
+		res, err := runSim(simConfig(arm.scheme, m, lib, tr, opt.runSeed(arm.thetaIdx, rep, seedSim)))
 		if err != nil {
 			return nil, err
 		}

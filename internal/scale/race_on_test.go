@@ -1,0 +1,5 @@
+//go:build race
+
+package scale
+
+const raceEnabled = true

@@ -1,0 +1,176 @@
+package scale
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/si"
+)
+
+// The scenario's whole point is the derived capacity: a 2.4 Gbps disk
+// carries N = ceil(2400/1.5) − 1 = 1599 concurrent streams.
+func TestEnvironmentCapacity(t *testing.T) {
+	env := Environment()
+	if err := env.Spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if env.N != 1599 {
+		t.Errorf("modern nearline N = %d, want 1599", env.N)
+	}
+	// The published MaxSeek must agree with the seek curve's full sweep.
+	if got := env.Spec.WorstSeek(); got != env.Spec.MaxSeek {
+		t.Errorf("seek curve full sweep %v != quoted MaxSeek %v", got, env.Spec.MaxSeek)
+	}
+}
+
+func TestConfigRejectsUnderscaledServer(t *testing.T) {
+	if _, err := Run(Config{Disks: 4, Quick: true}); err == nil {
+		t.Error("4-disk config accepted; the scenario requires >= 8")
+	}
+	if _, err := Run(Config{PeakPerDisk: 1599, Quick: true}); err == nil {
+		t.Error("peak at capacity accepted; must stay below N")
+	}
+}
+
+// quickCfg is the test scenario: the full 8-disk server and the full
+// per-disk load level, over a single peak half-hour instead of a day.
+func quickCfg(seed int64) Config {
+	return Config{Seed: seed, Quick: true}
+}
+
+// fingerprint reduces a Result to the comparable values determinism is
+// judged on.
+type fingerprint struct {
+	Requests  int
+	Served    int
+	Rejected  int
+	Deferrals int
+	Underruns int
+	PeakTotal int
+	PerDisk   []DiskLoad
+	PeakMem   si.Bits
+}
+
+func fp(r *Result) fingerprint {
+	return fingerprint{
+		Requests:  r.Requests,
+		Served:    r.Sim.Served,
+		Rejected:  r.Sim.Rejected,
+		Deferrals: r.Sim.Deferrals,
+		Underruns: r.Sim.Underruns,
+		PeakTotal: r.PeakTotal,
+		PerDisk:   r.PerDisk,
+		PeakMem:   r.Sim.PeakMemory,
+	}
+}
+
+// Two concurrent runs of the same seeded scenario must land on identical
+// results: the scenario runs on the VirtualClock's deterministic event
+// loop, and nothing mutable is shared between runs — including the
+// sizing table, which both runs deliberately do share to exercise the
+// immutable-table fast path under the race detector. Under -race the
+// runs use a lighter peak (the ~10x instrumentation slowdown would blow
+// the package timeout on a small machine); the shared-table concurrency
+// the gate exists for is identical at either load, and the full-load
+// large-n assertions run in the plain `go test` pass.
+func TestRunDeterministicAndConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N scenario in -short mode")
+	}
+	table := NewSizeTable(sched.RoundRobin)
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	done := make(chan int, 2)
+	for i := range results {
+		go func(i int) {
+			cfg := quickCfg(42)
+			if raceEnabled {
+				cfg.PeakPerDisk = 150
+			}
+			cfg.SizeTable = table
+			results[i], errs[i] = Run(cfg)
+			done <- i
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	a, b := fp(results[0]), fp(results[1])
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged:\n  run 0: %+v\n  run 1: %+v", a, b)
+	}
+
+	r := results[0]
+	if r.Sim.Underruns != 0 {
+		t.Errorf("dynamic scheme underran %d times; the sizing guarantee must hold at N = %d", r.Sim.Underruns, r.Env.N)
+	}
+	if len(r.PerDisk) != 8 {
+		t.Fatalf("got %d disks, want 8", len(r.PerDisk))
+	}
+	for d, load := range r.PerDisk {
+		if load.Served == 0 {
+			t.Errorf("disk %d served nothing; placement must spread the catalog", d)
+		}
+		if load.Peak >= r.Env.N {
+			t.Errorf("disk %d peak %d at or above capacity %d", d, load.Peak, r.Env.N)
+		}
+	}
+	// The workload is sized for 700 concurrent streams per disk at peak
+	// — just under the recurrence's memory knee (see the package
+	// comment); demand a comfortable fraction so the test tolerates
+	// stochastic shortfall but still certifies the large-n regime.
+	// (Skipped under -race, which runs the lighter peak.)
+	if !raceEnabled {
+		for d, load := range r.PerDisk {
+			if load.Peak < 600 {
+				t.Errorf("disk %d peak concurrency %d; want the large-n regime (>= 600 of target 700)", d, load.Peak)
+			}
+		}
+		if r.PeakTotal < 5000 {
+			t.Errorf("server peak concurrency %d; want thousands across 8 disks (>= 5000)", r.PeakTotal)
+		}
+	}
+}
+
+// A shared sizing table must not change results: the table is a pure
+// memoization of the sizing recurrence the engine would otherwise
+// compute itself.
+func TestSharedSizeTableIsPureMemoization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-N scenario in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("value regression; shared-table concurrency covered by TestRunDeterministicAndConcurrent under race")
+	}
+	cfg := quickCfg(7)
+	cfg.PeakPerDisk = 300 // lighter: this test is about equality, not scale
+	without, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SizeTable = NewSizeTable(sched.RoundRobin)
+	with, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fp(without), fp(with)) {
+		t.Errorf("shared sizing table changed results:\n  fresh:  %+v\n  shared: %+v", fp(without), fp(with))
+	}
+
+	// A different seed must actually change the outcome (the determinism
+	// checks would pass vacuously if seeds were ignored).
+	cfg.Seed = 8
+	other, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(fp(with), fp(other)) {
+		t.Error("seeds 7 and 8 produced identical results; seeding is broken")
+	}
+}

@@ -42,6 +42,18 @@ type Config struct {
 	// minutes, the paper's Round-Robin choice).
 	TLog si.Seconds
 
+	// ChurnSafeAdmission selects the dynamic scheme's per-buffer
+	// admission-budget enforcement (engine.Config.ChurnSafeAdmission):
+	// required for the sizing guarantee when sessions churn within a
+	// buffer's usage period, as in the large-N scale scenario.
+	ChurnSafeAdmission bool
+
+	// DeadlineAwareBubbleUp gates BubbleUp's immediate newcomer service
+	// on the refill backlog's schedule (engine.Config.DeadlineAwareBubbleUp):
+	// required at loads where deadline clusters form, as in the large-N
+	// scale scenario.
+	DeadlineAwareBubbleUp bool
+
 	// Library provides titles, placement, and the disk count.
 	Library *catalog.Library
 
@@ -77,6 +89,14 @@ type Config struct {
 
 	// Seed feeds the disks' rotational-delay streams.
 	Seed int64
+
+	// SizeTable, when non-nil, is handed to the engine as the precomputed
+	// dynamic sizing table instead of rebuilding the O(N²) table per run.
+	// It must have been built with core.NewTable under this config's
+	// (Spec, Method, CR, Alpha); the engine verifies and rejects a
+	// mismatched table. The table is immutable, so concurrent runs — the
+	// experiment harness's replications — may share one.
+	SizeTable *core.Table
 
 	// Observer, when set, receives every engine instrumentation callback
 	// alongside the simulator's own result collector. Simulation results
@@ -356,18 +376,21 @@ func Run(cfg Config) (*Result, error) {
 		obs = engine.Observers{col, cfg.Observer}
 	}
 	sys, err := engine.New(engine.Config{
-		Clock:           clock,
-		Allocator:       AllocatorFor(cfg.Scheme),
-		Method:          cfg.Method,
-		Spec:            cfg.Spec,
-		CR:              cfg.CR,
-		Alpha:           cfg.Alpha,
-		TLog:            cfg.TLog,
-		Library:         cfg.Library,
-		PageSize:        cfg.PageSize,
-		DisableBubbleUp: cfg.DisableBubbleUp,
-		Seed:            cfg.Seed,
-		Observer:        obs,
+		Clock:                 clock,
+		Allocator:             AllocatorFor(cfg.Scheme),
+		Method:                cfg.Method,
+		Spec:                  cfg.Spec,
+		CR:                    cfg.CR,
+		Alpha:                 cfg.Alpha,
+		TLog:                  cfg.TLog,
+		ChurnSafeAdmission:    cfg.ChurnSafeAdmission,
+		DeadlineAwareBubbleUp: cfg.DeadlineAwareBubbleUp,
+		Library:               cfg.Library,
+		PageSize:              cfg.PageSize,
+		DisableBubbleUp:       cfg.DisableBubbleUp,
+		Seed:                  cfg.Seed,
+		SizeTable:             cfg.SizeTable,
+		Observer:              obs,
 	})
 	if err != nil {
 		return nil, err

@@ -35,6 +35,7 @@ package vod
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/chunk"
@@ -377,14 +378,33 @@ type VirtualClock = engine.VirtualClock
 // NewVirtualClock returns a virtual clock at time zero.
 func NewVirtualClock() *VirtualClock { return engine.NewVirtualClock() }
 
-// WallClock is a scaled real-time clock whose lock serializes every
-// engine callback, so a live multi-goroutine server satisfies the same
-// single-threaded discipline the simulator gets for free.
+// ClockDomain hands out the clock driving each disk. The paper's service
+// model is per-disk, so the engine only needs each disk's own callbacks
+// serialized: a VirtualClock is a single-shard domain (one deterministic
+// event loop for all disks), a WallClock shards — one independent timer
+// wheel and lock per disk.
+type ClockDomain = engine.ClockDomain
+
+// WallClock is a scaled real-time ClockDomain: each disk gets its own
+// WallShard, whose lock serializes that disk's engine callbacks, so a
+// live multi-goroutine server satisfies per shard the single-threaded
+// discipline the simulator gets for free — without cross-disk contention.
 type WallClock = engine.WallClock
+
+// WallShard is one disk's clock inside a WallClock: a hierarchical timer
+// wheel with pooled, generation-checked timers, plus the engine lock for
+// that disk. Drivers wrap every call into a disk in its shard's Do.
+type WallShard = engine.WallShard
 
 // NewWallClock returns a wall clock running at the given number of
 // engine seconds per wall second.
 func NewWallClock(scale float64) *WallClock { return engine.NewWallClock(scale) }
+
+// NewWallClockTick is NewWallClock with an explicit timer-wheel tick,
+// trading wheel overhead against callback firing granularity.
+func NewWallClockTick(scale float64, tick time.Duration) *WallClock {
+	return engine.NewWallClockTick(scale, tick)
+}
 
 // Scheduler orders buffer services on one disk: the paper's three
 // methods — Round-Robin with BubbleUp, Sweep*, GSS* (Section 2.2) —

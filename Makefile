@@ -18,9 +18,10 @@ test:
 # runner, the simulator, the large-N scale scenario (shared sizing
 # tables), and the live-serving side of the engine — the sharded wall
 # clock's per-shard lock discipline, the buffer pool under serialized
-# concurrent callers, and the vodserver driver. Keep them race-clean.
+# concurrent callers, the serve driver with its lock-free metrics
+# collector, and the vodserver binary. Keep them race-clean.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./internal/scale ./cmd/vodserver
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./internal/scale ./internal/livemetrics ./internal/serve ./cmd/vodserver
 
 bench:
 	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments
@@ -29,10 +30,10 @@ bench:
 # baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
 # gate measures allocations, which -race instrumentation would distort.
 bench-smoke:
-	$(GO) run ./cmd/bench -baseline BENCH_PR4.json -check -out /dev/null
+	$(GO) run ./cmd/bench -baseline BENCH_PR5.json -check -out /dev/null
 
 # Regenerate the committed baseline after an intentional perf change.
 bench-snapshot:
-	$(GO) run ./cmd/bench -out BENCH_PR4.json
+	$(GO) run ./cmd/bench -out BENCH_PR5.json
 
 ci: vet build test race bench-smoke

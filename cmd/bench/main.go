@@ -45,6 +45,9 @@ type CaseResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// SimDaysPerSec is set only for end-to-end day-simulation cases.
 	SimDaysPerSec float64 `json:"sim_days_per_sec,omitempty"`
+	// Extra carries a case's custom b.ReportMetric values (the loopback
+	// cases' sessions/sec, first-byte latency quantiles, underruns).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -71,6 +74,11 @@ func main() {
 		if *filter != "" && !strings.Contains(c.Name, *filter) {
 			continue
 		}
+		if c.MinProcs > runtime.GOMAXPROCS(0) {
+			fmt.Fprintf(os.Stderr, "%-32s skipped: needs GOMAXPROCS >= %d (have %d)\n",
+				c.Name, c.MinProcs, runtime.GOMAXPROCS(0))
+			continue
+		}
 		if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", c.Iters)); err != nil {
 			fatalf("setting benchtime: %v", err)
 		}
@@ -84,6 +92,12 @@ func main() {
 		}
 		if c.SimDays && r.T > 0 {
 			cr.SimDaysPerSec = float64(r.N) / r.T.Seconds()
+		}
+		if len(r.Extra) > 0 {
+			cr.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				cr.Extra[k] = v
+			}
 		}
 		rep.Cases = append(rep.Cases, cr)
 		fmt.Fprintf(os.Stderr, "%-32s %12.1f ns/op %10d B/op %8d allocs/op\n",

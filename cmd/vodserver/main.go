@@ -1,49 +1,31 @@
-// Command vodserver is a miniature VOD server over TCP driven by the
-// shared streaming runtime in internal/engine: the same admission,
-// allocation, and scheduling code the simulator validates paces real
-// deliveries here under a scaled wall clock. The server itself owns no
-// buffer-sizing or admission logic — it is a driver: it translates TCP
-// connections into engine arrivals and engine fill completions into
-// frames on the wire. Time is compressed (one simulated minute per wall
-// second by default) so demos finish quickly.
-//
-// The server is sharded per disk, mirroring the paper's per-disk service
-// model: every disk runs on its own WallClock shard (its own lock, timer
-// wheel, and driver goroutine), sessions are routed to the shard holding
-// their title by the catalog's placement, and admission tallies merge
-// across shards through lock-free per-shard counters — no global lock
-// anywhere on the serving path.
+// Command vodserver is a miniature VOD server over TCP: a thin flag
+// wrapper around internal/serve, which drives the shared streaming
+// runtime in internal/engine under a scaled wall clock. Time is
+// compressed (one simulated minute per wall second by default) so demos
+// finish quickly.
 //
 // Protocol: the client sends one line, "WATCH <seconds>\n"; the server
-// answers "OK <id>\n" (admitted) or "BUSY\n" (rejected, or deferred past
-// patience) and then streams length-prefixed frames
+// answers "OK <id>\n" (admitted) or "BUSY\n" (rejected, or deferred
+// past patience) and then streams length-prefixed frames
 // ([4-byte big-endian length][bytes]) until the requested content has
-// been delivered, closing with a zero length frame.
+// been delivered, closing with a zero length frame. "STATS\n" instead
+// returns one JSON stats dump. SERVING.md is the operator's guide.
 //
 //	vodserver -listen :9000            # serve
 //	vodserver -disks 8                 # shard across 8 disks
+//	vodserver -stats 5s                # print a JSON stats line every 5s
 //	vodserver -selftest 8              # in-process demo: 8 viewers
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"os"
-	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
-	vod "repro"
-	"repro/internal/catalog"
-	"repro/internal/engine"
-	"repro/internal/si"
-	"repro/internal/workload"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -59,18 +41,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		listen   = fs.String("listen", "127.0.0.1:9000", "address to serve on")
 		scale    = fs.Float64("scale", 60, "simulated seconds per wall second")
 		disks    = fs.Int("disks", 1, "disk shards to serve from")
+		stats    = fs.Duration("stats", 0, "print a JSON stats line this often (0 = off)")
 		selftest = fs.Int("selftest", 0, "run N in-process viewers against the server and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	srv, err := newServer(*scale, *disks)
+	srv, err := serve.New(serve.Config{Scale: *scale, Disks: *disks})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	defer srv.clock.Stop()
+	defer srv.Stop()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -79,413 +62,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer ln.Close()
 	log.Printf("vodserver listening on %s (time x%g, %d disk shards)", ln.Addr(), *scale, *disks)
 
+	if *stats > 0 {
+		stop := srv.StatsEvery(*stats, stdout)
+		defer stop()
+	}
 	if *selftest > 0 {
-		go srv.acceptLoop(ln)
-		if err := runSelfTest(srv, ln.Addr().String(), *selftest, stdout); err != nil {
+		go srv.Serve(ln)
+		if err := serve.SelfTest(srv, ln.Addr().String(), *selftest, stdout); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		return 0
 	}
-	srv.acceptLoop(ln)
+	srv.Serve(ln)
 	return 0
-}
-
-// patience bounds how long an arrival may sit in the deferral queue
-// before the frontend gives up, in engine seconds. It matches the old
-// hand-rolled server's 100 one-second retries.
-const patience = si.Seconds(100)
-
-// server is the live driver: an engine System under a sharded WallClock
-// plus one serverShard of viewer registry per disk. Nothing here is
-// guarded by a global lock — session state lives in the owning shard
-// (guarded by that shard's clock lock), IDs come from an atomic counter,
-// and tallies merge lock-free.
-type server struct {
-	clock *engine.WallClock
-	sys   *engine.System
-	lib   *catalog.Library
-	cr    vod.BitRate
-
-	engine.NopObserver // the server observes only what it overrides
-
-	nextID atomic.Int64
-	shards []*serverShard
-}
-
-// serverShard is one disk's slice of the driver: the engine disk, the
-// wall-clock shard that drives it, and the sessions it serves. The
-// sessions map is engine state — read and written only under the shard's
-// clock lock (inside clock.Do or inside Observer callbacks, which the
-// shard serializes). Two shards never touch each other's state, so the
-// serving path has no cross-disk contention.
-type serverShard struct {
-	disk     *engine.Disk
-	clock    *engine.WallShard
-	sessions map[int]*session
-	tally    shardTally
-}
-
-// shardTally counts one disk's admission outcomes. The fields are atomic
-// so counters() can merge every shard's tally without taking any shard's
-// engine lock: each shard's observer callbacks write only their own
-// shard's counters, and readers sum across shards lock-free. The pad
-// keeps neighbouring shards' counters off one cache line.
-type shardTally struct {
-	admitted, deferred, rejected, departed atomic.Int64
-	_                                      [4]int64
-}
-
-// session is one connected viewer. The observer side (engine lock) pushes
-// completed fills; the connection goroutine pops and ships them. The two
-// sides share only the small mu-guarded queue, so observer callbacks
-// never block on the network.
-type session struct {
-	id      int
-	decided chan bool // admission outcome, buffered
-
-	mu      sync.Mutex
-	pending []int64 // frame sizes (bytes) ready to ship
-	done    bool    // all content delivered (or the stream departed)
-	notify  chan struct{} // buffered kick for the writer
-
-	sent int64 // cumulative bytes handed to the writer (engine lock side)
-}
-
-// push queues n bytes for the writer (engine lock held by the caller).
-func (s *session) push(n int64, done bool) {
-	s.mu.Lock()
-	if n > 0 {
-		s.pending = append(s.pending, n)
-	}
-	if done {
-		s.done = true
-	}
-	s.mu.Unlock()
-	select {
-	case s.notify <- struct{}{}:
-	default:
-	}
-}
-
-func newServer(scale float64, disks int) (*server, error) {
-	if disks < 1 {
-		return nil, fmt.Errorf("vodserver: need at least 1 disk, got %d", disks)
-	}
-	spec, cr, _ := vod.PaperEnvironment()
-	lib, err := catalog.New(catalog.Config{
-		Titles: 6 * disks, Disks: disks, Spec: spec, PopularityTheta: 0.271,
-	})
-	if err != nil {
-		return nil, err
-	}
-	srv := &server{
-		clock: engine.NewWallClock(scale),
-		lib:   lib,
-		cr:    cr,
-	}
-	sys, err := engine.New(engine.Config{
-		Clock:     srv.clock,
-		Allocator: engine.DynamicAllocator{},
-		Method:    vod.NewMethod(vod.RoundRobin),
-		Spec:      spec,
-		CR:        cr,
-		Alpha:     1,
-		TLog:      vod.Minutes(40),
-		Library:   lib,
-		Seed:      1,
-		Observer:  srv,
-	})
-	if err != nil {
-		return nil, err
-	}
-	srv.sys = sys
-	for d := 0; d < disks; d++ {
-		srv.shards = append(srv.shards, &serverShard{
-			disk:     sys.Disk(d),
-			clock:    srv.clock.Shard(d),
-			sessions: make(map[int]*session),
-		})
-	}
-	return srv, nil
-}
-
-// OnAdmit resolves the viewer's admission wait. Shard lock held.
-func (srv *server) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
-	sh := srv.shards[disk]
-	sh.tally.admitted.Add(1)
-	if sess := sh.sessions[st.ID()]; sess != nil {
-		sess.decided <- true
-	}
-}
-
-// OnDefer counts enforcement deferrals (Fig. 5). Shard lock held.
-func (srv *server) OnDefer(disk int, now si.Seconds) {
-	srv.shards[disk].tally.deferred.Add(1)
-}
-
-// OnReject resolves the viewer's admission wait negatively. Shard lock
-// held.
-func (srv *server) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
-	sh := srv.shards[disk]
-	sh.tally.rejected.Add(1)
-	if sess := sh.sessions[req.ID]; sess != nil {
-		sess.decided <- false
-	}
-}
-
-// OnFillComplete ships a landed fill to the viewer: the frame carries the
-// integral bytes newly available, by cumulative flooring so the total
-// delivered equals the content length exactly. Shard lock held.
-func (srv *server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now si.Seconds) {
-	sess := srv.shards[disk].sessions[st.ID()]
-	if sess == nil {
-		return
-	}
-	complete := st.Delivered() >= st.Required()
-	total := int64(st.Delivered().Bytes())
-	if complete {
-		total = int64(st.Required().Bytes())
-	}
-	n := total - sess.sent
-	if n > 0 {
-		sess.sent += n
-	}
-	sess.push(n, complete)
-}
-
-// OnDepart finishes the viewer's stream. Under a wall clock, fill timers
-// accumulate jitter while the single departure timer does not, so a
-// departing stream may still owe a tail of content; flush it here so the
-// client always receives exactly the requested length. Shard lock held.
-func (srv *server) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
-	sh := srv.shards[disk]
-	sh.tally.departed.Add(1)
-	sess := sh.sessions[st.ID()]
-	if sess == nil {
-		return
-	}
-	n := int64(st.Required().Bytes()) - sess.sent
-	if n > 0 {
-		sess.sent += n
-	}
-	sess.push(n, true)
-}
-
-func (srv *server) acceptLoop(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go srv.handle(conn)
-	}
-}
-
-// handle runs one viewer's session: parse, feed the engine an arrival,
-// await its admission decision, then relay completed fills as frames.
-func (srv *server) handle(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return
-	}
-	var seconds float64
-	if _, err := fmt.Sscanf(strings.TrimSpace(line), "WATCH %f", &seconds); err != nil || seconds <= 0 {
-		fmt.Fprintf(conn, "ERR bad request\n")
-		return
-	}
-
-	// Route the session to the disk shard holding its title: IDs come
-	// from the global atomic counter, everything else happens on the
-	// owning shard under its own lock.
-	id := int(srv.nextID.Add(1))
-	video := id % srv.lib.Len()
-	sh := srv.shards[srv.lib.Placement(video).Disk]
-	sess := &session{
-		id:      id,
-		decided: make(chan bool, 1),
-		notify:  make(chan struct{}, 1),
-	}
-	sh.clock.Do(func() {
-		sh.sessions[id] = sess
-		srv.sys.OnArrival(workload.Request{
-			ID:      id,
-			Arrival: srv.clock.Now(),
-			Video:   video,
-			Disk:    sh.disk.ID(),
-			Viewing: si.Seconds(seconds),
-		})
-	})
-	defer sh.clock.Do(func() {
-		sh.disk.Cancel(id) // no-op once the stream has departed
-		delete(sh.sessions, id)
-	})
-
-	// Await the engine's admission decision with bounded patience:
-	// Fig. 5 defers violating arrivals; a real frontend gives up
-	// eventually.
-	admitted := false
-	select {
-	case admitted = <-sess.decided:
-	case <-time.After(srv.clock.WallDuration(patience)):
-		sh.clock.Do(func() {
-			select {
-			case admitted = <-sess.decided: // the decision raced the timeout
-			default:
-				sh.disk.Cancel(id) // withdraw from the deferral queue
-			}
-		})
-	}
-	if !admitted {
-		fmt.Fprintf(conn, "BUSY\n")
-		return
-	}
-	if _, err := fmt.Fprintf(conn, "OK %d\n", sess.id); err != nil {
-		return
-	}
-
-	// Relay loop: ship each completed fill as one frame. Pacing comes from
-	// the engine — fills land when its scheduler runs them on the scaled
-	// wall clock — so delivery never runs ahead of the modelled buffer.
-	var frame [4]byte
-	payload := make([]byte, 0, 1<<20)
-	for {
-		sess.mu.Lock()
-		for len(sess.pending) == 0 && !sess.done {
-			sess.mu.Unlock()
-			<-sess.notify
-			sess.mu.Lock()
-		}
-		batch := sess.pending
-		sess.pending = nil
-		done := sess.done
-		sess.mu.Unlock()
-
-		for _, n := range batch {
-			if int64(cap(payload)) < n {
-				payload = make([]byte, n)
-			}
-			payload = payload[:n]
-			binary.BigEndian.PutUint32(frame[:], uint32(n))
-			if _, err := conn.Write(frame[:]); err != nil {
-				return
-			}
-			if _, err := conn.Write(payload); err != nil {
-				return
-			}
-		}
-		if done {
-			binary.BigEndian.PutUint32(frame[:], 0)
-			conn.Write(frame[:])
-			return
-		}
-	}
-}
-
-// counters snapshots the admission tallies and the engine's live state.
-// Tallies merge lock-free across shards; the engine reads take each
-// shard's lock in turn, never more than one at a time.
-func (srv *server) counters() (admitted, deferred, rejected, departed, inService, book int) {
-	for _, sh := range srv.shards {
-		admitted += int(sh.tally.admitted.Load())
-		deferred += int(sh.tally.deferred.Load())
-		rejected += int(sh.tally.rejected.Load())
-		departed += int(sh.tally.departed.Load())
-		sh.clock.Do(func() {
-			inService += sh.disk.InService()
-			book += sh.disk.BookLen()
-		})
-	}
-	return
-}
-
-// runSelfTest connects n viewers watching 20–90 simulated seconds each
-// and reports their startup latency and delivery, then a summary of the
-// engine's admission accounting.
-func runSelfTest(srv *server, addr string, n int, w io.Writer) error {
-	type result struct {
-		id      int
-		watch   float64
-		startup time.Duration
-		bytes   int64
-		err     error
-	}
-	results := make([]result, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			watch := 20 + 10*float64(i)
-			res := result{id: i, watch: watch}
-			defer func() { results[i] = res }()
-
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				res.err = err
-				return
-			}
-			defer conn.Close()
-			start := time.Now()
-			fmt.Fprintf(conn, "WATCH %g\n", watch)
-			r := bufio.NewReader(conn)
-			status, err := r.ReadString('\n')
-			if err != nil {
-				res.err = err
-				return
-			}
-			if !strings.HasPrefix(status, "OK") {
-				res.err = fmt.Errorf("not admitted: %s", strings.TrimSpace(status))
-				return
-			}
-			first := true
-			var frame [4]byte
-			for {
-				if _, err := io.ReadFull(r, frame[:]); err != nil {
-					res.err = err
-					return
-				}
-				if first {
-					res.startup = time.Since(start)
-					first = false
-				}
-				length := binary.BigEndian.Uint32(frame[:])
-				if length == 0 {
-					return
-				}
-				if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
-					res.err = err
-					return
-				}
-				res.bytes += int64(length)
-			}
-		}(i)
-		time.Sleep(time.Duration(float64(2*time.Second) / srv.clock.Scale() * 10)) // stagger
-	}
-	wg.Wait()
-
-	fmt.Fprintf(w, "%-8s %10s %14s %12s %s\n", "viewer", "watch(s)", "startup(wall)", "delivered", "status")
-	for _, res := range results {
-		status := "ok"
-		if res.err != nil {
-			status = res.err.Error()
-		}
-		fmt.Fprintf(w, "%-8d %10.0f %14s %12d %s\n",
-			res.id, res.watch, res.startup.Round(time.Microsecond), res.bytes, status)
-	}
-
-	// Let the handlers' deferred cleanup drain before summarizing.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if _, _, _, _, inService, _ := srv.counters(); inService == 0 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	admitted, deferred, rejected, departed, inService, book := srv.counters()
-	fmt.Fprintf(w, "summary: admitted=%d deferred=%d rejected=%d departed=%d inservice=%d book=%d\n",
-		admitted, deferred, rejected, departed, inService, book)
-	return nil
 }

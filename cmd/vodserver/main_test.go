@@ -1,213 +1,9 @@
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
-	"fmt"
-	"io"
-	"net"
 	"strings"
 	"testing"
-	"time"
 )
-
-// startTestServer spins a server on an ephemeral port with aggressive
-// time compression so tests finish quickly.
-func startTestServer(t *testing.T) (*server, string) {
-	return startTestServerDisks(t, 1)
-}
-
-// startTestServerDisks is startTestServer sharded across disks.
-func startTestServerDisks(t *testing.T, disks int) (*server, string) {
-	t.Helper()
-	srv, err := newServer(600, disks)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		ln.Close()
-		srv.clock.Stop()
-	})
-	go srv.acceptLoop(ln)
-	return srv, ln.Addr().String()
-}
-
-// watch runs one client session and returns the delivered byte count.
-func watch(t *testing.T, addr string, seconds float64) int64 {
-	t.Helper()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	fmt.Fprintf(conn, "WATCH %g\n", seconds)
-	r := bufio.NewReader(conn)
-	status, err := r.ReadString('\n')
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.HasPrefix(status, "OK") {
-		t.Fatalf("not admitted: %q", status)
-	}
-	var total int64
-	var frame [4]byte
-	for {
-		if _, err := io.ReadFull(r, frame[:]); err != nil {
-			t.Fatal(err)
-		}
-		length := binary.BigEndian.Uint32(frame[:])
-		if length == 0 {
-			return total
-		}
-		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
-			t.Fatal(err)
-		}
-		total += int64(length)
-	}
-}
-
-// drained waits until the engine holds no in-service streams.
-func drained(t *testing.T, srv *server) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if _, _, _, _, inService, _ := srv.counters(); inService == 0 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	_, _, _, _, inService, _ := srv.counters()
-	t.Errorf("engine still holds %d in-service streams", inService)
-}
-
-func TestServerDeliversExactContent(t *testing.T) {
-	_, addr := startTestServer(t)
-	// 10 simulated seconds at 1.5 Mbps = 15 Mbit = 1,875,000 bytes.
-	got := watch(t, addr, 10)
-	if got != 1_875_000 {
-		t.Errorf("delivered %d bytes, want 1875000", got)
-	}
-}
-
-func TestServerConcurrentViewers(t *testing.T) {
-	srv, addr := startTestServer(t)
-	done := make(chan int64, 4)
-	for i := 0; i < 4; i++ {
-		go func() { done <- watch(t, addr, 5) }()
-	}
-	for i := 0; i < 4; i++ {
-		if got := <-done; got != 937_500 {
-			t.Errorf("viewer delivered %d bytes, want 937500", got)
-		}
-	}
-	drained(t, srv)
-}
-
-// The server's tallies are fed by engine observer callbacks, so after all
-// viewers finish they must agree with the engine's own books: everyone
-// admitted has departed, and the inertia admission book is empty again.
-func TestServerCountsMatchAdmissionBook(t *testing.T) {
-	srv, addr := startTestServer(t)
-	const viewers = 3
-	done := make(chan int64, viewers)
-	for i := 0; i < viewers; i++ {
-		go func() { done <- watch(t, addr, 5) }()
-	}
-	for i := 0; i < viewers; i++ {
-		<-done
-	}
-	drained(t, srv)
-	admitted, deferred, rejected, departed, inService, book := srv.counters()
-	if admitted != viewers || rejected != 0 {
-		t.Errorf("admitted=%d rejected=%d, want %d admitted and 0 rejected", admitted, rejected, viewers)
-	}
-	if departed != admitted {
-		t.Errorf("departed=%d, want every admitted stream (%d) departed", departed, admitted)
-	}
-	if inService != 0 || book != 0 {
-		t.Errorf("engine books not drained: inservice=%d book=%d", inService, book)
-	}
-	if deferred < 0 {
-		t.Errorf("deferred=%d", deferred)
-	}
-}
-
-// Across disk shards, viewers are routed by the catalog's placement and
-// served concurrently by independent shard drivers; every shard's tally
-// and book must still reconcile.
-func TestServerShardedDisks(t *testing.T) {
-	srv, addr := startTestServerDisks(t, 4)
-	const viewers = 8
-	done := make(chan int64, viewers)
-	for i := 0; i < viewers; i++ {
-		go func() { done <- watch(t, addr, 5) }()
-	}
-	for i := 0; i < viewers; i++ {
-		if got := <-done; got != 937_500 {
-			t.Errorf("viewer delivered %d bytes, want 937500", got)
-		}
-	}
-	drained(t, srv)
-	admitted, _, rejected, departed, inService, book := srv.counters()
-	if admitted != viewers || rejected != 0 || departed != viewers {
-		t.Errorf("admitted=%d rejected=%d departed=%d, want %d/0/%d", admitted, rejected, departed, viewers, viewers)
-	}
-	if inService != 0 || book != 0 {
-		t.Errorf("engine books not drained: inservice=%d book=%d", inService, book)
-	}
-	// Placement must have spread the 8 sequential viewer IDs over more
-	// than one shard (titles stripe across disks).
-	used := 0
-	for _, sh := range srv.shards {
-		if sh.tally.admitted.Load() > 0 {
-			used++
-		}
-	}
-	if used < 2 {
-		t.Errorf("only %d shard(s) served traffic, want routing across disks", used)
-	}
-}
-
-func TestServerRejectsBadRequest(t *testing.T) {
-	_, addr := startTestServer(t)
-	for _, bad := range []string{"GIMME\n", "WATCH\n", "WATCH -5\n", "WATCH x\n"} {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fmt.Fprint(conn, bad)
-		reply, err := bufio.NewReader(conn).ReadString('\n')
-		conn.Close()
-		if err != nil || !strings.HasPrefix(reply, "ERR") {
-			t.Errorf("request %q: reply %q, err %v; want ERR", strings.TrimSpace(bad), strings.TrimSpace(reply), err)
-		}
-	}
-}
-
-func TestRunSelfTest(t *testing.T) {
-	srv, addr := startTestServer(t)
-	var out strings.Builder
-	if err := runSelfTest(srv, addr, 3, &out); err != nil {
-		t.Fatal(err)
-	}
-	if got := strings.Count(out.String(), " ok"); got != 3 {
-		t.Errorf("self test ok lines = %d, want 3\n%s", got, out.String())
-	}
-	// The summary line reports the engine's admission accounting.
-	var admitted, deferred, rejected, departed, inService, book int
-	sum := out.String()[strings.Index(out.String(), "summary:"):]
-	if _, err := fmt.Sscanf(sum, "summary: admitted=%d deferred=%d rejected=%d departed=%d inservice=%d book=%d",
-		&admitted, &deferred, &rejected, &departed, &inService, &book); err != nil {
-		t.Fatalf("unparsable summary %q: %v", strings.TrimSpace(sum), err)
-	}
-	if admitted != 3 || departed != 3 || inService != 0 || book != 0 {
-		t.Errorf("summary admitted=%d departed=%d inservice=%d book=%d, want 3/3/0/0", admitted, departed, inService, book)
-	}
-}
 
 // run wires flags, the server, and the self test together end to end.
 func TestRunSelfTestFlag(t *testing.T) {
@@ -217,5 +13,18 @@ func TestRunSelfTestFlag(t *testing.T) {
 	}
 	if got := strings.Count(out.String(), " ok"); got != 2 {
 		t.Errorf("ok lines = %d, want 2\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "underruns=") {
+		t.Errorf("summary lacks the underruns counter\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errs strings.Builder
+	if code := run([]string{"-disks", "0", "-selftest", "1"}, &out, &errs); code != 1 {
+		t.Fatalf("run with 0 disks exited %d, want 1", code)
+	}
+	if !strings.Contains(errs.String(), "disk") {
+		t.Errorf("stderr %q does not mention the disk count", errs.String())
 	}
 }

@@ -27,6 +27,11 @@ type Case struct {
 	// SimDays marks end-to-end cases whose iterations are whole simulated
 	// days; the harness derives sim-days/sec for them.
 	SimDays bool
+	// MinProcs is the GOMAXPROCS floor below which the harness skips the
+	// case (0 = run everywhere). Scaling cases that only say something on
+	// real cores set it, mirroring the wall-clock scaling test's gate, so
+	// the 1-CPU reference runner degrades gracefully.
+	MinProcs int
 	// Bench is the benchmark body. It must call b.ReportAllocs.
 	Bench func(b *testing.B)
 }
@@ -120,6 +125,7 @@ func Cases() []Case {
 	for _, day := range dayCases() {
 		cases = append(cases, day)
 	}
+	cases = append(cases, loopbackCases()...)
 	return cases
 }
 

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/livemetrics"
+	"repro/internal/serve"
+)
+
+// loopbackCases measure the live serving path end to end: an in-process
+// vodserver (internal/serve) on a loopback listener, driven by
+// concurrent TCP viewers. Each benchmark iteration is one complete
+// session — dial, WATCH, admission, paced frame delivery, zero-frame
+// close — so allocs/op is the per-session allocation budget of the
+// whole path (client included) and the extra metrics report what an
+// operator sees: sessions/sec, wall-clock admission-to-first-byte
+// latency quantiles, and the engine's underrun count.
+//
+// The 1-shard and 8-shard cases run everywhere, including the 1-CPU
+// reference runner, pinning the serving path's allocation budget in the
+// bench-smoke gate. The parallel case needs real cores to say anything
+// (it exists to show shard scaling) and self-skips below 8 procs, like
+// the wall-clock scaling test.
+func loopbackCases() []Case {
+	return []Case{
+		loopbackCase("serve/loopback-1shard", 1, 8, 0),
+		loopbackCase("serve/loopback-8shards", 8, 8, 0),
+		loopbackCase("serve/loopback-8shards-parallel", 8, 32, 8),
+	}
+}
+
+// loopbackCase builds one loopback benchmark: disks shards serving
+// b.N sessions from workers concurrent viewers.
+func loopbackCase(name string, disks, workers, minProcs int) Case {
+	return Case{
+		Name:     name,
+		Iters:    160,
+		MinProcs: minProcs,
+		Bench: func(b *testing.B) {
+			srv, err := serve.New(serve.Config{Scale: 1200, Disks: disks, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Stop()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			go srv.Serve(ln)
+			addr := ln.Addr().String()
+
+			// Client-measured first-byte latency: WATCH write to first
+			// frame header, in wall seconds at microsecond resolution.
+			firstByte := livemetrics.NewHistogram(1e-6)
+
+			// Warm the path (and the engine's pools) outside the timing.
+			if err := loopbackSession(addr, firstByte); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for int(next.Add(1)) <= b.N {
+						if err := loopbackSession(addr, firstByte); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "sessions/sec")
+			b.ReportMetric(firstByte.Quantile(0.50)*1e3, "p50-first-byte-ms")
+			b.ReportMetric(firstByte.Quantile(0.99)*1e3, "p99-first-byte-ms")
+			b.ReportMetric(float64(srv.Metrics().Snapshot().Totals.Underruns), "underruns")
+		},
+	}
+}
+
+// loopbackSession runs one complete viewer session: 5 simulated seconds
+// of content (937,500 bytes), verified to the byte.
+func loopbackSession(addr string, firstByte *livemetrics.Histogram) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := fmt.Fprintf(conn, "WATCH 5\n"); err != nil {
+		return err
+	}
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(status, "OK") {
+		return fmt.Errorf("loopback session not admitted: %q", strings.TrimSpace(status))
+	}
+	var total int64
+	var frame [4]byte
+	first := true
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			return err
+		}
+		if first {
+			firstByte.Record(time.Since(start).Seconds())
+			first = false
+		}
+		length := binary.BigEndian.Uint32(frame[:])
+		if length == 0 {
+			break
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+			return err
+		}
+		total += int64(length)
+	}
+	if total != 937_500 {
+		return fmt.Errorf("loopback session delivered %d bytes, want 937500", total)
+	}
+	return nil
+}

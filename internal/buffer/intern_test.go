@@ -1,0 +1,57 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/si"
+)
+
+// A warmed-up pool recycles its per-stream bookkeeping records: an
+// attach/fill/detach cycle over ids the pool has seen the likes of
+// before must not allocate. (The map bucket for a fresh id can, so the
+// cycle reuses a fixed id set.)
+func TestPoolAttachDetachAllocFree(t *testing.T) {
+	p := NewPool(0)
+	const ids = 32
+	rate := si.BitRate(1.5 * si.Mega)
+	now := si.Seconds(0)
+	warm := func() {
+		for id := 0; id < ids; id++ {
+			p.Attach(id, rate, now)
+			p.BeginFill(id, 1e6, now)
+			p.CompleteFill(id, now)
+			now += 1
+		}
+		for id := 0; id < ids; id++ {
+			p.Detach(id, now)
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(200, warm)
+	if allocs != 0 {
+		t.Errorf("warm attach/fill/detach cycle allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// Detached records land on the freelist and are handed back out, capped
+// by the concurrent high-water mark.
+func TestPoolInternsStateRecords(t *testing.T) {
+	p := NewPool(0)
+	rate := si.BitRate(si.Mega)
+	for id := 0; id < 10; id++ {
+		p.Attach(id, rate, 0)
+	}
+	for id := 0; id < 10; id++ {
+		p.Detach(id, 1)
+	}
+	if got := len(p.free); got != 10 {
+		t.Fatalf("freelist holds %d records after 10 detaches, want 10", got)
+	}
+	p.Attach(99, rate, 2)
+	if got := len(p.free); got != 9 {
+		t.Errorf("freelist holds %d records after a reuse, want 9", got)
+	}
+	if st := p.must(99); st.level != 0 || st.started || st.starving || st.pending || st.reserved != 0 {
+		t.Errorf("recycled record not reset: %+v", st)
+	}
+}

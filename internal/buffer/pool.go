@@ -36,6 +36,12 @@ type Pool struct {
 	highWater  si.Bits
 	highAt     si.Seconds
 	onUnderrun func(now, gap si.Seconds)
+	// free interns detached state records for reuse: attach/detach is
+	// per-request churn (hundreds of streams per simulated hour), and
+	// recycling the records keeps a long-running pool's bookkeeping
+	// allocation-free in steady state. Bounded by the pool's concurrent
+	// high-water stream count.
+	free []*state
 }
 
 type state struct {
@@ -117,7 +123,16 @@ func (p *Pool) Attach(id int, rate si.BitRate, now si.Seconds) {
 	if _, ok := p.streams[id]; ok {
 		panic(fmt.Sprintf("buffer: stream %d already attached", id))
 	}
-	s := &state{idx: len(p.order), rate: rate, touched: now, emptyAt: now}
+	var s *state
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*s = state{}
+	} else {
+		s = &state{}
+	}
+	s.idx, s.rate, s.touched, s.emptyAt = len(p.order), rate, now, now
 	p.streams[id] = s
 	p.order = append(p.order, s)
 }
@@ -131,7 +146,9 @@ func (p *Pool) Detach(id int, now si.Seconds) {
 	last := len(p.order) - 1
 	p.order[s.idx] = p.order[last]
 	p.order[s.idx].idx = s.idx
+	p.order[last] = nil
 	p.order = p.order[:last]
+	p.free = append(p.free, s)
 }
 
 // drain advances a stream's level to now, recording any underrun once per

@@ -34,9 +34,14 @@ type Allocator interface {
 // (Section 2.3): correct at any load, maximally wasteful below full load.
 type StaticAllocator struct{}
 
+// Size returns BS(N) regardless of load.
 func (StaticAllocator) Size(d *Disk, st *Stream, n int) si.Bits { return d.sys.staticSize }
-func (StaticAllocator) PlanSize(d *Disk, n int) si.Bits         { return d.sys.staticSize }
-func (StaticAllocator) Admit(d *Disk, n int) bool               { return true }
+
+// PlanSize returns BS(N): static planning assumes the worst everywhere.
+func (StaticAllocator) PlanSize(d *Disk, n int) si.Bits { return d.sys.staticSize }
+
+// Admit always accepts; the capacity bound N is enforced upstream.
+func (StaticAllocator) Admit(d *Disk, n int) bool { return true }
 
 // DynamicAllocator is the paper's predict-and-enforce scheme (Section 3):
 // buffers sized by Theorem 1 for the current load n and the estimate kc of
@@ -44,6 +49,9 @@ func (StaticAllocator) Admit(d *Disk, n int) bool               { return true }
 // runtime enforcement and violating admissions deferred (Fig. 5).
 type DynamicAllocator struct{}
 
+// Size evaluates Theorem 1 at (n, kc) with kc from the disk's estimator,
+// records the stream's inertia snapshot for enforcement, and logs the
+// estimate for prediction-success scoring.
 func (DynamicAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	kc := d.Estimate(n)
 	size := d.sys.sizeFor(d, n, kc)
@@ -57,6 +65,8 @@ func (DynamicAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	return size
 }
 
+// PlanSize returns the worst-case buffer size sweep planning must
+// assume for a disk at load n under the dynamic scheme's rules.
 func (DynamicAllocator) PlanSize(d *Disk, n int) si.Bits {
 	// Plan with the Assumption-2 worst future prediction: no service in
 	// the batch can allocate with k above min_i(k_i) + alpha (that is what
@@ -70,6 +80,9 @@ func (DynamicAllocator) PlanSize(d *Disk, n int) si.Bits {
 	return d.sys.sizeFor(d, n, k)
 }
 
+// Admit applies the Fig. 5 enforcement rule: an arrival may enter only
+// if it keeps every in-service stream's inertia snapshot honest (and,
+// under churn-safe budgets, every open fill's admission budget).
 func (DynamicAllocator) Admit(d *Disk, n int) bool {
 	if !core.Admit(d.book, n, d.sys.params.N) {
 		return false
@@ -82,6 +95,8 @@ func (DynamicAllocator) Admit(d *Disk, n int) bool {
 // load — the failure (Fig. 3) that motivates the dynamic scheme.
 type NaiveAllocator struct{}
 
+// Size evaluates Eq. 5 directly at n+kc — the flaw: no recurrence, so a
+// stream sized now is not protected against arrivals sized later.
 func (NaiveAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	kc := d.Estimate(n)
 	size := d.sys.naiveSizeFor(n, kc)
@@ -89,10 +104,12 @@ func (NaiveAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	return size
 }
 
+// PlanSize mirrors Size for sweep planning.
 func (NaiveAllocator) PlanSize(d *Disk, n int) si.Bits {
 	return d.sys.naiveSizeFor(n, d.Estimate(n))
 }
 
+// Admit always accepts — the absent enforcement is the point.
 func (NaiveAllocator) Admit(d *Disk, n int) bool { return true }
 
 // DybaseAllocator sizes by the DYBASE recurrence (the paper's cited
@@ -102,6 +119,7 @@ func (NaiveAllocator) Admit(d *Disk, n int) bool { return true }
 // for comparison runs.
 type DybaseAllocator struct{}
 
+// Size evaluates the DYBASE recurrence at (n, kc).
 func (DybaseAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	kc := d.Estimate(n)
 	size := d.sys.dybaseSizeFor(n, kc)
@@ -109,8 +127,10 @@ func (DybaseAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	return size
 }
 
+// PlanSize mirrors Size for sweep planning.
 func (DybaseAllocator) PlanSize(d *Disk, n int) si.Bits {
 	return d.sys.dybaseSizeFor(n, d.Estimate(n))
 }
 
+// Admit always accepts: DYBASE has no runtime enforcement.
 func (DybaseAllocator) Admit(d *Disk, n int) bool { return true }

@@ -26,6 +26,7 @@ type Stream struct {
 	deadline   si.Seconds // cached pool EmptyAt, refreshed at each fill
 	lastFillAt si.Seconds // completion time of the most recent fill
 	firstFill  si.Seconds
+	admittedAt si.Seconds // when the stream entered service
 	slot       int        // index in Disk.streams (admission order)
 	admitSeq   int64      // monotone admission sequence, ties in the deadline index
 	dlKey      si.Seconds // deadline value the deadline index holds
@@ -59,6 +60,11 @@ func (st *Stream) Size() si.Bits { return st.size }
 
 // Started reports whether the stream's first fill has landed.
 func (st *Stream) Started() bool { return st.started }
+
+// AdmittedAt reports when the stream entered service — the instant its
+// admission-to-first-byte latency starts, which live instrumentation
+// (internal/livemetrics) measures against OnStart.
+func (st *Stream) AdmittedAt() si.Seconds { return st.admittedAt }
 
 // needService reports whether the stream still has data to fetch.
 func (st *Stream) needService() bool {
@@ -157,9 +163,12 @@ type Disk struct {
 	// to cover. (The raw stream every arrival joins lives in est, which
 	// prunes itself to the T_log window.) Entries at or below the oldest
 	// pending window's start are pruned in resolveEstimates, so the log
-	// stays bounded over arbitrarily long runs.
-	estArrivals []si.Seconds
-	pending     []estEntry
+	// stays bounded over arbitrarily long runs. Both logs are ring
+	// buffers: one estimate is recorded per fill, and slice append/trim
+	// churn here used to account for nearly all of a simulated day's
+	// allocated bytes.
+	estArrivals fifo[si.Seconds]
+	pending     fifo[estEntry]
 
 	// scratch buffers reused across dispatches.
 	deadlineScratch []si.Seconds
@@ -251,7 +260,7 @@ func (d *Disk) onArrival(req workload.Request) {
 		d.sys.obs.OnReject(d.id, req, RejectMemory, now)
 		return
 	}
-	d.estArrivals = append(d.estArrivals, now)
+	d.estArrivals.push(now)
 	d.queue = append(d.queue, queued{req: req, nAtArrival: d.n()})
 	d.dispatch()
 }
@@ -309,6 +318,7 @@ func (d *Disk) admitFromQueue() {
 			required:   maxBits(d.sys.cfg.CR.DataIn(q.req.Viewing), 1),
 			deadline:   d.now(), // fresh: due immediately
 			firstFill:  -1,
+			admittedAt: d.now(),
 			dlPos:      -1,
 			slot:       len(d.streams),
 			admitSeq:   d.admitSeq,
@@ -512,7 +522,7 @@ func (d *Disk) recordEstimate(size si.Bits, kc int) {
 	now := d.now()
 	t := d.sys.params.UsagePeriod(size)
 	d.lastPeriod = t
-	d.pending = append(d.pending, estEntry{start: now, end: now + t, kc: kc})
+	d.pending.push(estEntry{start: now, end: now + t, kc: kc})
 	d.sys.obs.OnEstimate(d.id, kc, size, now)
 }
 
@@ -548,54 +558,33 @@ func (d *Disk) Estimate(n int) int {
 func (d *Disk) ResolveEstimates(now si.Seconds) { d.resolveEstimates(now) }
 
 func (d *Disk) resolveEstimates(now si.Seconds) {
-	i := 0
-	for ; i < len(d.pending); i++ {
-		e := d.pending[i]
+	for d.pending.len() > 0 {
+		e := *d.pending.front()
 		if e.end > now {
 			break
 		}
 		actual := d.countArrivals(e.start, e.end)
 		d.sys.obs.OnEstimateResolved(d.id, e.kc >= actual, now)
-	}
-	if i > 0 {
-		d.pending = compactTail(d.pending, i)
+		d.pending.popFront()
 	}
 	// Prune accepted arrivals no outstanding window can query: pending
 	// entries are in start order, countArrivals treats its lower bound
 	// exclusively, and every future window starts at or after now.
 	lo := now
-	if len(d.pending) > 0 {
-		lo = d.pending[0].start
+	if d.pending.len() > 0 {
+		lo = d.pending.front().start
 	}
-	if cut := sort.Search(len(d.estArrivals), func(i int) bool { return d.estArrivals[i] > lo }); cut > 0 {
-		d.estArrivals = compactTail(d.estArrivals, cut)
+	if cut := sort.Search(d.estArrivals.len(), func(i int) bool { return *d.estArrivals.at(i) > lo }); cut > 0 {
+		d.estArrivals.popN(cut)
 	}
-}
-
-// shrinkThreshold is the capacity above which a compacted slice is
-// reallocated when it has become mostly slack, so a burst does not pin
-// its high-water memory for the rest of an arbitrarily long run.
-const shrinkThreshold = 256
-
-// compactTail drops the first cut elements of s in place, reallocating
-// to a tight slice when a large capacity has drained below a quarter.
-func compactTail[T any](s []T, cut int) []T {
-	n := copy(s, s[cut:])
-	s = s[:n]
-	if cap(s) > shrinkThreshold && n*4 <= cap(s) {
-		out := make([]T, n)
-		copy(out, s)
-		return out
-	}
-	return s
 }
 
 // countArrivals counts accepted arrivals in (lo, hi] by binary search
 // over the in-order log.
 func (d *Disk) countArrivals(lo, hi si.Seconds) int {
-	a := d.estArrivals
-	i := sort.Search(len(a), func(i int) bool { return a[i] > lo })
-	j := sort.Search(len(a), func(i int) bool { return a[i] > hi })
+	a := &d.estArrivals
+	i := sort.Search(a.len(), func(i int) bool { return *a.at(i) > lo })
+	j := sort.Search(a.len(), func(i int) bool { return *a.at(i) > hi })
 	return j - i
 }
 

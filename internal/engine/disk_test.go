@@ -7,31 +7,81 @@ import (
 	"repro/internal/si"
 )
 
-func TestCompactTail(t *testing.T) {
-	s := make([]int, 1024)
-	for i := range s {
-		s[i] = i
+func TestFifoOrderAndWrap(t *testing.T) {
+	var f fifo[int]
+	next, popped := 0, 0
+	// Interleave pushes and pops so the ring wraps repeatedly while the
+	// FIFO order and indexed access stay correct.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 7; i++ {
+			f.push(next)
+			next++
+		}
+		for i := 0; i < f.len(); i++ {
+			if got := *f.at(i); got != popped+i {
+				t.Fatalf("round %d: at(%d) = %d, want %d", round, i, got, popped+i)
+			}
+		}
+		for i := 0; i < 5 && f.len() > 0; i++ {
+			if got := *f.front(); got != popped {
+				t.Fatalf("round %d: front = %d, want %d", round, got, popped)
+			}
+			f.popFront()
+			popped++
+		}
 	}
-	s = compactTail(s, 1020)
-	if len(s) != 4 || s[0] != 1020 || s[3] != 1023 {
-		t.Fatalf("compacted to %v (len %d)", s, len(s))
+	for f.len() > 0 {
+		if got := *f.front(); got != popped {
+			t.Fatalf("drain: front = %d, want %d", got, popped)
+		}
+		f.popFront()
+		popped++
 	}
-	if cap(s) != 4 {
-		t.Errorf("cap = %d after draining a large slice, want a tight reallocation", cap(s))
+	if popped != next {
+		t.Fatalf("popped %d of %d pushed", popped, next)
 	}
+}
 
-	// Small slices are compacted in place: no reallocation churn.
-	s2 := make([]int, 100)
-	s2 = compactTail(s2, 90)
-	if len(s2) != 10 || cap(s2) != 100 {
-		t.Errorf("small slice: len %d cap %d, want 10 in the original backing array", len(s2), cap(s2))
+// A warmed-up fifo must push and pop without allocating: that is the
+// interning property the per-fill bookkeeping logs rely on.
+func TestFifoSteadyStateAllocFree(t *testing.T) {
+	var f fifo[estEntry]
+	for i := 0; i < 64; i++ {
+		f.push(estEntry{})
 	}
+	for f.len() > 0 {
+		f.popFront()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			f.push(estEntry{start: si.Seconds(i)})
+		}
+		for f.len() > 0 {
+			f.popFront()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm fifo push/pop cycle allocates %v objects/op, want 0", allocs)
+	}
+}
 
-	// Above threshold but still mostly full: kept in place too.
-	s3 := make([]int, 1024)
-	s3 = compactTail(s3, 100)
-	if cap(s3) != 1024 {
-		t.Errorf("cap = %d, want a mostly-full slice left in place", cap(s3))
+// A drained-out ring far above the shrink threshold releases its backing
+// array so a burst cannot pin its high-water memory.
+func TestFifoShrinksAfterBurst(t *testing.T) {
+	var f fifo[int]
+	const burst = 3 * fifoShrinkCap
+	for i := 0; i < burst; i++ {
+		f.push(i)
+	}
+	peak := len(f.buf)
+	f.popN(burst - 4)
+	if len(f.buf) > peak/4 {
+		t.Errorf("ring holds %d slots after draining a %d-entry burst, want a tight reallocation", len(f.buf), peak)
+	}
+	for i := 0; i < 4; i++ {
+		if got := *f.at(i); got != burst-4+i {
+			t.Fatalf("survivor at(%d) = %d, want %d", i, got, burst-4+i)
+		}
 	}
 }
 
@@ -40,33 +90,33 @@ func TestCompactTail(t *testing.T) {
 func TestEstimateLogsShrinkAfterBurst(t *testing.T) {
 	d := harness(t, sched.RoundRobin, DynamicAllocator{})
 	vc := d.clock.(*VirtualClock)
-	const burst = 5000
-	window := si.Seconds(20000)
+	const burst = fifoShrinkCap + fifoShrinkCap/2
+	window := si.Seconds(4 * burst)
 	size := d.sys.cfg.CR.DataIn(window) // usage period = window
 	for i := 0; i < burst; i++ {
 		now := si.Seconds(i)
 		vc.Run(now)
-		d.estArrivals = append(d.estArrivals, now)
+		d.estArrivals.push(now)
 		d.recordEstimate(size, 1)
 		d.resolveEstimates(now)
 	}
-	peakPending, peakArr := cap(d.pending), cap(d.estArrivals)
+	peakPending, peakArr := len(d.pending.buf), len(d.estArrivals.buf)
 	// The arrival at t=0 equals the oldest window's start, which the
 	// exclusive lower bound can never count, so it prunes immediately.
-	if len(d.pending) != burst || len(d.estArrivals) < burst-1 {
-		t.Fatalf("burst did not accumulate: pending %d arrivals %d", len(d.pending), len(d.estArrivals))
+	if d.pending.len() != burst || d.estArrivals.len() < burst-1 {
+		t.Fatalf("burst did not accumulate: pending %d arrivals %d", d.pending.len(), d.estArrivals.len())
 	}
 	// All windows close; both logs drain and release their slack.
 	vc.Run(si.Seconds(burst) + window + 1)
 	d.resolveEstimates(d.now())
-	if len(d.pending) != 0 || len(d.estArrivals) != 0 {
-		t.Fatalf("logs not drained: pending %d arrivals %d", len(d.pending), len(d.estArrivals))
+	if d.pending.len() != 0 || d.estArrivals.len() != 0 {
+		t.Fatalf("logs not drained: pending %d arrivals %d", d.pending.len(), d.estArrivals.len())
 	}
-	if cap(d.pending) > peakPending/4 {
-		t.Errorf("pending cap %d after drain, want under a quarter of the %d peak", cap(d.pending), peakPending)
+	if len(d.pending.buf) > peakPending/4 {
+		t.Errorf("pending cap %d after drain, want under a quarter of the %d peak", len(d.pending.buf), peakPending)
 	}
-	if cap(d.estArrivals) > peakArr/4 {
-		t.Errorf("estArrivals cap %d after drain, want under a quarter of the %d peak", cap(d.estArrivals), peakArr)
+	if len(d.estArrivals.buf) > peakArr/4 {
+		t.Errorf("estArrivals cap %d after drain, want under a quarter of the %d peak", len(d.estArrivals.buf), peakArr)
 	}
 }
 
@@ -80,16 +130,16 @@ func TestEstimateLogsBoundedSteadyState(t *testing.T) {
 	for i := 0; i < 50000; i++ {
 		now := si.Seconds(i)
 		vc.Run(now)
-		d.estArrivals = append(d.estArrivals, now)
+		d.estArrivals.push(now)
 		d.recordEstimate(size, 1)
 		d.resolveEstimates(now)
-		if len(d.pending) > 16 || len(d.estArrivals) > 16 {
+		if d.pending.len() > 16 || d.estArrivals.len() > 16 {
 			t.Fatalf("step %d: pending %d estArrivals %d — logs growing without bound",
-				i, len(d.pending), len(d.estArrivals))
+				i, d.pending.len(), d.estArrivals.len())
 		}
 	}
-	if cap(d.pending) > shrinkThreshold*4 || cap(d.estArrivals) > shrinkThreshold*4 {
-		t.Errorf("caps %d/%d after a long steady run, want bounded",
-			cap(d.pending), cap(d.estArrivals))
+	if len(d.pending.buf) > 64 || len(d.estArrivals.buf) > 64 {
+		t.Errorf("rings hold %d/%d slots after a long steady run, want bounded",
+			len(d.pending.buf), len(d.estArrivals.buf))
 	}
 }

@@ -1,0 +1,79 @@
+package engine
+
+// fifo is a growable ring buffer: push at the tail, pop from the head,
+// indexed access from the head for binary searches. Unlike an appended
+// slice trimmed with compactTail, the backing array is reused in place —
+// a steady-state producer/consumer pair allocates nothing, which is what
+// interns the per-fill bookkeeping records (the estimate log and its
+// arrival window) that used to dominate a simulated day's heap churn.
+//
+// Capacity is always a power of two so the index wrap is a mask. A large
+// buffer drained far below its high-water mark is reallocated tight, so
+// a burst does not pin its peak memory for the rest of an arbitrarily
+// long run — mirroring compactTail's shrink policy, but with factor-8
+// hysteresis so the shrink itself cannot thrash.
+type fifo[T any] struct {
+	buf  []T // power-of-two length, nil until first push
+	head int // index of the oldest element
+	n    int // elements queued
+}
+
+// fifoShrinkCap is the capacity above which a mostly-empty fifo is
+// reallocated tight. It must sit far above the logs' steady-state
+// occupancy: the estimate log saw-tooths between empty and a few
+// thousand entries every usage period (the windows recorded during one
+// service round all close together), and a threshold inside that
+// oscillation would reallocate the ring a thousand times a day — the
+// very churn the fifo exists to intern. At 64 Ki entries the threshold
+// only matters for genuinely pathological bursts (>1.5 MB of
+// bookkeeping on one disk), which are released rather than pinned.
+const fifoShrinkCap = 1 << 16
+
+// len reports the number of queued elements.
+func (f *fifo[T]) len() int { return f.n }
+
+// push appends v at the tail, growing the ring when full.
+func (f *fifo[T]) push(v T) {
+	if f.n == len(f.buf) {
+		f.resize(max(2*len(f.buf), 8))
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = v
+	f.n++
+}
+
+// front returns the oldest element; the fifo must not be empty.
+func (f *fifo[T]) front() *T { return &f.buf[f.head] }
+
+// at returns the i'th element from the head (0 = oldest); i must be in
+// [0, len).
+func (f *fifo[T]) at(i int) *T { return &f.buf[(f.head+i)&(len(f.buf)-1)] }
+
+// popFront drops the oldest element.
+func (f *fifo[T]) popFront() { f.popN(1) }
+
+// popN drops the cut oldest elements and shrinks a drained-out ring.
+func (f *fifo[T]) popN(cut int) {
+	var zero T
+	for i := 0; i < cut; i++ {
+		f.buf[(f.head+i)&(len(f.buf)-1)] = zero // release referenced memory
+	}
+	f.head = (f.head + cut) & (len(f.buf) - 1)
+	f.n -= cut
+	if len(f.buf) > fifoShrinkCap && f.n*8 <= len(f.buf) {
+		f.resize(max(2*f.n, 8))
+	}
+}
+
+// resize moves the queued elements into a fresh ring of the given
+// power-of-two-rounded capacity.
+func (f *fifo[T]) resize(capacity int) {
+	size := 8
+	for size < capacity {
+		size *= 2
+	}
+	out := make([]T, size)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf, f.head = out, 0
+}

@@ -1,0 +1,178 @@
+package livemetrics
+
+import (
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// DiskCounters is one disk shard's slice of the live tallies. Every
+// field is atomic: the owning shard's observer callbacks are the only
+// writers, so plain Add is uncontended, and readers (the stats line,
+// the STATS dump, the selftest summary) merge across shards without
+// taking any shard's engine lock. The trailing pad keeps two shards'
+// counters off one cache line.
+type DiskCounters struct {
+	Admitted  atomic.Int64
+	Deferred  atomic.Int64
+	Rejected  atomic.Int64
+	Departed  atomic.Int64
+	Starts    atomic.Int64
+	Fills     atomic.Int64
+	FillBytes atomic.Int64
+	Underruns atomic.Int64
+	// StarvedMicros accumulates underrun gaps in engine microseconds.
+	StarvedMicros atomic.Int64
+	Stalls        atomic.Int64
+	_             [6]int64
+}
+
+// Collector implements engine.Observer with per-disk atomic counters
+// and a startup-latency histogram — the live twin of the simulator's
+// result collector. It is safe to drive from a sharded WallClock: each
+// disk's callbacks write only that disk's counter cell, and the
+// histogram is lock-free.
+//
+// Compose it with a driver's own observer through engine.Observers so
+// instrumentation rides the same callbacks the driver already handles:
+//
+//	engine.Observers{collector, server}
+type Collector struct {
+	engine.NopObserver
+
+	disks []DiskCounters
+
+	// Startup records admission-to-first-byte latency in engine
+	// seconds: OnStart fires at a stream's first completed fill, and
+	// the stream carries its admission instant.
+	Startup *Histogram
+}
+
+// NewCollector returns a collector for a system of the given disk
+// count.
+func NewCollector(disks int) *Collector {
+	return &Collector{
+		disks:   make([]DiskCounters, disks),
+		Startup: NewHistogram(1e-6),
+	}
+}
+
+// Disk returns disk i's counter cell (for tests and per-disk dumps).
+func (c *Collector) Disk(i int) *DiskCounters { return &c.disks[i] }
+
+// Disks reports the number of per-disk cells.
+func (c *Collector) Disks() int { return len(c.disks) }
+
+// OnAdmit counts an admission on the stream's disk.
+func (c *Collector) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
+	c.disks[disk].Admitted.Add(1)
+}
+
+// OnDefer counts one blocked admission attempt (Fig. 5 enforcement).
+func (c *Collector) OnDefer(disk int, now si.Seconds) {
+	c.disks[disk].Deferred.Add(1)
+}
+
+// OnReject counts an arrival turned away outright.
+func (c *Collector) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
+	c.disks[disk].Rejected.Add(1)
+}
+
+// OnFillComplete counts a completed disk read and its payload bytes.
+func (c *Collector) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now si.Seconds) {
+	d := &c.disks[disk]
+	d.Fills.Add(1)
+	d.FillBytes.Add(int64(fill.Bytes()))
+}
+
+// OnStart counts a stream's first completed fill and records its
+// admission-to-first-byte latency in the startup histogram.
+func (c *Collector) OnStart(disk int, st *engine.Stream, now si.Seconds) {
+	c.disks[disk].Starts.Add(1)
+	c.Startup.Record(float64(now - st.AdmittedAt()))
+}
+
+// OnStall counts a fill that could not reserve pool memory.
+func (c *Collector) OnStall(disk int, now si.Seconds) {
+	c.disks[disk].Stalls.Add(1)
+}
+
+// OnUnderrun counts a buffer that ran dry and accumulates the gap.
+func (c *Collector) OnUnderrun(disk int, now, gap si.Seconds) {
+	d := &c.disks[disk]
+	d.Underruns.Add(1)
+	d.StarvedMicros.Add(int64(gap * 1e6))
+}
+
+// OnDepart counts a stream finishing and freeing its capacity.
+func (c *Collector) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	c.disks[disk].Departed.Add(1)
+}
+
+// DiskSnapshot is one disk's counters at a point in time, in stats-dump
+// form. Field semantics are documented operator-facing in SERVING.md.
+type DiskSnapshot struct {
+	Admitted  int64 `json:"admitted"`
+	Deferred  int64 `json:"deferred"`
+	Rejected  int64 `json:"rejected"`
+	Departed  int64 `json:"departed"`
+	Starts    int64 `json:"starts"`
+	Fills     int64 `json:"fills"`
+	FillBytes int64 `json:"fill_bytes"`
+	Underruns int64 `json:"underruns"`
+	// StarvedMS is the cumulative underrun gap in engine milliseconds.
+	StarvedMS float64 `json:"starved_ms"`
+	Stalls    int64   `json:"stalls"`
+}
+
+func (s *DiskSnapshot) add(o DiskSnapshot) {
+	s.Admitted += o.Admitted
+	s.Deferred += o.Deferred
+	s.Rejected += o.Rejected
+	s.Departed += o.Departed
+	s.Starts += o.Starts
+	s.Fills += o.Fills
+	s.FillBytes += o.FillBytes
+	s.Underruns += o.Underruns
+	s.StarvedMS += o.StarvedMS
+	s.Stalls += o.Stalls
+}
+
+// Snapshot is the collector's aggregated state: totals across disks,
+// the per-disk breakdown, and startup-latency quantiles in engine
+// milliseconds.
+type Snapshot struct {
+	Totals       DiskSnapshot   `json:"totals"`
+	StartupP50MS float64        `json:"startup_p50_ms"`
+	StartupP99MS float64        `json:"startup_p99_ms"`
+	StartupMaxMS float64        `json:"startup_max_ms"`
+	PerDisk      []DiskSnapshot `json:"disks,omitempty"`
+}
+
+// Snapshot aggregates the counters. It allocates (the per-disk slice)
+// and is meant for the reporting path, not observer callbacks.
+func (c *Collector) Snapshot() Snapshot {
+	snap := Snapshot{PerDisk: make([]DiskSnapshot, len(c.disks))}
+	for i := range c.disks {
+		d := &c.disks[i]
+		snap.PerDisk[i] = DiskSnapshot{
+			Admitted:  d.Admitted.Load(),
+			Deferred:  d.Deferred.Load(),
+			Rejected:  d.Rejected.Load(),
+			Departed:  d.Departed.Load(),
+			Starts:    d.Starts.Load(),
+			Fills:     d.Fills.Load(),
+			FillBytes: d.FillBytes.Load(),
+			Underruns: d.Underruns.Load(),
+			StarvedMS: float64(d.StarvedMicros.Load()) / 1e3,
+			Stalls:    d.Stalls.Load(),
+		}
+		snap.Totals.add(snap.PerDisk[i])
+	}
+	snap.StartupP50MS = c.Startup.Quantile(0.50) * 1e3
+	snap.StartupP99MS = c.Startup.Quantile(0.99) * 1e3
+	snap.StartupMaxMS = c.Startup.Max() * 1e3
+	return snap
+}

@@ -1,0 +1,231 @@
+package livemetrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// The first two octaves are linear: small values land in their own
+// bucket and quantiles are exact.
+func TestHistogramLinearRangeExact(t *testing.T) {
+	h := NewHistogram(1)
+	for v := 0; v < 2*histBucketsPerOctave; v++ {
+		h.Record(float64(v))
+	}
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("p50 over 0..31 = %v, want 15", got)
+	}
+	if got := h.Quantile(1); got != 31 {
+		t.Errorf("p100 over 0..31 = %v, want 31", got)
+	}
+	if got := h.Max(); got != 31 {
+		t.Errorf("max = %v, want 31", got)
+	}
+	if got := h.Mean(); got != 15.5 {
+		t.Errorf("mean = %v, want 15.5", got)
+	}
+}
+
+// Bucket geometry: every value maps to a bucket whose upper bound
+// covers it within the advertised ~6% relative error, and bucket
+// indices never decrease as values grow.
+func TestHistogramBucketGeometry(t *testing.T) {
+	prev := -1
+	for _, n := range func() []uint64 {
+		var ns []uint64
+		for n := uint64(0); n < 4096; n++ {
+			ns = append(ns, n)
+		}
+		for shift := 12; shift < 40; shift++ {
+			for off := uint64(0); off < 17; off++ {
+				ns = append(ns, uint64(1)<<shift+off*(uint64(1)<<shift)/17)
+			}
+		}
+		return ns
+	}() {
+		i := bucketOf(n)
+		if i < prev {
+			t.Fatalf("bucketOf(%d) = %d below previous bucket %d", n, i, prev)
+		}
+		prev = i
+		bound := boundOf(i)
+		if bound < float64(n) {
+			t.Fatalf("boundOf(bucketOf(%d)) = %v, below the value", n, bound)
+		}
+		if n >= 2*histBucketsPerOctave && bound > float64(n)*(1+1.0/histBucketsPerOctave)+1 {
+			t.Fatalf("boundOf(bucketOf(%d)) = %v, over %.0f%% relative error",
+				n, bound, 100.0/histBucketsPerOctave)
+		}
+	}
+}
+
+// Quantiles over a wide-range sample stay within one bucket width of
+// the true order statistics.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram(1e-6)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Record(float64(i) * 1e-4) // 0.1ms .. 1s
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := math.Ceil(p*n) * 1e-4
+		got := h.Quantile(p)
+		if got < exact || got > exact*1.08 {
+			t.Errorf("Quantile(%v) = %v, want within +8%% of %v", p, got, exact)
+		}
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram(1e-6)
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5)         // clamps to 0
+	h.Record(math.NaN()) // clamps to 0
+	h.Record(1e30)       // clamps into the top bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("p50 = %v, want 0 (two clamped-to-zero samples)", got)
+	}
+	// The top bucket's bound is 2^40 units ≈ 1.1e6 s (~13 days).
+	if got := h.Quantile(1); got < 1e6 {
+		t.Errorf("p100 = %v, want the top bucket's bound (~1.1e6)", got)
+	}
+}
+
+func TestHistogramRecentRing(t *testing.T) {
+	h := NewHistogram(1)
+	for i := 0; i < recentSamples+10; i++ {
+		h.Record(float64(i))
+	}
+	recent := h.Recent()
+	if len(recent) != recentSamples {
+		t.Fatalf("recent holds %d samples, want %d", len(recent), recentSamples)
+	}
+	for _, v := range recent {
+		if v < 10 {
+			t.Fatalf("sample %v survived a full ring lap, want overwrite", v)
+		}
+	}
+}
+
+func TestHistogramRecordAllocFree(t *testing.T) {
+	h := NewHistogram(1e-6)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(0.0017)
+	}); allocs != 0 {
+		t.Errorf("Record allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// captureStream runs a one-request virtual-clock system to obtain a
+// real admitted *engine.Stream for driving observer callbacks.
+type captureStream struct {
+	engine.NopObserver
+	st *engine.Stream
+}
+
+func (c *captureStream) OnAdmit(disk int, st *engine.Stream, now si.Seconds) { c.st = st }
+
+func admittedStream(t *testing.T) *engine.Stream {
+	t.Helper()
+	lib, err := catalog.New(catalog.Config{
+		Titles: 2, Disks: 1, Spec: diskmodel.Barracuda9LP(), PopularityTheta: 0.271,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &captureStream{}
+	vc := engine.NewVirtualClock()
+	sys, err := engine.New(engine.Config{
+		Clock:     vc,
+		Allocator: engine.DynamicAllocator{},
+		Method:    sched.NewMethod(sched.RoundRobin),
+		Spec:      diskmodel.Barracuda9LP(),
+		CR:        si.BitRate(1.5 * si.Mega),
+		Alpha:     1,
+		TLog:      si.Minutes(40),
+		Library:   lib,
+		Seed:      1,
+		Observer:  cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.OnArrival(workload.Request{ID: 0, Arrival: 0, Video: 0, Disk: 0, Viewing: si.Seconds(60)})
+	vc.Run(si.Seconds(30))
+	if cap.st == nil {
+		t.Fatal("no stream admitted")
+	}
+	return cap.st
+}
+
+// The collector's observer callbacks are the serving path's hot loop:
+// they must not allocate. This is the pin the package doc promises.
+func TestCollectorHotPathAllocFree(t *testing.T) {
+	st := admittedStream(t)
+	c := NewCollector(2)
+	req := workload.Request{ID: 7, Disk: 1}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.OnAdmit(0, st, 10)
+		c.OnDefer(1, 10)
+		c.OnReject(1, req, engine.RejectCapacity, 10)
+		c.OnFillComplete(0, st, si.Bits(8e6), 11)
+		c.OnStart(0, st, 11)
+		c.OnStall(1, 11)
+		c.OnUnderrun(0, 12, 0.25)
+		c.OnDepart(0, st, 13)
+	}); allocs != 0 {
+		t.Errorf("observer callbacks allocate %v objects/op, want 0", allocs)
+	}
+}
+
+// Snapshot must aggregate per-disk cells into consistent totals and
+// convert the startup histogram into millisecond quantiles.
+func TestCollectorSnapshot(t *testing.T) {
+	st := admittedStream(t)
+	c := NewCollector(2)
+	c.OnAdmit(0, st, 10)
+	c.OnAdmit(0, st, 10)
+	c.OnAdmit(1, st, 10)
+	c.OnDefer(1, 10)
+	c.OnReject(1, workload.Request{}, engine.RejectCapacity, 10)
+	c.OnFillComplete(0, st, si.Bits(8e6), 11) // 1e6 bytes
+	c.OnStart(0, st, st.AdmittedAt()+si.Seconds(0.5))
+	c.OnUnderrun(1, 12, 0.25)
+	c.OnDepart(0, st, 13)
+
+	s := c.Snapshot()
+	if s.Totals.Admitted != 3 || s.PerDisk[0].Admitted != 2 || s.PerDisk[1].Admitted != 1 {
+		t.Errorf("admitted totals wrong: %+v", s)
+	}
+	if s.Totals.Deferred != 1 || s.Totals.Rejected != 1 || s.Totals.Departed != 1 {
+		t.Errorf("defer/reject/depart totals wrong: %+v", s.Totals)
+	}
+	if s.Totals.Fills != 1 || s.Totals.FillBytes != 1e6 {
+		t.Errorf("fill accounting wrong: fills=%d bytes=%d", s.Totals.Fills, s.Totals.FillBytes)
+	}
+	if s.Totals.Underruns != 1 || math.Abs(s.Totals.StarvedMS-250) > 1e-6 {
+		t.Errorf("underrun accounting wrong: %d / %v ms", s.Totals.Underruns, s.Totals.StarvedMS)
+	}
+	if s.Totals.Starts != 1 {
+		t.Errorf("starts = %d, want 1", s.Totals.Starts)
+	}
+	// 0.5s startup latency → ~500ms, within the histogram's bucket width.
+	if s.StartupP99MS < 500 || s.StartupP99MS > 540 {
+		t.Errorf("startup p99 = %v ms, want ~500", s.StartupP99MS)
+	}
+	if s.StartupMaxMS < 499 || s.StartupMaxMS > 501 {
+		t.Errorf("startup max = %v ms, want ~500", s.StartupMaxMS)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stallWatch runs one viewer that, besides counting delivered bytes,
+// detects playback stalls from its own consumption schedule: once the
+// first byte arrives, a viewer consuming at CR (scaled to wall time)
+// observes a stall whenever new data lands after its buffered bytes ran
+// out. The slack absorbs network and scheduling noise, so a viewer only
+// counts stalls it could genuinely notice — a strict subset of the
+// engine's 1ms-simulated-tolerance underruns.
+func stallWatch(t *testing.T, srv *Server, addr string, seconds float64) (bytes int64, stalls int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "WATCH %g\n", seconds)
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseID(t, status) // fails the test unless admitted
+
+	// Wall-clock consumption rate in bytes per wall second, and a
+	// generous slack of one simulated second of content: the viewer
+	// only counts a stall the engine's 1ms tolerance would dwarf, and
+	// in-process scheduling noise (which delays the engine's own fill
+	// timers just the same) stays below it.
+	rate := float64(srv.CR()) / 8 * srv.Clock().Scale()
+	slack := float64(srv.CR()) / 8 // bytes per simulated second
+	var start time.Time
+	var behind bool
+	var frame [4]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			t.Fatal(err)
+		}
+		now := time.Now()
+		if start.IsZero() {
+			start = now
+		}
+		length := binary.BigEndian.Uint32(frame[:])
+		if length == 0 {
+			return bytes, stalls
+		}
+		// Before accepting the new frame: had consumption outrun what
+		// was delivered so far? Count starvation episodes, not frames —
+		// several late frames can land during one engine underrun gap.
+		consumed := rate * now.Sub(start).Seconds()
+		if consumed > float64(bytes)+slack {
+			if !behind {
+				stalls++
+			}
+			behind = true
+		} else {
+			behind = false
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+			t.Fatal(err)
+		}
+		bytes += int64(length)
+	}
+}
+
+func parseID(t *testing.T, status string) int {
+	t.Helper()
+	var id int
+	if _, err := fmt.Sscanf(status, "OK %d", &id); err != nil {
+		t.Fatalf("bad admission reply %q: %v", status, err)
+	}
+	return id
+}
+
+// The accounting for underruns must reconcile three ways: the buffer
+// pools' ground truth (the engine's own books), the live collector fed
+// by observer callbacks, and the STATS dump served over the wire. And a
+// viewer can never observe more stalls than the engine recorded
+// underruns for its disk — the engine's tolerance is finer than
+// anything visible over TCP.
+func TestUnderrunAccountingReconciles(t *testing.T) {
+	srv, err := New(Config{Scale: 600, Disks: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Stop()
+	})
+	go srv.Serve(ln)
+
+	const viewers = 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var totalBytes int64
+	var viewerStalls int
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, s := stallWatch(t, srv, ln.Addr().String(), 5)
+			mu.Lock()
+			totalBytes += b
+			viewerStalls += s
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	drained(t, srv)
+
+	// Byte accounting is exact: every viewer gets CR x viewing, to the
+	// byte, regardless of jitter.
+	if want := int64(viewers * 937_500); totalBytes != want {
+		t.Errorf("viewers received %d bytes total, want exactly %d", totalBytes, want)
+	}
+
+	// Way 1: the pools' ground truth, per disk, read under shard locks.
+	poolUnderruns := 0
+	perDiskPool := make([]int, len(srv.shards))
+	for i, sh := range srv.shards {
+		i, sh := i, sh
+		sh.clock.Do(func() {
+			perDiskPool[i] = sh.disk.Pool().Stats().Underruns
+		})
+		poolUnderruns += perDiskPool[i]
+	}
+
+	// Way 2: the live collector's per-disk cells.
+	for i := 0; i < srv.Metrics().Disks(); i++ {
+		if got := int(srv.Metrics().Disk(i).Underruns.Load()); got != perDiskPool[i] {
+			t.Errorf("disk %d: collector counted %d underruns, pool recorded %d", i, got, perDiskPool[i])
+		}
+	}
+
+	// Way 3: the STATS dump over the wire.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "STATS\n")
+	var s Stats
+	if err := json.NewDecoder(conn).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if int(s.Totals.Underruns) != poolUnderruns {
+		t.Errorf("STATS reports %d underruns, pools recorded %d", s.Totals.Underruns, poolUnderruns)
+	}
+	if len(s.PerDisk) != len(perDiskPool) {
+		t.Fatalf("STATS carries %d disks, want %d", len(s.PerDisk), len(perDiskPool))
+	}
+	for i := range perDiskPool {
+		if int(s.PerDisk[i].Underruns) != perDiskPool[i] {
+			t.Errorf("STATS disk %d reports %d underruns, pool recorded %d", i, s.PerDisk[i].Underruns, perDiskPool[i])
+		}
+	}
+
+	// The viewer-side bound.
+	if viewerStalls > poolUnderruns {
+		t.Errorf("viewers observed %d stalls, engine recorded only %d underruns", viewerStalls, poolUnderruns)
+	}
+	t.Logf("reconciled: %d underruns (pool == collector == STATS), viewers observed %d stalls, %d bytes exact",
+		poolUnderruns, viewerStalls, totalBytes)
+}

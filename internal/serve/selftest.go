@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SelfTest connects n viewers watching 20–90 simulated seconds each and
+// reports their startup latency and delivery, then a summary of the
+// engine's admission accounting. The summary's counters come from the
+// live metrics collector, so a selftest doubles as an accounting check
+// of the instrumented serving path.
+func SelfTest(srv *Server, addr string, n int, w io.Writer) error {
+	type result struct {
+		id      int
+		watch   float64
+		startup time.Duration
+		bytes   int64
+		err     error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			watch := 20 + 10*float64(i)
+			res := result{id: i, watch: watch}
+			defer func() { results[i] = res }()
+
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer conn.Close()
+			start := time.Now()
+			fmt.Fprintf(conn, "WATCH %g\n", watch)
+			r := bufio.NewReader(conn)
+			status, err := r.ReadString('\n')
+			if err != nil {
+				res.err = err
+				return
+			}
+			if !strings.HasPrefix(status, "OK") {
+				res.err = fmt.Errorf("not admitted: %s", strings.TrimSpace(status))
+				return
+			}
+			first := true
+			var frame [4]byte
+			for {
+				if _, err := io.ReadFull(r, frame[:]); err != nil {
+					res.err = err
+					return
+				}
+				if first {
+					res.startup = time.Since(start)
+					first = false
+				}
+				length := binary.BigEndian.Uint32(frame[:])
+				if length == 0 {
+					return
+				}
+				if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+					res.err = err
+					return
+				}
+				res.bytes += int64(length)
+			}
+		}(i)
+		time.Sleep(time.Duration(float64(2*time.Second) / srv.clock.Scale() * 10)) // stagger
+	}
+	wg.Wait()
+
+	fmt.Fprintf(w, "%-8s %10s %14s %12s %s\n", "viewer", "watch(s)", "startup(wall)", "delivered", "status")
+	for _, res := range results {
+		status := "ok"
+		if res.err != nil {
+			status = res.err.Error()
+		}
+		fmt.Fprintf(w, "%-8d %10.0f %14s %12d %s\n",
+			res.id, res.watch, res.startup.Round(time.Microsecond), res.bytes, status)
+	}
+
+	// Let the handlers' deferred cleanup drain before summarizing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if c := srv.Counters(); c.InService == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c := srv.Counters()
+	snap := srv.live.Snapshot()
+	fmt.Fprintf(w, "summary: admitted=%d deferred=%d rejected=%d departed=%d inservice=%d book=%d underruns=%d p99start=%.1fms\n",
+		c.Admitted, c.Deferred, c.Rejected, c.Departed, c.InService, c.Book, c.Underruns, snap.StartupP99MS)
+	return nil
+}

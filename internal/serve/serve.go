@@ -1,0 +1,444 @@
+// Package serve is the live serving path: a miniature VOD server over
+// TCP driven by the shared streaming runtime in internal/engine. The
+// same admission, allocation, and scheduling code the simulator
+// validates paces real deliveries here under a scaled wall clock. The
+// server itself owns no buffer-sizing or admission logic — it is a
+// driver: it translates TCP connections into engine arrivals and engine
+// fill completions into frames on the wire.
+//
+// The server is sharded per disk, mirroring the paper's per-disk
+// service model: every disk runs on its own WallClock shard (its own
+// lock, timer wheel, and driver goroutine), sessions are routed to the
+// shard holding their title by the catalog's placement, and live
+// tallies merge across shards through internal/livemetrics' lock-free
+// per-disk counters — no global lock anywhere on the serving path.
+//
+// Protocol: the client sends one line. "WATCH <seconds>\n" requests a
+// viewing; the server answers "OK <id>\n" (admitted) or "BUSY\n"
+// (rejected, or deferred past patience) and then streams
+// length-prefixed frames ([4-byte big-endian length][bytes]) until the
+// requested content has been delivered, closing with a zero-length
+// frame. "STATS\n" instead dumps one JSON stats line (see Stats) and
+// closes. SERVING.md documents the protocol and every stats field.
+//
+// cmd/vodserver is the thin binary over this package; internal/bench's
+// loopback cases drive it in-process.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	vod "repro"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/livemetrics"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// Patience bounds how long an arrival may sit in the deferral queue
+// before the frontend gives up, in engine seconds. It matches the old
+// hand-rolled server's 100 one-second retries.
+const Patience = si.Seconds(100)
+
+// Config parameterizes a Server. The zero value is not valid; use the
+// documented defaults.
+type Config struct {
+	// Scale is the time compression: simulated seconds per wall second.
+	Scale float64
+
+	// Disks is the number of disk shards to serve from (>= 1). The
+	// catalog holds 6 titles per disk, as the demo library always has.
+	Disks int
+
+	// Seed feeds the disks' rotational-delay streams; loopback tests
+	// pin it for reproducible runs. 0 means seed 1.
+	Seed int64
+}
+
+// Server is the live driver: an engine System under a sharded WallClock
+// plus one shard of viewer registry per disk. Nothing here is guarded
+// by a global lock — session state lives in the owning shard (guarded
+// by that shard's clock lock), IDs come from an atomic counter, and
+// tallies live in the metrics collector's per-disk atomic cells.
+type Server struct {
+	clock *engine.WallClock
+	sys   *engine.System
+	lib   *catalog.Library
+	cr    vod.BitRate
+	live  *livemetrics.Collector
+
+	engine.NopObserver // the server observes only what it overrides
+
+	nextID atomic.Int64
+	shards []*shard
+}
+
+// shard is one disk's slice of the driver: the engine disk, the
+// wall-clock shard that drives it, and the sessions it serves. The
+// sessions map is engine state — read and written only under the
+// shard's clock lock (inside clock.Do or inside Observer callbacks,
+// which the shard serializes). Two shards never touch each other's
+// state, so the serving path has no cross-disk contention.
+type shard struct {
+	disk     *engine.Disk
+	clock    *engine.WallShard
+	sessions map[int]*session
+}
+
+// session is one connected viewer. The observer side (engine lock)
+// pushes completed fills; the connection goroutine pops and ships them.
+// The two sides share only the small mu-guarded queue, so observer
+// callbacks never block on the network.
+type session struct {
+	id      int
+	decided chan bool // admission outcome, buffered
+
+	mu      sync.Mutex
+	pending []int64       // frame sizes (bytes) ready to ship
+	done    bool          // all content delivered (or the stream departed)
+	notify  chan struct{} // buffered kick for the writer
+
+	sent int64 // cumulative bytes handed to the writer (engine lock side)
+}
+
+// push queues n bytes for the writer (engine lock held by the caller).
+func (s *session) push(n int64, done bool) {
+	s.mu.Lock()
+	if n > 0 {
+		s.pending = append(s.pending, n)
+	}
+	if done {
+		s.done = true
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// New builds a server: the paper's disk and rate environment, a demo
+// catalog of 6 titles per disk, and the dynamic scheme under a
+// Round-Robin scheduler on a sharded wall clock.
+func New(cfg Config) (*Server, error) {
+	if cfg.Disks < 1 {
+		return nil, fmt.Errorf("serve: need at least 1 disk, got %d", cfg.Disks)
+	}
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("serve: need a positive time scale, got %g", cfg.Scale)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	spec, cr, _ := vod.PaperEnvironment()
+	lib, err := catalog.New(catalog.Config{
+		Titles: 6 * cfg.Disks, Disks: cfg.Disks, Spec: spec, PopularityTheta: 0.271,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{
+		clock: engine.NewWallClock(cfg.Scale),
+		lib:   lib,
+		cr:    cr,
+		live:  livemetrics.NewCollector(cfg.Disks),
+	}
+	sys, err := engine.New(engine.Config{
+		Clock:     srv.clock,
+		Allocator: engine.DynamicAllocator{},
+		Method:    vod.NewMethod(vod.RoundRobin),
+		Spec:      spec,
+		CR:        cr,
+		Alpha:     1,
+		TLog:      vod.Minutes(40),
+		Library:   lib,
+		Seed:      cfg.Seed,
+		// The collector runs first so its counters are stamped before
+		// the relay reacts to the same event.
+		Observer: engine.Observers{srv.live, srv},
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.sys = sys
+	for d := 0; d < cfg.Disks; d++ {
+		srv.shards = append(srv.shards, &shard{
+			disk:     sys.Disk(d),
+			clock:    srv.clock.Shard(d),
+			sessions: make(map[int]*session),
+		})
+	}
+	return srv, nil
+}
+
+// Clock exposes the server's wall clock (for time-scale math in
+// drivers and tests).
+func (srv *Server) Clock() *engine.WallClock { return srv.clock }
+
+// CR reports the streams' consumption rate.
+func (srv *Server) CR() vod.BitRate { return srv.cr }
+
+// Metrics exposes the live collector; its Snapshot is the stats dump.
+func (srv *Server) Metrics() *livemetrics.Collector { return srv.live }
+
+// Stop halts the wall clock's shard drivers. The server must not be
+// serving connections when stopped.
+func (srv *Server) Stop() { srv.clock.Stop() }
+
+// OnAdmit resolves the viewer's admission wait. Shard lock held.
+func (srv *Server) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
+	if sess := srv.shards[disk].sessions[st.ID()]; sess != nil {
+		sess.decided <- true
+	}
+}
+
+// OnReject resolves the viewer's admission wait negatively. Shard lock
+// held.
+func (srv *Server) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
+	if sess := srv.shards[disk].sessions[req.ID]; sess != nil {
+		sess.decided <- false
+	}
+}
+
+// OnFillComplete ships a landed fill to the viewer: the frame carries
+// the integral bytes newly available, by cumulative flooring so the
+// total delivered equals the content length exactly. Shard lock held.
+func (srv *Server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now si.Seconds) {
+	sess := srv.shards[disk].sessions[st.ID()]
+	if sess == nil {
+		return
+	}
+	complete := st.Delivered() >= st.Required()
+	total := int64(st.Delivered().Bytes())
+	if complete {
+		total = int64(st.Required().Bytes())
+	}
+	n := total - sess.sent
+	if n > 0 {
+		sess.sent += n
+	}
+	sess.push(n, complete)
+}
+
+// OnDepart finishes the viewer's stream. Under a wall clock, fill
+// timers accumulate jitter while the single departure timer does not,
+// so a departing stream may still owe a tail of content; flush it here
+// so the client always receives exactly the requested length. Shard
+// lock held.
+func (srv *Server) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	sh := srv.shards[disk]
+	sess := sh.sessions[st.ID()]
+	if sess == nil {
+		return
+	}
+	n := int64(st.Required().Bytes()) - sess.sent
+	if n > 0 {
+		sess.sent += n
+	}
+	sess.push(n, true)
+}
+
+// Serve accepts and handles connections until the listener closes.
+func (srv *Server) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go srv.handle(conn)
+	}
+}
+
+// handle runs one viewer's session: parse, feed the engine an arrival,
+// await its admission decision, then relay completed fills as frames.
+func (srv *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	if strings.TrimSpace(line) == "STATS" {
+		enc := json.NewEncoder(conn)
+		enc.Encode(srv.Stats())
+		return
+	}
+	var seconds float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(line), "WATCH %f", &seconds); err != nil || seconds <= 0 {
+		fmt.Fprintf(conn, "ERR bad request\n")
+		return
+	}
+
+	// Route the session to the disk shard holding its title: IDs come
+	// from the global atomic counter, everything else happens on the
+	// owning shard under its own lock.
+	id := int(srv.nextID.Add(1))
+	video := id % srv.lib.Len()
+	sh := srv.shards[srv.lib.Placement(video).Disk]
+	sess := &session{
+		id:      id,
+		decided: make(chan bool, 1),
+		notify:  make(chan struct{}, 1),
+	}
+	sh.clock.Do(func() {
+		sh.sessions[id] = sess
+		srv.sys.OnArrival(workload.Request{
+			ID:      id,
+			Arrival: srv.clock.Now(),
+			Video:   video,
+			Disk:    sh.disk.ID(),
+			Viewing: si.Seconds(seconds),
+		})
+	})
+	defer sh.clock.Do(func() {
+		sh.disk.Cancel(id) // no-op once the stream has departed
+		delete(sh.sessions, id)
+	})
+
+	// Await the engine's admission decision with bounded patience:
+	// Fig. 5 defers violating arrivals; a real frontend gives up
+	// eventually.
+	admitted := false
+	select {
+	case admitted = <-sess.decided:
+	case <-time.After(srv.clock.WallDuration(Patience)):
+		sh.clock.Do(func() {
+			select {
+			case admitted = <-sess.decided: // the decision raced the timeout
+			default:
+				sh.disk.Cancel(id) // withdraw from the deferral queue
+			}
+		})
+	}
+	if !admitted {
+		fmt.Fprintf(conn, "BUSY\n")
+		return
+	}
+	if _, err := fmt.Fprintf(conn, "OK %d\n", sess.id); err != nil {
+		return
+	}
+
+	// Relay loop: ship each completed fill as one frame. Pacing comes
+	// from the engine — fills land when its scheduler runs them on the
+	// scaled wall clock — so delivery never runs ahead of the modelled
+	// buffer.
+	var frame [4]byte
+	payload := make([]byte, 0, 1<<20)
+	for {
+		sess.mu.Lock()
+		for len(sess.pending) == 0 && !sess.done {
+			sess.mu.Unlock()
+			<-sess.notify
+			sess.mu.Lock()
+		}
+		batch := sess.pending
+		sess.pending = nil
+		done := sess.done
+		sess.mu.Unlock()
+
+		for _, n := range batch {
+			if int64(cap(payload)) < n {
+				payload = make([]byte, n)
+			}
+			payload = payload[:n]
+			binary.BigEndian.PutUint32(frame[:], uint32(n))
+			if _, err := conn.Write(frame[:]); err != nil {
+				return
+			}
+			if _, err := conn.Write(payload); err != nil {
+				return
+			}
+		}
+		if done {
+			binary.BigEndian.PutUint32(frame[:], 0)
+			conn.Write(frame[:])
+			return
+		}
+	}
+}
+
+// Counters is the engine-side accounting a stats line or selftest
+// summary reports alongside the collector's tallies.
+type Counters struct {
+	Admitted, Deferred, Rejected, Departed int
+	InService, Book                        int
+	Underruns                              int
+}
+
+// Counters snapshots the admission tallies and the engine's live state.
+// Tallies merge lock-free from the collector's per-disk cells; the
+// engine reads take each shard's lock in turn, never more than one at
+// a time.
+func (srv *Server) Counters() Counters {
+	var c Counters
+	for i, sh := range srv.shards {
+		d := srv.live.Disk(i)
+		c.Admitted += int(d.Admitted.Load())
+		c.Deferred += int(d.Deferred.Load())
+		c.Rejected += int(d.Rejected.Load())
+		c.Departed += int(d.Departed.Load())
+		c.Underruns += int(d.Underruns.Load())
+		sh.clock.Do(func() {
+			c.InService += sh.disk.InService()
+			c.Book += sh.disk.BookLen()
+		})
+	}
+	return c
+}
+
+// Stats is one JSON stats line: engine time and live occupancy wrapped
+// around the collector's snapshot. SERVING.md documents every field.
+type Stats struct {
+	// EngineNowS is the engine clock in simulated seconds.
+	EngineNowS float64 `json:"engine_now_s"`
+	// InService counts streams currently holding a buffer.
+	InService int `json:"in_service"`
+	// Book counts admission-book entries (in service + committed).
+	Book int `json:"book"`
+	livemetrics.Snapshot
+}
+
+// Stats snapshots the server for one stats line. Reporting path: it
+// takes each shard's lock briefly and allocates.
+func (srv *Server) Stats() Stats {
+	s := Stats{EngineNowS: float64(srv.clock.Now())}
+	for _, sh := range srv.shards {
+		sh.clock.Do(func() {
+			s.InService += sh.disk.InService()
+			s.Book += sh.disk.BookLen()
+		})
+	}
+	s.Snapshot = srv.live.Snapshot()
+	return s
+}
+
+// StatsEvery writes one JSON stats line to w every interval until the
+// returned stop function is called.
+func (srv *Server) StatsEvery(interval time.Duration, w io.Writer) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		enc := json.NewEncoder(w)
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				enc.Encode(srv.Stats())
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTestServer spins a server on an ephemeral port with aggressive
+// time compression so tests finish quickly.
+func startTestServer(t *testing.T) (*Server, string) {
+	return startTestServerDisks(t, 1)
+}
+
+// startTestServerDisks is startTestServer sharded across disks.
+func startTestServerDisks(t *testing.T, disks int) (*Server, string) {
+	t.Helper()
+	srv, err := New(Config{Scale: 600, Disks: disks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Stop()
+	})
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+// watch runs one client session and returns the delivered byte count.
+func watch(t *testing.T, addr string, seconds float64) int64 {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "WATCH %g\n", seconds)
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("not admitted: %q", status)
+	}
+	var total int64
+	var frame [4]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			t.Fatal(err)
+		}
+		length := binary.BigEndian.Uint32(frame[:])
+		if length == 0 {
+			return total
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(length)
+	}
+}
+
+// drained waits until the engine holds no in-service streams.
+func drained(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Counters().InService == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("engine still holds %d in-service streams", srv.Counters().InService)
+}
+
+func TestServerDeliversExactContent(t *testing.T) {
+	_, addr := startTestServer(t)
+	// 10 simulated seconds at 1.5 Mbps = 15 Mbit = 1,875,000 bytes.
+	got := watch(t, addr, 10)
+	if got != 1_875_000 {
+		t.Errorf("delivered %d bytes, want 1875000", got)
+	}
+}
+
+func TestServerConcurrentViewers(t *testing.T) {
+	srv, addr := startTestServer(t)
+	done := make(chan int64, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- watch(t, addr, 5) }()
+	}
+	for i := 0; i < 4; i++ {
+		if got := <-done; got != 937_500 {
+			t.Errorf("viewer delivered %d bytes, want 937500", got)
+		}
+	}
+	drained(t, srv)
+}
+
+// The server's tallies are fed by engine observer callbacks through the
+// live collector, so after all viewers finish they must agree with the
+// engine's own books: everyone admitted has departed, and the inertia
+// admission book is empty again.
+func TestServerCountsMatchAdmissionBook(t *testing.T) {
+	srv, addr := startTestServer(t)
+	const viewers = 3
+	done := make(chan int64, viewers)
+	for i := 0; i < viewers; i++ {
+		go func() { done <- watch(t, addr, 5) }()
+	}
+	for i := 0; i < viewers; i++ {
+		<-done
+	}
+	drained(t, srv)
+	c := srv.Counters()
+	if c.Admitted != viewers || c.Rejected != 0 {
+		t.Errorf("admitted=%d rejected=%d, want %d admitted and 0 rejected", c.Admitted, c.Rejected, viewers)
+	}
+	if c.Departed != c.Admitted {
+		t.Errorf("departed=%d, want every admitted stream (%d) departed", c.Departed, c.Admitted)
+	}
+	if c.InService != 0 || c.Book != 0 {
+		t.Errorf("engine books not drained: inservice=%d book=%d", c.InService, c.Book)
+	}
+}
+
+// Across disk shards, viewers are routed by the catalog's placement and
+// served concurrently by independent shard drivers; every shard's tally
+// and book must still reconcile.
+func TestServerShardedDisks(t *testing.T) {
+	srv, addr := startTestServerDisks(t, 4)
+	const viewers = 8
+	done := make(chan int64, viewers)
+	for i := 0; i < viewers; i++ {
+		go func() { done <- watch(t, addr, 5) }()
+	}
+	for i := 0; i < viewers; i++ {
+		if got := <-done; got != 937_500 {
+			t.Errorf("viewer delivered %d bytes, want 937500", got)
+		}
+	}
+	drained(t, srv)
+	c := srv.Counters()
+	if c.Admitted != viewers || c.Rejected != 0 || c.Departed != viewers {
+		t.Errorf("admitted=%d rejected=%d departed=%d, want %d/0/%d", c.Admitted, c.Rejected, c.Departed, viewers, viewers)
+	}
+	if c.InService != 0 || c.Book != 0 {
+		t.Errorf("engine books not drained: inservice=%d book=%d", c.InService, c.Book)
+	}
+	// Placement must have spread the 8 sequential viewer IDs over more
+	// than one shard (titles stripe across disks).
+	used := 0
+	for i := 0; i < srv.Metrics().Disks(); i++ {
+		if srv.Metrics().Disk(i).Admitted.Load() > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d shard(s) served traffic, want routing across disks", used)
+	}
+}
+
+func TestServerRejectsBadRequest(t *testing.T) {
+	_, addr := startTestServer(t)
+	for _, bad := range []string{"GIMME\n", "WATCH\n", "WATCH -5\n", "WATCH x\n"} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprint(conn, bad)
+		reply, err := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if err != nil || !strings.HasPrefix(reply, "ERR") {
+			t.Errorf("request %q: reply %q, err %v; want ERR", strings.TrimSpace(bad), strings.TrimSpace(reply), err)
+		}
+	}
+}
+
+// The STATS control command returns one JSON dump whose counters agree
+// with the engine's accounting after traffic has drained.
+func TestServerStatsCommand(t *testing.T) {
+	srv, addr := startTestServer(t)
+	if got := watch(t, addr, 5); got != 937_500 {
+		t.Fatalf("delivered %d bytes, want 937500", got)
+	}
+	drained(t, srv)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "STATS\n")
+	var s Stats
+	if err := json.NewDecoder(conn).Decode(&s); err != nil {
+		t.Fatalf("undecodable STATS reply: %v", err)
+	}
+	if s.Totals.Admitted != 1 || s.Totals.Departed != 1 || s.InService != 0 {
+		t.Errorf("STATS totals %+v inservice=%d, want 1 admitted, 1 departed, 0 in service",
+			s.Totals, s.InService)
+	}
+	// Fills are clamped to the stream's remaining content, so the disk
+	// never reads more than the request consumes. (At aggressive time
+	// compression it may read less: late fills starve the modelled
+	// buffer and the departure flush covers the tail.)
+	if s.Totals.FillBytes <= 0 || s.Totals.FillBytes > 937_500 {
+		t.Errorf("STATS fill_bytes=%d, want in (0, 937500]", s.Totals.FillBytes)
+	}
+	if s.Totals.Starts != 1 || s.StartupMaxMS <= 0 {
+		t.Errorf("STATS starts=%d p99=%vms max=%vms, want one measured startup",
+			s.Totals.Starts, s.StartupP99MS, s.StartupMaxMS)
+	}
+	if s.EngineNowS <= 0 {
+		t.Errorf("STATS engine_now_s=%v, want the engine clock running", s.EngineNowS)
+	}
+}
+
+// StatsEvery emits decodable JSON lines at the requested cadence.
+func TestStatsEvery(t *testing.T) {
+	srv, addr := startTestServer(t)
+	pr, pw := io.Pipe()
+	defer pr.Close()
+	stop := srv.StatsEvery(20*time.Millisecond, pw)
+	defer stop()
+	watch(t, addr, 5)
+	dec := json.NewDecoder(pr)
+	var s Stats
+	if err := dec.Decode(&s); err != nil {
+		t.Fatalf("undecodable stats line: %v", err)
+	}
+	stop()
+	if s.EngineNowS < 0 {
+		t.Errorf("stats line engine_now_s=%v", s.EngineNowS)
+	}
+}
+
+func TestSelfTest(t *testing.T) {
+	srv, addr := startTestServer(t)
+	var out strings.Builder
+	if err := SelfTest(srv, addr, 3, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), " ok"); got != 3 {
+		t.Errorf("self test ok lines = %d, want 3\n%s", got, out.String())
+	}
+	// The summary line reports the engine's admission accounting.
+	var admitted, deferred, rejected, departed, inService, book, underruns int
+	var p99 float64
+	sum := out.String()[strings.Index(out.String(), "summary:"):]
+	if _, err := fmt.Sscanf(sum, "summary: admitted=%d deferred=%d rejected=%d departed=%d inservice=%d book=%d underruns=%d p99start=%fms",
+		&admitted, &deferred, &rejected, &departed, &inService, &book, &underruns, &p99); err != nil {
+		t.Fatalf("unparsable summary %q: %v", strings.TrimSpace(sum), err)
+	}
+	if admitted != 3 || departed != 3 || inService != 0 || book != 0 {
+		t.Errorf("summary admitted=%d departed=%d inservice=%d book=%d, want 3/3/0/0", admitted, departed, inService, book)
+	}
+	// Underruns at 600x compression measure wall-timer jitter against
+	// the engine's 1ms (simulated) tolerance, so any count is
+	// plausible; the summary must agree with the collector exactly.
+	if want := srv.Counters().Underruns; underruns != want {
+		t.Errorf("summary underruns=%d, collector says %d", underruns, want)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// A simulated day under the dynamic scheme used to move ~315 MB across
+// ~6,000 allocations, almost all of it per-fill bookkeeping churn: the
+// estimate log's append/trim cycle and the buffer pool's per-stream
+// state records. Both are interned now (engine ring buffers, pool
+// freelist), and this test pins the improvement: the heap traffic of a
+// full day must stay far below the churny baseline. Bounds are ~3x the
+// post-interning measurements (≈1.4k allocs, ≈13 MB), so regressing
+// toward the old behaviour trips them with a wide margin on any
+// toolchain.
+func TestDaySimulationAllocsInterned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-day simulation")
+	}
+	spec := diskmodel.Barracuda9LP()
+	cr := si.BitRate(1.5 * si.Mega)
+	lib, err := catalog.New(catalog.Config{
+		Titles: 6, Disks: 1, Spec: spec, PopularityTheta: 0.271,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Generate(workload.ZipfDay(350, 1, si.Hours(9), si.Hours(24)), lib, 1)
+	cfg := Config{
+		Scheme: Dynamic, Method: sched.NewMethod(sched.RoundRobin),
+		Spec: spec, CR: cr, Library: lib, Trace: tr, Seed: 1,
+	}
+
+	// Warm run: table builds, pools, and rings reach steady capacity.
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := Run(cfg)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	t.Logf("day simulation: %d allocs, %d bytes", allocs, bytes)
+	if allocs > 5000 {
+		t.Errorf("day simulation made %d allocations, want <= 5000 (interned bookkeeping)", allocs)
+	}
+	if bytes > 40<<20 {
+		t.Errorf("day simulation allocated %d bytes, want <= 40 MiB (interned bookkeeping)", bytes)
+	}
+}

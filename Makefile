@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-snapshot ci
+.PHONY: build vet test race bench bench-smoke bench-snapshot test-fuzz cover ci
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,28 @@ test:
 
 # The packages with shared-state concurrency: the parallel experiment
 # runner, the simulator, the large-N scale scenario (shared sizing
-# tables), and the live-serving side of the engine — the sharded wall
-# clock's per-shard lock discipline, the buffer pool under serialized
-# concurrent callers, the serve driver with its lock-free metrics
-# collector, and the vodserver binary. Keep them race-clean.
+# tables), the stream-sharing layer, and the live-serving side of the
+# engine — the sharded wall clock's per-shard lock discipline, the
+# buffer pool under serialized concurrent callers, the serve driver with
+# its lock-free metrics collector, and the vodserver binary. Keep them
+# race-clean; -shuffle=on randomizes test order so accidental
+# inter-test state dependence surfaces too.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./internal/scale ./internal/livemetrics ./internal/serve ./cmd/vodserver
+	$(GO) test -race -shuffle=on ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./internal/scale ./internal/share ./internal/livemetrics ./internal/serve ./cmd/vodserver
+
+# Native fuzzing smoke: each target gets a short budget (go's -fuzz must
+# match exactly one target per invocation). The seed corpora alone run
+# in the plain `make test`; this target actually mutates.
+test-fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzCommandParse -fuzztime=10s ./internal/serve
+	$(GO) test -run=^$$ -fuzz=FuzzPrefixJoin -fuzztime=10s ./internal/share
+
+# Per-package coverage summary, gating the sharing layer — the oracle
+# test's subject — at 85%.
+cover:
+	$(GO) test -cover ./...
+	$(GO) test -coverprofile=/tmp/share.cover ./internal/share
+	$(GO) tool cover -func=/tmp/share.cover | awk '/^total:/ { gsub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/share coverage %s%% below the 85%% gate\n", $$3; exit 1 } else printf "internal/share coverage %s%% (gate: 85%%)\n", $$3 }'
 
 bench:
 	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments
@@ -30,10 +46,10 @@ bench:
 # baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
 # gate measures allocations, which -race instrumentation would distort.
 bench-smoke:
-	$(GO) run ./cmd/bench -baseline BENCH_PR5.json -check -out /dev/null
+	$(GO) run ./cmd/bench -baseline BENCH_PR6.json -check -out /dev/null
 
 # Regenerate the committed baseline after an intentional perf change.
 bench-snapshot:
-	$(GO) run ./cmd/bench -out BENCH_PR5.json
+	$(GO) run ./cmd/bench -out BENCH_PR6.json
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke cover

@@ -127,3 +127,30 @@ func TestGoldenFig7Quick(t *testing.T) {
 		t.Error("-workers 1 output differs from default worker count")
 	}
 }
+
+// The sharing scenario's paired-arm report is a golden too: the shared
+// path (viewer batching, prefix-cache replay, piggyback extends) must
+// stay byte-deterministic across worker counts, exactly like the
+// engine-only experiments.
+func TestGoldenZipfSharingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	code, out, _ := runCapture(t, "-run", "zipf-sharing", "-quick", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "zipf_sharing_quick.csv", out)
+
+	code, one, _ := runCapture(t, "-run", "zipf-sharing", "-quick", "-format", "csv", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	code, eight, _ := runCapture(t, "-run", "zipf-sharing", "-quick", "-format", "csv", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if one != out || eight != out {
+		t.Error("zipf-sharing report depends on the worker count")
+	}
+}

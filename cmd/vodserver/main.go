@@ -4,7 +4,8 @@
 // compressed (one simulated minute per wall second by default) so demos
 // finish quickly.
 //
-// Protocol: the client sends one line, "WATCH <seconds>\n"; the server
+// Protocol: the client sends one line, "WATCH <seconds> [<title>]\n";
+// the server
 // answers "OK <id>\n" (admitted) or "BUSY\n" (rejected, or deferred
 // past patience) and then streams length-prefixed frames
 // ([4-byte big-endian length][bytes]) until the requested content has
@@ -26,6 +27,7 @@ import (
 	"os"
 
 	"repro/internal/serve"
+	"repro/internal/si"
 )
 
 func main() {
@@ -43,12 +45,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		disks    = fs.Int("disks", 1, "disk shards to serve from")
 		stats    = fs.Duration("stats", 0, "print a JSON stats line this often (0 = off)")
 		selftest = fs.Int("selftest", 0, "run N in-process viewers against the server and exit")
+		shared   = fs.Bool("share", false, "enable the stream-sharing front end (prefix cache + viewer batching)")
+		window   = fs.Float64("share-window", 0, "sharing prefix window in simulated seconds (0 = default 60)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	srv, err := serve.New(serve.Config{Scale: *scale, Disks: *disks})
+	srv, err := serve.New(serve.Config{
+		Scale:       *scale,
+		Disks:       *disks,
+		Share:       *shared,
+		ShareWindow: si.Seconds(*window),
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

@@ -32,21 +32,33 @@ import (
 // the wall-clock scaling test.
 func loopbackCases() []Case {
 	return []Case{
-		loopbackCase("serve/loopback-1shard", 1, 8, 0),
-		loopbackCase("serve/loopback-8shards", 8, 8, 0),
-		loopbackCase("serve/loopback-8shards-parallel", 8, 32, 8),
+		loopbackCase("serve/loopback-1shard", 1, 8, 0, false),
+		loopbackCase("serve/loopback-8shards", 8, 8, 0, false),
+		loopbackCase("serve/loopback-8shards-parallel", 8, 32, 8, false),
+		// The shared case turns the sharing front end on and concentrates
+		// the viewers on four titles with a prefix window shorter than
+		// the sessions, so admissions exercise the whole merge mix —
+		// cache-only service, batching, mid-stream piggybacks, and fresh
+		// leads — while each viewer still receives its exact bytes.
+		loopbackCase("serve/loopback-shared", 8, 8, 0, true),
 	}
 }
 
 // loopbackCase builds one loopback benchmark: disks shards serving
-// b.N sessions from workers concurrent viewers.
-func loopbackCase(name string, disks, workers, minProcs int) Case {
+// b.N sessions from workers concurrent viewers, optionally through the
+// sharing layer.
+func loopbackCase(name string, disks, workers, minProcs int, shared bool) Case {
 	return Case{
 		Name:     name,
 		Iters:    160,
 		MinProcs: minProcs,
 		Bench: func(b *testing.B) {
-			srv, err := serve.New(serve.Config{Scale: 1200, Disks: disks, Seed: 1})
+			cfg := serve.Config{Scale: 1200, Disks: disks, Seed: 1}
+			if shared {
+				cfg.Share = true
+				cfg.ShareWindow = 2 // engine seconds; sessions run 5, so joins split cache/disk
+			}
+			srv, err := serve.New(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -64,7 +76,7 @@ func loopbackCase(name string, disks, workers, minProcs int) Case {
 			firstByte := livemetrics.NewHistogram(1e-6)
 
 			// Warm the path (and the engine's pools) outside the timing.
-			if err := loopbackSession(addr, firstByte); err != nil {
+			if err := loopbackSession(addr, sessionTitle(shared, 0), firstByte); err != nil {
 				b.Fatal(err)
 			}
 
@@ -78,8 +90,12 @@ func loopbackCase(name string, disks, workers, minProcs int) Case {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					for int(next.Add(1)) <= b.N {
-						if err := loopbackSession(addr, firstByte); err != nil {
+					for {
+						n := int(next.Add(1))
+						if n > b.N {
+							break
+						}
+						if err := loopbackSession(addr, sessionTitle(shared, n), firstByte); err != nil {
 							errs <- err
 							return
 						}
@@ -103,16 +119,31 @@ func loopbackCase(name string, disks, workers, minProcs int) Case {
 	}
 }
 
+// sessionTitle picks the title for session n: the shared case cycles
+// four titles so concurrent viewers pile onto the same content; the
+// private cases take the server's default assignment (title -1).
+func sessionTitle(shared bool, n int) int {
+	if !shared {
+		return -1
+	}
+	return n % 4
+}
+
 // loopbackSession runs one complete viewer session: 5 simulated seconds
-// of content (937,500 bytes), verified to the byte.
-func loopbackSession(addr string, firstByte *livemetrics.Histogram) error {
+// of content (937,500 bytes), verified to the byte. A title >= 0 is
+// requested explicitly; -1 lets the server assign one.
+func loopbackSession(addr string, title int, firstByte *livemetrics.Histogram) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	start := time.Now()
-	if _, err := fmt.Fprintf(conn, "WATCH 5\n"); err != nil {
+	cmd := "WATCH 5\n"
+	if title >= 0 {
+		cmd = fmt.Sprintf("WATCH 5 %d\n", title)
+	}
+	if _, err := io.WriteString(conn, cmd); err != nil {
 		return err
 	}
 	r := bufio.NewReader(conn)

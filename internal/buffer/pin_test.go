@@ -1,0 +1,55 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/si"
+)
+
+// Pinned memory is charged against the same pool the buffers live in:
+// it counts as usage from the moment of the pin, squeezes the budget
+// available to fills, and registers on the high-water mark.
+func TestPinChargesThePool(t *testing.T) {
+	p := NewPool(si.Megabits(2))
+	p.Pin(si.Megabits(1), 0)
+	if got := p.Pinned(); got != si.Megabits(1) {
+		t.Fatalf("Pinned = %v, want 1 Mbit", got)
+	}
+	if got := p.Usage(0); got != si.Megabits(1) {
+		t.Errorf("Usage = %v, want the pin's 1 Mbit", got)
+	}
+	p.Attach(1, cr, 0)
+	if p.BeginFill(1, si.Megabits(1.5), 0) {
+		t.Error("1.5 Mbit fill fit beside a 1 Mbit pin in a 2 Mbit budget")
+	}
+	if !p.BeginFill(1, si.Megabits(1), 0) {
+		t.Error("1 Mbit fill must fit beside the pin")
+	}
+	p.CompleteFill(1, 0)
+	if st := p.Stats(); st.HighWater < si.Megabits(2) {
+		t.Errorf("high water %v excludes the pin", st.HighWater)
+	}
+	// Pins accumulate.
+	p.Pin(si.Megabits(0.5), 1)
+	if got := p.Pinned(); got != si.Megabits(1.5) {
+		t.Errorf("Pinned after second pin = %v, want 1.5 Mbit", got)
+	}
+}
+
+func TestPinRoundsToPages(t *testing.T) {
+	p := NewPagedPool(0, si.Bits(64_000))
+	p.Pin(si.Bits(65_000), 0)
+	if got := p.Pinned(); got != si.Bits(128_000) {
+		t.Errorf("Pinned = %v, want 65 kbit rounded to two 64 kbit pages", got)
+	}
+}
+
+func TestPinRejectsNegative(t *testing.T) {
+	p := NewPool(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative pin must panic")
+		}
+	}()
+	p.Pin(-1, 0)
+}

@@ -26,6 +26,7 @@ type Pool struct {
 	budget   si.Bits // 0 means unlimited
 	page     si.Bits // allocation granularity; 0 means exact (variable length)
 	inflight si.Bits // reserved for fills in progress
+	pinned   si.Bits // resident outside any stream (prefix cache)
 	streams  map[int]*state
 	// order lists states in a deterministic order (attach order with
 	// swap-removal) so Usage sums floats identically across runs; map
@@ -106,6 +107,23 @@ func (p *Pool) footprint(bits si.Bits) si.Bits {
 // global DebugUnderruns hook, it is owner-scoped: the engine routes it to
 // its Observer so live instrumentation never crosses pools.
 func (p *Pool) SetUnderrunFunc(fn func(now, gap si.Seconds)) { p.onUnderrun = fn }
+
+// Pin reserves bits of pool memory outside any stream's buffer for the
+// pool's lifetime — the sharing layer pins hot titles' prefixes this way,
+// so cache residency is charged against the same pool the allocator's
+// buffers live in. Pinned memory is rounded up to the pool's allocation
+// unit per call and counts toward Usage (and therefore the budget check
+// and the high-water mark).
+func (p *Pool) Pin(bits si.Bits, now si.Seconds) {
+	if bits < 0 {
+		panic(fmt.Sprintf("buffer: negative pin %v", bits))
+	}
+	p.pinned += p.footprint(bits)
+	p.note(now)
+}
+
+// Pinned reports the pool's pinned memory.
+func (p *Pool) Pinned() si.Bits { return p.pinned }
 
 // PageSize reports the allocation granularity (0 = exact).
 func (p *Pool) PageSize() si.Bits { return p.page }
@@ -253,9 +271,9 @@ func (p *Pool) EmptyAt(id int) si.Seconds { return p.must(id).emptyAt }
 
 // Usage reports total memory in use at now: live buffer levels plus
 // in-flight reservations, each stream's holdings rounded up to the
-// pool's allocation unit.
+// pool's allocation unit, plus any pinned memory.
 func (p *Pool) Usage(now si.Seconds) si.Bits {
-	var total si.Bits
+	total := p.pinned
 	for _, s := range p.order {
 		held := s.reserved
 		if s.started && !s.starving {

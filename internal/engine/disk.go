@@ -32,6 +32,7 @@ type Stream struct {
 	dlKey      si.Seconds // deadline value the deadline index holds
 	dlPos      int        // position in the deadline index, -1 outside
 	inDl       bool       // member of the deadline index
+	departT    Timer      // pending departure, rescheduled on Extend
 	started    bool       // first fill has landed
 	active     bool       // still owned by the disk
 	doomed     bool       // departed mid-service; remove at completion
@@ -290,6 +291,52 @@ func (d *Disk) Cancel(id int) {
 	}
 }
 
+// Extend raises a committed request's viewing time to at least viewing,
+// whether the request is still queued for admission or already in
+// service. The sharing layer uses it when a late viewer piggybacks onto
+// a stream whose remaining horizon is shorter than the newcomer needs:
+// the stream's required data grows by the same CR·viewing rule admission
+// used, its departure moves to firstFill+viewing, and — if it had
+// finished fetching — it re-enters the service rotation (every scheduler
+// re-checks needService dynamically). Extending never shrinks a viewing
+// time. It reports whether the request was found; false means the
+// request already departed or was never accepted.
+func (d *Disk) Extend(id int, viewing si.Seconds) bool {
+	for i := d.qhead; i < len(d.queue); i++ {
+		if d.queue[i].req.ID == id {
+			if viewing > d.queue[i].req.Viewing {
+				d.queue[i].req.Viewing = viewing
+			}
+			return true
+		}
+	}
+	for _, st := range d.streams {
+		if st.id == id {
+			d.extendStream(st, viewing)
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Disk) extendStream(st *Stream, viewing si.Seconds) {
+	if viewing <= st.req.Viewing {
+		return
+	}
+	st.req.Viewing = viewing
+	st.required = maxBits(d.sys.cfg.CR.DataIn(viewing), 1)
+	// A depart that fired mid-service no longer stands: the stream now
+	// outlives the service in flight.
+	st.doomed = false
+	if !st.started {
+		return // the first fill schedules the departure from the new viewing
+	}
+	st.departT.Cancel()
+	st.departT = d.clock.ScheduleFunc(st.firstFill+viewing, departCB, st)
+	d.dlFix(st)
+	d.dispatch()
+}
+
 // admitFromQueue moves accepted requests into service while the scheme's
 // admission control allows it.
 func (d *Disk) admitFromQueue() {
@@ -339,6 +386,8 @@ func (d *Disk) removeStream(st *Stream) {
 		return
 	}
 	st.active = false
+	st.departT.Cancel()
+	st.departT = Timer{}
 	d.dlRemove(st)
 	d.pool.Detach(st.id, d.now())
 	d.book.Remove(st.id)
@@ -492,7 +541,7 @@ func (d *Disk) completeService(st *Stream) {
 		st.started = true
 		st.firstFill = now
 		d.sys.obs.OnStart(d.id, st, now)
-		d.clock.ScheduleFunc(now+st.req.Viewing, departCB, st)
+		st.departT = d.clock.ScheduleFunc(now+st.req.Viewing, departCB, st)
 	}
 	d.dlFix(st)
 	d.sched.OnServiced(st)

@@ -224,6 +224,19 @@ func New(cfg Config) (*System, error) {
 // it cannot ride in on the Config).
 func (sys *System) SetGate(g Gate) { sys.gate = g }
 
+// AttachObserver composes o onto the system's observer fan-out, after any
+// observer the Config carried. Like SetGate, it exists for drivers whose
+// instrumentation needs the built System (the sharing layer both submits
+// to the system and observes it); it must be called before the system
+// processes arrivals.
+func (sys *System) AttachObserver(o Observer) {
+	if _, ok := sys.obs.(NopObserver); ok {
+		sys.obs = o
+		return
+	}
+	sys.obs = Observers{sys.obs, o}
+}
+
 // Clock returns the system's clock domain.
 func (sys *System) Clock() ClockDomain { return sys.domain }
 

@@ -100,7 +100,7 @@ func AblationChunks(opt Options) (*Report, error) {
 			cfg.MaxRead = maxRead
 			name = "chunked (4x)"
 		}
-		lib, err := catalog.New(cfg)
+		lib, err := sharedLibrary(cfg)
 		if err != nil {
 			return nil, err
 		}

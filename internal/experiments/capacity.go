@@ -16,7 +16,7 @@ import (
 // the per-disk request load follows the Zipf(theta) popularity exactly,
 // the disk-load model Figs. 13–14 assume (after Wolf et al.).
 func capacityLibrary(theta float64) (*catalog.Library, error) {
-	return catalog.New(catalog.Config{
+	return sharedLibrary(catalog.Config{
 		Titles:          capacityDisks,
 		Disks:           capacityDisks,
 		Spec:            PaperEnv().Spec,

@@ -282,6 +282,7 @@ func Registry() []struct {
 		{"ablation-bubbleup", AblationBubbleUp},
 		{"ext-modern-disk", ExtModernDisk},
 		{"scale-largen", ScaleLargeN},
+		{"zipf-sharing", ZipfSharing},
 	}
 }
 

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// sharedLibrary must hand every grid cell the same instance for a
+// default-parameterized config, and build fresh for configs whose
+// override hooks put them outside the cache key.
+func TestSharedLibraryMemoizes(t *testing.T) {
+	cfg := catalog.Config{Titles: 6, Disks: 1, Spec: PaperEnv().Spec, PopularityTheta: 0.271}
+	a, err := sharedLibrary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharedLibrary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("equal configs built distinct libraries; the cache is not memoizing")
+	}
+	other := cfg
+	other.PopularityTheta = 0.5
+	c, err := sharedLibrary(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different thetas shared one library")
+	}
+	hooked := cfg
+	hooked.Video = func(id int) catalog.Video { return catalog.MPEG1Video(id) }
+	h1, err := sharedLibrary(hooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := sharedLibrary(hooked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("hooked configs must bypass the cache and build fresh")
+	}
+}
+
+// The cache must be a pure memoization: a simulation fed the cached
+// instance and one fed a fresh build of the same config land on
+// identical results.
+func TestSharedLibraryIsPureMemoization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	cfg := catalog.Config{Titles: 6, Disks: 1, Spec: PaperEnv().Spec, PopularityTheta: 0.271}
+	cached, err := sharedLibrary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := catalog.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached == fresh {
+		t.Fatal("catalog.New returned the cached instance; the arms are not independent")
+	}
+	const seed = 99
+	run := func(lib *catalog.Library) *sim.Result {
+		t.Helper()
+		tr := dayTrace(lib, 0.5, singleDiskArrivalsPerDay, seed, true)
+		res, err := runSim(simConfig(sim.Dynamic, sched.NewMethod(sched.RoundRobin), lib, tr, seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rc, rf := run(cached), run(fresh)
+	if rc.Served != rf.Served || rc.Rejected != rf.Rejected ||
+		rc.Underruns != rf.Underruns || rc.MaxConcurrent != rf.MaxConcurrent ||
+		rc.PeakMemory != rf.PeakMemory {
+		t.Errorf("cached and fresh libraries diverged:\n  cached: served %d rejected %d underruns %d peak %d mem %v\n  fresh:  served %d rejected %d underruns %d peak %d mem %v",
+			rc.Served, rc.Rejected, rc.Underruns, rc.MaxConcurrent, rc.PeakMemory,
+			rf.Served, rf.Rejected, rf.Underruns, rf.MaxConcurrent, rf.PeakMemory)
+	}
+}
+
+func TestZipfSharingRuns(t *testing.T) {
+	skipSlowUnderRace(t)
+	rep, err := ZipfSharing(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "zipf-sharing" || len(rep.Tables) != 2 || len(rep.Series) != 1 {
+		t.Fatalf("report shape wrong: id %q, %d tables, %d series", rep.ID, len(rep.Tables), len(rep.Series))
+	}
+	summary := rep.Tables[0]
+	for _, row := range summary.Rows {
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil || ratio < 3 {
+			t.Errorf("replication %s admission ratio %q below the 3x gate", row[0], row[4])
+		}
+		if row[5] != "0" {
+			t.Errorf("replication %s sharing arm rejected %s viewers", row[0], row[5])
+		}
+		if row[6] != "0" {
+			t.Errorf("replication %s sharing arm underran %s times", row[0], row[6])
+		}
+	}
+	for _, row := range rep.Tables[1].Rows {
+		for col, name := range map[int]string{1: "leaders", 2: "merged", 4: "cache-only"} {
+			if row[col] == "0" {
+				t.Errorf("replication %s has zero %s; the mechanism is vacuous", row[0], name)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/sched"
@@ -209,6 +210,46 @@ func sharedSizeTable(spec diskmodel.Spec, kind sched.Kind, cr si.BitRate, alpha 
 	t := core.NewTable(p, sched.NewMethod(kind).DLModel(spec))
 	tableCache[key] = t
 	return t
+}
+
+// libKey identifies a default-parameterized library by its derivation
+// inputs. Spec is a plain value type, so the key is comparable.
+type libKey struct {
+	titles, disks int
+	spec          diskmodel.Spec
+	theta         float64
+}
+
+var (
+	libCacheMu sync.Mutex
+	libCache   = map[libKey]*catalog.Library{}
+)
+
+// sharedLibrary returns the memoized library for cfg, building it on
+// first use. Libraries are immutable after construction, so one instance
+// is safely shared by every cell of every grid in the process — Fig. 14
+// alone rebuilds the identical catalog for every (memory, scheme, seed)
+// cell of a skew otherwise. Configs carrying override hooks (Video,
+// Place) or a chunked layout are built fresh each time: function fields
+// are not comparable, so their identity cannot live in the cache key.
+// Sharing is a pure memoization — catalog.New is deterministic in its
+// config — so reports are bit-identical with and without the cache.
+func sharedLibrary(cfg catalog.Config) (*catalog.Library, error) {
+	if cfg.Video != nil || cfg.Place != nil || cfg.ChunkSize != 0 || cfg.MaxRead != 0 {
+		return catalog.New(cfg)
+	}
+	key := libKey{titles: cfg.Titles, disks: cfg.Disks, spec: cfg.Spec, theta: cfg.PopularityTheta}
+	libCacheMu.Lock()
+	defer libCacheMu.Unlock()
+	if l, ok := libCache[key]; ok {
+		return l, nil
+	}
+	l, err := catalog.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	libCache[key] = l
+	return l, nil
 }
 
 // runSim executes one simulation with the cached sizing table for the

@@ -20,7 +20,7 @@ const singleDiskArrivalsPerDay = 2500
 // singleDisk builds the paper's one-disk environment: six MPEG-1 titles
 // with Zipf(0.271) popularity on one Barracuda.
 func singleDisk() (*catalog.Library, error) {
-	return catalog.New(catalog.Config{
+	return sharedLibrary(catalog.Config{
 		Titles:          6,
 		Disks:           1,
 		Spec:            PaperEnv().Spec,

@@ -26,7 +26,27 @@ type DiskCounters struct {
 	// StarvedMicros accumulates underrun gaps in engine microseconds.
 	StarvedMicros atomic.Int64
 	Stalls        atomic.Int64
-	_             [6]int64
+	// Sharing-layer counters (zero when the server runs without the
+	// sharing front end). Leads counts viewers that opened a fresh disk
+	// stream, Merges viewers that joined an existing one, CacheHits
+	// viewers served any data from the pinned prefix (merges replaying a
+	// gap and cache-only viewers alike), CacheHitBytes that data, and
+	// PeakFanout the most viewers ever riding one stream.
+	Leads         atomic.Int64
+	Merges        atomic.Int64
+	CacheHits     atomic.Int64
+	CacheHitBytes atomic.Int64
+	PeakFanout    atomic.Int64
+	_             [1]int64
+}
+
+// bumpMax raises a monotone atomic gauge to at least v. The observer
+// callbacks are the cell's only writers (single-threaded per shard), so
+// a load-check-store is race-free.
+func bumpMax(g *atomic.Int64, v int64) {
+	if v > g.Load() {
+		g.Store(v)
+	}
 }
 
 // Collector implements engine.Observer with per-disk atomic counters
@@ -111,6 +131,31 @@ func (c *Collector) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
 	c.disks[disk].Departed.Add(1)
 }
 
+// OnLead counts a viewer leading a fresh disk stream (share.Observer).
+func (c *Collector) OnLead(disk int, now si.Seconds) {
+	c.disks[disk].Leads.Add(1)
+}
+
+// OnMerge counts a viewer joining an existing shared stream; a non-zero
+// cacheBits gap replay also counts as a cache hit (share.Observer).
+func (c *Collector) OnMerge(disk int, cacheBits si.Bits, fanout int, now si.Seconds) {
+	d := &c.disks[disk]
+	d.Merges.Add(1)
+	if cacheBits > 0 {
+		d.CacheHits.Add(1)
+		d.CacheHitBytes.Add(int64(cacheBits.Bytes()))
+	}
+	bumpMax(&d.PeakFanout, int64(fanout))
+}
+
+// OnCacheServe counts a viewer served entirely from the pinned prefix
+// (share.Observer).
+func (c *Collector) OnCacheServe(disk int, bits si.Bits, now si.Seconds) {
+	d := &c.disks[disk]
+	d.CacheHits.Add(1)
+	d.CacheHitBytes.Add(int64(bits.Bytes()))
+}
+
 // DiskSnapshot is one disk's counters at a point in time, in stats-dump
 // form. Field semantics are documented operator-facing in SERVING.md.
 type DiskSnapshot struct {
@@ -125,6 +170,12 @@ type DiskSnapshot struct {
 	// StarvedMS is the cumulative underrun gap in engine milliseconds.
 	StarvedMS float64 `json:"starved_ms"`
 	Stalls    int64   `json:"stalls"`
+	// Sharing-layer fields; all zero when sharing is off.
+	Leads         int64 `json:"leads"`
+	Merges        int64 `json:"merges"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheHitBytes int64 `json:"cache_hit_bytes"`
+	PeakFanout    int64 `json:"peak_fanout"`
 }
 
 func (s *DiskSnapshot) add(o DiskSnapshot) {
@@ -138,6 +189,13 @@ func (s *DiskSnapshot) add(o DiskSnapshot) {
 	s.Underruns += o.Underruns
 	s.StarvedMS += o.StarvedMS
 	s.Stalls += o.Stalls
+	s.Leads += o.Leads
+	s.Merges += o.Merges
+	s.CacheHits += o.CacheHits
+	s.CacheHitBytes += o.CacheHitBytes
+	if o.PeakFanout > s.PeakFanout {
+		s.PeakFanout = o.PeakFanout
+	}
 }
 
 // Snapshot is the collector's aggregated state: totals across disks,
@@ -158,16 +216,21 @@ func (c *Collector) Snapshot() Snapshot {
 	for i := range c.disks {
 		d := &c.disks[i]
 		snap.PerDisk[i] = DiskSnapshot{
-			Admitted:  d.Admitted.Load(),
-			Deferred:  d.Deferred.Load(),
-			Rejected:  d.Rejected.Load(),
-			Departed:  d.Departed.Load(),
-			Starts:    d.Starts.Load(),
-			Fills:     d.Fills.Load(),
-			FillBytes: d.FillBytes.Load(),
-			Underruns: d.Underruns.Load(),
-			StarvedMS: float64(d.StarvedMicros.Load()) / 1e3,
-			Stalls:    d.Stalls.Load(),
+			Admitted:      d.Admitted.Load(),
+			Deferred:      d.Deferred.Load(),
+			Rejected:      d.Rejected.Load(),
+			Departed:      d.Departed.Load(),
+			Starts:        d.Starts.Load(),
+			Fills:         d.Fills.Load(),
+			FillBytes:     d.FillBytes.Load(),
+			Underruns:     d.Underruns.Load(),
+			StarvedMS:     float64(d.StarvedMicros.Load()) / 1e3,
+			Stalls:        d.Stalls.Load(),
+			Leads:         d.Leads.Load(),
+			Merges:        d.Merges.Load(),
+			CacheHits:     d.CacheHits.Load(),
+			CacheHitBytes: d.CacheHitBytes.Load(),
+			PeakFanout:    d.PeakFanout.Load(),
 		}
 		snap.Totals.add(snap.PerDisk[i])
 	}

@@ -1,0 +1,258 @@
+// sharing.go runs the scale scenario the stream-sharing layer exists
+// for: a modern 8-disk server offered a Zipf-skewed catalog load far
+// beyond Eq. 1's per-disk capacity. Without sharing every viewer is an
+// engine stream, so admissions clip at N per disk and the overload is
+// turned away. With the sharing layer the same trace merges concurrent
+// viewers of a title onto one disk stream — late joiners replay the
+// missed prefix from the pinned cache — so the engine carries a few
+// dozen streams while the server admits several times its nominal
+// capacity in viewers. The scenario runs both arms over the identical
+// library and trace so the comparison is paired, and stays on the
+// VirtualClock so either arm is deterministic.
+package scale
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/share"
+	"repro/internal/si"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SharingConfig parameterizes a sharing-scenario run. The zero value
+// (after normalization, and with Sharing false) is the baseline arm of
+// the full scenario: 8 disks, four two-hour titles per disk, a half-hour
+// ramp aimed at four times each disk's Eq. 1 capacity.
+type SharingConfig struct {
+	// Disks is the number of disks; at least 2 so placement still
+	// matters, default 8 (the full scenario). Tests under the race
+	// detector may shrink the server; the per-disk overload — the
+	// quantity the scenario is about — is independent of disk count.
+	Disks int
+
+	// TitlesPerDisk is the catalog size per disk. Default 4: small
+	// enough that concurrent interest per title is deep, the regime
+	// sharing exploits.
+	TitlesPerDisk int
+
+	// TitleLength is every title's playback length. Default two hours
+	// (the paper's movie length).
+	TitleLength si.Seconds
+
+	// OverloadFactor is the offered load as a multiple of the server's
+	// aggregate Eq. 1 stream capacity: the workload is sized so the
+	// concurrent-viewer level reaches OverloadFactor × N × Disks by the
+	// end of the horizon. Default 4.
+	OverloadFactor float64
+
+	// Horizon is the arrival window. Default 30 minutes — a climbing
+	// ramp, not a steady day; the overload assertion concerns the ramp's
+	// top.
+	Horizon si.Seconds
+
+	// Window is the cached-prefix length per hot title. Default
+	// 5 minutes.
+	Window si.Seconds
+
+	// CacheBudget bounds the total pinned prefix footprint. Zero means
+	// the scenario default — three quarters of the catalog's full prefix
+	// footprint, so the coldest titles go unpinned and the
+	// popularity-aware pinning order is load-bearing. Negative disables
+	// the cache entirely (sharing then degenerates to batching).
+	CacheBudget si.Bits
+
+	// Sharing selects the arm: false runs every viewer as a private
+	// engine stream, true fronts arrivals with the sharing layer.
+	Sharing bool
+
+	// Method is the buffer scheduling method. Default Round-Robin.
+	Method sched.Kind
+
+	// Seed derives the workload and simulation random streams. Both
+	// arms of a comparison must use the same seed: the trace is drawn
+	// before the arms diverge.
+	Seed int64
+
+	// SizeTable, when non-nil, is the shared precomputed sizing table
+	// (see NewSizeTable); both arms and any replications can share one.
+	SizeTable *core.Table
+}
+
+func (c *SharingConfig) normalize() error {
+	if c.Disks == 0 {
+		c.Disks = 8
+	}
+	if c.Disks < 2 {
+		return fmt.Errorf("scale: sharing scenario needs at least 2 disks, got %d", c.Disks)
+	}
+	if c.TitlesPerDisk <= 0 {
+		c.TitlesPerDisk = 4
+	}
+	if c.TitleLength == 0 {
+		c.TitleLength = si.Hours(2)
+	}
+	if c.TitleLength < 0 {
+		return fmt.Errorf("scale: negative title length %v", c.TitleLength)
+	}
+	if c.OverloadFactor == 0 {
+		c.OverloadFactor = 4
+	}
+	if c.OverloadFactor <= 0 {
+		return fmt.Errorf("scale: non-positive overload factor %v", c.OverloadFactor)
+	}
+	if c.Horizon == 0 {
+		c.Horizon = si.Minutes(30)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("scale: non-positive horizon %v", c.Horizon)
+	}
+	if c.Window == 0 {
+		c.Window = si.Minutes(5)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("scale: negative prefix window %v", c.Window)
+	}
+	return nil
+}
+
+// SharingResult is one sharing-scenario arm's outcome.
+type SharingResult struct {
+	// Sim is the underlying simulation result. Its stream-level counts
+	// (Served, Rejected) concern engine streams: viewers in the sharing
+	// arm, shared disk streams' leaders otherwise.
+	Sim *sim.Result
+
+	// Share holds the sharing layer's viewer-level statistics; nil in
+	// the baseline arm.
+	Share *share.Stats
+
+	// Env is the derived environment the run used.
+	Env Env
+
+	// Requests is the number of viewers the generated trace offered.
+	Requests int
+
+	// Admitted and Rejected count viewers: in the sharing arm by the
+	// layer's accounting (merged and cache-only viewers included), in
+	// the baseline by the engine's (every viewer is a stream).
+	Admitted, Rejected int
+
+	// EngineStreamsPeak is the largest number of engine streams in
+	// service across the server at once — the disk-level cost that
+	// stays flat while sharing multiplies Admitted.
+	EngineStreamsPeak int
+}
+
+// RunSharing executes one arm of the sharing scenario. Given equal
+// configs it returns identical results regardless of goroutine
+// scheduling; run it twice with Sharing toggled for the paired
+// comparison.
+func RunSharing(cfg SharingConfig) (*SharingResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	env := Environment()
+	length := cfg.TitleLength
+	titles := cfg.TitlesPerDisk * cfg.Disks
+	place := balanceTitles(titles, cfg.Disks)
+	lib, err := catalog.New(catalog.Config{
+		Titles:          titles,
+		Disks:           cfg.Disks,
+		Spec:            env.Spec,
+		PopularityTheta: 0.271,
+		Video: func(id int) catalog.Video {
+			v := catalog.MPEG1Video(id)
+			v.Length = length
+			return v
+		},
+		Place: func(id int) int { return place[id] },
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Size a flat arrival rate so the concurrent-viewer level reaches
+	// the overload target by the end of the horizon. Viewing is uniform
+	// on [0, V]; with a constant rate λ the concurrency after time T is
+	// λ·(T − T²/2V) while T < V (the ramp never reaches the steady
+	// λ·V/2), so solve for λ at T = Horizon.
+	maxViewing := workload.MaxViewing
+	if length < maxViewing {
+		maxViewing = length
+	}
+	target := cfg.OverloadFactor * float64(env.N*cfg.Disks)
+	T, V := float64(cfg.Horizon), float64(maxViewing)
+	var rate float64
+	if T < V {
+		rate = target / (T - T*T/(2*V))
+	} else {
+		rate = target / (V / 2)
+	}
+	day := workload.NewSchedule(cfg.Horizon, []float64{rate})
+	trace := workload.Generate(day, lib, cfg.Seed)
+
+	var shareOpts *share.Options
+	if cfg.Sharing {
+		budget := cfg.CacheBudget
+		if budget == 0 {
+			// Default: three quarters of the full prefix footprint, so
+			// the budget is a real constraint.
+			var footprint si.Bits
+			for id := 0; id < lib.Len(); id++ {
+				v := lib.Video(id)
+				span := cfg.Window
+				if v.Length < span {
+					span = v.Length
+				}
+				footprint += v.Rate.DataIn(span)
+			}
+			budget = footprint * 3 / 4
+		}
+		shareOpts = &share.Options{Window: cfg.Window, CacheBudget: budget}
+	}
+
+	obs := &diskObserver{
+		loads:   make([]DiskLoad, cfg.Disks),
+		current: make([]int, cfg.Disks),
+	}
+	res, err := sim.Run(sim.Config{
+		Scheme:                sim.Dynamic,
+		Method:                sched.NewMethod(cfg.Method),
+		Spec:                  env.Spec,
+		CR:                    env.CR,
+		Alpha:                 alpha,
+		ChurnSafeAdmission:    true,
+		DeadlineAwareBubbleUp: true,
+		Library:               lib,
+		Trace:                 trace,
+		Seed:                  cfg.Seed ^ 0x5ca1ab1e,
+		Grace:                 si.Minutes(5),
+		SampleEvery:           si.Minutes(2),
+		SizeTable:             cfg.SizeTable,
+		Observer:              engine.Observer(obs),
+		Share:                 shareOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SharingResult{
+		Sim:               res,
+		Share:             res.Sharing,
+		Env:               env,
+		Requests:          len(trace.Requests),
+		EngineStreamsPeak: obs.peak,
+	}
+	if res.Sharing != nil {
+		out.Admitted = res.Sharing.Totals.Admitted
+		out.Rejected = res.Sharing.Totals.Rejected
+	} else {
+		out.Admitted = len(trace.Requests) - res.Rejected - res.RejectedMemory
+		out.Rejected = res.Rejected + res.RejectedMemory
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CommandKind enumerates the wire protocol's request lines.
+type CommandKind int
+
+const (
+	// CmdStats requests one JSON stats line.
+	CmdStats CommandKind = iota
+	// CmdWatch requests a viewing.
+	CmdWatch
+)
+
+// Command is one parsed request line.
+type Command struct {
+	Kind CommandKind
+	// Seconds is the requested viewing time (CmdWatch).
+	Seconds float64
+	// Title is the requested title id, or -1 when the client left the
+	// choice to the server (CmdWatch).
+	Title int
+}
+
+// String renders the command back in canonical wire form (without the
+// trailing newline).
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdStats:
+		return "STATS"
+	case CmdWatch:
+		if c.Title >= 0 {
+			return fmt.Sprintf("WATCH %g %d", c.Seconds, c.Title)
+		}
+		return fmt.Sprintf("WATCH %g", c.Seconds)
+	}
+	return fmt.Sprintf("?%d", int(c.Kind))
+}
+
+// ParseCommand parses one request line of the wire protocol:
+//
+//	STATS
+//	WATCH <seconds>
+//	WATCH <seconds> <title>
+//
+// Seconds must be a positive finite float; title, when present, a
+// non-negative integer (the server reduces it modulo the catalog).
+// Leading/trailing whitespace is ignored. The parser is strict — extra
+// fields, signs on the title, or non-numeric input are errors — so a
+// malformed line can never half-match (FuzzCommandParse holds it to
+// that).
+func ParseCommand(line string) (Command, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Command{}, fmt.Errorf("serve: empty request")
+	}
+	switch fields[0] {
+	case "STATS":
+		if len(fields) != 1 {
+			return Command{}, fmt.Errorf("serve: STATS takes no arguments")
+		}
+		return Command{Kind: CmdStats, Title: -1}, nil
+	case "WATCH":
+		if len(fields) < 2 || len(fields) > 3 {
+			return Command{}, fmt.Errorf("serve: WATCH needs <seconds> [<title>]")
+		}
+		seconds, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return Command{}, fmt.Errorf("serve: bad WATCH seconds %q", fields[1])
+		}
+		// The negated comparison also rejects NaN.
+		if !(seconds > 0) || math.IsInf(seconds, 0) {
+			return Command{}, fmt.Errorf("serve: WATCH seconds %q not a positive finite number", fields[1])
+		}
+		cmd := Command{Kind: CmdWatch, Seconds: seconds, Title: -1}
+		if len(fields) == 3 {
+			title, err := strconv.Atoi(fields[2])
+			if err != nil || title < 0 || fields[2][0] == '+' {
+				return Command{}, fmt.Errorf("serve: bad WATCH title %q", fields[2])
+			}
+			cmd.Title = title
+		}
+		return cmd, nil
+	}
+	return Command{}, fmt.Errorf("serve: unknown request %q", fields[0])
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCommand(t *testing.T) {
+	good := []struct {
+		line string
+		want Command
+	}{
+		{"STATS", Command{Kind: CmdStats, Title: -1}},
+		{"  STATS \r\n", Command{Kind: CmdStats, Title: -1}},
+		{"WATCH 5", Command{Kind: CmdWatch, Seconds: 5, Title: -1}},
+		{"WATCH 5\n", Command{Kind: CmdWatch, Seconds: 5, Title: -1}},
+		{"WATCH 2.5", Command{Kind: CmdWatch, Seconds: 2.5, Title: -1}},
+		{"WATCH 1e2", Command{Kind: CmdWatch, Seconds: 100, Title: -1}},
+		{"WATCH 5 0", Command{Kind: CmdWatch, Seconds: 5, Title: 0}},
+		{"WATCH 5 17", Command{Kind: CmdWatch, Seconds: 5, Title: 17}},
+		{"\tWATCH  5   3 ", Command{Kind: CmdWatch, Seconds: 5, Title: 3}},
+	}
+	for _, c := range good {
+		got, err := ParseCommand(c.line)
+		if err != nil || got != c.want {
+			t.Errorf("ParseCommand(%q) = (%+v, %v), want (%+v, nil)", c.line, got, err, c.want)
+		}
+	}
+
+	bad := []string{
+		"", "   ", "WATCH", "watch 5", "STATS 1", "WATCH x", "WATCH 0",
+		"WATCH -5", "WATCH NaN", "WATCH Inf", "WATCH -Inf", "WATCH 5 -1",
+		"WATCH 5 +1", "WATCH 5 1.5", "WATCH 5 x", "WATCH 5 1 2", "PLAY 5",
+	}
+	for _, line := range bad {
+		if got, err := ParseCommand(line); err == nil {
+			t.Errorf("ParseCommand(%q) = %+v, want error", line, got)
+		}
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	for _, c := range []struct {
+		cmd  Command
+		want string
+	}{
+		{Command{Kind: CmdStats, Title: -1}, "STATS"},
+		{Command{Kind: CmdWatch, Seconds: 5, Title: -1}, "WATCH 5"},
+		{Command{Kind: CmdWatch, Seconds: 2.5, Title: 3}, "WATCH 2.5 3"},
+	} {
+		if got := c.cmd.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// FuzzCommandParse holds the wire parser to its contract for arbitrary
+// request lines: it never panics, anything it accepts has a positive
+// finite viewing time and a title of -1 or a valid id, and an accepted
+// command survives a canonical-form round trip unchanged.
+func FuzzCommandParse(f *testing.F) {
+	f.Add("STATS")
+	f.Add("WATCH 5")
+	f.Add("WATCH 2.5 3")
+	f.Add("WATCH 1e309")
+	f.Add("WATCH 5 +3")
+	f.Add("WATCH\x005")
+	f.Add(strings.Repeat("WATCH 5 ", 100))
+	f.Fuzz(func(t *testing.T, line string) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			return
+		}
+		switch cmd.Kind {
+		case CmdStats:
+			if cmd.Seconds != 0 || cmd.Title != -1 {
+				t.Fatalf("STATS parsed with payload: %+v", cmd)
+			}
+		case CmdWatch:
+			if !(cmd.Seconds > 0) {
+				t.Fatalf("accepted non-positive seconds %v from %q", cmd.Seconds, line)
+			}
+			if cmd.Seconds > 1e308 {
+				t.Fatalf("accepted infinite-ish seconds %v from %q", cmd.Seconds, line)
+			}
+			if cmd.Title < -1 {
+				t.Fatalf("accepted negative title %d from %q", cmd.Title, line)
+			}
+		default:
+			t.Fatalf("unknown kind %d from %q", cmd.Kind, line)
+		}
+		// Canonical round trip: rendering and re-parsing is lossless.
+		again, err := ParseCommand(cmd.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", cmd.String(), line, err)
+		}
+		if again != cmd {
+			t.Fatalf("round trip changed %+v to %+v", cmd, again)
+		}
+	})
+}

@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +40,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/livemetrics"
+	"repro/internal/share"
 	"repro/internal/si"
 	"repro/internal/workload"
 )
@@ -63,6 +63,19 @@ type Config struct {
 	// Seed feeds the disks' rotational-delay streams; loopback tests
 	// pin it for reproducible runs. 0 means seed 1.
 	Seed int64
+
+	// Share enables the stream-sharing front end (internal/share): hot
+	// titles' prefixes are pinned in pool memory and concurrent viewers
+	// of one title merge onto one disk stream.
+	Share bool
+
+	// ShareWindow is the sharing layer's prefix/join window in engine
+	// seconds (0 = the layer's default of one minute).
+	ShareWindow si.Seconds
+
+	// ShareCacheBudget caps the pinned prefix memory in bits (0 = pin
+	// every title's prefix; negative = pin nothing, batching only).
+	ShareCacheBudget si.Bits
 }
 
 // Server is the live driver: an engine System under a sharded WallClock
@@ -76,6 +89,7 @@ type Server struct {
 	lib   *catalog.Library
 	cr    vod.BitRate
 	live  *livemetrics.Collector
+	share *share.Layer // nil unless Config.Share
 
 	engine.NopObserver // the server observes only what it overrides
 
@@ -171,6 +185,26 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	srv.sys = sys
+	if cfg.Share {
+		// The layer fronts arrivals and fans fills out per viewer; the
+		// server handles viewers through share.Events instead of the
+		// engine callbacks (which it then leaves to the layer), and the
+		// collector picks up the sharing tallies as share.Observer.
+		srv.share, err = share.New(share.Config{
+			System:  sys,
+			Library: lib,
+			CR:      cr,
+			Options: share.Options{
+				Window:      cfg.ShareWindow,
+				CacheBudget: cfg.ShareCacheBudget,
+				Events:      srv,
+				Observer:    srv.live,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	for d := 0; d < cfg.Disks; d++ {
 		srv.shards = append(srv.shards, &shard{
 			disk:     sys.Disk(d),
@@ -195,8 +229,13 @@ func (srv *Server) Metrics() *livemetrics.Collector { return srv.live }
 // serving connections when stopped.
 func (srv *Server) Stop() { srv.clock.Stop() }
 
-// OnAdmit resolves the viewer's admission wait. Shard lock held.
+// OnAdmit resolves the viewer's admission wait. Shard lock held. Under
+// sharing, engine streams are shared and the layer's ViewerAdmitted is
+// the per-viewer event instead.
 func (srv *Server) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
+	if srv.share != nil {
+		return
+	}
 	if sess := srv.shards[disk].sessions[st.ID()]; sess != nil {
 		sess.decided <- true
 	}
@@ -205,6 +244,9 @@ func (srv *Server) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
 // OnReject resolves the viewer's admission wait negatively. Shard lock
 // held.
 func (srv *Server) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
+	if srv.share != nil {
+		return
+	}
 	if sess := srv.shards[disk].sessions[req.ID]; sess != nil {
 		sess.decided <- false
 	}
@@ -214,6 +256,9 @@ func (srv *Server) OnReject(disk int, req workload.Request, reason engine.Reject
 // the integral bytes newly available, by cumulative flooring so the
 // total delivered equals the content length exactly. Shard lock held.
 func (srv *Server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now si.Seconds) {
+	if srv.share != nil {
+		return
+	}
 	sess := srv.shards[disk].sessions[st.ID()]
 	if sess == nil {
 		return
@@ -236,12 +281,65 @@ func (srv *Server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now
 // so the client always receives exactly the requested length. Shard
 // lock held.
 func (srv *Server) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	if srv.share != nil {
+		return
+	}
 	sh := srv.shards[disk]
 	sess := sh.sessions[st.ID()]
 	if sess == nil {
 		return
 	}
 	n := int64(st.Required().Bytes()) - sess.sent
+	if n > 0 {
+		sess.sent += n
+	}
+	sess.push(n, true)
+}
+
+// ViewerAdmitted resolves a sharing viewer's admission wait
+// (share.Events). Shard lock held.
+func (srv *Server) ViewerAdmitted(v *share.Viewer, now si.Seconds) {
+	if sess := srv.shards[v.Disk()].sessions[v.ID()]; sess != nil {
+		sess.decided <- true
+	}
+}
+
+// ViewerRejected resolves a sharing viewer's admission wait negatively
+// (share.Events). Shard lock held.
+func (srv *Server) ViewerRejected(v *share.Viewer, now si.Seconds) {
+	if sess := srv.shards[v.Disk()].sessions[v.ID()]; sess != nil {
+		sess.decided <- false
+	}
+}
+
+// ViewerData ships a sharing viewer's delivery growth, with the same
+// cumulative flooring as the unshared fill path (share.Events). Shard
+// lock held.
+func (srv *Server) ViewerData(v *share.Viewer, total si.Bits, now si.Seconds) {
+	sess := srv.shards[v.Disk()].sessions[v.ID()]
+	if sess == nil {
+		return
+	}
+	t := int64(total.Bytes())
+	if total >= v.Required() {
+		t = int64(v.Required().Bytes())
+	}
+	n := t - sess.sent
+	if n > 0 {
+		sess.sent += n
+	}
+	sess.push(n, false)
+}
+
+// ViewerDone closes a sharing viewer's delivery, flushing any tail so
+// the client always receives exactly the requested length
+// (share.Events). Shard lock held.
+func (srv *Server) ViewerDone(v *share.Viewer, now si.Seconds) {
+	sess := srv.shards[v.Disk()].sessions[v.ID()]
+	if sess == nil {
+		return
+	}
+	n := int64(v.Required().Bytes()) - sess.sent
 	if n > 0 {
 		sess.sent += n
 	}
@@ -268,22 +366,27 @@ func (srv *Server) handle(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	if strings.TrimSpace(line) == "STATS" {
-		enc := json.NewEncoder(conn)
-		enc.Encode(srv.Stats())
+	cmd, err := ParseCommand(line)
+	if err != nil {
+		fmt.Fprintf(conn, "ERR bad request\n")
 		return
 	}
-	var seconds float64
-	if _, err := fmt.Sscanf(strings.TrimSpace(line), "WATCH %f", &seconds); err != nil || seconds <= 0 {
-		fmt.Fprintf(conn, "ERR bad request\n")
+	if cmd.Kind == CmdStats {
+		enc := json.NewEncoder(conn)
+		enc.Encode(srv.Stats())
 		return
 	}
 
 	// Route the session to the disk shard holding its title: IDs come
 	// from the global atomic counter, everything else happens on the
-	// owning shard under its own lock.
+	// owning shard under its own lock. A client that names a title gets
+	// it (modulo the catalog — that is what lets loopback drivers herd
+	// viewers onto hot titles); one that does not is spread round-robin.
 	id := int(srv.nextID.Add(1))
 	video := id % srv.lib.Len()
+	if cmd.Title >= 0 {
+		video = cmd.Title % srv.lib.Len()
+	}
 	sh := srv.shards[srv.lib.Placement(video).Disk]
 	sess := &session{
 		id:      id,
@@ -292,16 +395,26 @@ func (srv *Server) handle(conn net.Conn) {
 	}
 	sh.clock.Do(func() {
 		sh.sessions[id] = sess
-		srv.sys.OnArrival(workload.Request{
+		req := workload.Request{
 			ID:      id,
 			Arrival: srv.clock.Now(),
 			Video:   video,
 			Disk:    sh.disk.ID(),
-			Viewing: si.Seconds(seconds),
-		})
+			Viewing: si.Seconds(cmd.Seconds),
+		}
+		if srv.share != nil {
+			srv.share.Submit(req)
+		} else {
+			srv.sys.OnArrival(req)
+		}
 	})
 	defer sh.clock.Do(func() {
-		sh.disk.Cancel(id) // no-op once the stream has departed
+		// No-ops once the viewer's delivery has completed.
+		if srv.share != nil {
+			srv.share.Cancel(id, sh.disk.ID())
+		} else {
+			sh.disk.Cancel(id)
+		}
 		delete(sh.sessions, id)
 	})
 
@@ -316,7 +429,12 @@ func (srv *Server) handle(conn net.Conn) {
 			select {
 			case admitted = <-sess.decided: // the decision raced the timeout
 			default:
-				sh.disk.Cancel(id) // withdraw from the deferral queue
+				// Withdraw from the deferral queue.
+				if srv.share != nil {
+					srv.share.Cancel(id, sh.disk.ID())
+				} else {
+					sh.disk.Cancel(id)
+				}
 			}
 		})
 	}

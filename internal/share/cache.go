@@ -1,0 +1,84 @@
+package share
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/si"
+)
+
+// PrefixCache records which titles have their first Window seconds pinned
+// in memory and how much that pins per disk. Selection is
+// popularity-aware: titles are considered in popularity order (the
+// catalog's Zipf weights fall with the id, ties to the lower id) and each
+// title's prefix is pinned until the budget runs out, so under a tight
+// budget only the hot titles get the instant-join window. The cache is
+// immutable after construction; the layer charges each disk's pinned
+// footprint to that disk's buffer pool, so cache residency and stream
+// buffers compete for the same accounted memory.
+type PrefixCache struct {
+	window  si.Seconds
+	bits    []si.Bits // pinned prefix per title; 0 = not cached
+	perDisk []si.Bits
+	titles  int
+	total   si.Bits
+}
+
+// NewPrefixCache pins prefixes of up to window seconds per title, hottest
+// titles first, within budget total bits (budget 0 pins every title; a
+// negative budget pins nothing, leaving batching as the only merge path).
+// A title shorter than the window pins in full.
+func NewPrefixCache(lib *catalog.Library, window si.Seconds, budget si.Bits) *PrefixCache {
+	c := &PrefixCache{
+		window:  window,
+		bits:    make([]si.Bits, lib.Len()),
+		perDisk: make([]si.Bits, lib.Disks()),
+	}
+	if window <= 0 || budget < 0 {
+		return c
+	}
+	// catalog.New assigns Zipf popularity falling with the id, so
+	// ascending id order IS descending popularity order.
+	for id := 0; id < lib.Len(); id++ {
+		v := lib.Video(id)
+		span := window
+		if v.Length < span {
+			span = v.Length
+		}
+		p := v.Rate.DataIn(span)
+		if p <= 0 {
+			continue
+		}
+		if budget > 0 && c.total+p > budget {
+			continue
+		}
+		c.bits[id] = p
+		c.perDisk[lib.Placement(id).Disk] += p
+		c.total += p
+		c.titles++
+	}
+	return c
+}
+
+// Window reports the configured prefix length in playback seconds.
+func (c *PrefixCache) Window() si.Seconds { return c.window }
+
+// PrefixBits reports the pinned prefix of a title, 0 when not cached.
+func (c *PrefixCache) PrefixBits(title int) si.Bits {
+	if title < 0 || title >= len(c.bits) {
+		return 0
+	}
+	return c.bits[title]
+}
+
+// Titles reports how many titles have a pinned prefix.
+func (c *PrefixCache) Titles() int { return c.titles }
+
+// PinnedBits reports the total pinned memory across all disks.
+func (c *PrefixCache) PinnedBits() si.Bits { return c.total }
+
+// PinnedOn reports the pinned memory residing on one disk.
+func (c *PrefixCache) PinnedOn(disk int) si.Bits {
+	if disk < 0 || disk >= len(c.perDisk) {
+		return 0
+	}
+	return c.perDisk[disk]
+}

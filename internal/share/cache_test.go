@@ -1,0 +1,95 @@
+package share
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+)
+
+func cacheLib(t *testing.T, titles, disks int, length si.Seconds) *catalog.Library {
+	t.Helper()
+	lib, err := catalog.New(catalog.Config{
+		Titles: titles, Disks: disks, Spec: diskmodel.Barracuda9LP(), PopularityTheta: 0.271,
+		Video: func(id int) catalog.Video {
+			return catalog.Video{ID: id, Title: fmt.Sprintf("t%d", id), Rate: si.Mbps(1.5), Length: length}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestPrefixCacheUnbudgeted(t *testing.T) {
+	lib := cacheLib(t, 6, 2, si.Minutes(10))
+	window := si.Minutes(2)
+	c := NewPrefixCache(lib, window, 0)
+	if c.Window() != window {
+		t.Errorf("Window = %v, want %v", c.Window(), window)
+	}
+	if c.Titles() != 6 {
+		t.Errorf("cached %d titles, want all 6", c.Titles())
+	}
+	per := si.Mbps(1.5).DataIn(window)
+	if got := c.PrefixBits(0); got != per {
+		t.Errorf("PrefixBits(0) = %v, want %v", got, per)
+	}
+	if got := c.PinnedBits(); got != 6*per {
+		t.Errorf("PinnedBits = %v, want %v", got, 6*per)
+	}
+	// Round-robin placement: 3 titles per disk.
+	if got := c.PinnedOn(0); got != 3*per {
+		t.Errorf("PinnedOn(0) = %v, want %v", got, 3*per)
+	}
+	// Out-of-range probes are zero, not panics.
+	if c.PrefixBits(-1) != 0 || c.PrefixBits(6) != 0 || c.PinnedOn(-1) != 0 || c.PinnedOn(2) != 0 {
+		t.Error("out-of-range probes must report zero")
+	}
+}
+
+func TestPrefixCacheBudgetPinsHottestFirst(t *testing.T) {
+	lib := cacheLib(t, 6, 2, si.Minutes(10))
+	window := si.Minutes(2)
+	per := si.Mbps(1.5).DataIn(window)
+	c := NewPrefixCache(lib, window, 2*per)
+	if c.Titles() != 2 {
+		t.Fatalf("cached %d titles under a 2-prefix budget, want 2", c.Titles())
+	}
+	// Ascending id is descending popularity: the two hottest get the
+	// pins, the rest none.
+	for id := 0; id < 6; id++ {
+		want := si.Bits(0)
+		if id < 2 {
+			want = per
+		}
+		if got := c.PrefixBits(id); got != want {
+			t.Errorf("PrefixBits(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if got := c.PinnedBits(); got != 2*per {
+		t.Errorf("PinnedBits = %v, want %v", got, 2*per)
+	}
+}
+
+func TestPrefixCacheShortTitlePinsInFull(t *testing.T) {
+	length := si.Seconds(30)
+	lib := cacheLib(t, 2, 1, length)
+	c := NewPrefixCache(lib, si.Minutes(2), 0)
+	want := si.Mbps(1.5).DataIn(length)
+	if got := c.PrefixBits(0); got != want {
+		t.Errorf("PrefixBits(0) = %v, want full title %v", got, want)
+	}
+}
+
+func TestPrefixCacheDisabled(t *testing.T) {
+	lib := cacheLib(t, 4, 1, si.Minutes(10))
+	if c := NewPrefixCache(lib, 0, 0); c.Titles() != 0 || c.PinnedBits() != 0 {
+		t.Error("zero window must pin nothing")
+	}
+	if c := NewPrefixCache(lib, si.Minutes(2), -1); c.Titles() != 0 || c.PinnedBits() != 0 {
+		t.Error("negative budget must pin nothing")
+	}
+}

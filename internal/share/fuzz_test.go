@@ -1,0 +1,73 @@
+package share
+
+import (
+	"testing"
+
+	"repro/internal/si"
+)
+
+// FuzzPrefixJoin holds the cache-handoff math to its invariants for
+// arbitrary (prefix, landed, required) and an arbitrary sequence of
+// landed totals after the join: the replay never exceeds the gap or the
+// requirement, joins outside the prefix are refused, and advancing the
+// viewer along the stream's landed totals keeps delivery monotone,
+// within the requirement, and exactly complete once the stream has
+// landed enough.
+func FuzzPrefixJoin(f *testing.F) {
+	f.Add(int64(100), int64(0), int64(500), int64(250))
+	f.Add(int64(100), int64(60), int64(500), int64(600))
+	f.Add(int64(0), int64(0), int64(1), int64(1))
+	f.Add(int64(-5), int64(3), int64(10), int64(4))
+	f.Fuzz(func(t *testing.T, prefix, landed, required, step int64) {
+		p, l, r := si.Bits(prefix), si.Bits(landed), si.Bits(required)
+		fromCache, ok := PlanJoin(p, l, r)
+		if fromCache < 0 {
+			t.Fatalf("PlanJoin(%v, %v, %v) returned negative replay %v", p, l, r, fromCache)
+		}
+		if !ok {
+			if fromCache != 0 {
+				t.Fatalf("refused join returned replay %v", fromCache)
+			}
+			// A refusal must have a reason: degenerate input or a gap
+			// the cache cannot replay.
+			if p >= 0 && l >= 0 && r > 0 && (l == 0 || l <= p) {
+				t.Fatalf("PlanJoin(%v, %v, %v) refused a joinable viewer", p, l, r)
+			}
+			return
+		}
+		if fromCache > l {
+			t.Fatalf("replay %v exceeds gap %v", fromCache, l)
+		}
+		if fromCache > r {
+			t.Fatalf("replay %v exceeds requirement %v", fromCache, r)
+		}
+		if l > p && l != 0 {
+			t.Fatalf("PlanJoin(%v, %v, %v) joined past the prefix", p, l, r)
+		}
+
+		// Ride the stream: landed grows by arbitrary (possibly zero)
+		// steps; delivery must stay monotone, contiguous from the join
+		// point, and finish exactly at the requirement.
+		if step < 0 {
+			step = -step
+		}
+		delivered := fromCache
+		for i := 0; i < 16; i++ {
+			l += si.Bits(step%97) + si.Bits(i)
+			next := AdvanceViewer(delivered, l, r)
+			if next < delivered {
+				t.Fatalf("delivery moved backward: %v -> %v", delivered, next)
+			}
+			if next > r {
+				t.Fatalf("delivery %v exceeds requirement %v", next, r)
+			}
+			if next > l {
+				t.Fatalf("delivery %v ahead of landed %v", next, l)
+			}
+			delivered = next
+		}
+		if l >= r && delivered != r {
+			t.Fatalf("stream landed %v >= required %v but delivery stopped at %v", l, r, delivered)
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package share
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// layerEnv is a deliberately tiny engine: CR = 40 Mbps against the
+// Barracuda's 120 Mbps transfer rate gives N = 2 streams per disk, so a
+// couple of viewers exhaust capacity and the rejection path is easy to
+// reach.
+func layerEnv(t *testing.T, titles, disks int) (*engine.System, *engine.VirtualClock, *catalog.Library, si.BitRate) {
+	t.Helper()
+	cr := si.Mbps(40)
+	lib, err := catalog.New(catalog.Config{
+		Titles: titles, Disks: disks, Spec: diskmodel.Barracuda9LP(), PopularityTheta: 0.271,
+		Video: func(id int) catalog.Video {
+			return catalog.Video{ID: id, Title: fmt.Sprintf("t%d", id), Rate: cr, Length: si.Minutes(1)}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := engine.NewVirtualClock()
+	sys, err := engine.New(engine.Config{
+		Clock:     clock,
+		Allocator: engine.DynamicAllocator{},
+		Method:    sched.NewMethod(sched.RoundRobin),
+		Spec:      diskmodel.Barracuda9LP(),
+		CR:        cr,
+		Alpha:     1,
+		TLog:      si.Minutes(40),
+		Library:   lib,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, clock, lib, cr
+}
+
+// recEvents records the layer's per-viewer callbacks.
+type recEvents struct {
+	admitted []int
+	rejected []int
+	done     []int
+	data     map[int]si.Bits
+}
+
+func newRecEvents() *recEvents { return &recEvents{data: make(map[int]si.Bits)} }
+
+func (r *recEvents) ViewerAdmitted(v *Viewer, now si.Seconds) { r.admitted = append(r.admitted, v.ID()) }
+func (r *recEvents) ViewerRejected(v *Viewer, now si.Seconds) { r.rejected = append(r.rejected, v.ID()) }
+func (r *recEvents) ViewerData(v *Viewer, total si.Bits, now si.Seconds) { r.data[v.ID()] = total }
+func (r *recEvents) ViewerDone(v *Viewer, now si.Seconds)     { r.done = append(r.done, v.ID()) }
+
+func req(id, video, disk int, arrival, viewing si.Seconds) workload.Request {
+	return workload.Request{ID: id, Arrival: arrival, Video: video, Disk: disk, Viewing: viewing}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	sys, _, lib, cr := layerEnv(t, 2, 1)
+	bad := []Config{
+		{System: nil, Library: lib, CR: cr},
+		{System: sys, Library: nil, CR: cr},
+		{System: sys, Library: lib, CR: 0},
+		{System: sys, Library: lib, CR: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: New accepted an invalid config", i)
+		}
+	}
+	// Disk-count mismatch between system and library.
+	other := cacheLib(t, 4, 2, si.Minutes(1))
+	if _, err := New(Config{System: sys, Library: other, CR: cr}); err == nil {
+		t.Error("New accepted a library with a different disk count")
+	}
+}
+
+func TestLayerRejectsAtCapacity(t *testing.T) {
+	sys, clock, lib, cr := layerEnv(t, 3, 1)
+	rec := newRecEvents()
+	l, err := New(Config{System: sys, Library: lib, CR: cr,
+		Options: Options{Window: si.Seconds(1), CacheBudget: -1, Events: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct titles: no merging possible, so the third viewer
+	// hits the capacity wall (N = 2).
+	for i := 0; i < 3; i++ {
+		r := req(i+1, i, 0, 0, si.Seconds(10))
+		clock.Schedule(0, func() { l.Submit(r) })
+	}
+	clock.Run(si.Minutes(2))
+	if len(rec.admitted) != 2 || len(rec.rejected) != 1 || rec.rejected[0] != 3 {
+		t.Fatalf("admitted %v rejected %v, want two admitted and viewer 3 rejected", rec.admitted, rec.rejected)
+	}
+	st := l.Stats()
+	if st.Totals.Leaders != 3 || st.Totals.Rejected != 1 || st.Totals.Admitted != 2 {
+		t.Errorf("stats = %+v, want 3 leaders, 1 rejected, 2 admitted", st.Totals)
+	}
+	if len(rec.done) != 2 {
+		t.Errorf("%d viewers completed, want 2", len(rec.done))
+	}
+	for _, id := range rec.done {
+		if want := maxBits(cr.DataIn(si.Seconds(10)), 1); rec.data[id] != want {
+			t.Errorf("viewer %d delivered %v, want %v", id, rec.data[id], want)
+		}
+	}
+}
+
+func TestLayerMergesAndExtends(t *testing.T) {
+	sys, clock, lib, cr := layerEnv(t, 2, 1)
+	rec := newRecEvents()
+	l, err := New(Config{System: sys, Library: lib, CR: cr,
+		Options: Options{Window: si.Seconds(30), Events: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Cache() == nil || l.Cache().Titles() != 2 {
+		t.Fatalf("cache pinned %d titles, want 2", l.Cache().Titles())
+	}
+	// The leader watches 40 s (past the 30 s prefix, so it needs the
+	// disk); a joiner arrives 5 s in wanting 45 s, which both piggybacks
+	// and extends the stream's horizon.
+	lead := req(1, 0, 0, 0, si.Seconds(40))
+	join := req(2, 0, 0, si.Seconds(5), si.Seconds(45))
+	clock.Schedule(0, func() { l.Submit(lead) })
+	clock.Schedule(si.Seconds(5), func() { l.Submit(join) })
+	clock.Run(si.Minutes(3))
+
+	st := l.Stats()
+	if st.Totals.Leaders != 1 || st.Totals.Merged != 1 {
+		t.Fatalf("stats = %+v, want 1 leader and 1 merged viewer", st.Totals)
+	}
+	if st.Totals.Extends == 0 {
+		t.Error("the longer joiner should have extended the stream")
+	}
+	if st.Totals.PeakFanout != 2 {
+		t.Errorf("peak fanout %d, want 2", st.Totals.PeakFanout)
+	}
+	if len(rec.done) != 2 {
+		t.Fatalf("%d viewers completed, want 2", len(rec.done))
+	}
+	for id, viewing := range map[int]si.Seconds{1: si.Seconds(40), 2: si.Seconds(45)} {
+		if want := maxBits(cr.DataIn(viewing), 1); rec.data[id] != want {
+			t.Errorf("viewer %d delivered %v, want %v", id, rec.data[id], want)
+		}
+	}
+	// Only one engine stream ever existed, and it is gone.
+	if n := sys.Disk(0).InService(); n != 0 {
+		t.Errorf("%d engine streams still in service", n)
+	}
+}
+
+func TestLayerCacheOnlyViewer(t *testing.T) {
+	sys, clock, lib, cr := layerEnv(t, 2, 1)
+	rec := newRecEvents()
+	l, err := New(Config{System: sys, Library: lib, CR: cr,
+		Options: Options{Window: si.Seconds(30), Events: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := req(1, 0, 0, 0, si.Seconds(10)) // 10 s fits inside the 30 s prefix
+	var probed bool
+	clock.Schedule(0, func() { l.Submit(r) })
+	clock.Schedule(si.Seconds(1), func() {
+		probed = true
+		if n := sys.Disk(0).InService(); n != 0 {
+			t.Errorf("cache-only viewer reached the disk: %d streams", n)
+		}
+	})
+	clock.Run(si.Minutes(1))
+	if !probed {
+		t.Fatal("probe never ran")
+	}
+	st := l.Stats()
+	if st.Totals.CacheOnly != 1 || st.Totals.Leaders != 0 {
+		t.Fatalf("stats = %+v, want one cache-only viewer and no leaders", st.Totals)
+	}
+	if want := maxBits(cr.DataIn(si.Seconds(10)), 1); st.Totals.CacheHitBits != want {
+		t.Errorf("cache hit bits %v, want %v", st.Totals.CacheHitBits, want)
+	}
+	if len(rec.done) != 1 || rec.data[1] != maxBits(cr.DataIn(si.Seconds(10)), 1) {
+		t.Errorf("cache-only viewer delivery wrong: done=%v data=%v", rec.done, rec.data)
+	}
+	// Pinned prefixes are charged to the pool.
+	if pinned := sys.Disk(0).Pool().Pinned(); pinned != l.Cache().PinnedOn(0) {
+		t.Errorf("pool pinned %v, cache says %v", pinned, l.Cache().PinnedOn(0))
+	}
+}
+
+func TestLayerCancel(t *testing.T) {
+	sys, clock, lib, cr := layerEnv(t, 2, 1)
+	rec := newRecEvents()
+	l, err := New(Config{System: sys, Library: lib, CR: cr,
+		Options: Options{Window: si.Seconds(30), Events: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := req(1, 0, 0, 0, si.Minutes(1))
+	join := req(2, 0, 0, si.Seconds(2), si.Minutes(1))
+	clock.Schedule(0, func() { l.Submit(lead) })
+	clock.Schedule(si.Seconds(2), func() { l.Submit(join) })
+	clock.Schedule(si.Seconds(4), func() {
+		if got := l.Watching(0); got != 2 {
+			t.Errorf("watching gauge %d at 4s, want 2", got)
+		}
+		l.Cancel(2, 0)
+		l.Cancel(99, 0) // unknown viewer: no-op
+	})
+	clock.Schedule(si.Seconds(6), func() {
+		if got := l.Watching(0); got != 1 {
+			t.Errorf("watching gauge %d after one cancel, want 1", got)
+		}
+		l.Cancel(1, 0) // the stream's last viewer: retires the stream
+	})
+	var drained bool
+	clock.Schedule(si.Seconds(8), func() {
+		drained = true
+		if n := sys.Disk(0).InService(); n != 0 {
+			t.Errorf("engine still serves %d streams after the last viewer canceled", n)
+		}
+		if got := l.Watching(0); got != 0 {
+			t.Errorf("watching gauge %d after both cancels, want 0", got)
+		}
+	})
+	clock.Run(si.Minutes(3))
+	if !drained {
+		t.Fatal("probe never ran")
+	}
+	if len(rec.done) != 0 {
+		t.Errorf("canceled viewers reported done: %v", rec.done)
+	}
+	st := l.Stats()
+	if st.Totals.Admitted != 2 || st.Totals.Merged != 1 {
+		t.Errorf("stats = %+v, want 2 admitted with 1 merged", st.Totals)
+	}
+}
+
+func TestViewerAccessors(t *testing.T) {
+	sys, clock, lib, cr := layerEnv(t, 2, 1)
+	var seen *Viewer
+	rec := &captureEvents{}
+	l, err := New(Config{System: sys, Library: lib, CR: cr,
+		Options: Options{Window: si.Seconds(30), Events: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := req(7, 1, 0, 0, si.Seconds(10))
+	clock.Schedule(0, func() { l.Submit(r) })
+	clock.Run(si.Minutes(1))
+	seen = rec.last
+	if seen == nil {
+		t.Fatal("no viewer observed")
+	}
+	if seen.ID() != 7 || seen.Disk() != 0 || seen.Req() != r {
+		t.Errorf("viewer identity wrong: id=%d disk=%d req=%+v", seen.ID(), seen.Disk(), seen.Req())
+	}
+	if !seen.CacheOnly() || seen.Merged() {
+		t.Errorf("10 s viewing inside a 30 s prefix should be cache-only, got cacheOnly=%v merged=%v",
+			seen.CacheOnly(), seen.Merged())
+	}
+	if seen.Delivered() != seen.Required() {
+		t.Errorf("delivered %v != required %v", seen.Delivered(), seen.Required())
+	}
+}
+
+type captureEvents struct {
+	NopEvents
+	last *Viewer
+}
+
+func (c *captureEvents) ViewerDone(v *Viewer, now si.Seconds) { c.last = v }

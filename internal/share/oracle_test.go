@@ -1,0 +1,239 @@
+package share_test
+
+// The oracle test: replay one trace through the simulator twice — once
+// with every viewer on a private engine stream (the paper's model,
+// sharing off) and once through the sharing layer — and require that
+// sharing is invisible to every viewer: the same viewers are admitted,
+// each receives exactly the contiguous [0, required) bytes of its title
+// a private stream would have delivered, delivery grows monotonically
+// and contiguously, and sharing never starves a buffer the baseline
+// kept fed. The grid covers every scheduling method crossed with the
+// static and dynamic allocation schemes.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/share"
+	"repro/internal/si"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// paperSpecCR is the paper's environment: the Barracuda 9LP against
+// 1.5 Mbps streams (N = 79 per disk).
+func paperSpecCR() (diskmodel.Spec, si.BitRate) {
+	return diskmodel.Barracuda9LP(), si.Mbps(1.5)
+}
+
+// oracleEnv builds the shared trace and library of one oracle run:
+// 10-minute titles (so many viewings fully overlap), Zipf popularity
+// over 8 titles on 2 disks, and a uniform arrival rate sized to keep
+// every private-stream run rejection-free (mean per-disk concurrency
+// ~30 against N = 79).
+func oracleEnv(t *testing.T) (*catalog.Library, workload.Trace) {
+	t.Helper()
+	spec, cr := paperSpecCR()
+	lib, err := catalog.New(catalog.Config{
+		Titles:          8,
+		Disks:           2,
+		Spec:            spec,
+		PopularityTheta: 0.271,
+		Video: func(id int) catalog.Video {
+			return catalog.Video{
+				ID:     id,
+				Title:  fmt.Sprintf("short-%d", id),
+				Rate:   cr,
+				Length: si.Minutes(10),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := workload.NewSchedule(si.Minutes(40), []float64{0.17})
+	return lib, workload.Generate(arrivals, lib, 7)
+}
+
+// baseRecorder captures per-stream delivery of a sharing-off run keyed
+// by request ID.
+type baseRecorder struct {
+	engine.NopObserver
+	final map[int]si.Bits
+}
+
+func (r *baseRecorder) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	if _, dup := r.final[st.ID()]; dup {
+		panic(fmt.Sprintf("stream %d departed twice", st.ID()))
+	}
+	r.final[st.ID()] = st.Delivered()
+}
+
+// viewerRecorder captures per-viewer delivery of a sharing-on run
+// through share.Events, checking monotone contiguous growth as it goes.
+type viewerRecorder struct {
+	t        *testing.T
+	admitted map[int]bool
+	rejected map[int]bool
+	running  map[int]si.Bits // last ViewerData total per live viewer
+	final    map[int]si.Bits
+	merged   int
+}
+
+func newViewerRecorder(t *testing.T) *viewerRecorder {
+	return &viewerRecorder{
+		t:        t,
+		admitted: make(map[int]bool),
+		rejected: make(map[int]bool),
+		running:  make(map[int]si.Bits),
+		final:    make(map[int]si.Bits),
+	}
+}
+
+func (r *viewerRecorder) ViewerAdmitted(v *share.Viewer, now si.Seconds) {
+	if r.admitted[v.ID()] {
+		r.t.Errorf("viewer %d admitted twice", v.ID())
+	}
+	r.admitted[v.ID()] = true
+	if v.Merged() {
+		r.merged++
+	}
+}
+
+func (r *viewerRecorder) ViewerRejected(v *share.Viewer, now si.Seconds) {
+	r.rejected[v.ID()] = true
+}
+
+func (r *viewerRecorder) ViewerData(v *share.Viewer, total si.Bits, now si.Seconds) {
+	if !r.admitted[v.ID()] {
+		r.t.Errorf("viewer %d got data before admission", v.ID())
+	}
+	if prev := r.running[v.ID()]; total <= prev {
+		r.t.Errorf("viewer %d delivery went %v -> %v (not monotone)", v.ID(), prev, total)
+	}
+	if total > v.Required() {
+		r.t.Errorf("viewer %d delivered %v beyond required %v", v.ID(), total, v.Required())
+	}
+	r.running[v.ID()] = total
+}
+
+func (r *viewerRecorder) ViewerDone(v *share.Viewer, now si.Seconds) {
+	if _, dup := r.final[v.ID()]; dup {
+		r.t.Errorf("viewer %d done twice", v.ID())
+	}
+	if got := r.running[v.ID()]; got != v.Required() {
+		r.t.Errorf("viewer %d done at %v, required %v", v.ID(), got, v.Required())
+	}
+	r.final[v.ID()] = r.running[v.ID()]
+	delete(r.running, v.ID())
+}
+
+func TestOracleSharingMatchesPrivateStreams(t *testing.T) {
+	lib, trace := oracleEnv(t)
+	spec, cr := paperSpecCR()
+	schemes := []struct {
+		name   string
+		scheme sim.Scheme
+	}{
+		{"static", sim.Static},
+		{"dynamic", sim.Dynamic},
+	}
+	for _, kind := range sched.Kinds {
+		for _, sc := range schemes {
+			t.Run(fmt.Sprintf("%s/%s", kind, sc.name), func(t *testing.T) {
+				base := sim.Config{
+					Scheme:  sc.scheme,
+					Method:  sched.NewMethod(kind),
+					Spec:    spec,
+					CR:      cr,
+					Library: lib,
+					Trace:   trace,
+					Seed:    11,
+				}
+				rec := &baseRecorder{final: make(map[int]si.Bits)}
+				base.Observer = rec
+				baseRes, err := sim.Run(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if baseRes.Rejected+baseRes.RejectedMemory > 0 {
+					t.Fatalf("baseline rejected %d+%d viewers; the oracle needs a rejection-free trace",
+						baseRes.Rejected, baseRes.RejectedMemory)
+				}
+
+				shared := base
+				shared.Observer = nil
+				vrec := newViewerRecorder(t)
+				shared.Share = &share.Options{
+					Window: si.Minutes(2),
+					Events: vrec,
+				}
+				sharedRes, err := sim.Run(shared)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if len(vrec.rejected) > 0 {
+					t.Fatalf("sharing rejected %d viewers the baseline admitted", len(vrec.rejected))
+				}
+				if len(vrec.final) != len(trace.Requests) {
+					t.Fatalf("sharing completed %d of %d viewers", len(vrec.final), len(trace.Requests))
+				}
+				if len(vrec.running) != 0 {
+					t.Errorf("%d viewers still mid-delivery at end of run", len(vrec.running))
+				}
+
+				// Byte-identical per-viewer delivery: every request got
+				// from the shared run exactly what its private stream
+				// delivered.
+				if len(rec.final) != len(trace.Requests) {
+					t.Fatalf("baseline completed %d of %d streams", len(rec.final), len(trace.Requests))
+				}
+				for _, req := range trace.Requests {
+					basef, ok := rec.final[req.ID]
+					if !ok {
+						t.Fatalf("request %d missing from baseline", req.ID)
+					}
+					sharef, ok := vrec.final[req.ID]
+					if !ok {
+						t.Fatalf("request %d missing from shared run", req.ID)
+					}
+					if basef != sharef {
+						t.Errorf("request %d: baseline delivered %v, shared %v", req.ID, basef, sharef)
+					}
+				}
+
+				// Sharing must never starve a buffer the baseline kept fed.
+				if sharedRes.Underruns > baseRes.Underruns {
+					t.Errorf("underruns: shared %d > baseline %d", sharedRes.Underruns, baseRes.Underruns)
+				}
+
+				// Non-vacuity: the trace must actually exercise the merge
+				// paths, or the equality above proves nothing.
+				st := sharedRes.Sharing
+				if st == nil {
+					t.Fatal("shared run reported no sharing stats")
+				}
+				if st.Totals.Merged == 0 {
+					t.Error("no viewer merged; the oracle trace is too sparse")
+				}
+				if st.Totals.CacheOnly == 0 {
+					t.Error("no viewer was served cache-only")
+				}
+				if st.Totals.Leaders == 0 {
+					t.Error("no viewer led a stream")
+				}
+				if vrec.merged != st.Totals.Merged {
+					t.Errorf("recorder merged %d, stats %d", vrec.merged, st.Totals.Merged)
+				}
+				if st.Totals.Admitted != len(trace.Requests) {
+					t.Errorf("stats admitted %d of %d", st.Totals.Admitted, len(trace.Requests))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package share is the stream-sharing layer between admission and the
+// engine: a popularity-aware prefix cache that pins the first seconds of
+// hot titles in pool memory, and viewer batching/piggybacking that merges
+// concurrent viewers of one title onto a single shared disk stream. The
+// layer sits strictly above the engine — it submits ordinary arrivals,
+// extends their viewing horizons, and fans completed fills out to the
+// attached viewers — so every admission, sizing, and scheduling decision
+// below it is exactly the paper's, unchanged.
+//
+// The correctness contract is that sharing is invisible to the viewer:
+// every admitted viewer receives exactly the contiguous prefix [0, R_v)
+// of its title, R_v = CR·viewing, byte for byte what a private stream
+// would have delivered (internal/share's oracle test replays one trace
+// both ways and compares). Three merge paths exist:
+//
+//   - cache-only: the whole requirement fits in the pinned prefix; the
+//     viewer is served instantly from memory and no disk stream exists.
+//   - batching: the viewer arrives while the title's shared stream has
+//     not yet landed any data; it has missed nothing and simply attaches.
+//   - prefix piggyback: the shared stream's landed data still fits inside
+//     the pinned prefix; the missed gap is replayed from the cache and
+//     the viewer rides the live fills from there.
+//
+// A shared stream whose landed data has passed the prefix is closed to
+// joins — a newcomer then leads a fresh stream of its own. Because a
+// viewer whose whole requirement fits in the prefix never reaches the
+// disk, a stream's own requirement always exceeds its title's prefix;
+// a live stream inside its join window is therefore necessarily still
+// fetching, so piggybacking (which widens the stream's horizon) never
+// resurrects a drained buffer and never perturbs the sizing guarantee.
+package share
+
+import "repro/internal/si"
+
+// PlanJoin decides whether a viewer needing required bits can attach to a
+// live shared stream whose completed fills total landed bits, given
+// prefix pinned bits for the title. The viewer misses [0, landed) — an
+// in-flight fill still reaches it — so the join is possible only when the
+// cache can replay that gap: landed == 0 (pure batching, no cache needed)
+// or landed <= prefix. fromCache is the replayed amount, clamped to the
+// viewer's own requirement; the viewer then follows the shared fills from
+// position landed onward. Degenerate inputs (negative sizes, nothing
+// required) report no join.
+func PlanJoin(prefix, landed, required si.Bits) (fromCache si.Bits, ok bool) {
+	if prefix < 0 || landed < 0 || required <= 0 {
+		return 0, false
+	}
+	if landed == 0 {
+		return 0, true
+	}
+	if landed > prefix {
+		return 0, false
+	}
+	fromCache = landed
+	if fromCache > required {
+		fromCache = required
+	}
+	return fromCache, true
+}
+
+// AdvanceViewer computes a viewer's cumulative delivery once the shared
+// stream's landed total reaches landed: the viewer holds the stream's
+// contiguous prefix, clamped to its own requirement, and delivery never
+// moves backward. Starting from PlanJoin's fromCache and applying
+// AdvanceViewer at every landed fill keeps the viewer's holdings a
+// contiguous [0, delivered) at all times — the invariant FuzzPrefixJoin
+// checks.
+func AdvanceViewer(delivered, landed, required si.Bits) si.Bits {
+	if landed > required {
+		landed = required
+	}
+	if landed < delivered {
+		return delivered
+	}
+	return landed
+}

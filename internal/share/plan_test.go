@@ -1,0 +1,62 @@
+package share
+
+import (
+	"testing"
+
+	"repro/internal/si"
+)
+
+func bits(n int64) si.Bits { return si.Bits(n) }
+
+func TestPlanJoin(t *testing.T) {
+	cases := []struct {
+		name                     string
+		prefix, landed, required int64
+		wantFrom                 int64
+		wantOK                   bool
+	}{
+		{"batch before any data", 0, 0, 100, 0, true},
+		{"batch with cache present", 50, 0, 100, 0, true},
+		{"gap inside prefix", 50, 30, 100, 30, true},
+		{"gap at prefix boundary", 50, 50, 100, 50, true},
+		{"gap past prefix", 50, 51, 100, 0, false},
+		{"no cache no join", 0, 1, 100, 0, false},
+		{"replay clamped to requirement", 100, 80, 60, 60, true},
+		{"nothing required", 50, 10, 0, 0, false},
+		{"negative required", 50, 10, -1, 0, false},
+		{"negative prefix", -1, 0, 100, 0, false},
+		{"negative landed", 50, -1, 100, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			from, ok := PlanJoin(bits(c.prefix), bits(c.landed), bits(c.required))
+			if ok != c.wantOK || from != bits(c.wantFrom) {
+				t.Errorf("PlanJoin(%d, %d, %d) = (%v, %v), want (%v, %v)",
+					c.prefix, c.landed, c.required, from, ok, c.wantFrom, c.wantOK)
+			}
+		})
+	}
+}
+
+func TestAdvanceViewer(t *testing.T) {
+	cases := []struct {
+		name                        string
+		delivered, landed, required int64
+		want                        int64
+	}{
+		{"advance to landed", 10, 40, 100, 40},
+		{"clamp to required", 10, 120, 100, 100},
+		{"never backward", 50, 40, 100, 50},
+		{"no change", 40, 40, 100, 40},
+		{"from zero", 0, 5, 100, 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := AdvanceViewer(bits(c.delivered), bits(c.landed), bits(c.required))
+			if got != bits(c.want) {
+				t.Errorf("AdvanceViewer(%d, %d, %d) = %v, want %v",
+					c.delivered, c.landed, c.required, got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,616 @@
+package share
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// Events is the layer's delivery interface toward the driver: what a
+// per-viewer session sees. The oracle test records these to prove
+// per-viewer delivery matches an unshared run byte for byte; the live
+// server routes them to TCP sessions. Callbacks fire synchronously under
+// the owning disk's clock serialization and must not re-enter the layer
+// or the engine.
+type Events interface {
+	// ViewerAdmitted fires once the viewer is guaranteed service —
+	// immediately for cache-only and piggyback joins, at the shared
+	// stream's admission for leaders and batched joiners.
+	ViewerAdmitted(v *Viewer, now si.Seconds)
+	// ViewerRejected fires when the viewer's shared stream was turned
+	// away at arrival; the viewer receives nothing.
+	ViewerRejected(v *Viewer, now si.Seconds)
+	// ViewerData fires when the viewer's cumulative delivered data grows
+	// to total bits: the viewer now holds the contiguous [0, total) of
+	// its title.
+	ViewerData(v *Viewer, total si.Bits, now si.Seconds)
+	// ViewerDone fires when the viewer has received everything it will
+	// consume (total == Required), after the final ViewerData.
+	ViewerDone(v *Viewer, now si.Seconds)
+}
+
+// NopEvents discards every delivery callback.
+type NopEvents struct{}
+
+func (NopEvents) ViewerAdmitted(*Viewer, si.Seconds)      {}
+func (NopEvents) ViewerRejected(*Viewer, si.Seconds)      {}
+func (NopEvents) ViewerData(*Viewer, si.Bits, si.Seconds) {}
+func (NopEvents) ViewerDone(*Viewer, si.Seconds)          {}
+
+// Observer receives the layer's instrumentation callbacks (the sharing
+// analogue of engine.Observer): internal/livemetrics counts leads,
+// merges, and cache traffic through it. Same contract as Events:
+// synchronous, no re-entry.
+type Observer interface {
+	// OnLead fires when a viewer could not merge and leads a fresh disk
+	// stream of its own.
+	OnLead(disk int, now si.Seconds)
+	// OnMerge fires when a viewer joins an existing shared stream.
+	// cacheBits is the prefix replayed from the cache (0 for a pure
+	// batch) and fanout the stream's viewer count after the join.
+	OnMerge(disk int, cacheBits si.Bits, fanout int, now si.Seconds)
+	// OnCacheServe fires when a viewer is served entirely from the
+	// pinned prefix and never reaches the disk.
+	OnCacheServe(disk int, bits si.Bits, now si.Seconds)
+}
+
+// NopObserver discards every instrumentation callback.
+type NopObserver struct{}
+
+func (NopObserver) OnLead(int, si.Seconds)                {}
+func (NopObserver) OnMerge(int, si.Bits, int, si.Seconds) {}
+func (NopObserver) OnCacheServe(int, si.Bits, si.Seconds) {}
+
+// Options are the sharing layer's tunables.
+type Options struct {
+	// Window is the prefix length pinned per cached title, in playback
+	// seconds; it is also the join window of a live stream. 0 means the
+	// default of one minute.
+	Window si.Seconds
+
+	// CacheBudget caps the total pinned prefix memory in bits; the
+	// hottest titles are pinned first. 0 pins every title's prefix; a
+	// negative budget pins nothing (batching stays available).
+	CacheBudget si.Bits
+
+	// Events receives per-viewer delivery callbacks; nil discards them.
+	Events Events
+
+	// Observer receives sharing instrumentation; nil discards it.
+	Observer Observer
+}
+
+// DefaultWindow is the prefix window used when Options.Window is zero.
+const DefaultWindow = si.Seconds(60)
+
+// Config wires a Layer to a built engine System.
+type Config struct {
+	// System is the engine the layer submits to and observes. Required,
+	// and must not have processed any arrivals yet.
+	System *engine.System
+
+	// Library resolves titles to lengths, rates, and placements. It must
+	// be the same library the System was built with. Required.
+	Library *catalog.Library
+
+	// CR is the viewers' consumption rate, the same CR the System runs;
+	// the layer computes each viewer's requirement as CR·viewing exactly
+	// as engine admission does.
+	CR si.BitRate
+
+	Options
+}
+
+// Viewer is one watcher admitted through the sharing layer. A viewer is
+// what a private engine stream used to be one-to-one with; under sharing
+// many viewers ride one stream, or none (cache-only).
+type Viewer struct {
+	id        int
+	req       workload.Request
+	required  si.Bits
+	delivered si.Bits
+	disk      int
+	stream    *SharedStream // nil for cache-only viewers and after detach
+	merged    bool          // joined an existing stream (batch or piggyback)
+	cacheOnly bool
+	done      bool
+	watching  bool // counted in the disk's concurrent-watcher gauge
+}
+
+// ID returns the viewer's request ID.
+func (v *Viewer) ID() int { return v.id }
+
+// Disk returns the disk holding the viewer's title.
+func (v *Viewer) Disk() int { return v.disk }
+
+// Req returns the viewer's request.
+func (v *Viewer) Req() workload.Request { return v.req }
+
+// Required is the total data the viewer consumes: CR · viewing.
+func (v *Viewer) Required() si.Bits { return v.required }
+
+// Delivered is the viewer's cumulative delivered data.
+func (v *Viewer) Delivered() si.Bits { return v.delivered }
+
+// Merged reports whether the viewer joined an existing stream.
+func (v *Viewer) Merged() bool { return v.merged }
+
+// CacheOnly reports whether the viewer was served entirely from the
+// pinned prefix.
+func (v *Viewer) CacheOnly() bool { return v.cacheOnly }
+
+// SharedStream is one disk stream carrying one or more viewers of a
+// title. Its engine stream ID is its leader's viewer ID. landed tracks
+// the data whose fills have completed — the contiguous prefix every
+// attached viewer holds. An in-flight fill is excluded: a joiner
+// arriving during it still receives it when it lands, so the join gap is
+// landed, not the engine's Delivered.
+type SharedStream struct {
+	id       int
+	title    int
+	disk     int
+	live     bool // admitted into service (false while queued)
+	canceled bool // closed: no joins, no further deliveries expected
+	landed   si.Bits
+	viewing  si.Seconds // widest horizon requested so far (monotone)
+	viewers  []*Viewer  // attach order; leader first
+}
+
+// DiskStats counts one disk's sharing activity.
+type DiskStats struct {
+	Viewers      int     // viewers submitted
+	Admitted     int     // viewers guaranteed service
+	Rejected     int     // viewers turned away with their leader
+	Leaders      int     // viewers that led a fresh disk stream
+	Merged       int     // viewers that joined an existing stream
+	Batched      int     // merged viewers that attached before any data landed
+	CacheOnly    int     // viewers served entirely from the pinned prefix
+	Extends      int     // engine Extend calls (horizon widenings)
+	CacheHitBits si.Bits // data served from the cache (replays + cache-only)
+	PeakFanout   int     // most viewers ever riding one stream
+	PeakWatching int     // most concurrent admitted viewers on the disk
+}
+
+// add accumulates o's counters into s, combining peaks as maxima.
+func (s *DiskStats) add(o DiskStats) {
+	s.Viewers += o.Viewers
+	s.Admitted += o.Admitted
+	s.Rejected += o.Rejected
+	s.Leaders += o.Leaders
+	s.Merged += o.Merged
+	s.Batched += o.Batched
+	s.CacheOnly += o.CacheOnly
+	s.Extends += o.Extends
+	s.CacheHitBits += o.CacheHitBits
+	if o.PeakFanout > s.PeakFanout {
+		s.PeakFanout = o.PeakFanout
+	}
+	s.PeakWatching += o.PeakWatching
+}
+
+// Stats summarizes a layer's sharing activity.
+type Stats struct {
+	// Totals aggregates the per-disk counters: counts sum; PeakFanout is
+	// the maximum over disks; PeakWatching sums the per-disk peaks (an
+	// upper bound on the true simultaneous total — exact only when the
+	// per-disk peaks coincide).
+	Totals DiskStats
+	// PerDisk holds each disk's counters.
+	PerDisk []DiskStats
+	// CachedTitles is how many titles have a pinned prefix.
+	CachedTitles int
+	// PinnedBits is the total prefix memory pinned across all disks.
+	PinnedBits si.Bits
+}
+
+// diskShard is the layer's per-disk state. Each shard is touched only
+// under its disk's clock serialization (the engine's own concurrency
+// rule), so the layer needs no locks of its own.
+type diskShard struct {
+	titles   map[int]*SharedStream // title -> youngest (join-open) stream
+	byID     map[int]*SharedStream // engine stream id -> stream
+	viewers  map[int]*Viewer       // viewer id -> active viewer
+	watching int
+	stats    DiskStats
+}
+
+// Layer is the stream-sharing front end of one engine System. Drivers
+// submit arrivals through Submit instead of System.OnArrival and cancel
+// through Cancel instead of Disk.Cancel; everything else — scheduling,
+// sizing, admission — happens in the engine below, which the layer
+// observes to fan completed fills out to viewers.
+type Layer struct {
+	engine.NopObserver
+	sys    *engine.System
+	lib    *catalog.Library
+	cr     si.BitRate
+	window si.Seconds
+	cache  *PrefixCache
+	events Events
+	obs    Observer
+	disks  []diskShard
+}
+
+// New builds the sharing layer over a freshly built System: selects and
+// pins the prefix cache out of each disk's buffer pool, and attaches
+// itself to the System's observer fan-out. Must run before the System
+// processes arrivals.
+func New(cfg Config) (*Layer, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("share: config needs a system")
+	}
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("share: config needs a library")
+	}
+	if cfg.System.Disks() != cfg.Library.Disks() {
+		return nil, fmt.Errorf("share: system has %d disks, library %d", cfg.System.Disks(), cfg.Library.Disks())
+	}
+	if cfg.CR <= 0 {
+		return nil, fmt.Errorf("share: non-positive consumption rate %v", cfg.CR)
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = DefaultWindow
+	}
+	l := &Layer{
+		sys:    cfg.System,
+		lib:    cfg.Library,
+		cr:     cfg.CR,
+		window: window,
+		cache:  NewPrefixCache(cfg.Library, window, cfg.CacheBudget),
+		events: cfg.Events,
+		obs:    cfg.Observer,
+		disks:  make([]diskShard, cfg.System.Disks()),
+	}
+	if l.events == nil {
+		l.events = NopEvents{}
+	}
+	if l.obs == nil {
+		l.obs = NopObserver{}
+	}
+	for d := range l.disks {
+		l.disks[d] = diskShard{
+			titles:  make(map[int]*SharedStream),
+			byID:    make(map[int]*SharedStream),
+			viewers: make(map[int]*Viewer),
+		}
+		// Charge the disk's pinned prefixes to its buffer pool: cache
+		// residency and stream buffers compete for the same memory.
+		if p := l.cache.PinnedOn(d); p > 0 {
+			l.sys.Disk(d).Pool().Pin(p, l.clock(d).Now())
+		}
+	}
+	cfg.System.AttachObserver(l)
+	return l, nil
+}
+
+// Cache returns the layer's prefix cache.
+func (l *Layer) Cache() *PrefixCache { return l.cache }
+
+func (l *Layer) clock(disk int) engine.Clock { return l.sys.Clock().DiskClock(disk) }
+
+// Submit runs one viewer through the sharing front end: serve it from
+// the pinned prefix if that covers everything, merge it onto the title's
+// open shared stream if one exists (batching before any data lands,
+// prefix piggyback inside the join window), else lead a fresh engine
+// stream. Like System.OnArrival, it must run under the owning disk's
+// clock serialization (the simulator's event loop or clock.Do).
+func (l *Layer) Submit(req workload.Request) {
+	disk := req.Disk
+	d := &l.disks[disk]
+	now := l.clock(disk).Now()
+	v := &Viewer{
+		id:       req.ID,
+		req:      req,
+		required: maxBits(l.cr.DataIn(req.Viewing), 1),
+		disk:     disk,
+	}
+	d.stats.Viewers++
+
+	// Cache-only: the whole requirement fits in the pinned prefix; the
+	// viewer never reaches the disk. This is also what keeps every
+	// shared stream's requirement above its title's prefix — the
+	// invariant that makes piggyback joins safe (see the package doc).
+	if prefix := l.cache.PrefixBits(req.Video); v.required <= prefix {
+		v.cacheOnly = true
+		v.delivered = v.required
+		d.stats.CacheOnly++
+		d.stats.CacheHitBits += v.required
+		d.viewers[v.id] = v
+		l.obs.OnCacheServe(disk, v.required, now)
+		l.admitViewer(d, v, now)
+		l.events.ViewerData(v, v.delivered, now)
+		l.finishViewer(d, v, now)
+		return
+	}
+
+	if ss := d.titles[req.Video]; ss != nil && !ss.canceled {
+		if !ss.live {
+			// Batching: the stream is still queued for admission; the
+			// newcomer has missed nothing and simply widens the batch.
+			l.attach(d, ss, v, 0, now)
+			d.stats.Batched++
+			if v.req.Viewing > ss.viewing {
+				ss.viewing = v.req.Viewing
+				d.stats.Extends++
+				l.sys.Disk(disk).Extend(ss.id, ss.viewing)
+			}
+			// Admission or rejection arrives with the stream's.
+			return
+		}
+		if fromCache, ok := PlanJoin(l.cache.PrefixBits(req.Video), ss.landed, v.required); ok {
+			// Piggyback: replay the missed gap from the cache and ride
+			// the live fills from there.
+			l.attach(d, ss, v, fromCache, now)
+			if v.req.Viewing > ss.viewing {
+				ss.viewing = v.req.Viewing
+				d.stats.Extends++
+				l.sys.Disk(disk).Extend(ss.id, ss.viewing)
+			}
+			l.admitViewer(d, v, now)
+			if fromCache > 0 {
+				d.stats.CacheHitBits += fromCache
+				v.delivered = fromCache
+				l.events.ViewerData(v, v.delivered, now)
+			}
+			return
+		}
+		// The stream has outrun the join window; it stays live for its
+		// own viewers but is closed to joins — the newcomer leads a
+		// fresh stream that replaces it in the title map.
+	}
+
+	// Lead: a fresh engine stream under this viewer's ID. OnArrival may
+	// admit or reject synchronously, so the bookkeeping must be in place
+	// before the call.
+	ss := &SharedStream{
+		id:      v.id,
+		title:   req.Video,
+		disk:    disk,
+		viewing: req.Viewing,
+		viewers: []*Viewer{v},
+	}
+	v.stream = ss
+	d.viewers[v.id] = v
+	d.titles[req.Video] = ss
+	d.byID[ss.id] = ss
+	d.stats.Leaders++
+	if 1 > d.stats.PeakFanout {
+		d.stats.PeakFanout = 1
+	}
+	l.obs.OnLead(disk, now)
+	l.sys.OnArrival(req)
+}
+
+// attach joins v to ss and records the merge.
+func (l *Layer) attach(d *diskShard, ss *SharedStream, v *Viewer, fromCache si.Bits, now si.Seconds) {
+	v.stream = ss
+	v.merged = true
+	ss.viewers = append(ss.viewers, v)
+	d.viewers[v.id] = v
+	d.stats.Merged++
+	if n := len(ss.viewers); n > d.stats.PeakFanout {
+		d.stats.PeakFanout = n
+	}
+	l.obs.OnMerge(ss.disk, fromCache, len(ss.viewers), now)
+}
+
+// admitViewer marks v guaranteed and starts its watching window.
+func (l *Layer) admitViewer(d *diskShard, v *Viewer, now si.Seconds) {
+	d.stats.Admitted++
+	v.watching = true
+	d.watching++
+	if d.watching > d.stats.PeakWatching {
+		d.stats.PeakWatching = d.watching
+	}
+	disk := v.disk
+	l.clock(disk).Schedule(now+v.req.Viewing, func() { l.endWatching(disk, v) })
+	l.events.ViewerAdmitted(v, now)
+}
+
+func (l *Layer) endWatching(disk int, v *Viewer) {
+	if v.watching {
+		v.watching = false
+		l.disks[disk].watching--
+	}
+}
+
+// finishViewer completes v's delivery and forgets it. The caller is
+// responsible for removing v from its stream's viewer list.
+func (l *Layer) finishViewer(d *diskShard, v *Viewer, now si.Seconds) {
+	if v.done {
+		return
+	}
+	v.done = true
+	v.stream = nil
+	delete(d.viewers, v.id)
+	l.events.ViewerDone(v, now)
+}
+
+// OnAdmit is the engine callback for a shared stream entering service:
+// every attached viewer — the leader and any batched joiners — is now
+// guaranteed.
+func (l *Layer) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
+	d := &l.disks[disk]
+	ss := d.byID[st.ID()]
+	if ss == nil {
+		return
+	}
+	ss.live = true
+	for _, v := range ss.viewers {
+		l.admitViewer(d, v, now)
+	}
+}
+
+// OnReject is the engine callback for a shared stream turned away at
+// arrival: every attached viewer is rejected with it.
+func (l *Layer) OnReject(disk int, req workload.Request, _ engine.RejectReason, now si.Seconds) {
+	d := &l.disks[disk]
+	ss := d.byID[req.ID]
+	if ss == nil {
+		return
+	}
+	ss.canceled = true
+	delete(d.byID, ss.id)
+	if d.titles[ss.title] == ss {
+		delete(d.titles, ss.title)
+	}
+	for _, v := range ss.viewers {
+		d.stats.Rejected++
+		delete(d.viewers, v.id)
+		v.stream = nil
+		v.done = true
+		l.events.ViewerRejected(v, now)
+	}
+	ss.viewers = nil
+}
+
+// OnFillComplete is the engine callback for a landed fill: the shared
+// stream's contiguous prefix grows and every attached viewer advances.
+func (l *Layer) OnFillComplete(disk int, st *engine.Stream, _ si.Bits, now si.Seconds) {
+	d := &l.disks[disk]
+	ss := d.byID[st.ID()]
+	if ss == nil {
+		return
+	}
+	// At a completion instant nothing is in flight, so the engine's
+	// cumulative Delivered is exactly the landed total.
+	ss.landed = st.Delivered()
+	l.deliver(d, ss, now)
+}
+
+// deliver fans ss's landed prefix out to its viewers, retiring the ones
+// that have everything they will consume, and — when the stream runs out
+// of viewers — cancels the underlying engine stream to release its
+// capacity early.
+func (l *Layer) deliver(d *diskShard, ss *SharedStream, now si.Seconds) {
+	kept := ss.viewers[:0]
+	for _, v := range ss.viewers {
+		if nt := AdvanceViewer(v.delivered, ss.landed, v.required); nt > v.delivered {
+			v.delivered = nt
+			l.events.ViewerData(v, nt, now)
+		}
+		if v.delivered >= v.required {
+			l.finishViewer(d, v, now)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	for i := len(kept); i < len(ss.viewers); i++ {
+		ss.viewers[i] = nil
+	}
+	ss.viewers = kept
+	if len(ss.viewers) == 0 && !ss.canceled {
+		l.retire(d, ss, now)
+	}
+}
+
+// retire closes an empty shared stream and cancels its engine stream. A
+// stream is only ever empty once landed covers every viewer it had, and
+// landed has then outrun the prefix (stream required > prefix), so it
+// was already closed to joins — no future viewer loses a merge target.
+// The engine Cancel must not run inside an observer callback (no
+// re-entry), so a zero-delay event performs it.
+func (l *Layer) retire(d *diskShard, ss *SharedStream, now si.Seconds) {
+	ss.canceled = true
+	if d.titles[ss.title] == ss {
+		delete(d.titles, ss.title)
+	}
+	disk := ss.disk
+	l.clock(disk).Schedule(now, func() {
+		l.sys.Disk(disk).Cancel(ss.id)
+		// A still-queued stream cancels silently (no OnDepart), so the
+		// id cleanup cannot ride on the depart callback. Deleting after
+		// a depart-driven cleanup is a no-op.
+		delete(l.disks[disk].byID, ss.id)
+	})
+}
+
+// OnDepart is the engine callback for a shared stream leaving service.
+// On a natural departure (viewing time over) the engine has delivered
+// the full requirement; any viewer still attached — possible when
+// wall-clock jitter lands the departure before the last fill's events
+// settle — is flushed to its requirement, mirroring what its private
+// stream would have delivered.
+func (l *Layer) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	d := &l.disks[disk]
+	ss := d.byID[st.ID()]
+	if ss == nil {
+		return
+	}
+	delete(d.byID, ss.id)
+	if d.titles[ss.title] == ss {
+		delete(d.titles, ss.title)
+	}
+	ss.canceled = true
+	for _, v := range ss.viewers {
+		if v.delivered < v.required {
+			v.delivered = v.required
+			l.events.ViewerData(v, v.delivered, now)
+		}
+		l.finishViewer(d, v, now)
+	}
+	ss.viewers = nil
+}
+
+// Cancel withdraws a viewer that hangs up mid-delivery. Like Submit it
+// must run under the owning disk's clock serialization, but never from
+// inside an engine or layer callback. When the viewer was its stream's
+// last, the stream is retired with it.
+func (l *Layer) Cancel(id, disk int) {
+	d := &l.disks[disk]
+	v := d.viewers[id]
+	if v == nil {
+		return
+	}
+	l.endWatching(disk, v)
+	ss := v.stream
+	v.stream = nil
+	v.done = true
+	delete(d.viewers, id)
+	if ss == nil {
+		return
+	}
+	for i, w := range ss.viewers {
+		if w == v {
+			copy(ss.viewers[i:], ss.viewers[i+1:])
+			ss.viewers[len(ss.viewers)-1] = nil
+			ss.viewers = ss.viewers[:len(ss.viewers)-1]
+			break
+		}
+	}
+	if len(ss.viewers) == 0 && !ss.canceled {
+		// Not inside an engine callback here, but retire's deferred
+		// cancel is harmless and keeps one code path.
+		l.retire(d, ss, l.clock(disk).Now())
+	}
+}
+
+// Watching reports a disk's current admitted-viewer gauge.
+func (l *Layer) Watching(disk int) int { return l.disks[disk].watching }
+
+// Stats snapshots the layer's counters. Only meaningful when the system
+// is quiescent or the caller holds every shard's serialization (e.g.
+// after a simulation run).
+func (l *Layer) Stats() Stats {
+	s := Stats{
+		PerDisk:      make([]DiskStats, len(l.disks)),
+		CachedTitles: l.cache.Titles(),
+		PinnedBits:   l.cache.PinnedBits(),
+	}
+	for i := range l.disks {
+		s.PerDisk[i] = l.disks[i].stats
+		s.Totals.add(l.disks[i].stats)
+	}
+	return s
+}
+
+func maxBits(a, b si.Bits) si.Bits {
+	if a > b {
+		return a
+	}
+	return b
+}

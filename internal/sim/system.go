@@ -17,6 +17,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/share"
 	"repro/internal/si"
 	"repro/internal/workload"
 )
@@ -97,6 +98,14 @@ type Config struct {
 	// mismatched table. The table is immutable, so concurrent runs — the
 	// experiment harness's replications — may share one.
 	SizeTable *core.Table
+
+	// Share, when non-nil, routes arrivals through a stream-sharing
+	// layer (internal/share) with these options: hot titles' prefixes
+	// are pinned in pool memory and concurrent viewers of one title
+	// merge onto one disk stream. Engine-level Result fields then count
+	// engine streams, not viewers; the viewer-level accounting is in
+	// Result.Sharing.
+	Share *share.Options
 
 	// Observer, when set, receives every engine instrumentation callback
 	// alongside the simulator's own result collector. Simulation results
@@ -199,6 +208,10 @@ type Result struct {
 
 	// Horizon is the simulated span the run covered (cutoff plus grace).
 	Horizon si.Seconds
+
+	// Sharing holds the sharing layer's viewer-level statistics; nil
+	// when the run did not share (Config.Share unset).
+	Sharing *share.Stats
 }
 
 // DiskUtilization reports the fraction of the run a disk spent busy
@@ -404,6 +417,23 @@ func Run(cfg Config) (*Result, error) {
 		sys.SetGate(gov)
 	}
 
+	// The sharing layer fronts arrivals when configured; it attaches
+	// itself to the system's observer fan-out.
+	arrive := sys.OnArrival
+	var layer *share.Layer
+	if cfg.Share != nil {
+		layer, err = share.New(share.Config{
+			System:  sys,
+			Library: cfg.Library,
+			CR:      cfg.CR,
+			Options: *cfg.Share,
+		})
+		if err != nil {
+			return nil, err
+		}
+		arrive = layer.Submit
+	}
+
 	// Schedule arrivals.
 	horizon := cfg.Trace.Schedule.Horizon()
 	cutoff := horizon
@@ -415,7 +445,7 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 		req := req
-		clock.Schedule(req.Arrival, func() { sys.OnArrival(req) })
+		clock.Schedule(req.Arrival, func() { arrive(req) })
 	}
 
 	// Periodic sampler.
@@ -454,6 +484,10 @@ func Run(cfg Config) (*Result, error) {
 		res.Starved += st.Starved
 		res.PeakMemory += st.HighWater
 		res.DiskStats = append(res.DiskStats, d.DiskStats())
+	}
+	if layer != nil {
+		stats := layer.Stats()
+		res.Sharing = &stats
 	}
 	return res, nil
 }

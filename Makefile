@@ -16,14 +16,15 @@ test:
 
 # The packages with shared-state concurrency: the parallel experiment
 # runner, the simulator, the large-N scale scenario (shared sizing
-# tables), the stream-sharing layer, and the live-serving side of the
-# engine — the sharded wall clock's per-shard lock discipline, the
-# buffer pool under serialized concurrent callers, the serve driver with
-# its lock-free metrics collector, and the vodserver binary. Keep them
-# race-clean; -shuffle=on randomizes test order so accidental
-# inter-test state dependence surfaces too.
+# tables), the stream-sharing layer, the fleet cluster (its router is
+# CAS-booked from concurrent connection goroutines), and the
+# live-serving side of the engine — the sharded wall clock's per-shard
+# lock discipline, the buffer pool under serialized concurrent callers,
+# the serve driver with its lock-free metrics collector, and the
+# vodserver binary. Keep them race-clean; -shuffle=on randomizes test
+# order so accidental inter-test state dependence surfaces too.
 race:
-	$(GO) test -race -shuffle=on ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./internal/scale ./internal/share ./internal/livemetrics ./internal/serve ./cmd/vodserver
+	$(GO) test -race -shuffle=on ./internal/experiments ./internal/sim ./internal/buffer ./internal/engine ./internal/scale ./internal/share ./internal/cluster ./internal/livemetrics ./internal/serve ./cmd/vodserver
 
 # Native fuzzing smoke: each target gets a short budget (go's -fuzz must
 # match exactly one target per invocation). The seed corpora alone run
@@ -31,13 +32,16 @@ race:
 test-fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCommandParse -fuzztime=10s ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzPrefixJoin -fuzztime=10s ./internal/share
+	$(GO) test -run=^$$ -fuzz=FuzzRouterAdmit -fuzztime=10s ./internal/cluster
 
 # Per-package coverage summary, gating the sharing layer — the oracle
-# test's subject — at 85%.
+# test's subject — and the fleet cluster at 85%.
 cover:
 	$(GO) test -cover ./...
 	$(GO) test -coverprofile=/tmp/share.cover ./internal/share
 	$(GO) tool cover -func=/tmp/share.cover | awk '/^total:/ { gsub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/share coverage %s%% below the 85%% gate\n", $$3; exit 1 } else printf "internal/share coverage %s%% (gate: 85%%)\n", $$3 }'
+	$(GO) test -coverprofile=/tmp/cluster.cover ./internal/cluster
+	$(GO) tool cover -func=/tmp/cluster.cover | awk '/^total:/ { gsub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/cluster coverage %s%% below the 85%% gate\n", $$3; exit 1 } else printf "internal/cluster coverage %s%% (gate: 85%%)\n", $$3 }'
 
 bench:
 	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments
@@ -46,10 +50,10 @@ bench:
 # baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
 # gate measures allocations, which -race instrumentation would distort.
 bench-smoke:
-	$(GO) run ./cmd/bench -baseline BENCH_PR6.json -check -out /dev/null
+	$(GO) run ./cmd/bench -baseline BENCH_PR7.json -check -out /dev/null
 
 # Regenerate the committed baseline after an intentional perf change.
 bench-snapshot:
-	$(GO) run ./cmd/bench -out BENCH_PR6.json
+	$(GO) run ./cmd/bench -out BENCH_PR7.json
 
 ci: vet build test race bench-smoke cover

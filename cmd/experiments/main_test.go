@@ -154,3 +154,34 @@ func TestGoldenZipfSharingQuick(t *testing.T) {
 		t.Error("zipf-sharing report depends on the worker count")
 	}
 }
+
+// The fleet scenario's paired-arm report is the PR's acceptance
+// artifact: the routed, replicated fleet admits at least twice the
+// single-copy fleet at zero underruns, the measured peaks land on the
+// analytic max-flow bound curve, and the whole report is
+// byte-deterministic across worker counts like every other experiment.
+func TestGoldenFleetRoutingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	code, out, _ := runCapture(t, "-run", "fleet-routing", "-quick", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "fleet_routing_quick.csv", out)
+	if strings.Contains(out, "VIOLATED") {
+		t.Error("fleet-routing reports underruns")
+	}
+
+	code, one, _ := runCapture(t, "-run", "fleet-routing", "-quick", "-format", "csv", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	code, eight, _ := runCapture(t, "-run", "fleet-routing", "-quick", "-format", "csv", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if one != out || eight != out {
+		t.Error("fleet-routing report depends on the worker count")
+	}
+}

@@ -14,6 +14,7 @@
 //
 //	vodserver -listen :9000            # serve
 //	vodserver -disks 8                 # shard across 8 disks
+//	vodserver -cluster 4 -disks 8      # routed fleet: 4 servers x 8 disks
 //	vodserver -stats 5s                # print a JSON stats line every 5s
 //	vodserver -selftest 8              # in-process demo: 8 viewers
 package main
@@ -47,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		selftest = fs.Int("selftest", 0, "run N in-process viewers against the server and exit")
 		shared   = fs.Bool("share", false, "enable the stream-sharing front end (prefix cache + viewer batching)")
 		window   = fs.Float64("share-window", 0, "sharing prefix window in simulated seconds (0 = default 60)")
+		cluster  = fs.Int("cluster", 0, "serve a routed fleet of N servers (-disks becomes per-server; 0 = single server)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	srv, err := serve.New(serve.Config{
 		Scale:       *scale,
 		Disks:       *disks,
+		Cluster:     *cluster,
 		Share:       *shared,
 		ShareWindow: si.Seconds(*window),
 	})
@@ -69,7 +72,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer ln.Close()
-	log.Printf("vodserver listening on %s (time x%g, %d disk shards)", ln.Addr(), *scale, *disks)
+	if *cluster >= 2 {
+		log.Printf("vodserver listening on %s (time x%g, %d servers x %d disks, routed fleet)",
+			ln.Addr(), *scale, *cluster, *disks)
+	} else {
+		log.Printf("vodserver listening on %s (time x%g, %d disk shards)", ln.Addr(), *scale, *disks)
+	}
 
 	if *stats > 0 {
 		stop := srv.StatsEvery(*stats, stdout)

@@ -14,7 +14,10 @@ import (
 	"time"
 
 	vod "repro"
+	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/sched"
 )
 
 // Case is one tracked benchmark.
@@ -121,12 +124,64 @@ func Cases() []Case {
 			},
 		},
 	}
+	cases = append(cases, clusterCases()...)
 	cases = append(cases, wallContentionCases()...)
 	for _, day := range dayCases() {
 		cases = append(cases, day)
 	}
 	cases = append(cases, loopbackCases()...)
 	return cases
+}
+
+// clusterCases track the fleet router's admission hot path: the serve
+// driver calls Route from every connection goroutine, so the book/release
+// pair (replica lookup, CAS booking, tallies) must stay allocation-free.
+func clusterCases() []Case {
+	return []Case{
+		{
+			Name:  "cluster/router-admit",
+			Iters: 2_000_000,
+			Bench: func(b *testing.B) {
+				spec, cr, _ := vod.PaperEnvironment()
+				const titles = 8
+				cl, err := cluster.New(cluster.Config{
+					Servers:         4,
+					DisksPerServer:  2,
+					Titles:          titles,
+					PopularityTheta: 0,
+					Policy: catalog.Replicated{
+						Base:       catalog.LeastLoaded{},
+						HotTitles:  titles / 2,
+						Copies:     4,
+						ColdCopies: 2,
+						GroupSize:  2,
+					},
+					Engine: engine.Config{
+						Clock:     vod.NewVirtualClock(),
+						Allocator: engine.DynamicAllocator{},
+						Method:    sched.NewMethod(sched.RoundRobin),
+						Spec:      spec,
+						CR:        cr,
+						Alpha:     1,
+						TLog:      vod.Minutes(40),
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt := cl.Router()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t, ok := rt.Route(i % titles)
+					if !ok {
+						b.Fatal("router rejected with an idle fleet")
+					}
+					rt.Release(t.Global)
+				}
+			},
+		},
+	}
 }
 
 // wallContentionCases measure WallClock scheduling throughput under

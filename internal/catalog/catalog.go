@@ -38,23 +38,39 @@ type Video struct {
 // Size reports the total encoded size of the video.
 func (v Video) Size() si.Bits { return v.Rate.DataIn(v.Length) }
 
-// Placement records where a video lives on a disk: either one contiguous
-// extent starting at Start, or — when the library is chunked — a set of
-// fixed-size chunks with replication (footnote 3's mechanism), each at its
-// own physical address.
+// Placement records where one extent of video data lives on a disk:
+// either one contiguous extent starting at Start, or — when the library
+// is chunked — a set of fixed-size chunks with replication (footnote 3's
+// mechanism), each at its own physical address. A placement normally
+// holds the whole video; a striped replica's segment holds the Span bits
+// starting From bits into the title (Span == 0 means the whole video).
 type Placement struct {
 	Video  Video
 	Disk   int              // disk index within the server
 	Start  si.Bits          // contiguous extent offset (unchunked layouts)
 	Chunks *chunk.Placement // non-nil for chunked layouts
+	From   si.Bits          // offset of this extent within the video
+	Span   si.Bits          // extent length; 0 = the whole video
 }
 
-// DiskOffset maps a read [offset, offset+length) of the video to the
-// physical disk address holding it. For chunked placements the read is
-// guaranteed to sit inside one chunk; out-of-range reads are clamped to
-// the video (simulation positions can overshoot by float dust).
+// ContentSize reports how much of the video this placement holds: the
+// segment span for striped layouts, the full size otherwise.
+func (p Placement) ContentSize() si.Bits {
+	if p.Span > 0 {
+		return p.Span
+	}
+	return p.Video.Size()
+}
+
+// DiskOffset maps a read [offset, offset+length) of this placement's
+// content to the physical disk address holding it. Offsets are relative
+// to the placement (for a whole-title placement that is the video start;
+// for a striped segment, the segment start). For chunked placements the
+// read is guaranteed to sit inside one chunk; out-of-range reads are
+// clamped to the content (simulation positions can overshoot by float
+// dust).
 func (p Placement) DiskOffset(offset, length si.Bits) si.Bits {
-	size := p.Video.Size()
+	size := p.ContentSize()
 	if offset < 0 {
 		offset = 0
 	}
@@ -77,35 +93,44 @@ func (p Placement) DiskOffset(offset, length si.Bits) si.Bits {
 }
 
 // MaxRead reports the largest single read the placement guarantees to
-// serve with one disk latency: unlimited (the video size) for contiguous
-// extents, the chunk layout's bound for chunked ones.
+// serve with one disk latency: unlimited (the content size) for
+// contiguous extents, the chunk layout's bound for chunked ones.
 func (p Placement) MaxRead() si.Bits {
 	if p.Chunks == nil {
-		return p.Video.Size()
+		return p.ContentSize()
 	}
 	return p.Chunks.Layout.MaxRead()
 }
 
-// CylinderAt maps a playback position within the video to the cylinder the
-// data for that position occupies, using the disk's uniform-density
-// geometry. Positions outside [0, Length] are clamped.
+// CylinderAt maps a playback position within this placement's content to
+// the cylinder the data for that position occupies, using the disk's
+// uniform-density geometry. Out-of-range positions are clamped.
 func (p Placement) CylinderAt(spec diskmodel.Spec, pos si.Seconds) int {
 	if pos < 0 {
 		pos = 0
 	}
-	if pos > p.Video.Length {
-		pos = p.Video.Length
+	if max := si.Seconds(float64(p.ContentSize()) / float64(p.Video.Rate)); pos > max {
+		pos = max
 	}
 	return spec.CylinderOf(p.DiskOffset(p.Video.Rate.DataIn(pos), 0))
+}
+
+// Replica is one materialized copy of a title: a single whole-title
+// placement, or — for striped layouts — the title's segments in playback
+// order.
+type Replica struct {
+	Segments []Placement
 }
 
 // Library is a set of videos with a popularity distribution and a placement
 // across the disks of a server.
 type Library struct {
 	videos     []Video
-	placements []Placement
-	popularity []float64 // normalized access probability per video
+	replicas   [][]Replica // per title, every materialized copy
+	placements []Placement // primary placement per title (first replica's first segment)
+	popularity []float64   // normalized access probability per video
 	disks      int
+	policy     string
 }
 
 // MPEG1Video returns the paper's canonical title: a 120-minute MPEG-1
@@ -142,7 +167,13 @@ type Config struct {
 	// non-nil: Place(id) returns the disk for title id, in [0, Disks).
 	// Popularity-skewed catalogs use it to balance expected load across
 	// disks (e.g. a serpentine deal of titles in popularity order).
+	// Ignored when Policy is set.
 	Place func(id int) int
+
+	// Policy decides the full layout — replication and striping included
+	// — when non-nil, superseding Place. The default (nil Policy, nil
+	// Place) is RoundRobin.
+	Policy PlacementPolicy
 
 	// ChunkSize, when positive, stores videos as replicated chunks of
 	// this size instead of one contiguous extent (footnote 3's layout).
@@ -155,9 +186,13 @@ type Config struct {
 	MaxRead si.Bits
 }
 
-// New builds a library: Titles videos placed round-robin across Disks disks,
-// each video in one contiguous extent, with Zipf(theta) popularity.
-// Placement is deterministic so simulations are reproducible.
+// New builds a library: Titles videos laid out by the configured
+// placement policy (round-robin by default), each extent contiguous, with
+// Zipf(theta) popularity. The policy decides the title→disk map (and any
+// replication or striping); New owns the physical side — extent offsets
+// accumulate per disk in (title, replica, segment) order and capacity is
+// checked here — so every policy shares one deterministic, reproducible
+// materialization.
 func New(cfg Config) (*Library, error) {
 	if cfg.Titles <= 0 {
 		return nil, fmt.Errorf("catalog: need at least one title, got %d", cfg.Titles)
@@ -177,7 +212,45 @@ func New(cfg Config) (*Library, error) {
 		return nil, fmt.Errorf("catalog: chunked layout needs MaxRead")
 	}
 
-	lib := &Library{disks: cfg.Disks}
+	videos := make([]Video, cfg.Titles)
+	for id := range videos {
+		v := mk(id)
+		if v.Rate <= 0 || v.Length <= 0 {
+			return nil, fmt.Errorf("catalog: video %d has non-positive rate or length", id)
+		}
+		videos[id] = v
+	}
+	popularity := ZipfWeights(cfg.Titles, cfg.PopularityTheta)
+
+	policy := cfg.Policy
+	if policy == nil {
+		if cfg.Place != nil {
+			policy = placeFunc(cfg.Place)
+		} else {
+			policy = RoundRobin{}
+		}
+	}
+	specs, err := policy.Place(PolicyContext{
+		Videos:     videos,
+		Disks:      cfg.Disks,
+		Spec:       cfg.Spec,
+		Popularity: popularity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) != cfg.Titles {
+		return nil, fmt.Errorf("catalog: policy %s placed %d of %d titles", policy.Name(), len(specs), cfg.Titles)
+	}
+
+	lib := &Library{
+		videos:     videos,
+		replicas:   make([][]Replica, cfg.Titles),
+		placements: make([]Placement, cfg.Titles),
+		popularity: popularity,
+		disks:      cfg.Disks,
+		policy:     policy.Name(),
+	}
 	nextStart := make([]si.Bits, cfg.Disks)
 	var allocs []*chunk.Allocator
 	if cfg.ChunkSize > 0 {
@@ -186,40 +259,56 @@ func New(cfg Config) (*Library, error) {
 			allocs[d] = chunk.NewAllocator(cfg.Spec.Capacity)
 		}
 	}
-	for id := 0; id < cfg.Titles; id++ {
-		v := mk(id)
-		if v.Rate <= 0 || v.Length <= 0 {
-			return nil, fmt.Errorf("catalog: video %d has non-positive rate or length", id)
-		}
-		disk := id % cfg.Disks
-		if cfg.Place != nil {
-			if disk = cfg.Place(id); disk < 0 || disk >= cfg.Disks {
-				return nil, fmt.Errorf("catalog: Place(%d) = %d outside [0, %d)", id, disk, cfg.Disks)
+	for id, v := range videos {
+		lib.placements[id] = Placement{Video: v, Disk: -1} // absent until a replica lands
+		for ri, spec := range specs[id] {
+			if len(spec.Disks) == 0 {
+				return nil, fmt.Errorf("catalog: policy %s: video %d replica %d spans no disks", policy.Name(), id, ri)
+			}
+			if len(spec.Disks) > 1 && cfg.ChunkSize > 0 {
+				return nil, fmt.Errorf("catalog: video %d: striped replicas cannot use a chunked layout", id)
+			}
+			rep := Replica{Segments: make([]Placement, len(spec.Disks))}
+			width := len(spec.Disks)
+			for seg, disk := range spec.Disks {
+				if disk < 0 || disk >= cfg.Disks {
+					return nil, fmt.Errorf("catalog: policy %s: video %d on disk %d outside [0, %d)", policy.Name(), id, disk, cfg.Disks)
+				}
+				// Equal-duration segments in playback order; boundaries
+				// telescope so the spans sum to the video size exactly.
+				from := v.Size() * si.Bits(float64(seg)/float64(width))
+				to := v.Size() * si.Bits(float64(seg+1)/float64(width))
+				span := to - from
+				if cfg.ChunkSize > 0 {
+					layout, err := chunk.NewLayout(v.Size(), cfg.ChunkSize, cfg.MaxRead)
+					if err != nil {
+						return nil, fmt.Errorf("catalog: video %d: %w", id, err)
+					}
+					placed, err := allocs[disk].Place(layout)
+					if err != nil {
+						return nil, fmt.Errorf("catalog: disk %d, video %d: %w", disk, id, err)
+					}
+					rep.Segments[seg] = Placement{Video: v, Disk: disk, Chunks: placed}
+					continue
+				}
+				start := nextStart[disk]
+				if start+span > cfg.Spec.Capacity {
+					return nil, fmt.Errorf("catalog: disk %d overflows placing video %d (%v needed, %v free)",
+						disk, id, span, cfg.Spec.Capacity-start)
+				}
+				p := Placement{Video: v, Disk: disk, Start: start}
+				if width > 1 {
+					p.From, p.Span = from, span
+				}
+				rep.Segments[seg] = p
+				nextStart[disk] = start + span
+			}
+			lib.replicas[id] = append(lib.replicas[id], rep)
+			if ri == 0 {
+				lib.placements[id] = rep.Segments[0]
 			}
 		}
-		if cfg.ChunkSize > 0 {
-			layout, err := chunk.NewLayout(v.Size(), cfg.ChunkSize, cfg.MaxRead)
-			if err != nil {
-				return nil, fmt.Errorf("catalog: video %d: %w", id, err)
-			}
-			placed, err := allocs[disk].Place(layout)
-			if err != nil {
-				return nil, fmt.Errorf("catalog: disk %d, video %d: %w", disk, id, err)
-			}
-			lib.videos = append(lib.videos, v)
-			lib.placements = append(lib.placements, Placement{Video: v, Disk: disk, Chunks: placed})
-			continue
-		}
-		start := nextStart[disk]
-		if start+v.Size() > cfg.Spec.Capacity {
-			return nil, fmt.Errorf("catalog: disk %d overflows placing video %d (%v needed, %v free)",
-				disk, id, v.Size(), cfg.Spec.Capacity-start)
-		}
-		lib.videos = append(lib.videos, v)
-		lib.placements = append(lib.placements, Placement{Video: v, Disk: disk, Start: start})
-		nextStart[disk] = start + v.Size()
 	}
-	lib.popularity = ZipfWeights(cfg.Titles, cfg.PopularityTheta)
 	return lib, nil
 }
 
@@ -232,8 +321,32 @@ func (l *Library) Disks() int { return l.disks }
 // Video returns title id.
 func (l *Library) Video(id int) Video { return l.videos[id] }
 
-// Placement returns the placement of title id.
+// Placement returns the primary placement of title id: its first
+// replica's first segment. Titles the policy left out of this library
+// (possible in per-server views of a fleet catalog) report Disk == -1.
 func (l *Library) Placement(id int) Placement { return l.placements[id] }
+
+// Replicas returns every materialized copy of title id, in the order the
+// policy produced them (the first is the primary).
+func (l *Library) Replicas(id int) []Replica { return l.replicas[id] }
+
+// PlacementFor returns the placement of title id's data on the given
+// disk — the first replica segment living there — and whether one
+// exists. Disks serve streams from their local copy, so a replicated
+// title reads from whichever disk the router picked.
+func (l *Library) PlacementFor(id, disk int) (Placement, bool) {
+	for _, rep := range l.replicas[id] {
+		for _, seg := range rep.Segments {
+			if seg.Disk == disk {
+				return seg, true
+			}
+		}
+	}
+	return Placement{}, false
+}
+
+// PolicyName reports which placement policy laid the library out.
+func (l *Library) PolicyName() string { return l.policy }
 
 // Popularity returns the access probability of title id.
 func (l *Library) Popularity(id int) float64 { return l.popularity[id] }
@@ -256,12 +369,26 @@ func (l *Library) Pick(u float64) int {
 // server's buffer sizes must respect under a chunked layout.
 func (l *Library) MaxRead() si.Bits {
 	min := si.Bits(math.Inf(1))
-	for _, p := range l.placements {
+	l.eachPlacement(func(_ int, p Placement) {
 		if m := p.MaxRead(); m < min {
 			min = m
 		}
-	}
+	})
 	return min
+}
+
+// eachPlacement visits every materialized placement — all segments of
+// all replicas of all titles. The derived layout measures (MaxRead,
+// ChunkedMaxRead, DiskLoad) all walk the layout through here, so they
+// cannot drift from what the policy actually placed.
+func (l *Library) eachPlacement(fn func(id int, p Placement)) {
+	for id, reps := range l.replicas {
+		for _, rep := range reps {
+			for _, seg := range rep.Segments {
+				fn(id, seg)
+			}
+		}
+	}
 }
 
 // ChunkedMaxRead reports the binding single-read bound of the library's
@@ -274,23 +401,36 @@ func (l *Library) MaxRead() si.Bits {
 // bound nothing when buffers may exceed a short title's length.
 func (l *Library) ChunkedMaxRead() si.Bits {
 	min := si.Bits(math.Inf(1))
-	for _, p := range l.placements {
+	l.eachPlacement(func(_ int, p Placement) {
 		if p.Chunks == nil {
-			continue
+			return
 		}
 		if m := p.MaxRead(); m < min {
 			min = m
 		}
-	}
+	})
 	return min
 }
 
 // DiskLoad reports, for each disk, the total access probability of the
-// titles placed on it — the expected fraction of requests that disk serves.
+// data placed on it — the expected fraction of requests that disk serves
+// when demand splits evenly across a title's replicas and, within a
+// striped replica, in proportion to each segment's share of the title.
+// The admission router and the scale scenarios both read headroom off
+// this, so the accounting lives here, next to the layout it measures.
 func (l *Library) DiskLoad() []float64 {
 	load := make([]float64, l.disks)
-	for id, p := range l.placements {
-		load[p.Disk] += l.popularity[id]
+	for id, reps := range l.replicas {
+		if len(reps) == 0 {
+			continue
+		}
+		share := l.popularity[id] / float64(len(reps))
+		for _, rep := range reps {
+			size := float64(l.videos[id].Size())
+			for _, seg := range rep.Segments {
+				load[seg.Disk] += share * float64(seg.ContentSize()) / size
+			}
+		}
 	}
 	return load
 }

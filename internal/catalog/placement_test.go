@@ -1,0 +1,226 @@
+package catalog
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/diskmodel"
+	"repro/internal/si"
+)
+
+func testConfigPolicy(titles, disks int, pol PlacementPolicy) Config {
+	cfg := testConfig(titles, disks, 0.271)
+	cfg.Video = shortVideo
+	cfg.Policy = pol
+	return cfg
+}
+
+// shortVideo keeps property-test catalogs dense: 30-minute titles, so a
+// demo disk holds ~27 copies and replication sweeps have room to play.
+func shortVideo(id int) Video {
+	v := MPEG1Video(id)
+	v.Length = si.Minutes(30)
+	return v
+}
+
+// checkLayoutInvariants asserts the physical guarantees every placement
+// policy must deliver through the shared materialization in New:
+//
+//   - every replica covers the title exactly once: segment spans
+//     telescope in playback order and sum to the video size;
+//   - no two extents on one disk overlap;
+//   - no disk exceeds its formatted capacity.
+func checkLayoutInvariants(t *testing.T, lib *Library) {
+	t.Helper()
+	capacity := diskmodel.Barracuda9LP().Capacity
+	type extent struct {
+		start, end si.Bits
+		what       string
+	}
+	perDisk := make([][]extent, lib.Disks())
+	for id := 0; id < lib.Len(); id++ {
+		size := lib.Video(id).Size()
+		for ri, rep := range lib.Replicas(id) {
+			if len(rep.Segments) == 0 {
+				t.Errorf("title %d replica %d has no segments", id, ri)
+				continue
+			}
+			var covered si.Bits
+			for si_, seg := range rep.Segments {
+				if seg.From != covered {
+					t.Errorf("title %d replica %d segment %d starts at %v into the title, want %v (gap or overlap)",
+						id, ri, si_, seg.From, covered)
+				}
+				span := seg.ContentSize()
+				if span <= 0 {
+					t.Errorf("title %d replica %d segment %d has non-positive span %v", id, ri, si_, span)
+				}
+				covered += span
+				d := seg.Disk
+				perDisk[d] = append(perDisk[d], extent{
+					start: seg.Start,
+					end:   seg.Start + span,
+					what:  fmt.Sprintf("title %d replica %d segment %d", id, ri, si_),
+				})
+			}
+			if covered != size {
+				t.Errorf("title %d replica %d covers %v of the %v title", id, ri, covered, size)
+			}
+		}
+	}
+	for d, extents := range perDisk {
+		for i, a := range extents {
+			if a.end > capacity {
+				t.Errorf("disk %d: %s ends at %v, beyond the %v capacity", d, a.what, a.end, capacity)
+			}
+			for _, b := range extents[i+1:] {
+				if a.start < b.end && b.start < a.end {
+					t.Errorf("disk %d: %s [%v, %v) overlaps %s [%v, %v)",
+						d, a.what, a.start, a.end, b.what, b.start, b.end)
+				}
+			}
+		}
+	}
+}
+
+func TestPlacementPolicyInvariants(t *testing.T) {
+	policies := []PlacementPolicy{
+		RoundRobin{},
+		LeastLoaded{},
+		Striped{Width: 2},
+		Striped{Width: 4},
+		Replicated{Base: LeastLoaded{}, HotTitles: 4, Copies: 4, ColdCopies: 2, GroupSize: 2},
+		Replicated{Base: RoundRobin{}, HotTitles: 2, Copies: 3},
+		Replicated{HotTitles: 16, Copies: 8, ColdCopies: 1, GroupSize: 4},
+	}
+	for _, pol := range policies {
+		for _, shape := range []struct{ titles, disks int }{
+			{titles: 16, disks: 4},
+			{titles: 9, disks: 8},
+			{titles: 40, disks: 8},
+		} {
+			name := fmt.Sprintf("%s/%dx%d", pol.Name(), shape.titles, shape.disks)
+			t.Run(name, func(t *testing.T) {
+				lib, err := New(testConfigPolicy(shape.titles, shape.disks, pol))
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkLayoutInvariants(t, lib)
+			})
+		}
+	}
+}
+
+// The RoundRobin policy must reproduce the constructor's historical
+// default layout byte-for-byte: title id whole on disk id mod Disks,
+// extents accumulating in title order — simulations and goldens from
+// before the policy layer depend on it.
+func TestRoundRobinMatchesLegacyLayout(t *testing.T) {
+	const titles, disks = 13, 4
+	legacy, err := New(testConfigPolicy(titles, disks, nil)) // nil = the historical default
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := New(testConfigPolicy(titles, disks, RoundRobin{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := make([]si.Bits, disks)
+	for id := 0; id < titles; id++ {
+		if !reflect.DeepEqual(legacy.Replicas(id), policy.Replicas(id)) {
+			t.Errorf("title %d: RoundRobin layout diverges from the legacy default:\nlegacy %+v\npolicy %+v",
+				id, legacy.Replicas(id), policy.Replicas(id))
+		}
+		// And both must match the layout computed from first principles.
+		p := policy.Placement(id)
+		d := id % disks
+		if p.Disk != d || p.Start != next[d] {
+			t.Errorf("title %d placed at disk %d offset %v, want disk %d offset %v",
+				id, p.Disk, p.Start, d, next[d])
+		}
+		next[d] += p.Video.Size()
+	}
+}
+
+// Replicated must put a hot title's copies on distinct disks and, with
+// GroupSize set, across distinct server groups while any group lacks
+// one — a whole-group failure may not take out every copy.
+func TestReplicatedSpreadsCopies(t *testing.T) {
+	const titles, disks, group = 8, 8, 2
+	lib, err := New(testConfigPolicy(titles, disks, Replicated{
+		Base:       LeastLoaded{},
+		HotTitles:  4,
+		Copies:     4,
+		ColdCopies: 2,
+		GroupSize:  group,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLayoutInvariants(t, lib)
+	for id := 0; id < titles; id++ {
+		reps := lib.Replicas(id)
+		want := 4
+		if id >= 4 {
+			want = 2
+		}
+		if len(reps) != want {
+			t.Errorf("title %d has %d replicas, want %d", id, len(reps), want)
+		}
+		seen := map[int]bool{}
+		groups := map[int]bool{}
+		for _, rep := range reps {
+			d := rep.Segments[0].Disk
+			if seen[d] {
+				t.Errorf("title %d has two copies on disk %d", id, d)
+			}
+			seen[d] = true
+			groups[d/group] = true
+		}
+		// 4 groups exist; with copies <= groups every copy gets its own.
+		if len(groups) != len(reps) {
+			t.Errorf("title %d spreads %d copies over %d groups, want one group each",
+				id, len(reps), len(groups))
+		}
+	}
+}
+
+// The policy layer's validation: bad parameters fail loudly instead of
+// producing a silently wrong layout.
+func TestPolicyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  PlacementPolicy
+	}{
+		{"replicated zero copies", Replicated{HotTitles: 2, Copies: 0}},
+		{"stripe width zero", Striped{Width: 0}},
+		{"stripe width beyond disks", Striped{Width: 9}},
+		{"explicit wrong length", Explicit{{{Disks: []int{0}}}}},
+		{"explicit disk out of range", wrongDiskExplicit(4)},
+		{"explicit empty replica", emptyReplicaExplicit(4)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := New(testConfigPolicy(4, 2, c.pol)); err == nil {
+				t.Errorf("policy %s accepted, want an error", c.pol.Name())
+			}
+		})
+	}
+}
+
+func wrongDiskExplicit(titles int) Explicit {
+	e := make(Explicit, titles)
+	for i := range e {
+		e[i] = []ReplicaSpec{{Disks: []int{99}}}
+	}
+	return e
+}
+
+func emptyReplicaExplicit(titles int) Explicit {
+	e := make(Explicit, titles)
+	for i := range e {
+		e[i] = []ReplicaSpec{{}}
+	}
+	return e
+}

@@ -1,0 +1,202 @@
+// Package cluster lifts the single-server streaming engine to a routed
+// multi-server fleet: one engine.System per server, a shared catalog laid
+// out by a placement policy (replication and striping included), and an
+// admission Router that steers each arriving viewer to a server+disk
+// holding a copy of its title and having headroom for one more stream.
+//
+// The router's headroom rule combines the two per-disk limits the
+// reproduction has measured separately:
+//
+//   - Disk bandwidth: Eq. 1's N = DeriveN(TR, CR) streams is the hard
+//     concurrency ceiling one spindle sustains.
+//   - The Theorem 1 memory knee: total buffer memory for n concurrent
+//     streams grows like n·BS(n), and BS(n) blows up as n approaches N —
+//     the scale scenarios put the knee near n ≈ N/2. Admitting past the
+//     knee buys few streams for a lot of memory.
+//
+// So a disk accepts new streams only while its committed count stays
+// under cap = min(floor(KneeFraction·N), N). A title's preferred replica
+// is its primary; when the primary's disk is saturated the router fails
+// over to the least-loaded other replica, and only when every replica's
+// disk is at the cap is the viewer rejected. Per-replica committed
+// counts are tracked here (atomically — the serve driver routes from
+// concurrent connection goroutines) and released through the engines'
+// OnDepart/OnReject callbacks.
+package cluster
+
+import (
+	"sync/atomic"
+
+	"repro/internal/catalog"
+)
+
+// Target is the routing decision for one admitted arrival.
+type Target struct {
+	// Server is the index of the chosen server.
+	Server int
+	// Disk is the chosen disk, local to the server (what the engine's
+	// workload.Request.Disk wants).
+	Disk int
+	// Global is the fleet-wide disk index: Server·DisksPerServer + Disk.
+	Global int
+	// Replica is the index of the chosen replica of the title.
+	Replica int
+}
+
+// Router is the fleet's admission steering. It holds the global catalog
+// (replica locations) and a committed-stream count per global disk.
+type Router struct {
+	lib      *catalog.Library
+	disksPer int
+	cap      int // per-disk committed ceiling: min(floor(knee·N), N)
+
+	committed []atomic.Int64 // per global disk
+
+	routed    atomic.Int64
+	failovers atomic.Int64
+	rejected  atomic.Int64
+	perServer []atomic.Int64 // routed, per server
+}
+
+// newRouter builds the router for a fleet of servers×disksPer disks
+// described by the global library. cap is the per-disk committed
+// ceiling.
+func newRouter(lib *catalog.Library, servers, disksPer, cap int) *Router {
+	return &Router{
+		lib:       lib,
+		disksPer:  disksPer,
+		cap:       cap,
+		committed: make([]atomic.Int64, servers*disksPer),
+		perServer: make([]atomic.Int64, servers),
+	}
+}
+
+// Cap reports the per-disk committed ceiling the router admits under.
+func (r *Router) Cap() int { return r.cap }
+
+// Committed reports the current committed-stream count of a global disk.
+func (r *Router) Committed(global int) int { return int(r.committed[global].Load()) }
+
+// tryAcquire books one stream on a global disk if headroom remains.
+func (r *Router) tryAcquire(global int) bool {
+	c := &r.committed[global]
+	for {
+		n := c.Load()
+		if int(n) >= r.cap {
+			return false
+		}
+		if c.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release frees one booked stream on a global disk. The cluster's
+// per-server observers call it on OnDepart and OnReject; drivers that
+// withdraw a still-queued request (Disk.Cancel returning true fires no
+// callback) must call it themselves.
+func (r *Router) Release(global int) {
+	c := &r.committed[global]
+	for {
+		n := c.Load()
+		if n <= 0 {
+			return // over-release indicates a driver bug; never go negative
+		}
+		if c.CompareAndSwap(n, n-1) {
+			return
+		}
+	}
+}
+
+// chargeContinuation books a striped viewer's next segment onto its
+// disk. Continuations are already-admitted load — rejecting a viewer
+// mid-title is worse than briefly exceeding the knee cap — so the charge
+// is unconditional; new admissions on that disk stay blocked until the
+// count falls back under the cap.
+func (r *Router) chargeContinuation(global int) {
+	r.committed[global].Add(1)
+}
+
+// Route picks the server+disk to admit a viewer of the given title, and
+// books one stream there. The primary replica is preferred; when its
+// disk lacks headroom the router fails over to the remaining replicas,
+// least-committed first. ok == false means every replica's disk is at
+// the cap (or the title has no replica) and the viewer is rejected.
+// Multi-segment (striped) replicas are booked on their first segment's
+// disk — the later segments are charged as the viewing reaches them.
+func (r *Router) Route(video int) (t Target, ok bool) {
+	reps := r.lib.Replicas(video)
+	if len(reps) == 0 {
+		r.rejected.Add(1)
+		return Target{}, false
+	}
+	if g := reps[0].Segments[0].Disk; r.tryAcquire(g) {
+		r.routed.Add(1)
+		r.perServer[g/r.disksPer].Add(1)
+		return Target{Server: g / r.disksPer, Disk: g % r.disksPer, Global: g, Replica: 0}, true
+	}
+	for {
+		// Least-committed remaining replica first; on ties the lowest
+		// replica index, so the order is deterministic under one thread.
+		best, bestLoad := -1, int64(0)
+		for i := 1; i < len(reps); i++ {
+			g := reps[i].Segments[0].Disk
+			n := r.committed[g].Load()
+			if int(n) >= r.cap {
+				continue
+			}
+			if best < 0 || n < bestLoad {
+				best, bestLoad = i, n
+			}
+		}
+		if best < 0 {
+			r.rejected.Add(1)
+			return Target{}, false
+		}
+		g := reps[best].Segments[0].Disk
+		if !r.tryAcquire(g) {
+			continue // lost a race; rescan
+		}
+		r.routed.Add(1)
+		r.failovers.Add(1)
+		r.perServer[g/r.disksPer].Add(1)
+		return Target{Server: g / r.disksPer, Disk: g % r.disksPer, Global: g, Replica: best}, true
+	}
+}
+
+// RouterStats is a point-in-time snapshot of the router's tallies,
+// embedded in the serve driver's STATS dump.
+type RouterStats struct {
+	// Routed counts arrivals the router accepted and steered.
+	Routed int64 `json:"routed"`
+	// Failovers counts routed arrivals that did not get their primary
+	// replica.
+	Failovers int64 `json:"failovers"`
+	// Rejected counts arrivals turned away with every replica saturated.
+	Rejected int64 `json:"rejected"`
+	// CapPerDisk is the committed ceiling per disk.
+	CapPerDisk int `json:"cap_per_disk"`
+	// Committed is the live booked-stream count per global disk.
+	Committed []int64 `json:"committed"`
+	// RoutedPerServer splits Routed by chosen server.
+	RoutedPerServer []int64 `json:"routed_per_server"`
+}
+
+// Stats snapshots the router.
+func (r *Router) Stats() RouterStats {
+	s := RouterStats{
+		Routed:          r.routed.Load(),
+		Failovers:       r.failovers.Load(),
+		Rejected:        r.rejected.Load(),
+		CapPerDisk:      r.cap,
+		Committed:       make([]int64, len(r.committed)),
+		RoutedPerServer: make([]int64, len(r.perServer)),
+	}
+	for i := range r.committed {
+		s.Committed[i] = r.committed[i].Load()
+	}
+	for i := range r.perServer {
+		s.RoutedPerServer[i] = r.perServer[i].Load()
+	}
+	return s
+}

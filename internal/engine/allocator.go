@@ -77,6 +77,19 @@ func (DynamicAllocator) PlanSize(d *Disk, n int) si.Bits {
 		k = d.Estimate(n) // empty book: fall back to the estimate
 	}
 	k += d.sys.params.Alpha
+	if d.sys.cfg.RampAwarePlanning {
+		// Plan at the admission window's full load, not today's: the
+		// enforcement admits up to min_i(n_i+k_i) concurrent streams,
+		// and a fill late in the coming round allocates at whatever
+		// load the window has reached by then (see
+		// Config.RampAwarePlanning).
+		if m := d.book.MinNK(); m > n {
+			n = m
+			if n > d.sys.params.N {
+				n = d.sys.params.N
+			}
+		}
+	}
 	return d.sys.sizeFor(d, n, k)
 }
 

@@ -269,8 +269,11 @@ func (d *Disk) onArrival(req workload.Request) {
 // Cancel withdraws a request by ID, whether it is still queued for
 // admission or already in service. The live driver uses it for viewers
 // that hang up or time out; the simulator never cancels, so simulation
-// schedules are unaffected.
-func (d *Disk) Cancel(id int) {
+// schedules are unaffected. It reports whether a still-queued entry was
+// withdrawn — that path fires no observer callback, so accounting
+// layered on OnDepart (e.g. a fleet router's load tracking) must release
+// on true; the in-service path departs through OnDepart as usual.
+func (d *Disk) Cancel(id int) bool {
 	for i := d.qhead; i < len(d.queue); i++ {
 		if d.queue[i].req.ID == id {
 			d.queue = append(d.queue[:i], d.queue[i+1:]...)
@@ -280,15 +283,16 @@ func (d *Disk) Cancel(id int) {
 			if g := d.sys.gate; g != nil {
 				g.Release(d)
 			}
-			return
+			return true
 		}
 	}
 	for _, st := range d.streams {
 		if st.id == id {
 			d.depart(st)
-			return
+			return false
 		}
 	}
+	return false
 }
 
 // Extend raises a committed request's viewing time to at least viewing,
@@ -356,11 +360,19 @@ func (d *Disk) admitFromQueue() {
 		}
 		d.admitSeq++
 		d.admits++
+		// Serve from this disk's own copy when the library replicates or
+		// stripes the title across disks; requests routed to a disk
+		// without one fall back to the primary placement's geometry, the
+		// historical behavior.
+		place, ok := d.sys.cfg.Library.PlacementFor(q.req.Video, d.id)
+		if !ok {
+			place = d.sys.cfg.Library.Placement(q.req.Video)
+		}
 		st := &Stream{
 			disk:       d,
 			id:         q.req.ID,
 			req:        q.req,
-			place:      d.sys.cfg.Library.Placement(q.req.Video),
+			place:      place,
 			nAtArrival: q.nAtArrival,
 			required:   maxBits(d.sys.cfg.CR.DataIn(q.req.Viewing), 1),
 			deadline:   d.now(), // fresh: due immediately

@@ -99,6 +99,22 @@ type Config struct {
 	// ChurnSafeAdmission.
 	DeadlineAwareBubbleUp bool
 
+	// RampAwarePlanning makes the dynamic scheme's worst-case service
+	// planning assume the admission window's full load instead of the
+	// current one. Theorem 1 sizes a buffer's usage period to cover
+	// n+k services of BS_{k+α}(n+k) — services at the load the window
+	// may REACH — but PlanSize at load n feeds the lazy-start and
+	// cushion math services of BS(n), which is what fills cost only if
+	// no admission lands. On a fast ramp the k admissions do land, each
+	// mid-round fill allocates above plan, and the wake computed from
+	// the smaller services leaves the round's tail short by about
+	// n·(BS(n+k)−BS(n))/TR — underruns with the disk 100% busy. With
+	// this set, planning evaluates at min_i(n_i+k_i), the largest load
+	// any in-window allocation can see, restoring the theorem's
+	// accounting. Scenarios driving hard ramps set it alongside
+	// ChurnSafeAdmission; only the dynamic allocator consults it.
+	RampAwarePlanning bool
+
 	// TLog is the arrival-history window for k estimation.
 	TLog si.Seconds
 

@@ -283,6 +283,7 @@ func Registry() []struct {
 		{"ext-modern-disk", ExtModernDisk},
 		{"scale-largen", ScaleLargeN},
 		{"zipf-sharing", ZipfSharing},
+		{"fleet-routing", FleetRouting},
 	}
 }
 

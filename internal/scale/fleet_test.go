@@ -1,0 +1,90 @@
+package scale
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestFleetConfigValidation(t *testing.T) {
+	bad := []FleetConfig{
+		{Servers: 1},
+		{DisksPerServer: -1},
+		{Titles: 1},
+		{TitleLength: -1},
+		{OverloadFactor: -1},
+		{Horizon: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunFleet(cfg); err == nil {
+			t.Errorf("config %d (%+v): RunFleet accepted an invalid config", i, cfg)
+		}
+	}
+}
+
+// The scenario's headline claim on a pocket fleet: over the identical
+// knee-capacity trace, replicating the hot set lets the router admit a
+// solid multiple of the single-copy arm — which is title-bound, not
+// bandwidth-bound — and the Theorem 1 sizing guarantee holds in both
+// arms (zero underruns), ramp admissions included. The full-size fleet
+// (4×8) with the analytic max-flow bound is the fleet-routing
+// experiment's golden; this test keeps the invariants cheap enough for
+// every `go test` run.
+func TestFleetReplicationMultipliesAdmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet scenario in -short mode")
+	}
+	// 2 titles over 4 disks: the single-copy arm can hold data on only
+	// half its spindles, the starvation regime the scenario is about.
+	cfg := FleetConfig{
+		Servers:        2,
+		DisksPerServer: 2,
+		Titles:         2,
+		Seed:           7,
+		SizeTable:      NewFleetSizeTable(sched.RoundRobin),
+		Quick:          true,
+	}
+	base, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replicate = true
+	rep, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paired arms: the trace is drawn before the arms diverge.
+	if base.Requests != rep.Requests {
+		t.Fatalf("arms saw different traces: %d vs %d requests", base.Requests, rep.Requests)
+	}
+	// The baseline must actually starve on placement: a narrow Zipf
+	// catalog leaves most spindles without data to serve.
+	if base.Rejected == 0 {
+		t.Fatal("single-copy arm rejected nothing; the scenario must saturate the data-holding disks")
+	}
+	if base.Underruns != 0 || rep.Underruns != 0 {
+		t.Fatalf("sizing guarantee violated: %d underruns single-copy, %d replicated",
+			base.Underruns, rep.Underruns)
+	}
+	ratio := float64(rep.Routed) / float64(base.Routed)
+	if ratio < 1.5 {
+		t.Errorf("replicated arm admitted only %.2fx the single-copy arm (%d vs %d)",
+			ratio, rep.Routed, base.Routed)
+	}
+	// The replicated arm's gain must come from the router reaching the
+	// copies: failover is the mechanism, so it has to fire.
+	if rep.Failovers == 0 {
+		t.Error("replicated arm admitted more without a single failover")
+	}
+	// Both runs must be deterministic for equal configs.
+	again, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Routed != rep.Routed || again.Failovers != rep.Failovers ||
+		again.Rejected != rep.Rejected || again.PeakTotal != rep.PeakTotal ||
+		again.Underruns != rep.Underruns {
+		t.Errorf("replicated arm not deterministic: %+v vs %+v", again, rep)
+	}
+}

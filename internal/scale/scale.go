@@ -229,28 +229,6 @@ type Result struct {
 	PeakTotal int
 }
 
-// balanceTitles assigns titles to disks greedily by expected load:
-// titles come in popularity order (Zipf weight falls with the id), and
-// each goes to the disk with the least accumulated popularity, lowest
-// disk first on ties. The result is deterministic and, because no single
-// title outweighs a fair share at this catalog size, near-uniform.
-func balanceTitles(titles, disks int) []int {
-	weights := catalog.ZipfWeights(titles, 0.271)
-	place := make([]int, titles)
-	load := make([]float64, disks)
-	for id, w := range weights {
-		best := 0
-		for d := 1; d < disks; d++ {
-			if load[d] < load[best] {
-				best = d
-			}
-		}
-		place[id] = best
-		load[best] += w
-	}
-	return place
-}
-
 // diskObserver tallies per-disk loads through the engine's callbacks.
 // The scenario runs under a VirtualClock — a single-shard domain whose
 // callbacks all execute on one event loop — so plain counters suffice
@@ -297,7 +275,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	env := Environment()
 	length := cfg.TitleLength
-	place := balanceTitles(cfg.TitlesPerDisk*cfg.Disks, cfg.Disks)
 	lib, err := catalog.New(catalog.Config{
 		Titles:          cfg.TitlesPerDisk * cfg.Disks,
 		Disks:           cfg.Disks,
@@ -314,7 +291,7 @@ func Run(cfg Config) (*Result, error) {
 		// the least-loaded disk instead (greedy LPT) — the
 		// popularity-aware placement a multi-disk VoD server needs, and
 		// deterministic so runs stay reproducible.
-		Place: func(id int) int { return place[id] },
+		Policy: catalog.LeastLoaded{},
 	})
 	if err != nil {
 		return nil, err

@@ -159,7 +159,6 @@ func RunSharing(cfg SharingConfig) (*SharingResult, error) {
 	env := Environment()
 	length := cfg.TitleLength
 	titles := cfg.TitlesPerDisk * cfg.Disks
-	place := balanceTitles(titles, cfg.Disks)
 	lib, err := catalog.New(catalog.Config{
 		Titles:          titles,
 		Disks:           cfg.Disks,
@@ -170,7 +169,7 @@ func RunSharing(cfg SharingConfig) (*SharingResult, error) {
 			v.Length = length
 			return v
 		},
-		Place: func(id int) int { return place[id] },
+		Policy: catalog.LeastLoaded{},
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// startFleetServer spins a cluster-mode server: servers × disks engines
+// behind the admission router, on an ephemeral port.
+func startFleetServer(t *testing.T, servers, disks int) (*Server, string) {
+	t.Helper()
+	srv, err := New(Config{Scale: 600, Disks: disks, Cluster: servers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Stop()
+	})
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+// Cluster mode is a different serving topology, not a different
+// protocol: routed viewers still receive exactly the content they asked
+// for, and after the traffic drains every book — the engines' admission
+// books and the router's committed counts — must be empty again.
+func TestClusterServesExactContent(t *testing.T) {
+	srv, addr := startFleetServer(t, 2, 2)
+	const viewers = 6
+	done := make(chan int64, viewers)
+	for i := 0; i < viewers; i++ {
+		go func() { done <- watch(t, addr, 5) }()
+	}
+	for i := 0; i < viewers; i++ {
+		if got := <-done; got != 937_500 {
+			t.Errorf("viewer delivered %d bytes, want 937500", got)
+		}
+	}
+	drained(t, srv)
+	c := srv.Counters()
+	if c.Admitted != viewers || c.Rejected != 0 || c.Departed != viewers {
+		t.Errorf("admitted=%d rejected=%d departed=%d, want %d/0/%d",
+			c.Admitted, c.Rejected, c.Departed, viewers, viewers)
+	}
+	if c.InService != 0 || c.Book != 0 {
+		t.Errorf("engine books not drained: inservice=%d book=%d", c.InService, c.Book)
+	}
+	// Departures release the router's bookings through the cluster's
+	// observer; a leak here would eventually wedge admission at the cap.
+	rs := srv.rt.Stats()
+	if rs.Routed != viewers {
+		t.Errorf("router routed %d, want %d", rs.Routed, viewers)
+	}
+	for g, n := range rs.Committed {
+		if n != 0 {
+			t.Errorf("router still holds %d committed on disk %d after drain", n, g)
+		}
+	}
+}
+
+// The STATS dump grows a router block in cluster mode, reporting the
+// knee cap and per-disk committed counts sized to the global fleet.
+func TestClusterStatsReportRouter(t *testing.T) {
+	srv, addr := startFleetServer(t, 2, 2)
+	if got := watch(t, addr, 5); got != 937_500 {
+		t.Fatalf("delivered %d bytes, want 937500", got)
+	}
+	drained(t, srv)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "STATS\n")
+	var s Stats
+	if err := json.NewDecoder(conn).Decode(&s); err != nil {
+		t.Fatalf("undecodable STATS reply: %v", err)
+	}
+	if s.Router == nil {
+		t.Fatal("STATS missing router block in cluster mode")
+	}
+	if s.Router.Routed != 1 || s.Router.Rejected != 0 {
+		t.Errorf("router stats %+v, want 1 routed, 0 rejected", *s.Router)
+	}
+	if s.Router.CapPerDisk <= 0 {
+		t.Errorf("router cap_per_disk=%d, want positive", s.Router.CapPerDisk)
+	}
+	if got, want := len(s.Router.Committed), 4; got != want {
+		t.Errorf("router committed has %d disks, want the global %d", got, want)
+	}
+}
+
+// committedTotal sums the router's live bookings across all disks.
+func committedTotal(srv *Server) int64 {
+	var total int64
+	for _, n := range srv.rt.Stats().Committed {
+		total += n
+	}
+	return total
+}
+
+// The router's bookings must track the streams exactly: saturate one
+// hot title's two single-disk replicas past their knee caps with long
+// viewings, check the surplus is refused with both replicas fully
+// booked, then hang up everyone and check every booking comes back —
+// a leak in either direction eventually wedges admission at the cap.
+func TestClusterBookingLifecycle(t *testing.T) {
+	srv, addr := startFleetServer(t, 2, 1)
+	cap := srv.rt.Stats().CapPerDisk
+	// The fleet replicates the hot quarter on both servers, so title 0
+	// has a single-disk replica on each: 2×cap viewings fill both.
+	const surplus = 3
+	total := 2*cap + surplus
+	admitted := make(chan bool, total)
+	release := make(chan struct{})
+	for i := 0; i < total; i++ {
+		go func() {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				admitted <- false
+				return
+			}
+			defer conn.Close()
+			// Viewing far longer than the test: admitted streams hold
+			// their slots until the hangup below.
+			fmt.Fprintf(conn, "WATCH 100000 0\n")
+			buf := make([]byte, 3)
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			n, _ := conn.Read(buf)
+			ok := n >= 2 && string(buf[:2]) == "OK"
+			admitted <- ok
+			if ok {
+				<-release // hold the stream open for the booked check
+			}
+		}()
+	}
+	got := 0
+	for i := 0; i < total; i++ {
+		if <-admitted {
+			got++
+		}
+	}
+	// The cap is a hard ceiling; the floor is soft (a routed viewer can
+	// still time out of the engine's deferral queue under wall-clock
+	// jitter, correctly releasing its booking on the way out).
+	if got > 2*cap {
+		t.Fatalf("admitted %d viewers, above both replicas' caps (%d)", got, 2*cap)
+	}
+	if got < cap {
+		t.Fatalf("admitted %d viewers, want at least one replica's cap (%d)", got, cap)
+	}
+	if committed := committedTotal(srv); committed != int64(got) {
+		t.Errorf("router holds %d committed slots with %d streams open", committed, got)
+	}
+	// Hang up: cancelled streams depart and the cluster's observer must
+	// return every booking.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if committedTotal(srv) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router still holds %d committed slots after all viewers hung up (booking leak)",
+				committedTotal(srv))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Cluster mode and the sharing front end are mutually exclusive, and a
+// negative fleet size is rejected.
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Scale: 600, Disks: 1, Cluster: 2, Share: true}); err == nil {
+		t.Error("cluster+share config accepted, want an error")
+	}
+	if _, err := New(Config{Scale: 600, Disks: 1, Cluster: -1}); err == nil {
+		t.Error("negative cluster size accepted, want an error")
+	}
+}

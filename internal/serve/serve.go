@@ -38,6 +38,7 @@ import (
 
 	vod "repro"
 	"repro/internal/catalog"
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/livemetrics"
 	"repro/internal/share"
@@ -64,6 +65,15 @@ type Config struct {
 	// pin it for reproducible runs. 0 means seed 1.
 	Seed int64
 
+	// Cluster, when >= 2, serves from a routed fleet of that many
+	// single-server engines (internal/cluster) instead of one: Disks
+	// becomes the per-server disk count, the catalog is laid out by the
+	// replicated placement policy (the hot quarter gets one copy per
+	// server), and each connection is steered by the admission router
+	// to a server+disk with a replica and headroom. Mutually exclusive
+	// with Share (the sharing layer fronts a single engine).
+	Cluster int
+
 	// Share enables the stream-sharing front end (internal/share): hot
 	// titles' prefixes are pinned in pool memory and concurrent viewers
 	// of one title merge onto one disk stream.
@@ -89,7 +99,9 @@ type Server struct {
 	lib   *catalog.Library
 	cr    vod.BitRate
 	live  *livemetrics.Collector
-	share *share.Layer // nil unless Config.Share
+	share *share.Layer     // nil unless Config.Share
+	fleet *cluster.Cluster // nil unless Config.Cluster >= 2
+	rt    *cluster.Router  // the fleet's admission router
 
 	engine.NopObserver // the server observes only what it overrides
 
@@ -105,6 +117,8 @@ type Server struct {
 // state, so the serving path has no cross-disk contention.
 type shard struct {
 	disk     *engine.Disk
+	sys      *engine.System
+	global   int // fleet-global disk index (== disk.ID() single-server)
 	clock    *engine.WallShard
 	sessions map[int]*session
 }
@@ -153,6 +167,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.Cluster >= 2 {
+		if cfg.Share {
+			return nil, fmt.Errorf("serve: cluster mode and the sharing front end are mutually exclusive")
+		}
+		return newFleet(cfg)
+	}
+	if cfg.Cluster < 0 {
+		return nil, fmt.Errorf("serve: negative cluster size %d", cfg.Cluster)
 	}
 	spec, cr, _ := vod.PaperEnvironment()
 	lib, err := catalog.New(catalog.Config{
@@ -208,11 +231,124 @@ func New(cfg Config) (*Server, error) {
 	for d := 0; d < cfg.Disks; d++ {
 		srv.shards = append(srv.shards, &shard{
 			disk:     sys.Disk(d),
+			sys:      sys,
+			global:   d,
 			clock:    srv.clock.Shard(d),
 			sessions: make(map[int]*session),
 		})
 	}
 	return srv, nil
+}
+
+// newFleet builds the cluster-mode server: Config.Cluster single-server
+// engines of Config.Disks disks each, composed by internal/cluster over
+// one globally-sharded wall clock. The catalog is laid out by the
+// replicated policy — the hottest quarter gets one copy per server, the
+// tail a failover twin, spread across servers so the router's steering
+// has somewhere to go — and is sized for that replication: a demo disk
+// holds 6 copies of the 1.35 GB title, so the title count targets ~4.5
+// copies per disk, leaving the placement policy packing slack.
+func newFleet(cfg Config) (*Server, error) {
+	spec, cr, _ := vod.PaperEnvironment()
+	servers, disksPer := cfg.Cluster, cfg.Disks
+	disks := servers * disksPer
+	cold := min(2, servers)
+	copiesPerTitle := float64(servers+3*cold) / 4 // hot quarter × servers, rest × cold
+	titles := int(4.5 * float64(disks) / copiesPerTitle)
+	srv := &Server{
+		clock: engine.NewWallClock(cfg.Scale),
+		cr:    cr,
+		live:  livemetrics.NewCollector(disks),
+	}
+	fleet, err := cluster.New(cluster.Config{
+		Servers:         servers,
+		DisksPerServer:  disksPer,
+		Titles:          titles,
+		PopularityTheta: 0.271,
+		Policy: catalog.Replicated{
+			Base:       catalog.LeastLoaded{},
+			HotTitles:  titles / 4,
+			Copies:     servers,
+			ColdCopies: cold,
+			GroupSize:  disksPer,
+		},
+		Engine: engine.Config{
+			Clock:     srv.clock,
+			Allocator: engine.DynamicAllocator{},
+			Method:    vod.NewMethod(vod.RoundRobin),
+			Spec:      spec,
+			CR:        cr,
+			Alpha:     1,
+			TLog:      vod.Minutes(40),
+			Seed:      cfg.Seed,
+			// Live connections arrive as fast as clients dial: the
+			// ramp-hardened enforcement variants keep the sizing
+			// guarantee honest under that churn (see internal/scale).
+			ChurnSafeAdmission:    true,
+			DeadlineAwareBubbleUp: true,
+			RampAwarePlanning:     true,
+		},
+		// The collector runs first so its counters are stamped before
+		// the relay reacts to the same event; both see fleet-global
+		// disk indices.
+		Observer: func(s int) engine.Observer {
+			return offsetObserver{o: engine.Observers{srv.live, srv}, off: s * disksPer}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.fleet = fleet
+	srv.rt = fleet.Router()
+	srv.lib = fleet.Library()
+	for g := 0; g < disks; g++ {
+		srv.shards = append(srv.shards, &shard{
+			disk:     fleet.System(g / disksPer).Disk(g % disksPer),
+			sys:      fleet.System(g / disksPer),
+			global:   g,
+			clock:    srv.clock.Shard(g),
+			sessions: make(map[int]*session),
+		})
+	}
+	return srv, nil
+}
+
+// offsetObserver maps one fleet server's engine callbacks (server-local
+// disk indices) onto the fleet-global disk numbering the serving path
+// and the metrics collector are indexed by.
+type offsetObserver struct {
+	o   engine.Observer
+	off int
+}
+
+func (r offsetObserver) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
+	r.o.OnAdmit(r.off+disk, st, now)
+}
+func (r offsetObserver) OnDefer(disk int, now si.Seconds) { r.o.OnDefer(r.off+disk, now) }
+func (r offsetObserver) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
+	r.o.OnReject(r.off+disk, req, reason, now)
+}
+func (r offsetObserver) OnFill(disk int, st *engine.Stream, start, dur si.Seconds, fill si.Bits, deadline si.Seconds) {
+	r.o.OnFill(r.off+disk, st, start, dur, fill, deadline)
+}
+func (r offsetObserver) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now si.Seconds) {
+	r.o.OnFillComplete(r.off+disk, st, fill, now)
+}
+func (r offsetObserver) OnStart(disk int, st *engine.Stream, now si.Seconds) {
+	r.o.OnStart(r.off+disk, st, now)
+}
+func (r offsetObserver) OnStall(disk int, now si.Seconds) { r.o.OnStall(r.off+disk, now) }
+func (r offsetObserver) OnEstimate(disk int, kc int, size si.Bits, now si.Seconds) {
+	r.o.OnEstimate(r.off+disk, kc, size, now)
+}
+func (r offsetObserver) OnEstimateResolved(disk int, hit bool, now si.Seconds) {
+	r.o.OnEstimateResolved(r.off+disk, hit, now)
+}
+func (r offsetObserver) OnUnderrun(disk int, now, gap si.Seconds) {
+	r.o.OnUnderrun(r.off+disk, now, gap)
+}
+func (r offsetObserver) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
+	r.o.OnDepart(r.off+disk, st, now)
 }
 
 // Clock exposes the server's wall clock (for time-scale math in
@@ -387,7 +523,20 @@ func (srv *Server) handle(conn net.Conn) {
 	if cmd.Title >= 0 {
 		video = cmd.Title % srv.lib.Len()
 	}
-	sh := srv.shards[srv.lib.Placement(video).Disk]
+	// In cluster mode the admission router picks the server+disk (a
+	// replica with committed headroom, primary first); single-server,
+	// the catalog's placement names the one shard holding the title.
+	var sh *shard
+	if srv.fleet != nil {
+		t, ok := srv.rt.Route(video)
+		if !ok {
+			fmt.Fprintf(conn, "BUSY\n") // every replica at the knee cap
+			return
+		}
+		sh = srv.shards[t.Global]
+	} else {
+		sh = srv.shards[srv.lib.Placement(video).Disk]
+	}
 	sess := &session{
 		id:      id,
 		decided: make(chan bool, 1),
@@ -405,15 +554,18 @@ func (srv *Server) handle(conn net.Conn) {
 		if srv.share != nil {
 			srv.share.Submit(req)
 		} else {
-			srv.sys.OnArrival(req)
+			sh.sys.OnArrival(req)
 		}
 	})
 	defer sh.clock.Do(func() {
-		// No-ops once the viewer's delivery has completed.
+		// No-ops once the viewer's delivery has completed. Withdrawing
+		// a still-queued arrival fires no engine callback, so the
+		// router's booking is returned here (departures and rejections
+		// release through the cluster's own observer).
 		if srv.share != nil {
 			srv.share.Cancel(id, sh.disk.ID())
-		} else {
-			sh.disk.Cancel(id)
+		} else if sh.disk.Cancel(id) && srv.rt != nil {
+			srv.rt.Release(sh.global)
 		}
 		delete(sh.sessions, id)
 	})
@@ -429,11 +581,13 @@ func (srv *Server) handle(conn net.Conn) {
 			select {
 			case admitted = <-sess.decided: // the decision raced the timeout
 			default:
-				// Withdraw from the deferral queue.
+				// Withdraw from the deferral queue (and return the
+				// router's booking — no callback fires for a queued
+				// withdrawal).
 				if srv.share != nil {
 					srv.share.Cancel(id, sh.disk.ID())
-				} else {
-					sh.disk.Cancel(id)
+				} else if sh.disk.Cancel(id) && srv.rt != nil {
+					srv.rt.Release(sh.global)
 				}
 			}
 		})
@@ -523,6 +677,10 @@ type Stats struct {
 	InService int `json:"in_service"`
 	// Book counts admission-book entries (in service + committed).
 	Book int `json:"book"`
+	// Router, in cluster mode, snapshots the fleet's admission router:
+	// routed/failover/rejected tallies, the per-disk knee cap, and the
+	// live committed count per global disk.
+	Router *cluster.RouterStats `json:"router,omitempty"`
 	livemetrics.Snapshot
 }
 
@@ -530,6 +688,10 @@ type Stats struct {
 // takes each shard's lock briefly and allocates.
 func (srv *Server) Stats() Stats {
 	s := Stats{EngineNowS: float64(srv.clock.Now())}
+	if srv.rt != nil {
+		rs := srv.rt.Stats()
+		s.Router = &rs
+	}
 	for _, sh := range srv.shards {
 		sh.clock.Do(func() {
 			s.InService += sh.disk.InService()

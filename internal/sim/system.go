@@ -55,6 +55,12 @@ type Config struct {
 	// scale scenario.
 	DeadlineAwareBubbleUp bool
 
+	// RampAwarePlanning plans worst-case services at the admission
+	// window's full load (engine.Config.RampAwarePlanning): required
+	// when hard ramps deliver the predicted k admissions inside a
+	// usage period, as in the fleet scenario.
+	RampAwarePlanning bool
+
 	// Library provides titles, placement, and the disk count.
 	Library *catalog.Library
 
@@ -398,6 +404,7 @@ func Run(cfg Config) (*Result, error) {
 		TLog:                  cfg.TLog,
 		ChurnSafeAdmission:    cfg.ChurnSafeAdmission,
 		DeadlineAwareBubbleUp: cfg.DeadlineAwareBubbleUp,
+		RampAwarePlanning:     cfg.RampAwarePlanning,
 		Library:               cfg.Library,
 		PageSize:              cfg.PageSize,
 		DisableBubbleUp:       cfg.DisableBubbleUp,

@@ -50,10 +50,10 @@ bench:
 # baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
 # gate measures allocations, which -race instrumentation would distort.
 bench-smoke:
-	$(GO) run ./cmd/bench -baseline BENCH_PR7.json -check -out /dev/null
+	$(GO) run ./cmd/bench -baseline BENCH_PR8.json -check -out /dev/null
 
 # Regenerate the committed baseline after an intentional perf change.
 bench-snapshot:
-	$(GO) run ./cmd/bench -out BENCH_PR7.json
+	$(GO) run ./cmd/bench -out BENCH_PR8.json
 
 ci: vet build test race bench-smoke cover

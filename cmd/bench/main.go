@@ -34,6 +34,10 @@ type Report struct {
 	Go string `json:"go"`
 	// Cases holds one result per tracked benchmark, in registry order.
 	Cases []CaseResult `json:"cases"`
+	// Skipped names the MinProcs-gated cases this run could not execute
+	// (not enough CPUs) — recorded so a snapshot is explicit about its
+	// coverage gap instead of silently omitting cases.
+	Skipped []string `json:"skipped,omitempty"`
 }
 
 // CaseResult is one benchmark's snapshot.
@@ -77,6 +81,7 @@ func main() {
 		if c.MinProcs > runtime.GOMAXPROCS(0) {
 			fmt.Fprintf(os.Stderr, "%-32s skipped: needs GOMAXPROCS >= %d (have %d)\n",
 				c.Name, c.MinProcs, runtime.GOMAXPROCS(0))
+			rep.Skipped = append(rep.Skipped, c.Name)
 			continue
 		}
 		if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", c.Iters)); err != nil {
@@ -103,6 +108,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-32s %12.1f ns/op %10d B/op %8d allocs/op\n",
 			c.Name, cr.NsPerOp, cr.BytesPerOp, cr.AllocsPerOp)
 	}
+	if len(rep.Skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d MinProcs-gated case(s) NOT measured on this %d-proc runner: %s\n",
+			len(rep.Skipped), runtime.GOMAXPROCS(0), strings.Join(rep.Skipped, ", "))
+		fmt.Fprintln(os.Stderr, "bench: see SERVING.md \"Serving-path performance\" for the multicore local protocol")
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -121,6 +131,9 @@ func main() {
 		regressions, err := compare(*baseline, rep)
 		if err != nil {
 			fatalf("comparing against %s: %v", *baseline, err)
+		}
+		if r := jitterCompRegression(rep); r != "" {
+			regressions = append(regressions, r)
 		}
 		if len(regressions) > 0 {
 			for _, r := range regressions {
@@ -165,6 +178,27 @@ func compare(path string, cur Report) ([]string, error) {
 		}
 	}
 	return regressions, nil
+}
+
+// jitterCompRegression holds the serving path to its claimed win: in
+// the serve/loopback-jittercomp case, compensation must cut underruns
+// at least 5x whenever the uncompensated arm saw enough of them for the
+// ratio to mean anything (>= 50 — below that the machine was quiet and
+// there is nothing to compensate, so the gate stays silent rather than
+// flaking on noise).
+func jitterCompRegression(rep Report) string {
+	for _, c := range rep.Cases {
+		if c.Name != "serve/loopback-jittercomp" || c.Extra == nil {
+			continue
+		}
+		off, on := c.Extra["underruns-nocomp"], c.Extra["underruns-comp"]
+		if off >= 50 && on*5 > off {
+			return fmt.Sprintf(
+				"serve/loopback-jittercomp: compensation cut underruns %.0f -> %.0f, less than the required 5x",
+				off, on)
+		}
+	}
+	return ""
 }
 
 func fatalf(format string, args ...any) {

@@ -4,13 +4,14 @@
 // compressed (one simulated minute per wall second by default) so demos
 // finish quickly.
 //
-// Protocol: the client sends one line, "WATCH <seconds> [<title>]\n";
-// the server
-// answers "OK <id>\n" (admitted) or "BUSY\n" (rejected, or deferred
-// past patience) and then streams length-prefixed frames
-// ([4-byte big-endian length][bytes]) until the requested content has
-// been delivered, closing with a zero length frame. "STATS\n" instead
-// returns one JSON stats dump. SERVING.md is the operator's guide.
+// Protocol: the client sends request lines, "WATCH <seconds>
+// [<title>]\n"; the server answers "OK <id>\n" (admitted) or "BUSY\n"
+// (rejected, or deferred past patience) and then streams
+// length-prefixed frames ([4-byte big-endian length][bytes]) until the
+// requested content has been delivered, ending with a zero length
+// frame — the connection then takes the next request line. "STATS\n"
+// instead returns one JSON stats dump and closes. SERVING.md is the
+// operator's guide.
 //
 //	vodserver -listen :9000            # serve
 //	vodserver -disks 8                 # shard across 8 disks
@@ -49,17 +50,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shared   = fs.Bool("share", false, "enable the stream-sharing front end (prefix cache + viewer batching)")
 		window   = fs.Float64("share-window", 0, "sharing prefix window in simulated seconds (0 = default 60)")
 		cluster  = fs.Int("cluster", 0, "serve a routed fleet of N servers (-disks becomes per-server; 0 = single server)")
+		jcomp    = fs.Bool("jitter-comp", false, "aim timers early by each shard's observed wakeup lag (EWMA) so OS jitter stops counting as underruns")
+		jcompMax = fs.Duration("jitter-comp-max", 0, "cap on how early jitter compensation may fire a timer (0 = serve.DefaultJitterCompMax)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	srv, err := serve.New(serve.Config{
-		Scale:       *scale,
-		Disks:       *disks,
-		Cluster:     *cluster,
-		Share:       *shared,
-		ShareWindow: si.Seconds(*window),
+		Scale:         *scale,
+		Disks:         *disks,
+		Cluster:       *cluster,
+		Share:         *shared,
+		ShareWindow:   si.Seconds(*window),
+		JitterComp:    *jcomp,
+		JitterCompMax: *jcompMax,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -2,11 +2,12 @@ package bench
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -19,11 +20,20 @@ import (
 // loopbackCases measure the live serving path end to end: an in-process
 // vodserver (internal/serve) on a loopback listener, driven by
 // concurrent TCP viewers. Each benchmark iteration is one complete
-// session — dial, WATCH, admission, paced frame delivery, zero-frame
-// close — so allocs/op is the per-session allocation budget of the
-// whole path (client included) and the extra metrics report what an
-// operator sees: sessions/sec, wall-clock admission-to-first-byte
-// latency quantiles, and the engine's underrun count.
+// session — WATCH, admission, paced frame delivery, zero-frame end —
+// so allocs/op is the per-session allocation budget of the whole path
+// (client included) and the extra metrics report what an operator sees:
+// sessions/sec, wall-clock admission-to-first-byte latency quantiles,
+// and the engine's underrun count.
+//
+// Viewers are persistent clients: each worker dials once (outside the
+// timer) and runs its share of b.N viewings over that connection, the
+// way a real frontend would amortize its server connections — which,
+// with the pooled serving path, makes a steady-state session allocate
+// almost nothing on either side. Compensation is on (the serving
+// default an operator wants at high -scale), so the underruns extra
+// reflects the paper's model; serve/loopback-jittercomp measures the
+// off-vs-on difference explicitly.
 //
 // The 1-shard and 8-shard cases run everywhere, including the 1-CPU
 // reference runner, pinning the serving path's allocation budget in the
@@ -41,82 +51,140 @@ func loopbackCases() []Case {
 		// cache-only service, batching, mid-stream piggybacks, and fresh
 		// leads — while each viewer still receives its exact bytes.
 		loopbackCase("serve/loopback-shared", 8, 8, 0, true),
+		jitterCompCase(),
 	}
 }
 
 // loopbackCase builds one loopback benchmark: disks shards serving
-// b.N sessions from workers concurrent viewers, optionally through the
-// sharing layer.
+// b.N sessions from workers concurrent persistent viewers, optionally
+// through the sharing layer.
 func loopbackCase(name string, disks, workers, minProcs int, shared bool) Case {
 	return Case{
 		Name:     name,
 		Iters:    160,
 		MinProcs: minProcs,
 		Bench: func(b *testing.B) {
-			cfg := serve.Config{Scale: 1200, Disks: disks, Seed: 1}
+			cfg := serve.Config{Scale: 1200, Disks: disks, Seed: 1, JitterComp: true}
 			if shared {
 				cfg.Share = true
 				cfg.ShareWindow = 2 // engine seconds; sessions run 5, so joins split cache/disk
 			}
-			srv, err := serve.New(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer srv.Stop()
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer ln.Close()
-			go srv.Serve(ln)
-			addr := ln.Addr().String()
-
 			// Client-measured first-byte latency: WATCH write to first
 			// frame header, in wall seconds at microsecond resolution.
 			firstByte := livemetrics.NewHistogram(1e-6)
-
-			// Warm the path (and the engine's pools) outside the timing.
-			if err := loopbackSession(addr, sessionTitle(shared, 0), firstByte); err != nil {
-				b.Fatal(err)
-			}
-
 			b.ReportAllocs()
 			b.ResetTimer()
-			start := time.Now()
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			errs := make(chan error, workers)
-			for g := 0; g < workers; g++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						n := int(next.Add(1))
-						if n > b.N {
-							break
-						}
-						if err := loopbackSession(addr, sessionTitle(shared, n), firstByte); err != nil {
-							errs <- err
-							return
-						}
-					}
-				}()
-			}
-			wg.Wait()
-			elapsed := time.Since(start)
-			b.StopTimer()
-			select {
-			case err := <-errs:
-				b.Fatal(err)
-			default:
-			}
-
-			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "sessions/sec")
+			sps, underruns := runLoopback(b, cfg, workers,
+				func(n int) int { return sessionTitle(shared, n) }, firstByte)
+			b.ReportMetric(sps, "sessions/sec")
 			b.ReportMetric(firstByte.Quantile(0.50)*1e3, "p50-first-byte-ms")
 			b.ReportMetric(firstByte.Quantile(0.99)*1e3, "p99-first-byte-ms")
-			b.ReportMetric(float64(srv.Metrics().Snapshot().Totals.Underruns), "underruns")
+			b.ReportMetric(float64(underruns), "underruns")
 		},
 	}
+}
+
+// jitterCompCase runs the 8-shard loopback workload twice — timer
+// jitter compensation off, then on — and reports both arms' underrun
+// counts, so the snapshot records what the compensating clock buys at
+// the reference scale (and cmd/bench's gate can hold the win). Note
+// allocs/op for this case covers both arms, i.e. two sessions per op.
+func jitterCompCase() Case {
+	return Case{
+		Name:  "serve/loopback-jittercomp",
+		Iters: 160,
+		Bench: func(b *testing.B) {
+			firstByte := livemetrics.NewHistogram(1e-6)
+			title := func(int) int { return -1 }
+			b.ReportAllocs()
+			b.ResetTimer()
+			cfg := serve.Config{Scale: 1200, Disks: 8, Seed: 1}
+			_, off := runLoopback(b, cfg, 8, title, firstByte)
+			cfg.JitterComp = true
+			sps, on := runLoopback(b, cfg, 8, title, firstByte)
+			b.ReportMetric(sps, "sessions/sec")
+			b.ReportMetric(float64(off), "underruns-nocomp")
+			b.ReportMetric(float64(on), "underruns-comp")
+		},
+	}
+}
+
+// runLoopback stands up a server and drives b.N sessions through it
+// from persistent concurrent clients, timing only the sessions: setup,
+// dialing, warmup, and teardown all happen with the timer stopped. It
+// reports the timed sessions/sec and the engine's total underrun count.
+func runLoopback(b *testing.B, cfg serve.Config, workers int, title func(n int) int, firstByte *livemetrics.Histogram) (float64, int64) {
+	b.StopTimer()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	clients := make([]*loopbackClient, workers)
+	for i := range clients {
+		if clients[i], err = dialLoopback(addr); err != nil {
+			b.Fatal(err)
+		}
+		defer clients[i].close()
+	}
+
+	// Warm every connection in parallel so both sides' pools (server
+	// sessions and conn state, engine streams and timers, client
+	// buffers) hold their steady-state population before timing starts.
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *loopbackClient) {
+			defer wg.Done()
+			if err := cl.session(title(i), firstByte); err != nil {
+				errs <- err
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+
+	var next atomic.Int64
+	b.StartTimer()
+	start := time.Now()
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *loopbackClient) {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1))
+				if n > b.N {
+					return
+				}
+				if err := cl.session(title(n), firstByte); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	return float64(b.N) / elapsed.Seconds(), srv.Metrics().Snapshot().Totals.Underruns
 }
 
 // sessionTitle picks the title for session n: the shared case cycles
@@ -129,50 +197,67 @@ func sessionTitle(shared bool, n int) int {
 	return n % 4
 }
 
-// loopbackSession runs one complete viewer session: 5 simulated seconds
-// of content (937,500 bytes), verified to the byte. A title >= 0 is
-// requested explicitly; -1 lets the server assign one.
-func loopbackSession(addr string, title int, firstByte *livemetrics.Histogram) error {
+// loopbackClient is one persistent viewer connection. Its session
+// method is written to be allocation-free warm — the command builds in
+// a reused buffer, the status line reads in place, payload discards
+// through the buffered reader — so the benchmark's allocs/op measures
+// the serving path, not the harness.
+type loopbackClient struct {
+	conn  net.Conn
+	r     *bufio.Reader
+	cmd   []byte
+	frame [4]byte
+}
+
+func dialLoopback(addr string) (*loopbackClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer conn.Close()
-	start := time.Now()
-	cmd := "WATCH 5\n"
+	return &loopbackClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+func (c *loopbackClient) close() { c.conn.Close() }
+
+// session runs one complete viewing over the persistent connection:
+// 5 simulated seconds of content (937,500 bytes), verified to the byte.
+// A title >= 0 is requested explicitly; -1 lets the server assign one.
+func (c *loopbackClient) session(title int, firstByte *livemetrics.Histogram) error {
+	c.cmd = append(c.cmd[:0], "WATCH 5"...)
 	if title >= 0 {
-		cmd = fmt.Sprintf("WATCH 5 %d\n", title)
+		c.cmd = append(c.cmd, ' ')
+		c.cmd = strconv.AppendInt(c.cmd, int64(title), 10)
 	}
-	if _, err := io.WriteString(conn, cmd); err != nil {
+	c.cmd = append(c.cmd, '\n')
+	start := time.Now()
+	if _, err := c.conn.Write(c.cmd); err != nil {
 		return err
 	}
-	r := bufio.NewReader(conn)
-	status, err := r.ReadString('\n')
+	status, err := c.r.ReadSlice('\n')
 	if err != nil {
 		return err
 	}
-	if !strings.HasPrefix(status, "OK") {
-		return fmt.Errorf("loopback session not admitted: %q", strings.TrimSpace(status))
+	if !bytes.HasPrefix(status, []byte("OK")) {
+		return fmt.Errorf("loopback session not admitted: %q", bytes.TrimSpace(status))
 	}
 	var total int64
-	var frame [4]byte
 	first := true
 	for {
-		if _, err := io.ReadFull(r, frame[:]); err != nil {
+		if _, err := io.ReadFull(c.r, c.frame[:]); err != nil {
 			return err
 		}
 		if first {
 			firstByte.Record(time.Since(start).Seconds())
 			first = false
 		}
-		length := binary.BigEndian.Uint32(frame[:])
+		length := int64(binary.BigEndian.Uint32(c.frame[:]))
 		if length == 0 {
 			break
 		}
-		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+		if _, err := c.r.Discard(int(length)); err != nil {
 			return err
 		}
-		total += int64(length)
+		total += length
 	}
 	if total != 937_500 {
 		return fmt.Errorf("loopback session delivered %d bytes, want 937500", total)

@@ -36,6 +36,7 @@ type Pool struct {
 	starved    si.Seconds
 	highWater  si.Bits
 	highAt     si.Seconds
+	tol        si.Seconds // underrun grace; 0 means UnderrunTolerance
 	onUnderrun func(now, gap si.Seconds)
 	// free interns detached state records for reuse: attach/detach is
 	// per-request churn (hundreds of streams per simulated hour), and
@@ -107,6 +108,28 @@ func (p *Pool) footprint(bits si.Bits) si.Bits {
 // global DebugUnderruns hook, it is owner-scoped: the engine routes it to
 // its Observer so live instrumentation never crosses pools.
 func (p *Pool) SetUnderrunFunc(fn func(now, gap si.Seconds)) { p.onUnderrun = fn }
+
+// SetUnderrunTolerance overrides the pool's underrun grace (<= 0 restores
+// the UnderrunTolerance default). The default is the model's own
+// viewer-imperceptible millisecond; a pool paced by a compressed wall
+// clock runs with that grace rescaled so it stays a wall millisecond —
+// at scale 1200 the default maps to 0.83 wall microseconds, a precision
+// no OS timer delivers, and every scheduler wakeup would be charged to
+// the paper's model as starvation.
+func (p *Pool) SetUnderrunTolerance(tol si.Seconds) {
+	if tol <= 0 {
+		tol = 0
+	}
+	p.tol = tol
+}
+
+// tolerance reports the pool's effective underrun grace.
+func (p *Pool) tolerance() si.Seconds {
+	if p.tol > 0 {
+		return p.tol
+	}
+	return UnderrunTolerance
+}
 
 // Pin reserves bits of pool memory outside any stream's buffer for the
 // pool's lifetime — the sharing layer pins hot titles' prefixes this way,
@@ -192,7 +215,7 @@ func (p *Pool) drain(s *state, now si.Seconds) {
 		// Ran dry at emptyAt. A zero crossing within the tolerance is a
 		// clean hand-to-mouth refill (or a departure landing exactly as
 		// the buffer empties), not starvation.
-		if gap := now - s.emptyAt; gap > UnderrunTolerance {
+		if gap := now - s.emptyAt; gap > p.tolerance() {
 			p.underruns++
 			p.starved += gap
 			if p.onUnderrun != nil {

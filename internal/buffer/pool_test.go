@@ -298,3 +298,41 @@ func TestNewPagedPoolValidation(t *testing.T) {
 	}()
 	NewPagedPool(0, -1)
 }
+
+// SetUnderrunTolerance widens (or restores) the underrun grace: the same
+// late refill is starvation under the model's default millisecond but a
+// clean hand-to-mouth refill under a rescaled grace, and the override is
+// reversible.
+func TestSetUnderrunTolerance(t *testing.T) {
+	// One engine-second of content, refilled 0.5s after the buffer runs
+	// dry — far beyond the default grace, within a 1.2s one.
+	lateRefill := func(p *Pool) {
+		p.Attach(1, cr, 0)
+		p.BeginFill(1, cr.DataIn(1), 0)
+		p.CompleteFill(1, 0) // empties at t=1
+		p.BeginFill(1, cr.DataIn(1), 1.5)
+		p.CompleteFill(1, 1.5)
+		p.Detach(1, 1.5)
+	}
+
+	p := NewPool(0)
+	lateRefill(p)
+	if st := p.Stats(); st.Underruns != 1 {
+		t.Fatalf("default tolerance: %d underruns, want 1", st.Underruns)
+	}
+
+	p = NewPool(0)
+	p.SetUnderrunTolerance(1.2)
+	lateRefill(p)
+	if st := p.Stats(); st.Underruns != 0 {
+		t.Fatalf("1.2s tolerance: %d underruns, want 0", st.Underruns)
+	}
+
+	p = NewPool(0)
+	p.SetUnderrunTolerance(1.2)
+	p.SetUnderrunTolerance(0) // restore the default
+	lateRefill(p)
+	if st := p.Stats(); st.Underruns != 1 {
+		t.Fatalf("restored default: %d underruns, want 1", st.Underruns)
+	}
+}

@@ -196,6 +196,9 @@ func newDisk(sys *System, id int) *Disk {
 	if sys.cfg.ChurnSafeAdmission {
 		d.budget = core.NewBook()
 	}
+	if sys.cfg.UnderrunTolerance > 0 {
+		d.pool.SetUnderrunTolerance(sys.cfg.UnderrunTolerance)
+	}
 	// A sane initial period guess: the usage period of the smallest
 	// dynamic buffer. Updated at every allocation.
 	d.lastPeriod = sys.params.UsagePeriod(sys.sizeFor(d, 1, sys.params.Alpha))

@@ -125,6 +125,15 @@ type Config struct {
 	// (0 = exact variable-length accounting, the paper's simplification).
 	PageSize si.Bits
 
+	// UnderrunTolerance overrides the buffer pools' underrun grace in
+	// engine seconds (0 = buffer.UnderrunTolerance, the model's
+	// millisecond). Live drivers running the engine under a compressed
+	// wall clock set this to the model grace times the compression, so a
+	// fill landing within a wall millisecond of its deadline still counts
+	// as the hand-to-mouth refill the schedule planned — not as the OS's
+	// scheduling latency charged to the paper's admission model.
+	UnderrunTolerance si.Seconds
+
 	// DisableBubbleUp runs the Round-Robin method as plain Fixed-Stretch
 	// (Section 2.2.1). Ignored by Sweep* and GSS*.
 	DisableBubbleUp bool

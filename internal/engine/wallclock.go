@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/si"
@@ -32,6 +33,11 @@ type WallClock struct {
 	epoch time.Time
 	scale float64
 	tick  time.Duration
+
+	// jcMax, when positive, enables jitter compensation: every shard
+	// aims its timers early by its smoothed observed wakeup lag, clamped
+	// to this bound (in wall nanoseconds). See SetJitterComp.
+	jcMax atomic.Int64
 
 	mu     sync.Mutex
 	shards []*WallShard
@@ -63,6 +69,37 @@ func NewWallClockTick(scale float64, tick time.Duration) *WallClock {
 
 // Scale reports the time-compression factor.
 func (c *WallClock) Scale() float64 { return c.scale }
+
+// SetJitterComp enables (max > 0) or disables (max <= 0) the
+// jitter-compensating deadline scheduler. With compensation on, each
+// shard aims a timer at the last wheel tick at or before the requested
+// instant minus twice the shard's smoothed observed lag — the wall time
+// between a timer's aimed tick and the moment its callback actually
+// began executing — the whole back-off clamped to max. That inverts
+// the uncompensated rounding: instead of firing up to one tick late
+// plus the OS's lag, a timer fires up to one tick plus the clamp early
+// and, when the lag estimate tracks, at or before its requested
+// instant. The lag estimate is an asymmetric EWMA: it jumps to a new
+// spike immediately (a late fire charged to the model is the failure
+// being prevented) and decays by 1/64 per observation otherwise, so it
+// shadows the recent worst case rather than the mean; the aim doubles
+// it because lag under load is bursty — the estimate is what the worst
+// recent fire needed, the doubling is the guard band that keeps the
+// next, slightly worse burst from landing late anyway.
+//
+// Firing early is always safe for the streaming model — a fill landing
+// ahead of its deadline only deepens the buffer — whereas firing late by
+// OS scheduling latency shows up as model underruns at high time
+// compression, where a millisecond of wall lag is seconds of engine
+// time. Compensation trades a bounded early-delivery skew for not
+// charging OS latency to the paper's admission model.
+//
+// Safe to call at any time, including while shards are running; timers
+// already on the wheel keep their uncompensated expiry.
+func (c *WallClock) SetJitterComp(max time.Duration) { c.jcMax.Store(int64(max)) }
+
+// JitterComp reports the configured compensation clamp (0 = disabled).
+func (c *WallClock) JitterComp() time.Duration { return time.Duration(c.jcMax.Load()) }
 
 // Now reports the scaled time elapsed since the clock was created. All
 // shards share this one timeline; only scheduling is sharded.
@@ -159,6 +196,23 @@ func (c *WallClock) tickAt(at si.Seconds) uint64 {
 	return uint64((wall + c.tick - 1) / c.tick)
 }
 
+// tickCompensated reports the last tick at or before engine time at
+// minus comp wall time — the jitter-compensated aim point. Where
+// tickAt rounds a timer up to one tick late, this rounds it up to one
+// tick early and then backs off by the lag estimate, so the residual
+// scheduling error is early (harmless to the streaming model) rather
+// than late (charged to it).
+func (c *WallClock) tickCompensated(at si.Seconds, comp time.Duration) uint64 {
+	if at <= 0 {
+		return 0
+	}
+	wall := c.WallDuration(at) - comp
+	if wall <= 0 {
+		return 0
+	}
+	return uint64(wall / c.tick)
+}
+
 // untilTick reports the wall time from now until tick tk (negative if
 // tk has passed).
 func (c *WallClock) untilTick(tk uint64) time.Duration {
@@ -204,6 +258,11 @@ type WallShard struct {
 	kick chan struct{} // wakes the driver when an earlier timer lands
 	done chan struct{}
 	stop sync.Once
+
+	// lagEWMA is the shard's smoothed observed wakeup lag in wall
+	// nanoseconds (see WallClock.SetJitterComp). The driver goroutine is
+	// the only writer; schedulers and stats readers load it atomically.
+	lagEWMA atomic.Int64
 }
 
 // wallSlot is one wheel slot: a FIFO list of timers, so same-tick
@@ -306,6 +365,54 @@ func (s *WallShard) AfterFunc(delay si.Seconds, fn func(arg any), arg any) Timer
 	return s.schedule(s.clock.Now()+delay, nil, fn, arg)
 }
 
+// WakeupLag reports the shard's smoothed observed lag: how late, in
+// wall time, the shard's timer callbacks have recently begun executing
+// relative to their aimed wheel ticks (with compensation off, how late
+// the driver has been to its planned wake-ups).
+func (s *WallShard) WakeupLag() time.Duration {
+	return time.Duration(s.lagEWMA.Load())
+}
+
+// Compensation reports how much wall time the shard currently backs
+// its timers off by: twice its lag estimate clamped to the clock's
+// jitter-comp bound, or 0 with compensation disabled. (On top of this,
+// an armed shard also floors the aim point to the wheel tick — see
+// SetJitterComp.) This is the value the serving path exports as a live
+// gauge.
+func (s *WallShard) Compensation() time.Duration { return s.compensation() }
+
+// noteLag folds one observed lag into the shard's estimate: instant
+// attack (a spike raises the estimate at once), slow decay (1/64 per
+// observation), so the compensation shadows the recent worst case.
+// Driver goroutine only.
+func (s *WallShard) noteLag(lag time.Duration) {
+	if lag < 0 {
+		lag = 0
+	}
+	old := s.lagEWMA.Load()
+	if int64(lag) >= old {
+		s.lagEWMA.Store(int64(lag))
+		return
+	}
+	s.lagEWMA.Store(old - (old-int64(lag))>>6)
+}
+
+// compensation reports the wall time by which the shard currently aims
+// its timers early: twice the lag estimate (the guard band — see
+// SetJitterComp), clamped to the configured bound, or 0 with
+// compensation off.
+func (s *WallShard) compensation() time.Duration {
+	max := s.clock.jcMax.Load()
+	if max <= 0 {
+		return 0
+	}
+	lag := 2 * s.lagEWMA.Load()
+	if lag > max {
+		lag = max
+	}
+	return time.Duration(lag)
+}
+
 // PendingTimers reports the number of queued timers (for tests).
 func (s *WallShard) PendingTimers() int {
 	s.wmu.Lock()
@@ -322,7 +429,17 @@ func (s *WallShard) FreeListLen() int {
 }
 
 func (s *WallShard) schedule(at si.Seconds, fn func(), afn func(any), arg any) Timer {
-	exp := s.clock.tickAt(at)
+	// Jitter compensation: aim at the floor tick of (requested − clamped
+	// lag estimate) so the OS's wakeup latency lands the callback near —
+	// or just before — its requested instant instead of behind it. The
+	// exp <= cur clamp below still floors everything to the next tick,
+	// so compensation can never push a timer into the past.
+	var exp uint64
+	if s.clock.jcMax.Load() > 0 {
+		exp = s.clock.tickCompensated(at, s.compensation())
+	} else {
+		exp = s.clock.tickAt(at)
+	}
 	s.wmu.Lock()
 	if exp <= s.cur {
 		exp = s.cur + 1 // past or current tick: fire on the next advance
@@ -527,20 +644,34 @@ func (s *WallShard) advanceLocked(now uint64) *wallTimer {
 // fire runs a batch of expired timers under the engine lock, releasing
 // each timer back to the freelist first so callbacks can reschedule into
 // the very slot they fired from.
+//
+// With compensation armed, each timer's lag is sampled here — at
+// callback execution, against the timer's own aimed tick — not just at
+// driver wake-up. Execution is where the engine reads "now", so this is
+// the lateness the model actually sees: wake-up lag plus engine-lock
+// wait plus the batch's earlier callbacks. And because the aimed tick
+// already sits one compensation early, lateness measured against it is
+// exactly the compensation that would have landed this callback on its
+// requested instant — the estimate self-corrects toward zero residual.
 func (s *WallShard) fire(batch *wallTimer) {
 	if batch == nil {
 		return
 	}
+	comp := s.clock.jcMax.Load() > 0
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for wt := batch; wt != nil; {
 		nx := wt.next
 		s.wmu.Lock()
 		canceled := wt.canceled
+		exp := wt.expiry
 		fn, afn, arg := wt.fn, wt.afn, wt.arg
 		s.releaseLocked(wt)
 		s.wmu.Unlock()
 		if !canceled {
+			if comp {
+				s.noteLag(-s.clock.untilTick(exp))
+			}
 			if afn != nil {
 				afn(arg)
 			} else {
@@ -579,12 +710,20 @@ func (s *WallShard) drive() {
 		if ok {
 			wait = s.clock.untilTick(next)
 			if wait <= 0 {
-				continue // already due: advance again without sleeping
+				// Already due: the previous batch's callbacks (or the OS)
+				// held us past the next pending tick. That overshoot is
+				// wakeup lag just like a late timer fire.
+				s.noteLag(-wait)
+				continue // advance again without sleeping
 			}
 		}
 		t.Reset(wait)
 		select {
 		case <-t.C:
+			if ok {
+				// Lag: how far past the planned tick the OS woke us.
+				s.noteLag(-s.clock.untilTick(next))
+			}
 		case <-s.kick:
 			if !t.Stop() {
 				<-t.C

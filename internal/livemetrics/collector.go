@@ -37,7 +37,13 @@ type DiskCounters struct {
 	CacheHits     atomic.Int64
 	CacheHitBytes atomic.Int64
 	PeakFanout    atomic.Int64
-	_             [1]int64
+	// JitterCompMicros is a gauge, not a tally: the wall-clock shard's
+	// current jitter compensation (how early it aims its timers to cancel
+	// observed wakeup lag) in wall microseconds. The serving path samples
+	// it on every stats snapshot; 0 means compensation is off or the
+	// shard has seen no lag.
+	JitterCompMicros atomic.Int64
+	_                [1]int64
 }
 
 // bumpMax raises a monotone atomic gauge to at least v. The observer
@@ -176,6 +182,10 @@ type DiskSnapshot struct {
 	CacheHits     int64 `json:"cache_hits"`
 	CacheHitBytes int64 `json:"cache_hit_bytes"`
 	PeakFanout    int64 `json:"peak_fanout"`
+	// JitterCompMS is the shard's current timer jitter compensation in
+	// wall milliseconds (a gauge; the totals row carries the maximum
+	// across disks).
+	JitterCompMS float64 `json:"jitter_comp_ms"`
 }
 
 func (s *DiskSnapshot) add(o DiskSnapshot) {
@@ -195,6 +205,9 @@ func (s *DiskSnapshot) add(o DiskSnapshot) {
 	s.CacheHitBytes += o.CacheHitBytes
 	if o.PeakFanout > s.PeakFanout {
 		s.PeakFanout = o.PeakFanout
+	}
+	if o.JitterCompMS > s.JitterCompMS {
+		s.JitterCompMS = o.JitterCompMS
 	}
 }
 
@@ -231,6 +244,7 @@ func (c *Collector) Snapshot() Snapshot {
 			CacheHits:     d.CacheHits.Load(),
 			CacheHitBytes: d.CacheHitBytes.Load(),
 			PeakFanout:    d.PeakFanout.Load(),
+			JitterCompMS:  float64(d.JitterCompMicros.Load()) / 1e3,
 		}
 		snap.Totals.add(snap.PerDisk[i])
 	}

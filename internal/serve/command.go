@@ -5,6 +5,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // CommandKind enumerates the wire protocol's request lines.
@@ -55,21 +57,66 @@ func (c Command) String() string {
 // malformed line can never half-match (FuzzCommandParse holds it to
 // that).
 func ParseCommand(line string) (Command, error) {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
+	return ParseCommandBytes([]byte(line))
+}
+
+// ParseCommandBytes is ParseCommand on the raw request line, the form
+// the serving path uses: a well-formed line parses without allocating
+// (TestParseCommandAllocFree pins it), so command handling costs the
+// connection nothing in steady state. Only malformed input — which ends
+// the connection anyway — may allocate, for the error.
+func ParseCommandBytes(line []byte) (Command, error) {
+	// Split on Unicode whitespace exactly as strings.Fields does, into a
+	// fixed-size field array: the grammar's longest form has 3 fields, so
+	// a 4th means the line is malformed no matter what it holds.
+	var fields [4][]byte
+	nf := 0
+	for i := 0; i < len(line); {
+		if c := line[i]; c < utf8.RuneSelf {
+			if asciiSpace(c) {
+				i++
+				continue
+			}
+		} else if r, w := utf8.DecodeRune(line[i:]); unicode.IsSpace(r) {
+			i += w
+			continue
+		}
+		j := i
+		for j < len(line) {
+			if c := line[j]; c < utf8.RuneSelf {
+				if asciiSpace(c) {
+					break
+				}
+				j++
+				continue
+			}
+			r, w := utf8.DecodeRune(line[j:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			j += w
+		}
+		if nf == len(fields) {
+			return Command{}, fmt.Errorf("serve: too many request fields")
+		}
+		fields[nf] = line[i:j]
+		nf++
+		i = j
+	}
+	if nf == 0 {
 		return Command{}, fmt.Errorf("serve: empty request")
 	}
-	switch fields[0] {
-	case "STATS":
-		if len(fields) != 1 {
+	switch {
+	case string(fields[0]) == "STATS":
+		if nf != 1 {
 			return Command{}, fmt.Errorf("serve: STATS takes no arguments")
 		}
 		return Command{Kind: CmdStats, Title: -1}, nil
-	case "WATCH":
-		if len(fields) < 2 || len(fields) > 3 {
+	case string(fields[0]) == "WATCH":
+		if nf < 2 || nf > 3 {
 			return Command{}, fmt.Errorf("serve: WATCH needs <seconds> [<title>]")
 		}
-		seconds, err := strconv.ParseFloat(fields[1], 64)
+		seconds, err := parseSeconds(fields[1])
 		if err != nil {
 			return Command{}, fmt.Errorf("serve: bad WATCH seconds %q", fields[1])
 		}
@@ -78,9 +125,9 @@ func ParseCommand(line string) (Command, error) {
 			return Command{}, fmt.Errorf("serve: WATCH seconds %q not a positive finite number", fields[1])
 		}
 		cmd := Command{Kind: CmdWatch, Seconds: seconds, Title: -1}
-		if len(fields) == 3 {
-			title, err := strconv.Atoi(fields[2])
-			if err != nil || title < 0 || fields[2][0] == '+' {
+		if nf == 3 {
+			title, err := parseTitle(fields[2])
+			if err != nil {
 				return Command{}, fmt.Errorf("serve: bad WATCH title %q", fields[2])
 			}
 			cmd.Title = title
@@ -89,3 +136,65 @@ func ParseCommand(line string) (Command, error) {
 	}
 	return Command{}, fmt.Errorf("serve: unknown request %q", fields[0])
 }
+
+// asciiSpace mirrors strings.Fields' ASCII fast path.
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// pow10 holds the exactly-representable powers of ten the fast decimal
+// path divides by.
+var pow10 = [...]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15}
+
+// parseSeconds parses a WATCH duration. The fast path covers plain
+// decimal forms — digits with at most one dot, few enough of them that
+// the mantissa is exact and the power-of-ten division correctly rounded,
+// the same condition strconv's own fast path requires — and allocates
+// nothing. Everything else (exponents, hex floats, signs, underscores)
+// falls through to strconv.ParseFloat so accepted values are always
+// byte-for-byte identical to the historical parser's.
+func parseSeconds(b []byte) (float64, error) {
+	var mant uint64
+	digits, frac := 0, 0
+	dot := false
+	for _, c := range b {
+		switch {
+		case c >= '0' && c <= '9':
+			mant = mant*10 + uint64(c-'0')
+			digits++
+			if dot {
+				frac++
+			}
+		case c == '.' && !dot:
+			dot = true
+		default:
+			return strconv.ParseFloat(string(b), 64)
+		}
+	}
+	if digits == 0 || digits > 15 {
+		return strconv.ParseFloat(string(b), 64)
+	}
+	return float64(mant) / pow10[frac], nil
+}
+
+// parseTitle parses a WATCH title: decimal digits only — no sign, which
+// also enforces the historical explicit '+' rejection — accumulated with
+// an overflow guard (strconv.Atoi would error there too).
+func parseTitle(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, strconv.ErrSyntax
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, strconv.ErrSyntax
+		}
+		if n > (math.MaxInt-9)/10 {
+			return 0, strconv.ErrRange
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+var _ = strings.Fields // keep the historical import anchor out of godoc

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// discardConn is a net.Conn that swallows writes without allocating, so
+// alloc tests measure the wire encoder rather than a socket.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// Every control reply — and the vectored frame writes — runs
+// allocation-free on a warm wire encoder (the TestCollectorHotPathAllocFree
+// of the serving path's write side).
+func TestControlRepliesAllocFree(t *testing.T) {
+	w := &wire{conn: discardConn{}}
+	// Warm the scratch buffer and iov chain once.
+	w.ok(1 << 30)
+	w.frame(3 * payloadChunkSize / 2)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		w.reply(replyBusy)
+		w.reply(replyErr)
+		w.ok(123456789)
+		w.frame(300_000) // spans two payload chunks
+		w.frame(0)       // end-of-stream marker
+	}); allocs != 0 {
+		t.Errorf("control/frame path allocates %v per round, want 0", allocs)
+	}
+}
+
+// Request lines parse in place: the warm path of every command shape is
+// allocation-free.
+func TestParseCommandBytesAllocFree(t *testing.T) {
+	lines := [][]byte{
+		[]byte("WATCH 5\n"),
+		[]byte("WATCH 2.5 17\n"),
+		[]byte("STATS\n"),
+		[]byte("WATCH 0.25\r\n"),
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		for _, l := range lines {
+			if _, err := ParseCommandBytes(l); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); allocs != 0 {
+		t.Errorf("ParseCommandBytes allocates %v per round, want 0", allocs)
+	}
+}
+
+// A sessionRef that outlives its viewer is inert: after the pool
+// recycles the session, stale handles must neither queue frames nor
+// resolve the next viewer's admission wait.
+func TestStaleSessionRefNoOp(t *testing.T) {
+	var pool sessionPool
+	s := pool.acquire()
+	stale := sessionRef{s: s, gen: s.gen}
+	pool.release(s)
+
+	stale.decide(true)
+	stale.deliver(1_000_000, true)
+
+	select {
+	case ok := <-s.decided:
+		t.Errorf("stale decide leaked a decision (%v) into the recycled session", ok)
+	default:
+	}
+	s.mu.Lock()
+	pending, done, sent := len(s.pending), s.done, s.sent
+	s.mu.Unlock()
+	if pending != 0 || done || sent != 0 {
+		t.Errorf("stale deliver mutated the recycled session: pending=%d done=%v sent=%d",
+			pending, done, sent)
+	}
+	// The zero ref (a missed map lookup) is valid and inert too.
+	sessionRef{}.decide(false)
+	sessionRef{}.deliver(1, true)
+
+	// Reuse under a fresh generation works: the recycled session's new
+	// handle delivers normally.
+	s2 := pool.acquire()
+	if s2 != s {
+		t.Fatalf("pool did not recycle the released session")
+	}
+	fresh := sessionRef{s: s2, gen: s2.gen}
+	fresh.deliver(4096, false)
+	s2.mu.Lock()
+	got := append([]int64(nil), s2.pending...)
+	s2.mu.Unlock()
+	if len(got) != 1 || got[0] != 4096 {
+		t.Errorf("fresh handle after recycle queued %v, want [4096]", got)
+	}
+}
+
+// watchOn runs one viewing over an existing connection (the keep-alive
+// protocol: many WATCH requests per dial) and returns the delivered
+// byte count and every frame length in order.
+func watchOn(t *testing.T, conn net.Conn, r *bufio.Reader, seconds float64) (int64, []int64) {
+	t.Helper()
+	fmt.Fprintf(conn, "WATCH %g\n", seconds)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(status, "OK") {
+		t.Fatalf("not admitted: %q", status)
+	}
+	var total int64
+	var frames []int64
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		length := int64(binary.BigEndian.Uint32(hdr[:]))
+		if length == 0 {
+			return total, frames
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range buf {
+			if b != 0 {
+				t.Fatalf("frame %d byte %d: payload %#x, want zero filler", len(frames), i, b)
+			}
+		}
+		total += length
+		frames = append(frames, length)
+	}
+}
+
+// Consecutive viewings over one connection reuse the same pooled session
+// and conn state; each must deliver byte-exact content with no frames or
+// payload bled in from the previous viewing.
+func TestSessionsNoPayloadBleedAcrossReuse(t *testing.T) {
+	srv, addr := startTestServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	// 1.5 Mbps: 1 simulated second = 187,500 bytes.
+	for i, want := range []int64{937_500, 187_500, 1_312_500} {
+		got, _ := watchOn(t, conn, r, float64(want)/187_500)
+		if got != want {
+			t.Fatalf("viewing %d delivered %d bytes, want %d", i, got, want)
+		}
+		// The next read must block on a fresh request, not find leftover
+		// frames: peek with a deadline and expect a timeout.
+		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		if _, err := r.Peek(1); err == nil {
+			t.Fatalf("viewing %d: server sent data beyond the end-of-stream frame", i)
+		} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Time{})
+	}
+	drained(t, srv)
+	if got := srv.sessions.size(); got < 1 {
+		t.Errorf("session pool empty after viewings; want the finished session recycled")
+	}
+}
+
+// Freelist churn under concurrent connect/disconnect: a mix of completed
+// viewings and peers that vanish mid-stream, all racing over the pooled
+// sessions, conn states, and timers. Run with -race this is the
+// concurrency oracle for the pooling layer; afterwards the engine must
+// drain (dead peers' sessions torn down, nothing leaked).
+func TestSessionPoolChurnConcurrent(t *testing.T) {
+	srv, addr := startTestServerDisks(t, 2)
+	const workers, rounds = 8, 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if (w+i)%3 == 0 {
+					// Dead peer: request a viewing, read the status line,
+					// then hang up mid-stream. The server's next frame
+					// write fails and must tear the session down.
+					fmt.Fprintf(conn, "WATCH 30\n")
+					r := bufio.NewReader(conn)
+					if _, err := r.ReadString('\n'); err != nil {
+						t.Error(err)
+					}
+					conn.Close()
+					continue
+				}
+				r := bufio.NewReader(conn)
+				if got, _ := watchOn(t, conn, r, 2); got != 375_000 {
+					t.Errorf("churn viewing delivered %d bytes, want 375000", got)
+				}
+				conn.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	// Dead peers' streams persist until the engine next touches them
+	// (the write error is only observable at a fill); allow the longer
+	// teardown before asserting nothing leaked.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && srv.Counters().InService > 0 {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := srv.Counters().InService; n != 0 {
+		t.Errorf("%d in-service streams leaked after churn", n)
+	}
+}

@@ -13,21 +13,35 @@
 // tallies merge across shards through internal/livemetrics' lock-free
 // per-disk counters — no global lock anywhere on the serving path.
 //
-// Protocol: the client sends one line. "WATCH <seconds>\n" requests a
-// viewing; the server answers "OK <id>\n" (admitted) or "BUSY\n"
-// (rejected, or deferred past patience) and then streams
+// Protocol: the client sends request lines. "WATCH <seconds>\n"
+// requests a viewing; the server answers "OK <id>\n" (admitted) or
+// "BUSY\n" (rejected, or deferred past patience) and then streams
 // length-prefixed frames ([4-byte big-endian length][bytes]) until the
-// requested content has been delivered, closing with a zero-length
-// frame. "STATS\n" instead dumps one JSON stats line (see Stats) and
-// closes. SERVING.md documents the protocol and every stats field.
+// requested content has been delivered, ending with a zero-length
+// frame — after which the connection is ready for the next request
+// line, so a client can run many viewings over one dialed connection.
+// "STATS\n" instead dumps one JSON stats line (see Stats) and closes.
+// A malformed line draws "ERR bad request\n" and closes. SERVING.md
+// documents the protocol and every stats field.
+//
+// The steady-state serving path allocates nothing: sessions,
+// connection state (reader, wire encoder, patience timer), and the
+// shard-lock closures they hand the clock are all pooled with
+// generation-checked handles (session.go), frames go out as one
+// vectored write over a shared read-only payload chunk (wire.go), and
+// request lines parse in place (ParseCommandBytes). With
+// Config.JitterComp the server additionally runs on a fine-tick wall
+// clock that aims its timers early by each shard's observed lag, and
+// judges underruns with the model's millisecond grace measured in wall
+// time — so at high time compression underruns measure the paper's
+// model instead of OS timer latency (see SERVING.md, "Serving-path
+// performance").
 //
 // cmd/vodserver is the thin binary over this package; internal/bench's
 // loopback cases drive it in-process.
 package serve
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,6 +51,7 @@ import (
 	"time"
 
 	vod "repro"
+	"repro/internal/buffer"
 	"repro/internal/catalog"
 	"repro/internal/cluster"
 	"repro/internal/engine"
@@ -50,6 +65,26 @@ import (
 // before the frontend gives up, in engine seconds. It matches the old
 // hand-rolled server's 100 one-second retries.
 const Patience = si.Seconds(100)
+
+// DefaultJitterCompMax bounds the jitter compensation when
+// Config.JitterComp is on and no explicit cap is given: timers may fire
+// at most this much wall time early. Ten milliseconds covers the
+// scheduler wakeup latency a loaded CFS runner actually exhibits (the
+// lag estimate under the loopback bench sits at 2–5 ms and the aim
+// doubles it); on a quiet machine the estimate stays tens of
+// microseconds and the clamp never binds, so timers hold near their
+// nominal deadlines.
+const DefaultJitterCompMax = 10 * time.Millisecond
+
+// JitterCompTick is the wall-clock wheel tick a jitter-compensated
+// server runs on. The default millisecond wheel quantizes every timer
+// hop to >= 1 ms — at -scale 1200 that is 1.2 engine seconds per hop,
+// which alone swamps the model's 1 ms underrun tolerance no matter how
+// well lag is predicted. A 100 µs wheel puts the tick well under
+// typical OS wakeup lag, so the EWMA compensation (which aims in whole
+// wall time, then floors to the tick) has the resolution to actually
+// land timers at their requested instants.
+const JitterCompTick = 100 * time.Microsecond
 
 // Config parameterizes a Server. The zero value is not valid; use the
 // documented defaults.
@@ -86,6 +121,20 @@ type Config struct {
 	// ShareCacheBudget caps the pinned prefix memory in bits (0 = pin
 	// every title's prefix; negative = pin nothing, batching only).
 	ShareCacheBudget si.Bits
+
+	// JitterComp enables the jitter-compensating deadline scheduler:
+	// the server runs on a fine-tick (JitterCompTick) wall clock whose
+	// shards each track an EWMA of their observed timer lag and aim
+	// subsequent timers early by a guard band of twice that (see
+	// engine.WallClock.SetJitterComp), and the engines judge underruns
+	// with the model's millisecond grace measured in wall time (see
+	// serveTolerance). Together these stop OS scheduling latency from
+	// masquerading as model underruns at high Scale.
+	JitterComp bool
+
+	// JitterCompMax caps how early compensation may fire a timer
+	// (0 = DefaultJitterCompMax). Only meaningful with JitterComp.
+	JitterCompMax time.Duration
 }
 
 // Server is the live driver: an engine System under a sharded WallClock
@@ -105,54 +154,26 @@ type Server struct {
 
 	engine.NopObserver // the server observes only what it overrides
 
-	nextID atomic.Int64
-	shards []*shard
+	nextID   atomic.Int64
+	shards   []*shard
+	sessions sessionPool // recycled viewer sessions (session.go)
+	conns    connPool    // recycled per-connection state (wire.go)
 }
 
 // shard is one disk's slice of the driver: the engine disk, the
 // wall-clock shard that drives it, and the sessions it serves. The
 // sessions map is engine state — read and written only under the
 // shard's clock lock (inside clock.Do or inside Observer callbacks,
-// which the shard serializes). Two shards never touch each other's
-// state, so the serving path has no cross-disk contention.
+// which the shard serializes) — and holds generation-checked handles
+// into the session pool, so an entry can never outlive its viewer. Two
+// shards never touch each other's state, so the serving path has no
+// cross-disk contention.
 type shard struct {
 	disk     *engine.Disk
 	sys      *engine.System
 	global   int // fleet-global disk index (== disk.ID() single-server)
 	clock    *engine.WallShard
-	sessions map[int]*session
-}
-
-// session is one connected viewer. The observer side (engine lock)
-// pushes completed fills; the connection goroutine pops and ships them.
-// The two sides share only the small mu-guarded queue, so observer
-// callbacks never block on the network.
-type session struct {
-	id      int
-	decided chan bool // admission outcome, buffered
-
-	mu      sync.Mutex
-	pending []int64       // frame sizes (bytes) ready to ship
-	done    bool          // all content delivered (or the stream departed)
-	notify  chan struct{} // buffered kick for the writer
-
-	sent int64 // cumulative bytes handed to the writer (engine lock side)
-}
-
-// push queues n bytes for the writer (engine lock held by the caller).
-func (s *session) push(n int64, done bool) {
-	s.mu.Lock()
-	if n > 0 {
-		s.pending = append(s.pending, n)
-	}
-	if done {
-		s.done = true
-	}
-	s.mu.Unlock()
-	select {
-	case s.notify <- struct{}{}:
-	default:
-	}
+	sessions map[int]sessionRef
 }
 
 // New builds a server: the paper's disk and rate environment, a demo
@@ -185,21 +206,22 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	srv := &Server{
-		clock: engine.NewWallClock(cfg.Scale),
+		clock: newServeClock(cfg),
 		lib:   lib,
 		cr:    cr,
 		live:  livemetrics.NewCollector(cfg.Disks),
 	}
 	sys, err := engine.New(engine.Config{
-		Clock:     srv.clock,
-		Allocator: engine.DynamicAllocator{},
-		Method:    vod.NewMethod(vod.RoundRobin),
-		Spec:      spec,
-		CR:        cr,
-		Alpha:     1,
-		TLog:      vod.Minutes(40),
-		Library:   lib,
-		Seed:      cfg.Seed,
+		Clock:             srv.clock,
+		Allocator:         engine.DynamicAllocator{},
+		Method:            vod.NewMethod(vod.RoundRobin),
+		Spec:              spec,
+		CR:                cr,
+		Alpha:             1,
+		TLog:              vod.Minutes(40),
+		Library:           lib,
+		Seed:              cfg.Seed,
+		UnderrunTolerance: serveTolerance(cfg),
 		// The collector runs first so its counters are stamped before
 		// the relay reacts to the same event.
 		Observer: engine.Observers{srv.live, srv},
@@ -234,10 +256,46 @@ func New(cfg Config) (*Server, error) {
 			sys:      sys,
 			global:   d,
 			clock:    srv.clock.Shard(d),
-			sessions: make(map[int]*session),
+			sessions: make(map[int]sessionRef),
 		})
 	}
 	return srv, nil
+}
+
+// newServeClock builds the server's wall clock per Config: the default
+// millisecond wheel, or — with JitterComp on — the fine JitterCompTick
+// wheel with lag compensation armed. The two come as a pair: without
+// compensation a fine wheel still fires late (OS wakeup lag spans many
+// ticks), and without a fine wheel compensation has nothing to aim with
+// (every hop rounds up to a full coarse tick anyway).
+func newServeClock(cfg Config) *engine.WallClock {
+	if !cfg.JitterComp {
+		return engine.NewWallClock(cfg.Scale)
+	}
+	clock := engine.NewWallClockTick(cfg.Scale, JitterCompTick)
+	max := cfg.JitterCompMax
+	if max <= 0 {
+		max = DefaultJitterCompMax
+	}
+	clock.SetJitterComp(max)
+	return clock
+}
+
+// serveTolerance is the engines' underrun grace per Config. The model
+// judges a refill "hand-to-mouth, not starvation" when it lands within
+// a millisecond of the buffer's zero crossing — a viewer-imperceptible
+// slip. With JitterComp on, the serving path keeps that judgment in the
+// viewer's (wall) time frame under compression: the grace is the model
+// millisecond times Scale, i.e. still one wall millisecond. Without the
+// flag the engine default stands — one *engine* millisecond, which at
+// -scale 1200 demands sub-microsecond wall precision and so charges
+// every OS scheduling wobble to the paper's model (the PR 7 behavior,
+// kept as the uncompensated baseline).
+func serveTolerance(cfg Config) si.Seconds {
+	if !cfg.JitterComp {
+		return 0
+	}
+	return buffer.UnderrunTolerance * si.Seconds(cfg.Scale)
 }
 
 // newFleet builds the cluster-mode server: Config.Cluster single-server
@@ -256,7 +314,7 @@ func newFleet(cfg Config) (*Server, error) {
 	copiesPerTitle := float64(servers+3*cold) / 4 // hot quarter × servers, rest × cold
 	titles := int(4.5 * float64(disks) / copiesPerTitle)
 	srv := &Server{
-		clock: engine.NewWallClock(cfg.Scale),
+		clock: newServeClock(cfg),
 		cr:    cr,
 		live:  livemetrics.NewCollector(disks),
 	}
@@ -273,14 +331,15 @@ func newFleet(cfg Config) (*Server, error) {
 			GroupSize:  disksPer,
 		},
 		Engine: engine.Config{
-			Clock:     srv.clock,
-			Allocator: engine.DynamicAllocator{},
-			Method:    vod.NewMethod(vod.RoundRobin),
-			Spec:      spec,
-			CR:        cr,
-			Alpha:     1,
-			TLog:      vod.Minutes(40),
-			Seed:      cfg.Seed,
+			Clock:             srv.clock,
+			Allocator:         engine.DynamicAllocator{},
+			Method:            vod.NewMethod(vod.RoundRobin),
+			Spec:              spec,
+			CR:                cr,
+			Alpha:             1,
+			TLog:              vod.Minutes(40),
+			Seed:              cfg.Seed,
+			UnderrunTolerance: serveTolerance(cfg),
 			// Live connections arrive as fast as clients dial: the
 			// ramp-hardened enforcement variants keep the sizing
 			// guarantee honest under that churn (see internal/scale).
@@ -307,7 +366,7 @@ func newFleet(cfg Config) (*Server, error) {
 			sys:      fleet.System(g / disksPer),
 			global:   g,
 			clock:    srv.clock.Shard(g),
-			sessions: make(map[int]*session),
+			sessions: make(map[int]sessionRef),
 		})
 	}
 	return srv, nil
@@ -367,14 +426,13 @@ func (srv *Server) Stop() { srv.clock.Stop() }
 
 // OnAdmit resolves the viewer's admission wait. Shard lock held. Under
 // sharing, engine streams are shared and the layer's ViewerAdmitted is
-// the per-viewer event instead.
+// the per-viewer event instead. (A missed map lookup yields the zero
+// sessionRef, whose methods no-op — likewise below.)
 func (srv *Server) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
 	if srv.share != nil {
 		return
 	}
-	if sess := srv.shards[disk].sessions[st.ID()]; sess != nil {
-		sess.decided <- true
-	}
+	srv.shards[disk].sessions[st.ID()].decide(true)
 }
 
 // OnReject resolves the viewer's admission wait negatively. Shard lock
@@ -383,9 +441,7 @@ func (srv *Server) OnReject(disk int, req workload.Request, reason engine.Reject
 	if srv.share != nil {
 		return
 	}
-	if sess := srv.shards[disk].sessions[req.ID]; sess != nil {
-		sess.decided <- false
-	}
+	srv.shards[disk].sessions[req.ID].decide(false)
 }
 
 // OnFillComplete ships a landed fill to the viewer: the frame carries
@@ -395,20 +451,12 @@ func (srv *Server) OnFillComplete(disk int, st *engine.Stream, fill si.Bits, now
 	if srv.share != nil {
 		return
 	}
-	sess := srv.shards[disk].sessions[st.ID()]
-	if sess == nil {
-		return
-	}
 	complete := st.Delivered() >= st.Required()
 	total := int64(st.Delivered().Bytes())
 	if complete {
 		total = int64(st.Required().Bytes())
 	}
-	n := total - sess.sent
-	if n > 0 {
-		sess.sent += n
-	}
-	sess.push(n, complete)
+	srv.shards[disk].sessions[st.ID()].deliver(total, complete)
 }
 
 // OnDepart finishes the viewer's stream. Under a wall clock, fill
@@ -420,66 +468,37 @@ func (srv *Server) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
 	if srv.share != nil {
 		return
 	}
-	sh := srv.shards[disk]
-	sess := sh.sessions[st.ID()]
-	if sess == nil {
-		return
-	}
-	n := int64(st.Required().Bytes()) - sess.sent
-	if n > 0 {
-		sess.sent += n
-	}
-	sess.push(n, true)
+	srv.shards[disk].sessions[st.ID()].deliver(int64(st.Required().Bytes()), true)
 }
 
 // ViewerAdmitted resolves a sharing viewer's admission wait
 // (share.Events). Shard lock held.
 func (srv *Server) ViewerAdmitted(v *share.Viewer, now si.Seconds) {
-	if sess := srv.shards[v.Disk()].sessions[v.ID()]; sess != nil {
-		sess.decided <- true
-	}
+	srv.shards[v.Disk()].sessions[v.ID()].decide(true)
 }
 
 // ViewerRejected resolves a sharing viewer's admission wait negatively
 // (share.Events). Shard lock held.
 func (srv *Server) ViewerRejected(v *share.Viewer, now si.Seconds) {
-	if sess := srv.shards[v.Disk()].sessions[v.ID()]; sess != nil {
-		sess.decided <- false
-	}
+	srv.shards[v.Disk()].sessions[v.ID()].decide(false)
 }
 
 // ViewerData ships a sharing viewer's delivery growth, with the same
 // cumulative flooring as the unshared fill path (share.Events). Shard
 // lock held.
 func (srv *Server) ViewerData(v *share.Viewer, total si.Bits, now si.Seconds) {
-	sess := srv.shards[v.Disk()].sessions[v.ID()]
-	if sess == nil {
-		return
-	}
 	t := int64(total.Bytes())
 	if total >= v.Required() {
 		t = int64(v.Required().Bytes())
 	}
-	n := t - sess.sent
-	if n > 0 {
-		sess.sent += n
-	}
-	sess.push(n, false)
+	srv.shards[v.Disk()].sessions[v.ID()].deliver(t, false)
 }
 
 // ViewerDone closes a sharing viewer's delivery, flushing any tail so
 // the client always receives exactly the requested length
 // (share.Events). Shard lock held.
 func (srv *Server) ViewerDone(v *share.Viewer, now si.Seconds) {
-	sess := srv.shards[v.Disk()].sessions[v.ID()]
-	if sess == nil {
-		return
-	}
-	n := int64(v.Required().Bytes()) - sess.sent
-	if n > 0 {
-		sess.sent += n
-	}
-	sess.push(n, true)
+	srv.shards[v.Disk()].sessions[v.ID()].deliver(int64(v.Required().Bytes()), true)
 }
 
 // Serve accepts and handles connections until the listener closes.
@@ -493,26 +512,43 @@ func (srv *Server) Serve(ln net.Listener) {
 	}
 }
 
-// handle runs one viewer's session: parse, feed the engine an arrival,
-// await its admission decision, then relay completed fills as frames.
+// handle runs one connection's command loop: each WATCH is one viewing
+// relayed to completion, after which the next request line is read —
+// clients amortize the dial (and the server its pooled state) over as
+// many viewings as they like. STATS and malformed lines end the
+// connection; so does any write error, since a peer that stopped
+// reading has no more use for the session.
 func (srv *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return
+	c := srv.conns.acquire(conn)
+	defer srv.conns.release(c)
+	for {
+		line, err := c.r.ReadSlice('\n')
+		if err != nil {
+			return // EOF (client done), dead peer, or an absurdly long line
+		}
+		cmd, err := ParseCommandBytes(line)
+		if err != nil {
+			c.w.reply(replyErr)
+			return
+		}
+		if cmd.Kind == CmdStats {
+			json.NewEncoder(conn).Encode(srv.Stats())
+			return
+		}
+		if !srv.watch(c, cmd) {
+			return
+		}
 	}
-	cmd, err := ParseCommand(line)
-	if err != nil {
-		fmt.Fprintf(conn, "ERR bad request\n")
-		return
-	}
-	if cmd.Kind == CmdStats {
-		enc := json.NewEncoder(conn)
-		enc.Encode(srv.Stats())
-		return
-	}
+}
 
+// watch runs one viewing on the connection: route to a shard, feed the
+// engine an arrival, await its admission decision, then relay completed
+// fills as frames. It reports whether the connection is healthy for
+// another command. The whole path reuses pooled state — the session,
+// its clock.Do closures, the wire encoder, the patience timer — so a
+// steady-state viewing allocates nothing.
+func (srv *Server) watch(c *connState, cmd Command) bool {
 	// Route the session to the disk shard holding its title: IDs come
 	// from the global atomic counter, everything else happens on the
 	// owning shard under its own lock. A client that names a title gets
@@ -530,82 +566,52 @@ func (srv *Server) handle(conn net.Conn) {
 	if srv.fleet != nil {
 		t, ok := srv.rt.Route(video)
 		if !ok {
-			fmt.Fprintf(conn, "BUSY\n") // every replica at the knee cap
-			return
+			return c.w.reply(replyBusy) == nil // every replica at the knee cap
 		}
 		sh = srv.shards[t.Global]
 	} else {
 		sh = srv.shards[srv.lib.Placement(video).Disk]
 	}
-	sess := &session{
-		id:      id,
-		decided: make(chan bool, 1),
-		notify:  make(chan struct{}, 1),
-	}
-	sh.clock.Do(func() {
-		sh.sessions[id] = sess
-		req := workload.Request{
-			ID:      id,
-			Arrival: srv.clock.Now(),
-			Video:   video,
-			Disk:    sh.disk.ID(),
-			Viewing: si.Seconds(cmd.Seconds),
-		}
-		if srv.share != nil {
-			srv.share.Submit(req)
-		} else {
-			sh.sys.OnArrival(req)
-		}
-	})
-	defer sh.clock.Do(func() {
-		// No-ops once the viewer's delivery has completed. Withdrawing
-		// a still-queued arrival fires no engine callback, so the
-		// router's booking is returned here (departures and rejections
-		// release through the cluster's own observer).
-		if srv.share != nil {
-			srv.share.Cancel(id, sh.disk.ID())
-		} else if sh.disk.Cancel(id) && srv.rt != nil {
-			srv.rt.Release(sh.global)
-		}
-		delete(sh.sessions, id)
-	})
+	sess := srv.sessions.acquire()
+	sess.srv, sess.sh = srv, sh
+	sess.id, sess.video, sess.viewing = id, video, si.Seconds(cmd.Seconds)
+	sh.clock.Do(sess.submitFn)
+	defer func() {
+		// Withdraw/unregister (no-ops once delivery completed), then
+		// recycle: after detachFn no observer can reach the session, and
+		// release's generation bump retires any handle still out there.
+		sh.clock.Do(sess.detachFn)
+		srv.sessions.release(sess)
+	}()
 
 	// Await the engine's admission decision with bounded patience:
 	// Fig. 5 defers violating arrivals; a real frontend gives up
-	// eventually.
+	// eventually. The pooled timer is parked (stopped and drained)
+	// outside this window.
 	admitted := false
+	c.patience.Reset(srv.clock.WallDuration(Patience))
 	select {
 	case admitted = <-sess.decided:
-	case <-time.After(srv.clock.WallDuration(Patience)):
-		sh.clock.Do(func() {
-			select {
-			case admitted = <-sess.decided: // the decision raced the timeout
-			default:
-				// Withdraw from the deferral queue (and return the
-				// router's booking — no callback fires for a queued
-				// withdrawal).
-				if srv.share != nil {
-					srv.share.Cancel(id, sh.disk.ID())
-				} else if sh.disk.Cancel(id) && srv.rt != nil {
-					srv.rt.Release(sh.global)
-				}
-			}
-		})
+		if !c.patience.Stop() {
+			<-c.patience.C
+		}
+	case <-c.patience.C:
+		// Under the shard lock, take a decision that raced the timer or
+		// withdraw from the deferral queue.
+		sh.clock.Do(sess.timeoutFn)
+		admitted = sess.lateDecision
 	}
 	if !admitted {
-		fmt.Fprintf(conn, "BUSY\n")
-		return
+		return c.w.reply(replyBusy) == nil
 	}
-	if _, err := fmt.Fprintf(conn, "OK %d\n", sess.id); err != nil {
-		return
+	if c.w.ok(id) != nil {
+		return false
 	}
 
-	// Relay loop: ship each completed fill as one frame. Pacing comes
-	// from the engine — fills land when its scheduler runs them on the
-	// scaled wall clock — so delivery never runs ahead of the modelled
-	// buffer.
-	var frame [4]byte
-	payload := make([]byte, 0, 1<<20)
+	// Relay loop: ship each completed fill as one vectored frame. Pacing
+	// comes from the engine — fills land when its scheduler runs them on
+	// the scaled wall clock — so delivery never runs ahead of the
+	// modelled buffer.
 	for {
 		sess.mu.Lock()
 		for len(sess.pending) == 0 && !sess.done {
@@ -613,28 +619,23 @@ func (srv *Server) handle(conn net.Conn) {
 			<-sess.notify
 			sess.mu.Lock()
 		}
-		batch := sess.pending
-		sess.pending = nil
+		// Swap the double buffer: the observer side keeps appending into
+		// pending (reusing the other slice's capacity next swap) while
+		// the writer drains batch outside the lock.
+		sess.pending, sess.batch = sess.batch[:0], sess.pending
 		done := sess.done
 		sess.mu.Unlock()
 
-		for _, n := range batch {
-			if int64(cap(payload)) < n {
-				payload = make([]byte, n)
-			}
-			payload = payload[:n]
-			binary.BigEndian.PutUint32(frame[:], uint32(n))
-			if _, err := conn.Write(frame[:]); err != nil {
-				return
-			}
-			if _, err := conn.Write(payload); err != nil {
-				return
+		for _, n := range sess.batch {
+			if c.w.frame(n) != nil {
+				return false
 			}
 		}
 		if done {
-			binary.BigEndian.PutUint32(frame[:], 0)
-			conn.Write(frame[:])
-			return
+			// The zero-length end-of-stream frame. A failed write means a
+			// dead peer: report it so the session tears down instead of
+			// the connection lingering.
+			return c.w.frame(0) == nil
 		}
 	}
 }
@@ -692,11 +693,14 @@ func (srv *Server) Stats() Stats {
 		rs := srv.rt.Stats()
 		s.Router = &rs
 	}
-	for _, sh := range srv.shards {
+	for i, sh := range srv.shards {
 		sh.clock.Do(func() {
 			s.InService += sh.disk.InService()
 			s.Book += sh.disk.BookLen()
 		})
+		// Sample the shard's live jitter compensation into its gauge so
+		// the snapshot's jitter_comp_ms reflects this instant.
+		srv.live.Disk(i).JitterCompMicros.Store(int64(sh.clock.Compensation() / time.Microsecond))
 	}
 	s.Snapshot = srv.live.Snapshot()
 	return s

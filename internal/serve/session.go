@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// session is one connected viewer. The observer side (shard lock)
+// delivers completed fills through a sessionRef; the connection
+// goroutine pops and ships them. The two sides share only the small
+// mu-guarded queue, so observer callbacks never block on the network.
+//
+// Sessions are pooled (sessionPool): the channels, the queue slices,
+// and the pre-bound shard-lock closures all survive reuse, so a WATCH
+// allocates neither the session nor the funcs it hands clock.Do. The
+// generation counter is the engine timer-pool pattern — bumped on
+// release, it turns every handle issued to the previous viewer into a
+// no-op.
+type session struct {
+	// Allocated once per pooled session, reused for every viewer.
+	decided chan bool     // admission outcome, buffered
+	notify  chan struct{} // buffered kick for the writer
+
+	submitFn  func() // sess.submit, pre-bound for clock.Do
+	timeoutFn func() // sess.timeout
+	detachFn  func() // sess.detach
+
+	// Per-WATCH routing, set by the owning connection before submitFn
+	// runs and read only by the shard-lock closures afterwards.
+	srv     *Server
+	sh      *shard
+	id      int
+	video   int
+	viewing si.Seconds
+
+	// lateDecision carries timeout()'s verdict back across clock.Do.
+	lateDecision bool
+
+	// mu guards the observer/writer handoff and the generation.
+	mu      sync.Mutex
+	gen     uint64  // bumped on release; stale sessionRefs no-op
+	pending []int64 // frame sizes (bytes) ready to ship
+	batch   []int64 // the writer's half of the double buffer
+	done    bool    // all content delivered (or the stream departed)
+	sent    int64   // cumulative bytes queued for the writer
+}
+
+func newSession() *session {
+	s := &session{
+		decided: make(chan bool, 1),
+		notify:  make(chan struct{}, 1),
+	}
+	s.submitFn = func() { s.submit() }
+	s.timeoutFn = func() { s.timeout() }
+	s.detachFn = func() { s.detach() }
+	return s
+}
+
+// sessionRef is a generation-checked handle to a pooled session — the
+// value the shard's session map holds and observer callbacks act
+// through. A ref that outlives its viewer (the session was released
+// and maybe reused) fails the generation check and every method
+// no-ops, exactly like the engine's stale Timer handles. The zero ref
+// (a missed map lookup) is valid and inert.
+type sessionRef struct {
+	s   *session
+	gen uint64
+}
+
+// decide resolves the viewer's admission wait.
+func (r sessionRef) decide(ok bool) {
+	s := r.s
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	live := s.gen == r.gen
+	s.mu.Unlock()
+	if !live {
+		return
+	}
+	select {
+	case s.decided <- ok:
+	default:
+	}
+}
+
+// deliver advances the viewer's cumulative delivery to total bytes,
+// queuing the growth — if any — for the writer, and closes the stream
+// when done. Cumulative flooring happens here: callers pass the
+// integral byte total, so the sum of shipped frames equals the content
+// length exactly no matter how fills fragment.
+func (r sessionRef) deliver(total int64, done bool) {
+	s := r.s
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.gen != r.gen {
+		s.mu.Unlock()
+		return
+	}
+	if n := total - s.sent; n > 0 {
+		s.sent = total
+		s.pending = append(s.pending, n)
+	}
+	if done {
+		s.done = true
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// submit registers the session with its shard and feeds the engine the
+// arrival. Runs under the shard's clock lock.
+func (s *session) submit() {
+	s.sh.sessions[s.id] = sessionRef{s: s, gen: s.gen}
+	req := workload.Request{
+		ID:      s.id,
+		Arrival: s.srv.clock.Now(),
+		Video:   s.video,
+		Disk:    s.sh.disk.ID(),
+		Viewing: s.viewing,
+	}
+	if s.srv.share != nil {
+		s.srv.share.Submit(req)
+	} else {
+		s.sh.sys.OnArrival(req)
+	}
+}
+
+// withdraw cancels a still-queued arrival. Withdrawing fires no engine
+// callback, so in cluster mode the router's booking is returned here
+// (departures and rejections release through the cluster's own
+// observer). Runs under the shard's clock lock.
+func (s *session) withdraw() {
+	if s.srv.share != nil {
+		s.srv.share.Cancel(s.id, s.sh.disk.ID())
+	} else if s.sh.disk.Cancel(s.id) && s.srv.rt != nil {
+		s.srv.rt.Release(s.sh.global)
+	}
+}
+
+// timeout resolves the admission wait at the patience deadline: take a
+// decision that raced the timer, else withdraw from the deferral
+// queue. The verdict lands in lateDecision. Runs under the shard's
+// clock lock, which serializes it against the decision callbacks.
+func (s *session) timeout() {
+	select {
+	case ok := <-s.decided:
+		s.lateDecision = ok
+	default:
+		s.lateDecision = false
+		s.withdraw()
+	}
+}
+
+// detach is the end-of-WATCH cleanup: withdraw whatever is still
+// queued (a no-op once delivery completed) and unregister, after which
+// no observer callback can reach the session. Runs under the shard's
+// clock lock.
+func (s *session) detach() {
+	s.withdraw()
+	delete(s.sh.sessions, s.id)
+}
+
+// sessionPool recycles sessions the way the engine pools wall timers:
+// a freelist of fully-reset structs whose generation counter
+// invalidates every handle issued for the previous viewer.
+type sessionPool struct {
+	mu   sync.Mutex
+	free []*session
+}
+
+func (p *sessionPool) acquire() *session {
+	p.mu.Lock()
+	var s *session
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if s == nil {
+		s = newSession()
+	}
+	return s
+}
+
+// release resets and recycles a detached session. The caller must have
+// run detachFn on the owning shard first, so no new observer callback
+// can find the session through the shard map; the generation bump
+// inertly retires any sessionRef still held beyond that point.
+func (p *sessionPool) release(s *session) {
+	s.mu.Lock()
+	s.gen++
+	s.pending = s.pending[:0]
+	s.batch = s.batch[:0]
+	s.done = false
+	s.sent = 0
+	s.mu.Unlock()
+	// Drain stale wakeups so the next viewer starts clean.
+	select {
+	case <-s.decided:
+	default:
+	}
+	select {
+	case <-s.notify:
+	default:
+	}
+	s.srv, s.sh = nil, nil
+	s.lateDecision = false
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// size reports the freelist population (tests).
+func (p *sessionPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Preformatted control replies. The control path writes fixed byte
+// slices (or appends into the connection's scratch buffer) instead of
+// going through fmt.Fprintf; TestControlRepliesAllocFree pins the whole
+// reply set to zero allocations.
+var (
+	replyBusy = []byte("BUSY\n")
+	replyErr  = []byte("ERR bad request\n")
+)
+
+// payloadChunk is the shared frame-payload staging buffer. Frame bodies
+// are all-zero filler (the engine models delivery, not content), so
+// every session can stage from one read-only chunk instead of owning a
+// megabyte of its own: a frame larger than the chunk just repeats it in
+// the writev chain. Never written.
+const payloadChunkSize = 256 << 10
+
+var payloadChunk [payloadChunkSize]byte
+
+// wire is a connection's reusable frame/reply encoder. One frame goes
+// out as a single vectored write — the 4-byte length header and the
+// payload chunks chained in a net.Buffers flushed by one writev — where
+// the old path paid one syscall for the header and another for the
+// payload. All state is reused across frames and, via the connState
+// pool, across connections.
+type wire struct {
+	conn    net.Conn
+	scratch []byte      // control replies built in place ("OK <id>\n")
+	iov     [][]byte    // the chain's backing array, reused frame to frame
+	vec     net.Buffers // the in-flight view; WriteTo consumes it
+	hdr     [4]byte
+}
+
+// reply ships a preformatted control line.
+func (w *wire) reply(b []byte) error {
+	_, err := w.conn.Write(b)
+	return err
+}
+
+// ok ships the admission reply for id, built in the scratch buffer.
+func (w *wire) ok(id int) error {
+	w.scratch = append(w.scratch[:0], "OK "...)
+	w.scratch = strconv.AppendInt(w.scratch, int64(id), 10)
+	w.scratch = append(w.scratch, '\n')
+	_, err := w.conn.Write(w.scratch)
+	return err
+}
+
+// frame ships one length-prefixed frame of n payload bytes (n == 0 is
+// the end-of-stream marker) as one vectored write. The chain is rebuilt
+// from w.iov each call: WriteTo advances — and on short writes edits —
+// the slice it is handed, so w.vec is a throwaway view over the
+// persistent backing array, which keeps its capacity across frames.
+func (w *wire) frame(n int64) error {
+	binary.BigEndian.PutUint32(w.hdr[:], uint32(n))
+	w.iov = append(w.iov[:0], w.hdr[:])
+	for rem := n; rem > 0; {
+		c := int64(payloadChunkSize)
+		if c > rem {
+			c = rem
+		}
+		w.iov = append(w.iov, payloadChunk[:c])
+		rem -= c
+	}
+	w.vec = net.Buffers(w.iov)
+	_, err := w.vec.WriteTo(w.conn)
+	return err
+}
+
+// connState is one TCP connection's pooled machinery: the buffered
+// line reader, the wire encoder, and the patience timer. Recycled
+// through connPool so an accepted connection allocates nothing warm.
+//
+// The patience timer's contract: it is always parked — stopped with its
+// channel drained — except inside watch()'s admission wait, which
+// restores that state on every path.
+type connState struct {
+	r        *bufio.Reader
+	w        wire
+	patience *time.Timer
+}
+
+// connPool recycles connStates across connections.
+type connPool struct {
+	mu   sync.Mutex
+	free []*connState
+}
+
+func (p *connPool) acquire(conn net.Conn) *connState {
+	p.mu.Lock()
+	var c *connState
+	if n := len(p.free); n > 0 {
+		c = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if c == nil {
+		c = &connState{r: bufio.NewReader(conn)}
+		c.patience = time.NewTimer(time.Hour)
+		if !c.patience.Stop() {
+			<-c.patience.C
+		}
+	} else {
+		c.r.Reset(conn)
+	}
+	c.w.conn = conn
+	return c
+}
+
+func (p *connPool) release(c *connState) {
+	c.w.conn = nil
+	c.r.Reset(nil) // drop the conn reference while pooled
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}

@@ -33,15 +33,19 @@ test-fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzCommandParse -fuzztime=10s ./internal/serve
 	$(GO) test -run=^$$ -fuzz=FuzzPrefixJoin -fuzztime=10s ./internal/share
 	$(GO) test -run=^$$ -fuzz=FuzzRouterAdmit -fuzztime=10s ./internal/cluster
+	$(GO) test -run=^$$ -fuzz=FuzzLadderAdmit -fuzztime=10s ./internal/engine
 
 # Per-package coverage summary, gating the sharing layer — the oracle
-# test's subject — and the fleet cluster at 85%.
+# test's subject — the fleet cluster, and the simulation driver (the QoE
+# accounting's home) at 85%.
 cover:
 	$(GO) test -cover ./...
 	$(GO) test -coverprofile=/tmp/share.cover ./internal/share
 	$(GO) tool cover -func=/tmp/share.cover | awk '/^total:/ { gsub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/share coverage %s%% below the 85%% gate\n", $$3; exit 1 } else printf "internal/share coverage %s%% (gate: 85%%)\n", $$3 }'
 	$(GO) test -coverprofile=/tmp/cluster.cover ./internal/cluster
 	$(GO) tool cover -func=/tmp/cluster.cover | awk '/^total:/ { gsub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/cluster coverage %s%% below the 85%% gate\n", $$3; exit 1 } else printf "internal/cluster coverage %s%% (gate: 85%%)\n", $$3 }'
+	$(GO) test -coverprofile=/tmp/sim.cover ./internal/sim
+	$(GO) tool cover -func=/tmp/sim.cover | awk '/^total:/ { gsub(/%/, "", $$3); if ($$3 + 0 < 85) { printf "internal/sim coverage %s%% below the 85%% gate\n", $$3; exit 1 } else printf "internal/sim coverage %s%% (gate: 85%%)\n", $$3 }'
 
 bench:
 	$(GO) test -bench=RunExperimentParallel -run=^$$ -benchtime=1x ./internal/experiments
@@ -50,10 +54,10 @@ bench:
 # baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
 # gate measures allocations, which -race instrumentation would distort.
 bench-smoke:
-	$(GO) run ./cmd/bench -baseline BENCH_PR8.json -check -out /dev/null
+	$(GO) run ./cmd/bench -baseline BENCH_PR9.json -check -out /dev/null
 
 # Regenerate the committed baseline after an intentional perf change.
 bench-snapshot:
-	$(GO) run ./cmd/bench -out BENCH_PR8.json
+	$(GO) run ./cmd/bench -out BENCH_PR9.json
 
 ci: vet build test race bench-smoke cover

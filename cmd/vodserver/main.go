@@ -52,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cluster  = fs.Int("cluster", 0, "serve a routed fleet of N servers (-disks becomes per-server; 0 = single server)")
 		jcomp    = fs.Bool("jitter-comp", false, "aim timers early by each shard's observed wakeup lag (EWMA) so OS jitter stops counting as underruns")
 		jcompMax = fs.Duration("jitter-comp-max", 0, "cap on how early jitter compensation may fire a timer (0 = serve.DefaultJitterCompMax)")
+		ladder   = fs.Bool("ladder", false, "give each title a bitrate ladder (1.5/1.0/0.5 Mbps rungs) and admit streams at their title's rate")
+		downg    = fs.Bool("downgrade", false, "step arrivals down their title's ladder instead of rejecting them (requires -ladder)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ShareWindow:   si.Seconds(*window),
 		JitterComp:    *jcomp,
 		JitterCompMax: *jcompMax,
+		Ladder:        *ladder,
+		Downgrade:     *downg,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)

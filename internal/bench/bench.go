@@ -129,6 +129,7 @@ func Cases() []Case {
 	for _, day := range dayCases() {
 		cases = append(cases, day)
 	}
+	cases = append(cases, multiRateCases()...)
 	cases = append(cases, loopbackCases()...)
 	return cases
 }
@@ -178,6 +179,55 @@ func clusterCases() []Case {
 						b.Fatal("router rejected with an idle fleet")
 					}
 					rt.Release(t.Global)
+				}
+			},
+		},
+	}
+}
+
+// multiRateCases track the rate-aware serving path end to end: a day of
+// arrivals over a three-rung bitrate ladder with downgrading admission,
+// so the per-rate sizing contexts, the live-rate planning bound, and the
+// ladder walk all sit on the measured path. Its allocs/op rides the same
+// baseline gate as the single-rate day cases.
+func multiRateCases() []Case {
+	return []Case{
+		{
+			Name:    "sim/day/multirate-downgrade-rr",
+			Iters:   1,
+			SimDays: true,
+			Bench: func(b *testing.B) {
+				spec, _, _ := vod.PaperEnvironment()
+				ladder := []vod.BitRate{vod.Mbps(1.5), vod.Mbps(1.0), vod.Mbps(0.5)}
+				lib, err := vod.NewLibrary(vod.LibraryConfig{
+					Titles: 6, Disks: 1, Spec: spec, PopularityTheta: 0.271,
+					Video: func(id int) catalog.Video {
+						v := catalog.MPEG1Video(id)
+						v.Ladder = ladder
+						return v
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := vod.GenerateWorkload(vod.ZipfDaySchedule(350, 1, vod.Hours(9), vod.Hours(24)), lib, 1)
+				for i, r := range tr.Requests {
+					tr.Requests[i].Rate = lib.Video(r.Video).Rate
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := vod.Simulate(vod.SimConfig{
+						Scheme: vod.Dynamic, Method: vod.NewMethod(vod.RoundRobin),
+						Spec: spec, CR: ladder[0], Library: lib, Trace: tr, Seed: int64(i),
+						Rates: ladder, Downgrade: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Served == 0 {
+						b.Fatal("nothing served")
+					}
 				}
 			},
 		},

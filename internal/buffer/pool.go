@@ -37,7 +37,7 @@ type Pool struct {
 	highWater  si.Bits
 	highAt     si.Seconds
 	tol        si.Seconds // underrun grace; 0 means UnderrunTolerance
-	onUnderrun func(now, gap si.Seconds)
+	onUnderrun func(id int, now, gap si.Seconds)
 	// free interns detached state records for reuse: attach/detach is
 	// per-request churn (hundreds of streams per simulated hour), and
 	// recycling the records keeps a long-running pool's bookkeeping
@@ -48,6 +48,7 @@ type Pool struct {
 
 type state struct {
 	idx      int // position in Pool.order
+	id       int // stream id, for the underrun callback
 	rate     si.BitRate
 	level    si.Bits
 	touched  si.Seconds
@@ -107,7 +108,7 @@ func (p *Pool) footprint(bits si.Bits) si.Bits {
 // detection time and the starvation gap on every underrun. Unlike the
 // global DebugUnderruns hook, it is owner-scoped: the engine routes it to
 // its Observer so live instrumentation never crosses pools.
-func (p *Pool) SetUnderrunFunc(fn func(now, gap si.Seconds)) { p.onUnderrun = fn }
+func (p *Pool) SetUnderrunFunc(fn func(id int, now, gap si.Seconds)) { p.onUnderrun = fn }
 
 // SetUnderrunTolerance overrides the pool's underrun grace (<= 0 restores
 // the UnderrunTolerance default). The default is the model's own
@@ -173,7 +174,7 @@ func (p *Pool) Attach(id int, rate si.BitRate, now si.Seconds) {
 	} else {
 		s = &state{}
 	}
-	s.idx, s.rate, s.touched, s.emptyAt = len(p.order), rate, now, now
+	s.idx, s.id, s.rate, s.touched, s.emptyAt = len(p.order), id, rate, now, now
 	p.streams[id] = s
 	p.order = append(p.order, s)
 }
@@ -219,7 +220,7 @@ func (p *Pool) drain(s *state, now si.Seconds) {
 			p.underruns++
 			p.starved += gap
 			if p.onUnderrun != nil {
-				p.onUnderrun(now, gap)
+				p.onUnderrun(s.id, now, gap)
 			}
 			if DebugUnderruns != nil {
 				DebugUnderruns(now, gap)

@@ -14,6 +14,7 @@ package catalog
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/chunk"
 	"repro/internal/diskmodel"
@@ -33,6 +34,22 @@ type Video struct {
 
 	// Length is the playback duration.
 	Length si.Seconds
+
+	// Ladder is the title's bitrate ladder: the encodings available for
+	// downgrading admission, strictly descending, with Ladder[0] == Rate
+	// (the full-quality rung a viewer requests by default). Empty means
+	// the title has a single encoding at Rate — the paper's regime.
+	Ladder []si.BitRate
+}
+
+// Rungs returns the title's available consumption rates, best first. A
+// title without a ladder has exactly one rung, its Rate. The returned
+// slice is owned by the Video; callers must not mutate it.
+func (v Video) Rungs() []si.BitRate {
+	if len(v.Ladder) > 0 {
+		return v.Ladder
+	}
+	return []si.BitRate{v.Rate}
 }
 
 // Size reports the total encoded size of the video.
@@ -218,6 +235,16 @@ func New(cfg Config) (*Library, error) {
 		if v.Rate <= 0 || v.Length <= 0 {
 			return nil, fmt.Errorf("catalog: video %d has non-positive rate or length", id)
 		}
+		if len(v.Ladder) > 0 {
+			if v.Ladder[0] != v.Rate {
+				return nil, fmt.Errorf("catalog: video %d ladder top rung %v != rate %v", id, v.Ladder[0], v.Rate)
+			}
+			for r := 1; r < len(v.Ladder); r++ {
+				if v.Ladder[r] <= 0 || v.Ladder[r] >= v.Ladder[r-1] {
+					return nil, fmt.Errorf("catalog: video %d ladder not strictly descending and positive at rung %d (%v)", id, r, v.Ladder[r])
+				}
+			}
+		}
 		videos[id] = v
 	}
 	popularity := ZipfWeights(cfg.Titles, cfg.PopularityTheta)
@@ -343,6 +370,35 @@ func (l *Library) PlacementFor(id, disk int) (Placement, bool) {
 		}
 	}
 	return Placement{}, false
+}
+
+// Rates returns the union of every title's ladder rungs, descending —
+// the complete set of consumption rates a server hosting this library
+// must be able to size buffers for.
+func (l *Library) Rates() []si.BitRate {
+	seen := map[si.BitRate]bool{}
+	var rates []si.BitRate
+	for _, v := range l.videos {
+		for _, r := range v.Rungs() {
+			if !seen[r] {
+				seen[r] = true
+				rates = append(rates, r)
+			}
+		}
+	}
+	sort.Slice(rates, func(i, j int) bool { return rates[i] > rates[j] })
+	return rates
+}
+
+// RungOf maps a delivered rate back to its index in title id's ladder
+// (0 is full quality), or -1 if the title has no such rung.
+func (l *Library) RungOf(id int, rate si.BitRate) int {
+	for i, r := range l.videos[id].Rungs() {
+		if r == rate {
+			return i
+		}
+	}
+	return -1
 }
 
 // PolicyName reports which placement policy laid the library out.

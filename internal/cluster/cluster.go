@@ -246,9 +246,13 @@ func (c *Cluster) Submit(req workload.Request) (Target, bool) {
 		c.systems[t.Server].OnArrival(req)
 		return t, true
 	}
-	// Striped: segment j plays for Span_j/CR seconds; the viewer's
-	// request chains across segments until the viewing is exhausted.
-	cr := c.cfg.Engine.CR
+	// Striped: segment j plays for Span_j/rate seconds at the stream's
+	// own consumption rate; the viewer's request chains across segments
+	// until the viewing is exhausted.
+	cr := req.Rate
+	if cr <= 0 {
+		cr = c.cfg.Engine.CR
+	}
 	offset := si.Seconds(0)
 	for j, seg := range rep.Segments {
 		if req.Viewing <= offset {
@@ -266,6 +270,7 @@ func (c *Cluster) Submit(req workload.Request) (Target, bool) {
 			Video:   req.Video,
 			Disk:    g % c.disksPer,
 			Viewing: v,
+			Rate:    req.Rate,
 		}
 		if j == 0 {
 			c.systems[g/c.disksPer].OnArrival(part)

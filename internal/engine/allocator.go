@@ -34,11 +34,24 @@ type Allocator interface {
 // (Section 2.3): correct at any load, maximally wasteful below full load.
 type StaticAllocator struct{}
 
-// Size returns BS(N) regardless of load.
-func (StaticAllocator) Size(d *Disk, st *Stream, n int) si.Bits { return d.sys.staticSize }
+// Size returns BS(N) regardless of load — each rate's own full-load size
+// when streams carry per-rate contexts.
+func (StaticAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
+	if st.ctx != nil {
+		return st.ctx.staticSize
+	}
+	return d.sys.staticSize
+}
 
-// PlanSize returns BS(N): static planning assumes the worst everywhere.
-func (StaticAllocator) PlanSize(d *Disk, n int) si.Bits { return d.sys.staticSize }
+// PlanSize returns BS(N): static planning assumes the worst everywhere
+// (in multi-rate mode, the widest full-load size among the rates in
+// service).
+func (StaticAllocator) PlanSize(d *Disk, n int) si.Bits {
+	if d.sys.multi != nil {
+		return d.planOverLive(func(c *rateCtx) si.Bits { return c.staticSize })
+	}
+	return d.sys.staticSize
+}
 
 // Admit always accepts; the capacity bound N is enforced upstream.
 func (StaticAllocator) Admit(d *Disk, n int) bool { return true }
@@ -54,7 +67,7 @@ type DynamicAllocator struct{}
 // estimate for prediction-success scoring.
 func (DynamicAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	kc := d.Estimate(n)
-	size := d.sys.sizeFor(d, n, kc)
+	size := d.sizeForStream(st, n, kc)
 	d.book.Set(st.id, core.Allocation{N: n, K: kc})
 	if d.budget != nil {
 		// Churn-safe enforcement: this fill opens a fresh k_i admission
@@ -90,6 +103,13 @@ func (DynamicAllocator) PlanSize(d *Disk, n int) si.Bits {
 			}
 		}
 	}
+	if d.sys.multi != nil {
+		// Multi-rate: the widest size among the rates in service, each
+		// at the disk's bandwidth-equivalent load — conservative for
+		// every stream the coming round may actually service.
+		kk := k
+		return d.planOverLive(func(c *rateCtx) si.Bits { return c.table.Size(d.effLoad(c), kk) })
+	}
 	return d.sys.sizeFor(d, n, k)
 }
 
@@ -97,7 +117,7 @@ func (DynamicAllocator) PlanSize(d *Disk, n int) si.Bits {
 // if it keeps every in-service stream's inertia snapshot honest (and,
 // under churn-safe budgets, every open fill's admission budget).
 func (DynamicAllocator) Admit(d *Disk, n int) bool {
-	if !core.Admit(d.book, n, d.sys.params.N) {
+	if !core.Admit(d.book, n, d.sys.admitCap) {
 		return false
 	}
 	return d.budget == nil || core.AdmitBudget(d.budget, d.admits)
@@ -112,13 +132,22 @@ type NaiveAllocator struct{}
 // stream sized now is not protected against arrivals sized later.
 func (NaiveAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	kc := d.Estimate(n)
-	size := d.sys.naiveSizeFor(n, kc)
+	var size si.Bits
+	if st.ctx == nil {
+		size = d.sys.naiveSizeFor(n, kc)
+	} else {
+		size = d.sys.naiveTabFor(st.ctx).Size(d.effLoad(st.ctx), kc)
+	}
 	d.recordEstimate(size, kc)
 	return size
 }
 
 // PlanSize mirrors Size for sweep planning.
 func (NaiveAllocator) PlanSize(d *Disk, n int) si.Bits {
+	if d.sys.multi != nil {
+		k := d.Estimate(n)
+		return d.planOverLive(func(c *rateCtx) si.Bits { return d.sys.naiveTabFor(c).Size(d.effLoad(c), k) })
+	}
 	return d.sys.naiveSizeFor(n, d.Estimate(n))
 }
 
@@ -135,15 +164,76 @@ type DybaseAllocator struct{}
 // Size evaluates the DYBASE recurrence at (n, kc).
 func (DybaseAllocator) Size(d *Disk, st *Stream, n int) si.Bits {
 	kc := d.Estimate(n)
-	size := d.sys.dybaseSizeFor(n, kc)
+	var size si.Bits
+	if st.ctx == nil {
+		size = d.sys.dybaseSizeFor(n, kc)
+	} else {
+		size = d.sys.dybaseTabFor(st.ctx).Size(d.effLoad(st.ctx), kc)
+	}
 	d.recordEstimate(size, kc)
 	return size
 }
 
 // PlanSize mirrors Size for sweep planning.
 func (DybaseAllocator) PlanSize(d *Disk, n int) si.Bits {
+	if d.sys.multi != nil {
+		k := d.Estimate(n)
+		return d.planOverLive(func(c *rateCtx) si.Bits { return d.sys.dybaseTabFor(c).Size(d.effLoad(c), k) })
+	}
 	return d.sys.dybaseSizeFor(n, d.Estimate(n))
 }
 
 // Admit always accepts: DYBASE has no runtime enforcement.
 func (DybaseAllocator) Admit(d *Disk, n int) bool { return true }
+
+// KneeAllocator is the memory-knee-aware fourth scheme (ROADMAP item 3):
+// the dynamic scheme's sizing and enforcement with admission capped near
+// the Theorem 1 memory knee — by default half the disk's stream capacity
+// and, in multi-rate mode, half its transfer rate — so the disk never
+// climbs the steep half of the memory curve. It trades peak concurrency
+// for per-stream buffers an order of magnitude smaller near the cap, and
+// pairs naturally with downgrading admission: capped capacity converts
+// into lower rungs instead of rejections.
+type KneeAllocator struct {
+	DynamicAllocator
+
+	// Fraction positions the cap: admissions stop at Fraction·N committed
+	// streams (and Fraction·TR committed bandwidth in multi-rate mode).
+	// <= 0 means the knee default 0.5; values above 1 are clamped to 1.
+	Fraction float64
+}
+
+// admissionCapper lets an allocator lower the engine's admission
+// capacities; the engine consults it once at construction.
+type admissionCapper interface {
+	AdmitCapCount(n int) int
+	AdmitCapBandwidth(tr si.BitRate) si.BitRate
+}
+
+func (a KneeAllocator) fraction() float64 {
+	f := a.Fraction
+	if f <= 0 {
+		f = 0.5
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// AdmitCapCount caps committed streams at ⌊Fraction·n⌋ (floor 1).
+func (a KneeAllocator) AdmitCapCount(n int) int {
+	c := int(a.fraction() * float64(n))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// AdmitCapBandwidth caps committed consumption bandwidth at Fraction·TR.
+func (a KneeAllocator) AdmitCapBandwidth(tr si.BitRate) si.BitRate {
+	return si.BitRate(a.fraction() * float64(tr))
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/buffer"
@@ -18,8 +19,10 @@ type Stream struct {
 	id         int
 	req        workload.Request
 	place      catalog.Placement
+	rate       si.BitRate // consumption rate (== cfg.CR in uniform mode)
+	ctx        *rateCtx   // per-rate sizing context; nil in uniform mode
 	nAtArrival int        // requests in service at its arrival (Fig. 11's x-axis)
-	required   si.Bits    // total data the user will consume: CR · viewing
+	required   si.Bits    // total data the user will consume: rate · viewing
 	delivered  si.Bits    // data read from disk so far
 	size       si.Bits    // most recent allocated buffer size
 	lastFill   si.Bits    // amount of the in-flight or most recent fill
@@ -36,6 +39,7 @@ type Stream struct {
 	started    bool       // first fill has landed
 	active     bool       // still owned by the disk
 	doomed     bool       // departed mid-service; remove at completion
+	starved    bool       // suffered at least one underrun (QoE accounting)
 	group      int        // GSS group index
 }
 
@@ -49,8 +53,17 @@ func (st *Stream) Req() workload.Request { return st.req }
 // disk when it arrived (Fig. 11's x-axis).
 func (st *Stream) NAtArrival() int { return st.nAtArrival }
 
-// Required is the total data the viewer will consume: CR · viewing time.
+// Required is the total data the viewer will consume: rate · viewing time.
 func (st *Stream) Required() si.Bits { return st.required }
+
+// Rate is the stream's consumption rate — the delivered ladder rung,
+// which downgrading admission may have stepped below the requested one.
+func (st *Stream) Rate() si.BitRate { return st.rate }
+
+// Starved reports whether the stream suffered at least one underrun —
+// the per-stream signal behind the QoE layer's starvation probability
+// (arXiv:1108.0187).
+func (st *Stream) Starved() bool { return st.starved }
 
 // Delivered is the data read from disk so far (including the in-flight
 // fill once it has been issued).
@@ -84,6 +97,7 @@ func completeCB(arg any) { st := arg.(*Stream); st.disk.completeService(st) }
 // dynamic scheme's enforcement, or simply for the next service slot).
 type queued struct {
 	req        workload.Request
+	rate       si.BitRate // resolved consumption rate (ladder rung or CR)
 	nAtArrival int
 }
 
@@ -118,6 +132,18 @@ type Disk struct {
 
 	book *core.Book
 	est  *core.Estimator
+
+	// Committed (in-service + queued) and in-service consumption
+	// bandwidth — the multi-rate admission and bandwidth-equivalent
+	// sizing signals, maintained in uniform mode too (where they are
+	// simply committed()·CR and n()·CR).
+	committedRate si.BitRate
+	serviceRate   si.BitRate
+
+	// rateLive counts in-service streams per rate context (indexed by
+	// rateCtx.idx); nil in uniform mode. Worst-case planning bounds over
+	// the contexts with live streams only.
+	rateLive []int
 
 	// admits counts streams that entered service over the disk's
 	// lifetime. Under churn-safe admission, budget mirrors book but
@@ -196,6 +222,9 @@ func newDisk(sys *System, id int) *Disk {
 	if sys.cfg.ChurnSafeAdmission {
 		d.budget = core.NewBook()
 	}
+	if len(sys.ctxs) > 0 {
+		d.rateLive = make([]int, len(sys.ctxs))
+	}
 	if sys.cfg.UnderrunTolerance > 0 {
 		d.pool.SetUnderrunTolerance(sys.cfg.UnderrunTolerance)
 	}
@@ -207,10 +236,23 @@ func newDisk(sys *System, id int) *Disk {
 	} else {
 		d.sched = NewScheduler(d)
 	}
-	d.pool.SetUnderrunFunc(func(now, gap si.Seconds) {
-		sys.obs.OnUnderrun(d.id, now, gap)
+	d.pool.SetUnderrunFunc(func(id int, now, gap si.Seconds) {
+		d.markStarved(id)
+		sys.obs.OnUnderrun(d.id, id, now, gap)
 	})
 	return d
+}
+
+// markStarved flags the starved stream for QoE accounting. Underruns are
+// the rare failure the sizing theorems exist to prevent, so a linear
+// scan costs nothing in steady state.
+func (d *Disk) markStarved(id int) {
+	for _, st := range d.streams {
+		if st.id == id {
+			st.starved = true
+			return
+		}
+	}
 }
 
 func (d *Disk) now() si.Seconds { return d.clock.Now() }
@@ -234,6 +276,10 @@ func (d *Disk) committed() int { return len(d.streams) + d.QueueLen() }
 // Committed reports requests in service plus accepted-but-deferred ones.
 func (d *Disk) Committed() int { return d.committed() }
 
+// CommittedRate reports the committed consumption bandwidth: the sum of
+// the rates of in-service plus accepted-but-deferred requests.
+func (d *Disk) CommittedRate() si.BitRate { return d.committedRate }
+
 // BookLen reports the number of inertia-book entries (dynamic scheme).
 func (d *Disk) BookLen() int { return d.book.Len() }
 
@@ -256,17 +302,77 @@ func (d *Disk) onArrival(req workload.Request) {
 	d.kcDirty = true
 	d.resolveEstimates(now)
 
-	if d.committed() >= d.sys.params.N {
-		d.sys.obs.OnReject(d.id, req, RejectCapacity, now)
-		return
+	rate := req.Rate
+	if rate <= 0 {
+		rate = d.sys.cfg.CR
+	}
+	if d.sys.multi == nil {
+		if d.committed() >= d.sys.admitCap {
+			d.sys.obs.OnReject(d.id, req, RejectCapacity, now)
+			return
+		}
+	} else if !d.fitsRate(rate) {
+		// Predicted shortfall at the requested rung: walk the title's
+		// ladder downward (arXiv:1604.00894's downgrading allocation)
+		// before giving up.
+		rate = d.downgrade(req, rate, now)
+		if rate <= 0 {
+			d.sys.obs.OnReject(d.id, req, RejectCapacity, now)
+			return
+		}
+		req.Rate = rate
 	}
 	if g := d.sys.gate; g != nil && !g.TryAdmit(d) {
 		d.sys.obs.OnReject(d.id, req, RejectMemory, now)
 		return
 	}
 	d.estArrivals.push(now)
-	d.queue = append(d.queue, queued{req: req, nAtArrival: d.n()})
+	d.queue = append(d.queue, queued{req: req, rate: rate, nAtArrival: d.n()})
+	d.committedRate += rate
 	d.dispatch()
+}
+
+// fitsRate reports whether one more committed stream at rate r keeps the
+// disk inside both its count capacity and its committed-bandwidth
+// capacity — the multi-rate generalization of N·CR < TR.
+func (d *Disk) fitsRate(r si.BitRate) bool {
+	if d.committed() >= d.sys.admitCap {
+		return false
+	}
+	return d.committedRate+r < d.sys.bwCap
+}
+
+// snapCommittedRate zeroes the bandwidth books when their populations
+// empty: summing += r / -= r over mixed float rates leaves ulp-sized
+// residue that would otherwise accumulate over a long run and bias
+// fitsRate at the margin.
+func (d *Disk) snapCommittedRate() {
+	if d.committed() == 0 {
+		d.committedRate = 0
+	}
+	if len(d.streams) == 0 {
+		d.serviceRate = 0
+	}
+}
+
+// downgrade walks req's title ladder below the requested rung and
+// returns the first rate the disk can take, or 0 when downgrading is off
+// or no rung fits. Only rungs the system has sizing contexts for are
+// considered.
+func (d *Disk) downgrade(req workload.Request, from si.BitRate, now si.Seconds) si.BitRate {
+	if !d.sys.cfg.Downgrade {
+		return 0
+	}
+	for _, rung := range d.sys.cfg.Library.Video(req.Video).Rungs() {
+		if rung >= from || d.sys.ctxFor(rung) == nil {
+			continue
+		}
+		if d.fitsRate(rung) {
+			d.sys.obs.OnDowngrade(d.id, req, from, rung, now)
+			return rung
+		}
+	}
+	return 0
 }
 
 // Cancel withdraws a request by ID, whether it is still queued for
@@ -279,10 +385,12 @@ func (d *Disk) onArrival(req workload.Request) {
 func (d *Disk) Cancel(id int) bool {
 	for i := d.qhead; i < len(d.queue); i++ {
 		if d.queue[i].req.ID == id {
+			d.committedRate -= d.queue[i].rate
 			d.queue = append(d.queue[:i], d.queue[i+1:]...)
 			if d.qhead == len(d.queue) {
 				d.queue, d.qhead = d.queue[:0], 0
 			}
+			d.snapCommittedRate()
 			if g := d.sys.gate; g != nil {
 				g.Release(d)
 			}
@@ -331,7 +439,7 @@ func (d *Disk) extendStream(st *Stream, viewing si.Seconds) {
 		return
 	}
 	st.req.Viewing = viewing
-	st.required = maxBits(d.sys.cfg.CR.DataIn(viewing), 1)
+	st.required = maxBits(st.rate.DataIn(viewing), 1)
 	// A depart that fired mid-service no longer stands: the stream now
 	// outlives the service in flight.
 	st.doomed = false
@@ -349,7 +457,7 @@ func (d *Disk) extendStream(st *Stream, viewing si.Seconds) {
 func (d *Disk) admitFromQueue() {
 	for d.qhead < len(d.queue) {
 		n := d.n()
-		if n >= d.sys.params.N {
+		if n >= d.sys.admitCap {
 			return
 		}
 		if !d.sys.cfg.Allocator.Admit(d, n) {
@@ -376,8 +484,10 @@ func (d *Disk) admitFromQueue() {
 			id:         q.req.ID,
 			req:        q.req,
 			place:      place,
+			rate:       q.rate,
+			ctx:        d.sys.ctxFor(q.rate),
 			nAtArrival: q.nAtArrival,
-			required:   maxBits(d.sys.cfg.CR.DataIn(q.req.Viewing), 1),
+			required:   maxBits(q.rate.DataIn(q.req.Viewing), 1),
 			deadline:   d.now(), // fresh: due immediately
 			firstFill:  -1,
 			admittedAt: d.now(),
@@ -388,7 +498,11 @@ func (d *Disk) admitFromQueue() {
 		}
 		d.streams = append(d.streams, st)
 		d.fresh = append(d.fresh, st)
-		d.pool.Attach(st.id, d.sys.cfg.CR, d.now())
+		d.serviceRate += q.rate
+		if st.ctx != nil {
+			d.rateLive[st.ctx.idx]++
+		}
+		d.pool.Attach(st.id, q.rate, d.now())
 		d.sched.Admit(st)
 		d.sys.obs.OnAdmit(d.id, st, d.now())
 	}
@@ -403,6 +517,11 @@ func (d *Disk) removeStream(st *Stream) {
 	st.active = false
 	st.departT.Cancel()
 	st.departT = Timer{}
+	d.serviceRate -= st.rate
+	d.committedRate -= st.rate
+	if st.ctx != nil {
+		d.rateLive[st.ctx.idx]--
+	}
 	d.dlRemove(st)
 	d.pool.Detach(st.id, d.now())
 	d.book.Remove(st.id)
@@ -417,6 +536,7 @@ func (d *Disk) removeStream(st *Stream) {
 		d.streams[j].slot = j
 	}
 	d.sched.Remove(st)
+	d.snapCommittedRate()
 	d.sys.obs.OnDepart(d.id, st, d.now())
 	if g := d.sys.gate; g != nil {
 		g.Release(d)
@@ -652,6 +772,56 @@ func (d *Disk) countArrivals(lo, hi si.Seconds) int {
 	return j - i
 }
 
+// effLoad maps the disk's in-service consumption bandwidth to an
+// equivalent stream count at ctx's rate: the load whose sizing row
+// covers the same round of disk work — ceil(serviceRate/rate), clamped
+// into the ctx table's [1, N]. Mixed-rate loads thereby reuse each
+// rate's single-rate sizing theory with the disk's true bandwidth
+// demand in place of the uniform n.
+func (d *Disk) effLoad(c *rateCtx) int {
+	n := int(math.Ceil(float64(d.serviceRate) / float64(c.rate)))
+	if n < 1 {
+		n = 1
+	}
+	if n > c.params.N {
+		n = c.params.N
+	}
+	return n
+}
+
+// sizeForStream evaluates the dynamic sizing table for st at prediction
+// k: the system table at load n in uniform mode, st's own rate context
+// at the disk's bandwidth-equivalent load otherwise.
+func (d *Disk) sizeForStream(st *Stream, n, k int) si.Bits {
+	if st.ctx == nil {
+		return d.sys.sizeFor(d, n, k)
+	}
+	return st.ctx.table.Size(d.effLoad(st.ctx), k)
+}
+
+// planOverLive bounds a per-rate plan quantity over the rate contexts
+// with streams currently in service, each evaluated at the disk's
+// bandwidth-equivalent load; an idle disk plans with the base rate. Only
+// meaningful in multi-rate mode. Bounding over live rates — not every
+// configured one — matters: a slow rung evaluated near its own capacity
+// knee would inflate every worst-case service estimate and wreck the
+// schedule for the streams that actually exist.
+func (d *Disk) planOverLive(size func(c *rateCtx) si.Bits) si.Bits {
+	var max si.Bits
+	for i, c := range d.sys.ctxs {
+		if d.rateLive[i] == 0 {
+			continue
+		}
+		if s := size(c); s > max {
+			max = s
+		}
+	}
+	if max == 0 {
+		max = size(d.sys.ctxs[0])
+	}
+	return max
+}
+
 // worstService bounds the duration of one service at load n: the method's
 // worst disk latency plus the transfer of the size the allocator would
 // plan for right now.
@@ -713,8 +883,8 @@ func maxBits(a, b si.Bits) si.Bits {
 
 // sanity check helper used in tests.
 func (d *Disk) invariants() error {
-	if len(d.streams) > d.sys.params.N {
-		return fmt.Errorf("engine: disk %d exceeds N with %d streams", d.id, len(d.streams))
+	if len(d.streams) > d.sys.admitCap {
+		return fmt.Errorf("engine: disk %d exceeds its admit capacity %d with %d streams", d.id, d.sys.admitCap, len(d.streams))
 	}
 	for i, st := range d.streams {
 		if st.slot != i {

@@ -68,8 +68,26 @@ type Config struct {
 	// Spec is the disk model; every disk in the system is identical.
 	Spec diskmodel.Spec
 
-	// CR is the streams' consumption rate.
+	// CR is the streams' default consumption rate — the rate of every
+	// request that does not carry its own (workload.Request.Rate == 0),
+	// and the paper's single global rate.
 	CR si.BitRate
+
+	// Rates lists the additional per-stream consumption rates the system
+	// must be able to serve: the union of the library's ladder rungs.
+	// Each rate gets its own memoized sizing tables (DeriveN, Theorem 1
+	// recurrence, Eq. 5, DYBASE) built at construction. Duplicates and
+	// rates equal to CR are dropped; an empty normalized set leaves the
+	// engine in the paper's uniform-rate mode, which runs exactly the
+	// single-rate code paths — the oracle tests pin this.
+	Rates []si.BitRate
+
+	// Downgrade enables downgrading admission (arXiv:1604.00894): an
+	// arrival whose requested rung does not fit the disk's predicted
+	// capacity is stepped down its title's bitrate ladder to the first
+	// rung that does, and only rejected when none fits. Requires Rates
+	// (a uniform-rate system has no lower rungs to step to).
+	Downgrade bool
 
 	// Alpha is the dynamic scheme's inertia slack (>= 1).
 	Alpha int
@@ -173,6 +191,46 @@ type System struct {
 	dybaseTab  *core.Table // lazily memoized DYBASE recurrence sizes
 	staticSize si.Bits
 	disks      []*Disk
+
+	// multi holds one sizing context per distinct stream rate (including
+	// CR) when Config.Rates normalizes non-empty; nil in uniform mode,
+	// where streams carry no context and every sizing decision takes the
+	// legacy single-rate path above.
+	multi map[si.BitRate]*rateCtx
+	// ctxs lists the same contexts in construction order (base CR first);
+	// rateCtx.idx indexes it, as does each disk's live-stream counter.
+	// Worst-case planning walks it, bounding over the rates actually in
+	// service rather than the widest configured rate — a hypothetical
+	// slow-rate stream near its own capacity knee would otherwise inflate
+	// every plan and wreck the schedule for the streams that exist.
+	ctxs    []*rateCtx
+	planCtx *rateCtx // widest-buffer context: layout checks (planStatic)
+
+	// admitCap is the committed-stream count capacity arrivals are
+	// rejected at: N in uniform mode, DeriveN at the smallest rate in
+	// multi-rate mode, lowered by a capping allocator (KneeAllocator).
+	admitCap int
+	// bwCap is the committed consumption-bandwidth capacity of a disk in
+	// multi-rate mode (Σ rates must stay strictly below it, generalizing
+	// N·CR < TR): the transfer rate, lowered by a capping allocator.
+	bwCap si.BitRate
+}
+
+// rateCtx is one consumption rate's sizing context: its derived
+// parameters (own N = DeriveN(TR, rate)) and the per-scheme memoized
+// sizing tables, mirroring the System's single-rate fields. The naive
+// and DYBASE tables are built lazily under a Once because disks on
+// different shards of a multi-shard clock domain race to trigger them.
+type rateCtx struct {
+	idx        int // position in System.ctxs; indexes Disk.rateLive
+	rate       si.BitRate
+	params     core.Params
+	table      *core.Table
+	naiveOnce  sync.Once
+	naiveTab   *core.Table
+	dybaseOnce sync.Once
+	dybaseTab  *core.Table
+	staticSize si.Bits
 }
 
 // New builds a System: derives the sizing parameters from the disk and
@@ -196,6 +254,12 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.CR <= 0 || cfg.CR >= cfg.Spec.TransferRate {
 		return nil, fmt.Errorf("engine: consumption rate %v outside (0, TR)", cfg.CR)
+	}
+	for i, r := range cfg.Rates {
+		if r <= 0 || r >= cfg.Spec.TransferRate {
+			return nil, fmt.Errorf("engine: stream rate %v (Rates[%d] of %d) outside (0, TR=%v)",
+				r, i, len(cfg.Rates), cfg.Spec.TransferRate)
+		}
 	}
 	if cfg.TLog <= 0 {
 		return nil, fmt.Errorf("engine: non-positive TLog %v", cfg.TLog)
@@ -231,18 +295,96 @@ func New(cfg Config) (*System, error) {
 	} else {
 		sys.table = core.NewTable(sys.params, cfg.Method.DLModel(cfg.Spec))
 	}
+	// Normalize the per-stream rate set: duplicates and rates equal to
+	// the base CR collapse away. An empty normalized set is the paper's
+	// single-rate regime — uniform mode, where streams carry no rate
+	// context and run exactly the legacy code paths.
+	var extra []si.BitRate
+	for _, r := range cfg.Rates {
+		dup := r == cfg.CR
+		for _, e := range extra {
+			dup = dup || e == r
+		}
+		if !dup {
+			extra = append(extra, r)
+		}
+	}
+	sys.admitCap, sys.bwCap = sys.params.N, cfg.Spec.TransferRate
+	if len(extra) > 0 {
+		sys.multi = make(map[si.BitRate]*rateCtx, len(extra)+1)
+		base := &rateCtx{rate: cfg.CR, params: sys.params, table: sys.table, staticSize: sys.staticSize}
+		sys.multi[cfg.CR] = base
+		sys.ctxs = append(sys.ctxs, base)
+		sys.planCtx = base
+		minRate := cfg.CR
+		for _, r := range extra {
+			p := core.Params{
+				TR:    cfg.Spec.TransferRate,
+				CR:    r,
+				N:     core.DeriveN(cfg.Spec.TransferRate, r),
+				Alpha: cfg.Alpha,
+			}
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("engine: rate %v: %w", r, err)
+			}
+			c := &rateCtx{
+				idx:        len(sys.ctxs),
+				rate:       r,
+				params:     p,
+				table:      core.NewTable(p, cfg.Method.DLModel(cfg.Spec)),
+				staticSize: p.StaticSize(cfg.Method.WorstDL(cfg.Spec, p.N), p.N),
+			}
+			sys.multi[r] = c
+			sys.ctxs = append(sys.ctxs, c)
+			if c.staticSize > sys.planCtx.staticSize {
+				sys.planCtx = c
+			}
+			if r < minRate {
+				minRate = r
+			}
+		}
+		// The smallest rate admits the most concurrent streams; its N is
+		// the count any sizing table can back.
+		sys.admitCap = core.DeriveN(cfg.Spec.TransferRate, minRate)
+	}
+	if c, ok := cfg.Allocator.(admissionCapper); ok {
+		sys.admitCap = c.AdmitCapCount(sys.admitCap)
+		sys.bwCap = c.AdmitCapBandwidth(sys.bwCap)
+	}
 	// A chunked library must be able to serve the largest buffer the
 	// server will ever allocate from a single chunk. Contiguous
 	// placements impose no bound: fills are clamped inside the video.
-	if maxRead := cfg.Library.ChunkedMaxRead(); maxRead < sys.staticSize {
+	if maxRead := cfg.Library.ChunkedMaxRead(); maxRead < sys.planStatic() {
 		return nil, fmt.Errorf("engine: library chunked max read %v below the largest buffer %v — rebuild the library with a larger MaxRead",
-			maxRead, sys.staticSize)
+			maxRead, sys.planStatic())
 	}
 	for d := 0; d < cfg.Library.Disks(); d++ {
 		sys.disks = append(sys.disks, newDisk(sys, d))
 	}
 	return sys, nil
 }
+
+// planStatic is the largest full-load buffer any stream may ever be
+// allocated — the conservative bound layout checks and static planning
+// use. In uniform mode it is BS(N) exactly.
+func (sys *System) planStatic() si.Bits {
+	if sys.multi != nil {
+		return sys.planCtx.staticSize
+	}
+	return sys.staticSize
+}
+
+// ctxFor returns the sizing context for a stream rate, or nil in uniform
+// mode (where every stream runs at CR on the legacy single-rate fields).
+func (sys *System) ctxFor(rate si.BitRate) *rateCtx {
+	if sys.multi == nil {
+		return nil
+	}
+	return sys.multi[rate]
+}
+
+// AdmitCap reports the committed-stream count capacity of each disk.
+func (sys *System) AdmitCap() int { return sys.admitCap }
 
 // SetGate installs an admission gate. It must be set before the system
 // processes arrivals (the simulator's governor needs the built System, so
@@ -312,4 +454,22 @@ func (sys *System) dybaseSizeFor(n, k int) si.Bits {
 		sys.dybaseTab = core.NewTableWith(sys.params, sys.cfg.Method.DLModel(sys.cfg.Spec), core.Params.DybaseSize)
 	})
 	return sys.dybaseTab.Size(n, k)
+}
+
+// naiveTabFor memoizes a rate context's Eq. 5 table, the per-rate analog
+// of naiveSizeFor.
+func (sys *System) naiveTabFor(c *rateCtx) *core.Table {
+	c.naiveOnce.Do(func() {
+		c.naiveTab = core.NewTableWith(c.params, sys.cfg.Method.DLModel(sys.cfg.Spec), core.Params.NaiveSize)
+	})
+	return c.naiveTab
+}
+
+// dybaseTabFor memoizes a rate context's DYBASE table, the per-rate
+// analog of dybaseSizeFor.
+func (sys *System) dybaseTabFor(c *rateCtx) *core.Table {
+	c.dybaseOnce.Do(func() {
+		c.dybaseTab = core.NewTableWith(c.params, sys.cfg.Method.DLModel(sys.cfg.Spec), core.Params.DybaseSize)
+	})
+	return c.dybaseTab
 }

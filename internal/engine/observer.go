@@ -56,9 +56,13 @@ type Observer interface {
 	// (Section 5.1's "successful estimation").
 	OnEstimateResolved(disk int, hit bool, now si.Seconds)
 	// OnUnderrun fires when a started buffer runs dry before its refill —
-	// the failure the sizing theorems exist to prevent. gap is how long
-	// the viewer starved.
-	OnUnderrun(disk int, now, gap si.Seconds)
+	// the failure the sizing theorems exist to prevent. id is the starved
+	// stream's request ID; gap is how long the viewer starved.
+	OnUnderrun(disk int, id int, now, gap si.Seconds)
+	// OnDowngrade fires when downgrading admission steps an arrival down
+	// its title's bitrate ladder: the requested rung from did not fit the
+	// disk's predicted capacity, and the stream will be served at to.
+	OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds)
 	// OnDepart fires when a stream leaves service and frees its capacity.
 	OnDepart(disk int, st *Stream, now si.Seconds)
 }
@@ -76,8 +80,10 @@ func (NopObserver) OnStart(int, *Stream, si.Seconds)                            
 func (NopObserver) OnStall(int, si.Seconds)                                          {}
 func (NopObserver) OnEstimate(int, int, si.Bits, si.Seconds)                         {}
 func (NopObserver) OnEstimateResolved(int, bool, si.Seconds)                         {}
-func (NopObserver) OnUnderrun(int, si.Seconds, si.Seconds)                           {}
-func (NopObserver) OnDepart(int, *Stream, si.Seconds)                                {}
+func (NopObserver) OnUnderrun(int, int, si.Seconds, si.Seconds)                      {}
+func (NopObserver) OnDowngrade(int, workload.Request, si.BitRate, si.BitRate, si.Seconds) {
+}
+func (NopObserver) OnDepart(int, *Stream, si.Seconds) {}
 
 // Observers fans every callback out to each member in order.
 type Observers []Observer
@@ -127,9 +133,14 @@ func (o Observers) OnEstimateResolved(disk int, hit bool, now si.Seconds) {
 		ob.OnEstimateResolved(disk, hit, now)
 	}
 }
-func (o Observers) OnUnderrun(disk int, now, gap si.Seconds) {
+func (o Observers) OnUnderrun(disk int, id int, now, gap si.Seconds) {
 	for _, ob := range o {
-		ob.OnUnderrun(disk, now, gap)
+		ob.OnUnderrun(disk, id, now, gap)
+	}
+}
+func (o Observers) OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds) {
+	for _, ob := range o {
+		ob.OnDowngrade(disk, req, from, to, now)
 	}
 }
 func (o Observers) OnDepart(disk int, st *Stream, now si.Seconds) {

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sched"
+	"repro/internal/si"
+	"repro/internal/sim"
+)
+
+// QoELadder is the bitrate ladder every title of the QoE experiment
+// carries: the paper's MPEG-1 rate on top, with two lower rungs a
+// downgrading admission can fall back to.
+func QoELadder() []si.BitRate {
+	return []si.BitRate{si.Mbps(1.5), si.Mbps(1.0), si.Mbps(0.5)}
+}
+
+// qoeArm is one admission policy under comparison.
+type qoeArm struct {
+	name      string
+	scheme    sim.Scheme
+	downgrade bool
+}
+
+// qoeObs is one (arm, load, replication) run's QoE measurements.
+type qoeObs struct {
+	served, rejected, downgrades int
+	underruns, starved           int
+	startup, starveProb, peakMB  float64
+	rungs                        [3]int // served streams per ladder rung
+}
+
+// QoEDowngrade compares three admission policies over a single disk whose
+// titles carry the QoELadder bitrate ladder, under a tight-peak (theta=0)
+// day profile swept across offered loads:
+//
+//   - reject-only: the paper's dynamic scheme sized for the full rate
+//     set; an arrival that does not fit at its title's rate is rejected.
+//   - downgrade: the same scheme, but the arrival steps down its title's
+//     ladder before giving up — capacity converts into lower rungs
+//     instead of rejections.
+//   - knee+downgrade: downgrading admission under the memory-knee cap
+//     (admission stops at half the disk's bandwidth), trading peak
+//     concurrency for an order-of-magnitude smaller per-stream memory.
+//
+// All arms of one replication replay the identical trace (the seed is
+// drawn before the arms diverge), so the acceptance curves are paired.
+// The report carries the per-arm viewers-served curves plus the QoE
+// columns — mean startup delay and starvation probability — and the
+// delivered-rung distribution table.
+func QoEDowngrade(opt Options) (*Report, error) {
+	opt = opt.normalized()
+	env := PaperEnv()
+	ladder := QoELadder()
+	lib, err := sharedLibrary(catalog.Config{
+		Titles:          6,
+		Disks:           1,
+		Spec:            env.Spec,
+		PopularityTheta: 0.271,
+		Video: func(id int) catalog.Video {
+			v := catalog.MPEG1Video(id)
+			v.Ladder = ladder
+			return v
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	arms := []qoeArm{
+		{name: "reject-only", scheme: sim.Dynamic},
+		{name: "downgrade", scheme: sim.Dynamic, downgrade: true},
+		{name: "knee+downgrade", scheme: sim.Knee, downgrade: true},
+	}
+	points := []float64{1, 1.5, 2}
+	if opt.Quick {
+		points = []float64{1, 2}
+	}
+	method := sched.NewMethod(sched.RoundRobin)
+
+	cells, err := runGrid(opt, len(points), opt.Seeds, func(p, rep int) ([3]qoeObs, error) {
+		var out [3]qoeObs
+		total := points[p] * singleDiskArrivalsPerDay
+		tr := dayTrace(lib, 0, total, opt.runSeed(p, rep, seedTrace), opt.Quick)
+		// Requests arrive at their title's top rung; downgrading — where
+		// enabled — is the only source of lower-rung admissions.
+		for i, r := range tr.Requests {
+			tr.Requests[i].Rate = lib.Video(r.Video).Rate
+		}
+		for a, arm := range arms {
+			cfg := simConfig(arm.scheme, method, lib, tr, opt.runSeed(p, rep, seedSim))
+			cfg.Rates = ladder
+			cfg.Downgrade = arm.downgrade
+			res, err := runSim(cfg)
+			if err != nil {
+				return out, err
+			}
+			o := qoeObs{
+				served:     res.Served,
+				rejected:   res.Rejected,
+				downgrades: res.Downgrades,
+				underruns:  res.Underruns,
+				starved:    res.StarvedStreams,
+				startup:    res.ColdLatency.Mean(),
+				starveProb: res.StarvationProb(),
+				peakMB:     res.PeakMemory.MegabytesVal(),
+			}
+			for ri, r := range ladder {
+				o.rungs[ri] = res.ServedByRate[r]
+			}
+			out[a] = o
+		}
+		opt.progress("qoe-downgrade load x%.2g seed %d done", points[p], rep)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-arm acceptance curves with the QoE columns alongside.
+	served := make([]Series, len(arms))
+	startup := make([]Series, len(arms))
+	starvation := make([]Series, len(arms))
+	for a, arm := range arms {
+		served[a] = Series{Name: "served/" + arm.name}
+		startup[a] = Series{Name: "startup delay (s)/" + arm.name}
+		starvation[a] = Series{Name: "starvation prob/" + arm.name}
+	}
+	mean := func(p, a int, get func(qoeObs) float64) float64 {
+		var sum float64
+		for _, reps := range cells[p] {
+			sum += get(reps[a])
+		}
+		return sum / float64(len(cells[p]))
+	}
+	for p, x := range points {
+		for a := range arms {
+			vs := make([][]float64, 3)
+			for _, reps := range cells[p] {
+				o := reps[a]
+				vs[0] = append(vs[0], float64(o.served))
+				vs[1] = append(vs[1], o.startup)
+				vs[2] = append(vs[2], o.starveProb)
+			}
+			served[a].AddPoint(x, Summarize(vs[0]))
+			startup[a].AddPoint(x, Summarize(vs[1]))
+			starvation[a].AddPoint(x, Summarize(vs[2]))
+		}
+	}
+
+	table := Table{
+		Name: "per-arm means over replications (paired traces)",
+		Columns: []string{
+			"load", "arm", "served", "rejected", "downgrades", "underruns",
+			"starved streams", "peak mem (MB)", "served@1.5", "served@1.0", "served@0.5",
+		},
+	}
+	for p, x := range points {
+		for a, arm := range arms {
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprintf("x%.2g", x),
+				arm.name,
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.served) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.rejected) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.downgrades) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.underruns) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.starved) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return o.peakMB })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.rungs[0]) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.rungs[1]) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o qoeObs) float64 { return float64(o.rungs[2]) })),
+			})
+		}
+	}
+
+	// The acceptance gate: at every load point the downgrading arm must
+	// serve strictly more viewers than reject-only without paying in
+	// underruns (no more than the reject-only arm's).
+	gate := true
+	worstLoad := points[len(points)-1]
+	var gateServedRej, gateServedDown, gateURej, gateUDown float64
+	for p, x := range points {
+		rej := mean(p, 0, func(o qoeObs) float64 { return float64(o.served) })
+		down := mean(p, 1, func(o qoeObs) float64 { return float64(o.served) })
+		uRej := mean(p, 0, func(o qoeObs) float64 { return float64(o.underruns) })
+		uDown := mean(p, 1, func(o qoeObs) float64 { return float64(o.underruns) })
+		if down <= rej || uDown > uRej {
+			gate = false
+		}
+		if x == worstLoad {
+			gateServedRej, gateServedDown, gateURej, gateUDown = rej, down, uRej, uDown
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("environment: %s, ladder 1.5/1.0/0.5 Mbps (N = %d at the top rung), theta=0 day profile, 6 titles, 1 disk",
+			env.Spec.Name, env.Params.N),
+		"acceptance gate: downgrading admits strictly more viewers than reject-only at no more underruns, at every load point",
+	}
+	if gate {
+		notes = append(notes, fmt.Sprintf("gate held: at load x%.2g downgrading served %.1f viewers vs %.1f reject-only, underruns %.1f vs %.1f",
+			worstLoad, gateServedDown, gateServedRej, gateUDown, gateURej))
+	} else {
+		notes = append(notes, "gate VIOLATED: downgrading did not strictly out-admit reject-only within its underrun budget")
+	}
+
+	series := append(append(served, startup...), starvation...)
+	return &Report{
+		ID:     "qoe-downgrade",
+		Title:  "Extension: downgrading admission over a bitrate ladder, with QoE accounting",
+		XLabel: "offered load (x base day)",
+		YLabel: "viewers served",
+		Series: series,
+		Tables: []Table{table},
+		Notes:  notes,
+	}, nil
+}

@@ -43,8 +43,21 @@ type DiskCounters struct {
 	// it on every stats snapshot; 0 means compensation is off or the
 	// shard has seen no lag.
 	JitterCompMicros atomic.Int64
-	_                [1]int64
+	// QoE counters (ladder mode). Downgrades counts arrivals stepped
+	// down their title's bitrate ladder; StarvedStreams counts departed
+	// streams that suffered at least one underrun (the numerator of the
+	// starvation probability, with Departed the denominator); RungServed
+	// tallies admissions by delivered ladder rung (0 = full quality;
+	// rungs past the array clamp into the last cell).
+	Downgrades     atomic.Int64
+	StarvedStreams atomic.Int64
+	RungServed     [maxRungs]atomic.Int64
+	_              [1]int64
 }
+
+// maxRungs bounds the per-rung admission tally; real ladders are short
+// (a handful of encodings per title).
+const maxRungs = 4
 
 // bumpMax raises a monotone atomic gauge to at least v. The observer
 // callbacks are the cell's only writers (single-threaded per shard), so
@@ -74,6 +87,11 @@ type Collector struct {
 	// seconds: OnStart fires at a stream's first completed fill, and
 	// the stream carries its admission instant.
 	Startup *Histogram
+
+	// rungOf maps an admitted stream's (video, delivered rate) to its
+	// ladder rung index for the RungServed tally; nil (no ladder
+	// catalog) disables per-rung counting.
+	rungOf func(video int, rate si.BitRate) int
 }
 
 // NewCollector returns a collector for a system of the given disk
@@ -85,15 +103,30 @@ func NewCollector(disks int) *Collector {
 	}
 }
 
+// SetRungOf installs the ladder-rung resolver behind the RungServed
+// tally (catalog.Library.RungOf, typically). Set it before the system
+// processes arrivals; nil disables per-rung counting.
+func (c *Collector) SetRungOf(fn func(video int, rate si.BitRate) int) { c.rungOf = fn }
+
 // Disk returns disk i's counter cell (for tests and per-disk dumps).
 func (c *Collector) Disk(i int) *DiskCounters { return &c.disks[i] }
 
 // Disks reports the number of per-disk cells.
 func (c *Collector) Disks() int { return len(c.disks) }
 
-// OnAdmit counts an admission on the stream's disk.
+// OnAdmit counts an admission on the stream's disk, tallying the
+// delivered ladder rung when a resolver is installed.
 func (c *Collector) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
-	c.disks[disk].Admitted.Add(1)
+	d := &c.disks[disk]
+	d.Admitted.Add(1)
+	if c.rungOf != nil {
+		if r := c.rungOf(st.Req().Video, st.Rate()); r >= 0 {
+			if r >= maxRungs {
+				r = maxRungs - 1
+			}
+			d.RungServed[r].Add(1)
+		}
+	}
 }
 
 // OnDefer counts one blocked admission attempt (Fig. 5 enforcement).
@@ -126,15 +159,25 @@ func (c *Collector) OnStall(disk int, now si.Seconds) {
 }
 
 // OnUnderrun counts a buffer that ran dry and accumulates the gap.
-func (c *Collector) OnUnderrun(disk int, now, gap si.Seconds) {
+func (c *Collector) OnUnderrun(disk int, id int, now, gap si.Seconds) {
 	d := &c.disks[disk]
 	d.Underruns.Add(1)
 	d.StarvedMicros.Add(int64(gap * 1e6))
 }
 
-// OnDepart counts a stream finishing and freeing its capacity.
+// OnDowngrade counts an arrival stepped down its title's ladder.
+func (c *Collector) OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds) {
+	c.disks[disk].Downgrades.Add(1)
+}
+
+// OnDepart counts a stream finishing and freeing its capacity, and the
+// starvation-probability numerator when the stream ever ran dry.
 func (c *Collector) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
-	c.disks[disk].Departed.Add(1)
+	d := &c.disks[disk]
+	d.Departed.Add(1)
+	if st.Starved() {
+		d.StarvedStreams.Add(1)
+	}
 }
 
 // OnLead counts a viewer leading a fresh disk stream (share.Observer).
@@ -186,6 +229,14 @@ type DiskSnapshot struct {
 	// wall milliseconds (a gauge; the totals row carries the maximum
 	// across disks).
 	JitterCompMS float64 `json:"jitter_comp_ms"`
+	// QoE fields (ladder mode; all zero otherwise). StarvationProb is
+	// StarvedStreams over Departed.
+	Downgrades     int64   `json:"downgrades"`
+	StarvedStreams int64   `json:"starved_streams"`
+	StarvationProb float64 `json:"starvation_prob"`
+	// RungServed tallies admissions by delivered ladder rung, full
+	// quality first. Omitted when no ladder catalog is installed.
+	RungServed []int64 `json:"rung_served,omitempty"`
 }
 
 func (s *DiskSnapshot) add(o DiskSnapshot) {
@@ -208,6 +259,19 @@ func (s *DiskSnapshot) add(o DiskSnapshot) {
 	}
 	if o.JitterCompMS > s.JitterCompMS {
 		s.JitterCompMS = o.JitterCompMS
+	}
+	s.Downgrades += o.Downgrades
+	s.StarvedStreams += o.StarvedStreams
+	if s.Departed > 0 {
+		s.StarvationProb = float64(s.StarvedStreams) / float64(s.Departed)
+	}
+	if o.RungServed != nil {
+		if s.RungServed == nil {
+			s.RungServed = make([]int64, len(o.RungServed))
+		}
+		for i, v := range o.RungServed {
+			s.RungServed[i] += v
+		}
 	}
 }
 
@@ -243,8 +307,20 @@ func (c *Collector) Snapshot() Snapshot {
 			Merges:        d.Merges.Load(),
 			CacheHits:     d.CacheHits.Load(),
 			CacheHitBytes: d.CacheHitBytes.Load(),
-			PeakFanout:    d.PeakFanout.Load(),
-			JitterCompMS:  float64(d.JitterCompMicros.Load()) / 1e3,
+			PeakFanout:     d.PeakFanout.Load(),
+			JitterCompMS:   float64(d.JitterCompMicros.Load()) / 1e3,
+			Downgrades:     d.Downgrades.Load(),
+			StarvedStreams: d.StarvedStreams.Load(),
+		}
+		if ds := &snap.PerDisk[i]; ds.Departed > 0 {
+			ds.StarvationProb = float64(ds.StarvedStreams) / float64(ds.Departed)
+		}
+		if c.rungOf != nil {
+			rungs := make([]int64, maxRungs)
+			for r := range rungs {
+				rungs[r] = d.RungServed[r].Load()
+			}
+			snap.PerDisk[i].RungServed = rungs
 		}
 		snap.Totals.add(snap.PerDisk[i])
 	}

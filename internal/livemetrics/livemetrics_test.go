@@ -183,7 +183,7 @@ func TestCollectorHotPathAllocFree(t *testing.T) {
 		c.OnFillComplete(0, st, si.Bits(8e6), 11)
 		c.OnStart(0, st, 11)
 		c.OnStall(1, 11)
-		c.OnUnderrun(0, 12, 0.25)
+		c.OnUnderrun(0, st.ID(), 12, 0.25)
 		c.OnDepart(0, st, 13)
 	}); allocs != 0 {
 		t.Errorf("observer callbacks allocate %v objects/op, want 0", allocs)
@@ -202,7 +202,7 @@ func TestCollectorSnapshot(t *testing.T) {
 	c.OnReject(1, workload.Request{}, engine.RejectCapacity, 10)
 	c.OnFillComplete(0, st, si.Bits(8e6), 11) // 1e6 bytes
 	c.OnStart(0, st, st.AdmittedAt()+si.Seconds(0.5))
-	c.OnUnderrun(1, 12, 0.25)
+	c.OnUnderrun(1, st.ID(), 12, 0.25)
 	c.OnDepart(0, st, 13)
 
 	s := c.Snapshot()

@@ -135,6 +135,23 @@ type Config struct {
 	// JitterCompMax caps how early compensation may fire a timer
 	// (0 = DefaultJitterCompMax). Only meaningful with JitterComp.
 	JitterCompMax time.Duration
+
+	// Ladder gives every demo title a bitrate ladder (1.5/1.0/0.5 Mbps)
+	// and builds the engines' per-rate sizing tables; WATCH sessions
+	// request the top rung. The stats line grows the QoE fields
+	// (downgrades, starved_streams, starvation_prob, rung_served).
+	Ladder bool
+
+	// Downgrade enables downgrading admission: a saturated disk steps an
+	// arrival down its title's ladder instead of replying BUSY. Requires
+	// Ladder.
+	Downgrade bool
+}
+
+// ServeLadder is the demo catalog's bitrate ladder in ladder mode: the
+// paper's MPEG-1 rate on top, with 1.0 and 0.5 Mbps downgrade rungs.
+func ServeLadder() []si.BitRate {
+	return []si.BitRate{si.Mbps(1.5), si.Mbps(1.0), si.Mbps(0.5)}
 }
 
 // Server is the live driver: an engine System under a sharded WallClock
@@ -154,6 +171,7 @@ type Server struct {
 
 	engine.NopObserver // the server observes only what it overrides
 
+	ladder   bool // demo titles carry the ServeLadder bitrate ladder
 	nextID   atomic.Int64
 	shards   []*shard
 	sessions sessionPool // recycled viewer sessions (session.go)
@@ -198,9 +216,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Cluster < 0 {
 		return nil, fmt.Errorf("serve: negative cluster size %d", cfg.Cluster)
 	}
+	if cfg.Downgrade && !cfg.Ladder {
+		return nil, fmt.Errorf("serve: downgrading admission requires the ladder catalog")
+	}
 	spec, cr, _ := vod.PaperEnvironment()
 	lib, err := catalog.New(catalog.Config{
 		Titles: 6 * cfg.Disks, Disks: cfg.Disks, Spec: spec, PopularityTheta: 0.271,
+		Video: ladderVideo(cfg),
 	})
 	if err != nil {
 		return nil, err
@@ -211,12 +233,18 @@ func New(cfg Config) (*Server, error) {
 		cr:    cr,
 		live:  livemetrics.NewCollector(cfg.Disks),
 	}
+	if cfg.Ladder {
+		srv.ladder = true
+		srv.live.SetRungOf(lib.RungOf)
+	}
 	sys, err := engine.New(engine.Config{
 		Clock:             srv.clock,
 		Allocator:         engine.DynamicAllocator{},
 		Method:            vod.NewMethod(vod.RoundRobin),
 		Spec:              spec,
 		CR:                cr,
+		Rates:             ladderRates(cfg, lib),
+		Downgrade:         cfg.Downgrade,
 		Alpha:             1,
 		TLog:              vod.Minutes(40),
 		Library:           lib,
@@ -260,6 +288,30 @@ func New(cfg Config) (*Server, error) {
 		})
 	}
 	return srv, nil
+}
+
+// ladderVideo returns the demo catalog's title factory: nil (the plain
+// MPEG-1 default) unless ladder mode decorates every title with the
+// ServeLadder rungs.
+func ladderVideo(cfg Config) func(id int) catalog.Video {
+	if !cfg.Ladder {
+		return nil
+	}
+	return func(id int) catalog.Video {
+		v := catalog.MPEG1Video(id)
+		v.Ladder = ServeLadder()
+		return v
+	}
+}
+
+// ladderRates returns the per-stream rate set the engines must size for:
+// nil (uniform mode) unless ladder mode, where it is the library's rung
+// union.
+func ladderRates(cfg Config, lib *catalog.Library) []si.BitRate {
+	if !cfg.Ladder {
+		return nil
+	}
+	return lib.Rates()
 }
 
 // newServeClock builds the server's wall clock per Config: the default
@@ -314,14 +366,20 @@ func newFleet(cfg Config) (*Server, error) {
 	copiesPerTitle := float64(servers+3*cold) / 4 // hot quarter × servers, rest × cold
 	titles := int(4.5 * float64(disks) / copiesPerTitle)
 	srv := &Server{
-		clock: newServeClock(cfg),
-		cr:    cr,
-		live:  livemetrics.NewCollector(disks),
+		clock:  newServeClock(cfg),
+		cr:     cr,
+		live:   livemetrics.NewCollector(disks),
+		ladder: cfg.Ladder,
+	}
+	var rates []si.BitRate
+	if cfg.Ladder {
+		rates = ServeLadder()
 	}
 	fleet, err := cluster.New(cluster.Config{
 		Servers:         servers,
 		DisksPerServer:  disksPer,
 		Titles:          titles,
+		Video:           ladderVideo(cfg),
 		PopularityTheta: 0.271,
 		Policy: catalog.Replicated{
 			Base:       catalog.LeastLoaded{},
@@ -336,6 +394,8 @@ func newFleet(cfg Config) (*Server, error) {
 			Method:            vod.NewMethod(vod.RoundRobin),
 			Spec:              spec,
 			CR:                cr,
+			Rates:             rates,
+			Downgrade:         cfg.Downgrade,
 			Alpha:             1,
 			TLog:              vod.Minutes(40),
 			Seed:              cfg.Seed,
@@ -360,6 +420,9 @@ func newFleet(cfg Config) (*Server, error) {
 	srv.fleet = fleet
 	srv.rt = fleet.Router()
 	srv.lib = fleet.Library()
+	if cfg.Ladder {
+		srv.live.SetRungOf(srv.lib.RungOf)
+	}
 	for g := 0; g < disks; g++ {
 		srv.shards = append(srv.shards, &shard{
 			disk:     fleet.System(g / disksPer).Disk(g % disksPer),
@@ -403,8 +466,11 @@ func (r offsetObserver) OnEstimate(disk int, kc int, size si.Bits, now si.Second
 func (r offsetObserver) OnEstimateResolved(disk int, hit bool, now si.Seconds) {
 	r.o.OnEstimateResolved(r.off+disk, hit, now)
 }
-func (r offsetObserver) OnUnderrun(disk int, now, gap si.Seconds) {
-	r.o.OnUnderrun(r.off+disk, now, gap)
+func (r offsetObserver) OnUnderrun(disk int, id int, now, gap si.Seconds) {
+	r.o.OnUnderrun(r.off+disk, id, now, gap)
+}
+func (r offsetObserver) OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds) {
+	r.o.OnDowngrade(r.off+disk, req, from, to, now)
 }
 func (r offsetObserver) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
 	r.o.OnDepart(r.off+disk, st, now)
@@ -575,6 +641,12 @@ func (srv *Server) watch(c *connState, cmd Command) bool {
 	sess := srv.sessions.acquire()
 	sess.srv, sess.sh = srv, sh
 	sess.id, sess.video, sess.viewing = id, video, si.Seconds(cmd.Seconds)
+	sess.rate = 0
+	if srv.ladder {
+		// Viewers ask for full quality; downgrading admission may step
+		// the delivered rung below it.
+		sess.rate = srv.lib.Video(video).Rate
+	}
 	sh.clock.Do(sess.submitFn)
 	defer func() {
 		// Withdraw/unregister (no-ops once delivery completed), then

@@ -34,6 +34,7 @@ type session struct {
 	id      int
 	video   int
 	viewing si.Seconds
+	rate    si.BitRate // requested rung; 0 = the engine's CR (no ladder)
 
 	// lateDecision carries timeout()'s verdict back across clock.Do.
 	lateDecision bool
@@ -126,6 +127,7 @@ func (s *session) submit() {
 		Video:   s.video,
 		Disk:    s.sh.disk.ID(),
 		Viewing: s.viewing,
+		Rate:    s.rate,
 	}
 	if s.srv.share != nil {
 		s.srv.share.Submit(req)

@@ -110,6 +110,7 @@ type Config struct {
 type Viewer struct {
 	id        int
 	req       workload.Request
+	rate      si.BitRate // consumption rate; the stream's rate after a merge
 	required  si.Bits
 	delivered si.Bits
 	disk      int
@@ -129,8 +130,13 @@ func (v *Viewer) Disk() int { return v.disk }
 // Req returns the viewer's request.
 func (v *Viewer) Req() workload.Request { return v.req }
 
-// Required is the total data the viewer consumes: CR · viewing.
+// Required is the total data the viewer consumes: rate · viewing.
 func (v *Viewer) Required() si.Bits { return v.required }
+
+// Rate is the viewer's consumption rate — its request's rate (or the
+// layer's CR when the request carries none), replaced by the leader's
+// rate when the viewer merges onto a shared stream.
+func (v *Viewer) Rate() si.BitRate { return v.rate }
 
 // Delivered is the viewer's cumulative delivered data.
 func (v *Viewer) Delivered() si.Bits { return v.delivered }
@@ -154,6 +160,7 @@ type SharedStream struct {
 	disk     int
 	live     bool // admitted into service (false while queued)
 	canceled bool // closed: no joins, no further deliveries expected
+	rate     si.BitRate // the leader's consumption rate; joiners adopt it
 	landed   si.Bits
 	viewing  si.Seconds // widest horizon requested so far (monotone)
 	viewers  []*Viewer  // attach order; leader first
@@ -302,10 +309,15 @@ func (l *Layer) Submit(req workload.Request) {
 	disk := req.Disk
 	d := &l.disks[disk]
 	now := l.clock(disk).Now()
+	rate := req.Rate
+	if rate <= 0 {
+		rate = l.cr
+	}
 	v := &Viewer{
 		id:       req.ID,
 		req:      req,
-		required: maxBits(l.cr.DataIn(req.Viewing), 1),
+		rate:     rate,
+		required: maxBits(rate.DataIn(req.Viewing), 1),
 		disk:     disk,
 	}
 	d.stats.Viewers++
@@ -341,7 +353,13 @@ func (l *Layer) Submit(req workload.Request) {
 			// Admission or rejection arrives with the stream's.
 			return
 		}
-		if fromCache, ok := PlanJoin(l.cache.PrefixBits(req.Video), ss.landed, v.required); ok {
+		// A joiner rides the leader's stream, so its requirement is
+		// measured at the leader's rate (attach adopts it for good).
+		need := v.required
+		if ss.rate != v.rate {
+			need = maxBits(ss.rate.DataIn(req.Viewing), 1)
+		}
+		if fromCache, ok := PlanJoin(l.cache.PrefixBits(req.Video), ss.landed, need); ok {
 			// Piggyback: replay the missed gap from the cache and ride
 			// the live fills from there.
 			l.attach(d, ss, v, fromCache, now)
@@ -370,6 +388,7 @@ func (l *Layer) Submit(req workload.Request) {
 		id:      v.id,
 		title:   req.Video,
 		disk:    disk,
+		rate:    v.rate,
 		viewing: req.Viewing,
 		viewers: []*Viewer{v},
 	}
@@ -389,6 +408,11 @@ func (l *Layer) Submit(req workload.Request) {
 func (l *Layer) attach(d *diskShard, ss *SharedStream, v *Viewer, fromCache si.Bits, now si.Seconds) {
 	v.stream = ss
 	v.merged = true
+	if v.rate != ss.rate {
+		// The viewer consumes the leader's stream at the leader's rung.
+		v.rate = ss.rate
+		v.required = maxBits(ss.rate.DataIn(v.req.Viewing), 1)
+	}
 	ss.viewers = append(ss.viewers, v)
 	d.viewers[v.id] = v
 	d.stats.Merged++

@@ -23,10 +23,18 @@ const (
 	// evaluated at n+k, with no recurrence and no enforcement. It exists
 	// to demonstrate the underruns the paper predicts.
 	Naive
+
+	// Knee is the memory-knee-aware fourth scheme (ROADMAP item 3): the
+	// dynamic scheme with admission capped at half the disk's capacity —
+	// the Theorem 1 memory knee — trading peak concurrency for an
+	// order-of-magnitude smaller per-stream memory near the cap. It
+	// pairs with downgrading admission, which converts the capped
+	// capacity into lower ladder rungs instead of rejections.
+	Knee
 )
 
 // Schemes lists the schemes in presentation order.
-var Schemes = []Scheme{Static, Dynamic, Naive}
+var Schemes = []Scheme{Static, Dynamic, Naive, Knee}
 
 // String names the scheme.
 func (s Scheme) String() string {
@@ -37,6 +45,8 @@ func (s Scheme) String() string {
 		return "dynamic"
 	case Naive:
 		return "naive"
+	case Knee:
+		return "knee"
 	default:
 		return fmt.Sprintf("sim.Scheme(%d)", int(s))
 	}
@@ -51,6 +61,8 @@ func AllocatorFor(s Scheme) engine.Allocator {
 		return engine.StaticAllocator{}
 	case Dynamic:
 		return engine.DynamicAllocator{}
+	case Knee:
+		return engine.KneeAllocator{}
 	default:
 		return engine.NaiveAllocator{}
 	}
@@ -65,6 +77,8 @@ func ParseScheme(s string) (Scheme, error) {
 		return Dynamic, nil
 	case "naive":
 		return Naive, nil
+	case "knee":
+		return Knee, nil
 	}
 	return 0, fmt.Errorf("sim: unknown scheme %q", s)
 }

@@ -33,8 +33,20 @@ type Config struct {
 	// Spec is the disk model; every disk in the system is identical.
 	Spec diskmodel.Spec
 
-	// CR is the streams' consumption rate.
+	// CR is the streams' consumption rate — the default rate for every
+	// request whose Rate field is zero, and the base rate the sizing
+	// tables are built for.
 	CR si.BitRate
+
+	// Rates lists additional per-stream consumption rates the run may
+	// carry (the catalog's ladder rungs, for multi-rate workloads).
+	// Empty keeps the paper's single-rate regime; see engine.Config.Rates.
+	Rates []si.BitRate
+
+	// Downgrade enables downgrading admission: an arrival that does not
+	// fit at its requested rate steps down its title's ladder instead of
+	// being rejected (engine.Config.Downgrade). Requires Rates.
+	Downgrade bool
 
 	// Alpha is the dynamic scheme's inertia slack (default 1).
 	Alpha int
@@ -133,7 +145,7 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("sim: consumption rate %v outside (0, TR)", c.CR)
 	}
 	switch c.Scheme {
-	case Static, Dynamic, Naive:
+	case Static, Dynamic, Naive, Knee:
 	default:
 		return fmt.Errorf("sim: unknown scheme %d", int(c.Scheme))
 	}
@@ -187,6 +199,18 @@ type Result struct {
 	Underruns int
 	Starved   si.Seconds
 
+	// Downgrades counts admissions that stepped down the title's ladder
+	// (zero unless Config.Downgrade); StarvedStreams counts distinct
+	// streams that underran at least once — the numerator of the
+	// starvation probability StarvedStreams/Served.
+	Downgrades     int
+	StarvedStreams int
+
+	// ServedByRate counts served streams by the consumption rate they
+	// were admitted at — the delivered-rung distribution for multi-rate
+	// runs. Nil for single-rate runs.
+	ServedByRate map[si.BitRate]int
+
 	// Estimates / EstimateHits give the successful-estimation probability
 	// of Figs. 7b/8b; EstimatedK averages kc as in Figs. 7a/8a.
 	Estimates, EstimateHits int64
@@ -239,6 +263,15 @@ func (r *Result) SuccessRate() float64 {
 	return float64(r.EstimateHits) / float64(r.Estimates)
 }
 
+// StarvationProb reports the fraction of served streams that underran at
+// least once — the per-viewer QoE complement of the Underruns total.
+func (r *Result) StarvationProb() float64 {
+	if r.Served == 0 {
+		return 0
+	}
+	return float64(r.StarvedStreams) / float64(r.Served)
+}
+
 // collector translates the engine's Observer callbacks into the Result the
 // experiments consume. It is the simulator's entire measurement apparatus:
 // the engine itself keeps no counters.
@@ -246,6 +279,7 @@ type collector struct {
 	engine.NopObserver
 	res        *Result
 	concurrent int
+	multi      bool // multi-rate run: keep the ServedByRate distribution
 }
 
 func (c *collector) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
@@ -257,6 +291,13 @@ func (c *collector) OnAdmit(disk int, st *engine.Stream, now si.Seconds) {
 
 func (c *collector) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
 	c.concurrent--
+	if st.Starved() {
+		c.res.StarvedStreams++
+	}
+}
+
+func (c *collector) OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds) {
+	c.res.Downgrades++
 }
 
 func (c *collector) OnReject(disk int, req workload.Request, reason engine.RejectReason, now si.Seconds) {
@@ -273,6 +314,12 @@ func (c *collector) OnStall(disk int, now si.Seconds) { c.res.MemoryStalls++ }
 
 func (c *collector) OnStart(disk int, st *engine.Stream, now si.Seconds) {
 	c.res.Served++
+	if c.multi {
+		if c.res.ServedByRate == nil {
+			c.res.ServedByRate = make(map[si.BitRate]int)
+		}
+		c.res.ServedByRate[st.Rate()]++
+	}
 	lat := float64(now - st.Req().Arrival)
 	c.res.LatencyByN.Add(st.NAtArrival(), lat)
 	if st.Req().VCR {
@@ -389,7 +436,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	clock := engine.NewVirtualClock()
-	col := &collector{}
+	col := &collector{multi: len(cfg.Rates) > 0}
 	var obs engine.Observer = col
 	if cfg.Observer != nil {
 		obs = engine.Observers{col, cfg.Observer}
@@ -400,6 +447,8 @@ func Run(cfg Config) (*Result, error) {
 		Method:                cfg.Method,
 		Spec:                  cfg.Spec,
 		CR:                    cfg.CR,
+		Rates:                 cfg.Rates,
+		Downgrade:             cfg.Downgrade,
 		Alpha:                 cfg.Alpha,
 		TLog:                  cfg.TLog,
 		ChurnSafeAdmission:    cfg.ChurnSafeAdmission,
@@ -483,6 +532,8 @@ func Run(cfg Config) (*Result, error) {
 	res.Horizon = end
 
 	// Finalize: settle closed estimation windows and gather pool stats.
+	// Streams still in service never fired OnDepart, so sweep them for
+	// the starved-stream count too.
 	for i := 0; i < sys.Disks(); i++ {
 		d := sys.Disk(i)
 		d.ResolveEstimates(clock.Now())
@@ -491,6 +542,11 @@ func Run(cfg Config) (*Result, error) {
 		res.Starved += st.Starved
 		res.PeakMemory += st.HighWater
 		res.DiskStats = append(res.DiskStats, d.DiskStats())
+		for _, s := range d.Streams() {
+			if s.Starved() {
+				res.StarvedStreams++
+			}
+		}
 	}
 	if layer != nil {
 		stats := layer.Stats()

@@ -134,6 +134,12 @@ type Request struct {
 	// appears as a chain of requests; the latency of a VCR request is the
 	// VCR response time the paper wants minimized.
 	VCR bool
+
+	// Rate is the stream's consumption rate; 0 means "the engine's
+	// configured CR" (the paper's single-rate regime). Generate never sets
+	// it — drivers that want per-title bitrate ladders stamp it after
+	// generation, so legacy traces stay byte-identical.
+	Rate si.BitRate
 }
 
 // Trace is a complete generated workload.

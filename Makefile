@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke bench-snapshot test-fuzz cover ci
+.PHONY: build vet test race bench bench-smoke bench-snapshot test-fuzz cover docs-check ci
 
 build:
 	$(GO) build ./...
@@ -54,10 +54,16 @@ bench:
 # baseline (see EXPERIMENTS.md "Benchmark trajectory"). Race-free: the
 # gate measures allocations, which -race instrumentation would distort.
 bench-smoke:
-	$(GO) run ./cmd/bench -baseline BENCH_PR9.json -check -out /dev/null
+	$(GO) run ./cmd/bench -baseline BENCH_PR10.json -check -out /dev/null
 
 # Regenerate the committed baseline after an intentional perf change.
 bench-snapshot:
-	$(GO) run ./cmd/bench -out BENCH_PR9.json
+	$(GO) run ./cmd/bench -out BENCH_PR10.json
 
-ci: vet build test race bench-smoke cover
+# Documentation gate: every relative link in the maintained docs must
+# resolve, and README.md's architecture inventory must name every
+# package under internal/ and cmd/ (see cmd/docscheck).
+docs-check:
+	$(GO) run ./cmd/docscheck
+
+ci: vet build test race bench-smoke cover docs-check

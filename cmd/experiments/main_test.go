@@ -230,6 +230,43 @@ func TestGoldenQoEDowngradeQuick(t *testing.T) {
 	}
 }
 
+func TestGoldenQoEAdaptationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	code, out, _ := runCapture(t, "-run", "qoe-adaptation", "-quick", "-seeds", "2", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "qoe_adaptation_quick.csv", out)
+	for _, col := range []string{"up-switches", "down-switches", "underruns", "tw rung (Mbps)"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("report missing %q column", col)
+		}
+	}
+
+	// The acceptance-gate note only renders in the text format.
+	code, txt, _ := runCapture(t, "-run", "qoe-adaptation", "-quick", "-seeds", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(txt, "gate held") || strings.Contains(txt, "VIOLATED") {
+		t.Error("qoe-adaptation acceptance gate failed")
+	}
+
+	code, one, _ := runCapture(t, "-run", "qoe-adaptation", "-quick", "-seeds", "2", "-format", "csv", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	code, eight, _ := runCapture(t, "-run", "qoe-adaptation", "-quick", "-seeds", "2", "-format", "csv", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if one != out || eight != out {
+		t.Error("qoe-adaptation report depends on the worker count")
+	}
+}
+
 // renderCSV reproduces the -format csv rendering for a report produced
 // by calling the library directly (needed for options the CLI does not
 // expose, like the uniform-ladder oracle).

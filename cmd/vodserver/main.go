@@ -54,21 +54,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jcompMax = fs.Duration("jitter-comp-max", 0, "cap on how early jitter compensation may fire a timer (0 = serve.DefaultJitterCompMax)")
 		ladder   = fs.Bool("ladder", false, "give each title a bitrate ladder (1.5/1.0/0.5 Mbps rungs) and admit streams at their title's rate")
 		downg    = fs.Bool("downgrade", false, "step arrivals down their title's ladder instead of rejecting them (requires -ladder)")
+		adapt    = fs.Bool("adapt", false, "switch in-service streams across their title's ladder by buffer occupancy (requires -ladder)")
+		adaptRes = fs.Float64("adapt-reservoir", 0, "down-switch threshold in worst-case service times (0 = engine default 0.25; requires -adapt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	srv, err := serve.New(serve.Config{
-		Scale:         *scale,
-		Disks:         *disks,
-		Cluster:       *cluster,
-		Share:         *shared,
-		ShareWindow:   si.Seconds(*window),
-		JitterComp:    *jcomp,
-		JitterCompMax: *jcompMax,
-		Ladder:        *ladder,
-		Downgrade:     *downg,
+		Scale:          *scale,
+		Disks:          *disks,
+		Cluster:        *cluster,
+		Share:          *shared,
+		ShareWindow:    si.Seconds(*window),
+		JitterComp:     *jcomp,
+		JitterCompMax:  *jcompMax,
+		Ladder:         *ladder,
+		Downgrade:      *downg,
+		Adapt:          *adapt,
+		AdaptReservoir: *adaptRes,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)

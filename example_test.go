@@ -89,3 +89,45 @@ func ExampleNewChunkLayout() {
 	// chunks:   17
 	// overhead: 1.31x
 }
+
+// Mid-stream bitrate adaptation: a congested day over a three-rung
+// ladder, with streams shedding a rung when their buffer nears the
+// reservoir and climbing back under sustained headroom.
+func ExampleSimulate_adaptation() {
+	spec, _, _ := vod.PaperEnvironment()
+	ladder := []vod.BitRate{vod.Mbps(1.5), vod.Mbps(1.0), vod.Mbps(0.5)}
+	lib, err := vod.NewLibrary(vod.LibraryConfig{
+		Titles: 6, Disks: 1, Spec: spec, PopularityTheta: 0,
+		Video: func(id int) vod.Video {
+			v := vod.MPEG1Video(id)
+			v.Ladder = ladder
+			return v
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Twice the disk's base day, compressed into an 8-hour horizon, so
+	// the peak genuinely overloads the schedule. Viewers ask for their
+	// title's top rung.
+	trace := vod.GenerateWorkload(vod.ZipfDaySchedule(5000, 0, vod.Hours(3), vod.Hours(8)), lib, 11)
+	for i, r := range trace.Requests {
+		trace.Requests[i].Rate = lib.Video(r.Video).Rate
+	}
+	res, err := vod.Simulate(vod.SimConfig{
+		Scheme: vod.Dynamic, Method: vod.NewMethod(vod.RoundRobin),
+		Spec: spec, CR: ladder[0], Library: lib, Trace: trace, Seed: 7,
+		Rates: ladder, Downgrade: true,
+		Adapt: &vod.AdaptConfig{}, // zero value = engine defaults
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("served:    %d (downgraded at admission: %d)\n", res.Served, res.Downgrades)
+	fmt.Printf("switches:  %d down, %d up\n", res.SwitchesDown, res.SwitchesUp)
+	fmt.Printf("tw rung:   %.4f Mbps\n", float64(res.TimeWeightedRate())/1e6)
+	// Output:
+	// served:    690 (downgraded at admission: 6)
+	// switches:  2 down, 2 up
+	// tw rung:   1.4935 Mbps
+}

@@ -231,6 +231,50 @@ func multiRateCases() []Case {
 				}
 			},
 		},
+		{
+			// The same day with mid-stream adaptation on: the reservoir
+			// check rides every service start and the up-switch gates ride
+			// every completion, so the whole rate-map overhead — ladder
+			// walks, switch re-planning, rung re-booking — lands on the
+			// measured path even when few switches fire.
+			Name:    "sim/day/multirate-adapt-rr",
+			Iters:   1,
+			SimDays: true,
+			Bench: func(b *testing.B) {
+				spec, _, _ := vod.PaperEnvironment()
+				ladder := []vod.BitRate{vod.Mbps(1.5), vod.Mbps(1.0), vod.Mbps(0.5)}
+				lib, err := vod.NewLibrary(vod.LibraryConfig{
+					Titles: 6, Disks: 1, Spec: spec, PopularityTheta: 0.271,
+					Video: func(id int) catalog.Video {
+						v := catalog.MPEG1Video(id)
+						v.Ladder = ladder
+						return v
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := vod.GenerateWorkload(vod.ZipfDaySchedule(350, 1, vod.Hours(9), vod.Hours(24)), lib, 1)
+				for i, r := range tr.Requests {
+					tr.Requests[i].Rate = lib.Video(r.Video).Rate
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := vod.Simulate(vod.SimConfig{
+						Scheme: vod.Dynamic, Method: vod.NewMethod(vod.RoundRobin),
+						Spec: spec, CR: ladder[0], Library: lib, Trace: tr, Seed: int64(i),
+						Rates: ladder, Downgrade: true, Adapt: &engine.AdaptConfig{},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Served == 0 {
+						b.Fatal("nothing served")
+					}
+				}
+			},
+		},
 	}
 }
 

@@ -274,6 +274,26 @@ func (p *Pool) CompleteFill(id int, now si.Seconds) {
 	p.note(now)
 }
 
+// SetRate changes a stream's consumption rate mid-viewing — the engine's
+// mid-stream bitrate switch. The buffer is drained at the old rate up to
+// now first, so consumption history stays charged to the rate that
+// actually consumed it; the remaining level drains at the new rate from
+// now on, and the buffer's zero crossing moves accordingly (later after a
+// down-switch, earlier after an up-switch). An in-flight fill is
+// unaffected: its reservation was sized by the caller, and it lands into
+// the level as usual at CompleteFill.
+func (p *Pool) SetRate(id int, rate si.BitRate, now si.Seconds) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("buffer: stream %d switched to non-positive rate %v", id, rate))
+	}
+	s := p.must(id)
+	p.drain(s, now)
+	s.rate = rate
+	if s.started && !s.starving {
+		s.emptyAt = now + rate.TimeToTransfer(s.level)
+	}
+}
+
 // Level reports a stream's buffer level at time now (without recording
 // underruns — it is a read-only probe).
 func (p *Pool) Level(id int, now si.Seconds) si.Bits {

@@ -336,3 +336,35 @@ func TestSetUnderrunTolerance(t *testing.T) {
 		t.Fatalf("restored default: %d underruns, want 1", st.Underruns)
 	}
 }
+
+func TestSetRateMidStream(t *testing.T) {
+	p := NewPool(0)
+	p.Attach(1, cr, 0)
+	p.BeginFill(1, si.Megabits(1.5), 0)
+	p.CompleteFill(1, 0) // 1.5 Mbit: lasts 1 s at cr
+	// At 0.4 s, 0.9 Mbit remains; halving the rate moves the zero
+	// crossing from 1.0 s to 0.4 + 0.9/0.75 = 1.6 s.
+	p.SetRate(1, cr/2, 0.4)
+	if got := p.EmptyAt(1); math.Abs(float64(got)-1.6) > 1e-9 {
+		t.Errorf("EmptyAt after down-switch = %v, want 1.6", got)
+	}
+	// History stays charged to the old rate: the level at 0.8 s is
+	// 0.9 Mbit minus 0.4 s at the NEW rate only.
+	if got := p.Level(1, 0.8); math.Abs(float64(got)-0.6e6) > 1e-6 {
+		t.Errorf("Level after down-switch = %v, want 0.6 Mbit", got)
+	}
+	// Switching back up pulls the crossing earlier: 0.6 Mbit at cr.
+	p.SetRate(1, cr, 0.8)
+	if got := p.EmptyAt(1); math.Abs(float64(got)-1.2) > 1e-9 {
+		t.Errorf("EmptyAt after up-switch = %v, want 1.2", got)
+	}
+	if st := p.Stats(); st.Underruns != 0 {
+		t.Errorf("rate switches recorded %d underruns", st.Underruns)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive rate accepted")
+		}
+	}()
+	p.SetRate(1, 0, 1)
+}

@@ -15,32 +15,36 @@ import (
 
 // Stream is one admitted request being serviced by a disk.
 type Stream struct {
-	disk       *Disk // owning disk, for pre-bound clock callbacks
-	id         int
-	req        workload.Request
-	place      catalog.Placement
-	rate       si.BitRate // consumption rate (== cfg.CR in uniform mode)
-	ctx        *rateCtx   // per-rate sizing context; nil in uniform mode
-	nAtArrival int        // requests in service at its arrival (Fig. 11's x-axis)
-	required   si.Bits    // total data the user will consume: rate · viewing
-	delivered  si.Bits    // data read from disk so far
-	size       si.Bits    // most recent allocated buffer size
-	lastFill   si.Bits    // amount of the in-flight or most recent fill
-	deadline   si.Seconds // cached pool EmptyAt, refreshed at each fill
-	lastFillAt si.Seconds // completion time of the most recent fill
-	firstFill  si.Seconds
-	admittedAt si.Seconds // when the stream entered service
-	slot       int        // index in Disk.streams (admission order)
-	admitSeq   int64      // monotone admission sequence, ties in the deadline index
-	dlKey      si.Seconds // deadline value the deadline index holds
-	dlPos      int        // position in the deadline index, -1 outside
-	inDl       bool       // member of the deadline index
-	departT    Timer      // pending departure, rescheduled on Extend
-	started    bool       // first fill has landed
-	active     bool       // still owned by the disk
-	doomed     bool       // departed mid-service; remove at completion
-	starved    bool       // suffered at least one underrun (QoE accounting)
-	group      int        // GSS group index
+	disk        *Disk // owning disk, for pre-bound clock callbacks
+	id          int
+	req         workload.Request
+	place       catalog.Placement
+	rate        si.BitRate // consumption rate (== cfg.CR in uniform mode)
+	want        si.BitRate // rung the viewer requested — adaptation's up-switch ceiling
+	booked      si.BitRate // rate held in the committed-bandwidth book (never shrinks mid-stream)
+	ctx         *rateCtx   // per-rate sizing context; nil in uniform mode
+	nAtArrival  int        // requests in service at its arrival (Fig. 11's x-axis)
+	required    si.Bits    // total data the user will consume: rate · viewing
+	delivered   si.Bits    // data read from disk so far
+	size        si.Bits    // most recent allocated buffer size
+	lastFill    si.Bits    // amount of the in-flight or most recent fill
+	deadline    si.Seconds // cached pool EmptyAt, refreshed at each fill
+	lastFillAt  si.Seconds // completion time of the most recent fill
+	firstFill   si.Seconds
+	rateSince   si.Seconds // when the current rate epoch began (start or last switch)
+	headroomRun int        // consecutive services with up-switch headroom (adaptation)
+	admittedAt  si.Seconds // when the stream entered service
+	slot        int        // index in Disk.streams (admission order)
+	admitSeq    int64      // monotone admission sequence, ties in the deadline index
+	dlKey       si.Seconds // deadline value the deadline index holds
+	dlPos       int        // position in the deadline index, -1 outside
+	inDl        bool       // member of the deadline index
+	departT     Timer      // pending departure, rescheduled on Extend
+	started     bool       // first fill has landed
+	active      bool       // still owned by the disk
+	doomed      bool       // departed mid-service; remove at completion
+	starved     bool       // suffered at least one underrun (QoE accounting)
+	group       int        // GSS group index
 }
 
 // ID returns the stream's request ID.
@@ -59,6 +63,19 @@ func (st *Stream) Required() si.Bits { return st.required }
 // Rate is the stream's consumption rate — the delivered ladder rung,
 // which downgrading admission may have stepped below the requested one.
 func (st *Stream) Rate() si.BitRate { return st.rate }
+
+// Want is the rung the viewer originally requested — the ceiling
+// mid-stream adaptation may step the stream back up to after downgrading
+// admission or a down-switch parked it lower. Equal to Rate() while no
+// downgrade or switch has happened.
+func (st *Stream) Want() si.BitRate { return st.want }
+
+// RateSince reports when the stream's current rate epoch began: its
+// first fill, or its most recent mid-stream switch. Inside an
+// OnRateSwitch callback it still reports the epoch that is ending, so
+// observers can accrue time-weighted delivered-rung accounting without
+// keeping per-stream state of their own.
+func (st *Stream) RateSince() si.Seconds { return st.rateSince }
 
 // Starved reports whether the stream suffered at least one underrun —
 // the per-stream signal behind the QoE layer's starvation probability
@@ -98,6 +115,7 @@ func completeCB(arg any) { st := arg.(*Stream); st.disk.completeService(st) }
 type queued struct {
 	req        workload.Request
 	rate       si.BitRate // resolved consumption rate (ladder rung or CR)
+	want       si.BitRate // rung requested before any downgrade (adaptation ceiling)
 	nAtArrival int
 }
 
@@ -151,6 +169,15 @@ type Disk struct {
 	// min_i(stamp_i + k_i) bounds further admissions (core.AdmitBudget).
 	admits int
 	budget *core.Book // nil unless Config.ChurnSafeAdmission
+
+	// lastDistress and lastUp pace the rate map's recovery side (see
+	// adaptUp): lastDistress is the most recent time this disk produced
+	// an underrun or a distress down-switch, lastUp the most recent
+	// up-switch. Together they turn recovery into a gradual ramp — one
+	// step per usage period, paused after any distress — instead of a
+	// thundering herd.
+	lastDistress si.Seconds
+	lastUp       si.Seconds
 
 	sched Scheduler
 
@@ -238,6 +265,7 @@ func newDisk(sys *System, id int) *Disk {
 	}
 	d.pool.SetUnderrunFunc(func(id int, now, gap si.Seconds) {
 		d.markStarved(id)
+		d.lastDistress = now
 		sys.obs.OnUnderrun(d.id, id, now, gap)
 	})
 	return d
@@ -306,6 +334,7 @@ func (d *Disk) onArrival(req workload.Request) {
 	if rate <= 0 {
 		rate = d.sys.cfg.CR
 	}
+	want := rate
 	if d.sys.multi == nil {
 		if d.committed() >= d.sys.admitCap {
 			d.sys.obs.OnReject(d.id, req, RejectCapacity, now)
@@ -327,7 +356,7 @@ func (d *Disk) onArrival(req workload.Request) {
 		return
 	}
 	d.estArrivals.push(now)
-	d.queue = append(d.queue, queued{req: req, rate: rate, nAtArrival: d.n()})
+	d.queue = append(d.queue, queued{req: req, rate: rate, want: want, nAtArrival: d.n()})
 	d.committedRate += rate
 	d.dispatch()
 }
@@ -485,6 +514,8 @@ func (d *Disk) admitFromQueue() {
 			req:        q.req,
 			place:      place,
 			rate:       q.rate,
+			want:       q.want,
+			booked:     q.rate,
 			ctx:        d.sys.ctxFor(q.rate),
 			nAtArrival: q.nAtArrival,
 			required:   maxBits(q.rate.DataIn(q.req.Viewing), 1),
@@ -518,7 +549,7 @@ func (d *Disk) removeStream(st *Stream) {
 	st.departT.Cancel()
 	st.departT = Timer{}
 	d.serviceRate -= st.rate
-	d.committedRate -= st.rate
+	d.committedRate -= st.booked
 	if st.ctx != nil {
 		d.rateLive[st.ctx.idx]--
 	}
@@ -623,6 +654,14 @@ func (d *Disk) dispatch() {
 func (d *Disk) beginService(st *Stream) {
 	now := d.now()
 	n := d.n()
+	if d.sys.adapt != nil && st.started {
+		// The rate map's distress side runs before the allocator: a
+		// down-switch here re-sizes this very fill against the lower
+		// rung's context. A deep down-switch may leave nothing to fetch
+		// (the buffered level already covers the re-planned demand); the
+		// fill<=0 path below retires the service as usual.
+		d.adaptDown(st, now, n)
+	}
 	size := d.sys.cfg.Allocator.Size(d, st, n)
 	st.size = size
 	fill := size
@@ -675,6 +714,7 @@ func (d *Disk) completeService(st *Stream) {
 	if !st.started {
 		st.started = true
 		st.firstFill = now
+		st.rateSince = now
 		d.sys.obs.OnStart(d.id, st, now)
 		st.departT = d.clock.ScheduleFunc(now+st.req.Viewing, departCB, st)
 	}
@@ -684,6 +724,11 @@ func (d *Disk) completeService(st *Stream) {
 		st.doomed = false
 		d.removeStream(st)
 		return // removeStream dispatched already
+	}
+	if d.sys.adapt != nil {
+		// The rate map's recovery side runs on the full buffer the fill
+		// just topped up — the safest moment to trade slack for rate.
+		d.adaptUp(st, now)
 	}
 	d.dispatch()
 }
@@ -772,14 +817,24 @@ func (d *Disk) countArrivals(lo, hi si.Seconds) int {
 	return j - i
 }
 
-// effLoad maps the disk's in-service consumption bandwidth to an
-// equivalent stream count at ctx's rate: the load whose sizing row
-// covers the same round of disk work — ceil(serviceRate/rate), clamped
-// into the ctx table's [1, N]. Mixed-rate loads thereby reuse each
-// rate's single-rate sizing theory with the disk's true bandwidth
-// demand in place of the uniform n.
+// effLoad maps the disk's in-service load to an equivalent stream count
+// at ctx's rate: the load whose sizing row covers the same round of disk
+// work. Two dimensions bound the round — its transfer work scales with
+// the consumption bandwidth (ceil(serviceRate/rate) rate-c streams move
+// the same bits), but its seek-and-rotation work scales with the stream
+// COUNT, which a bandwidth quotient undercounts whenever the mix skews
+// below c. The equivalent load is therefore the larger of the two,
+// clamped into the ctx table's [1, N]; for a uniform mix they coincide
+// and the quotient alone is exact. Undersizing the high rungs in a
+// low-skewed mix is not hypothetical: the buffers the inertia book
+// snapshots would cover fewer services than the round actually contains,
+// admission quietly over-commits, and the schedule erodes into underruns
+// — the regime mid-stream down-switching (AdaptConfig) steers into.
 func (d *Disk) effLoad(c *rateCtx) int {
 	n := int(math.Ceil(float64(d.serviceRate) / float64(c.rate)))
+	if live := len(d.streams); n < live {
+		n = live
+	}
 	if n < 1 {
 		n = 1
 	}

@@ -89,6 +89,15 @@ type Config struct {
 	// (a uniform-rate system has no lower rungs to step to).
 	Downgrade bool
 
+	// Adapt, when non-nil, enables mid-stream bitrate adaptation: at the
+	// start of each service the disk may step a started stream down its
+	// title's ladder when its buffer occupancy falls inside the reservoir,
+	// and back up toward the requested rung on sustained bandwidth
+	// headroom (see AdaptConfig). Requires Rates — a uniform-rate system
+	// has no rungs to switch across. Nil runs the admission-time-only
+	// ladder paths unchanged.
+	Adapt *AdaptConfig
+
 	// Alpha is the dynamic scheme's inertia slack (>= 1).
 	Alpha int
 
@@ -205,6 +214,10 @@ type System struct {
 	// every plan and wreck the schedule for the streams that exist.
 	ctxs    []*rateCtx
 	planCtx *rateCtx // widest-buffer context: layout checks (planStatic)
+
+	// adapt is the normalized mid-stream adaptation policy; nil when
+	// adaptation is off, in which case no switching code runs at all.
+	adapt *AdaptConfig
 
 	// admitCap is the committed-stream count capacity arrivals are
 	// rejected at: N in uniform mode, DeriveN at the smallest rate in
@@ -346,6 +359,16 @@ func New(cfg Config) (*System, error) {
 		// The smallest rate admits the most concurrent streams; its N is
 		// the count any sizing table can back.
 		sys.admitCap = core.DeriveN(cfg.Spec.TransferRate, minRate)
+	}
+	if cfg.Adapt != nil {
+		if sys.multi == nil {
+			return nil, fmt.Errorf("engine: Adapt requires a multi-rate ladder (Config.Rates); a uniform-rate system has no rungs to switch across")
+		}
+		a, err := cfg.Adapt.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		sys.adapt = &a
 	}
 	if c, ok := cfg.Allocator.(admissionCapper); ok {
 		sys.admitCap = c.AdmitCapCount(sys.admitCap)

@@ -63,6 +63,14 @@ type Observer interface {
 	// its title's bitrate ladder: the requested rung from did not fit the
 	// disk's predicted capacity, and the stream will be served at to.
 	OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds)
+	// OnRateSwitch fires when mid-stream adaptation steps an in-service
+	// stream across its title's ladder: the stream consumed at from
+	// until now and consumes at to from now on, and its next fill is
+	// sized against the new rung's context. During the callback
+	// st.RateSince() still reports when the ending from-epoch began
+	// (it advances to now right after), so collectors can accrue
+	// time-weighted delivered-rung accounting statelessly.
+	OnRateSwitch(disk int, st *Stream, from, to si.BitRate, now si.Seconds)
 	// OnDepart fires when a stream leaves service and frees its capacity.
 	OnDepart(disk int, st *Stream, now si.Seconds)
 }
@@ -83,7 +91,8 @@ func (NopObserver) OnEstimateResolved(int, bool, si.Seconds)                    
 func (NopObserver) OnUnderrun(int, int, si.Seconds, si.Seconds)                      {}
 func (NopObserver) OnDowngrade(int, workload.Request, si.BitRate, si.BitRate, si.Seconds) {
 }
-func (NopObserver) OnDepart(int, *Stream, si.Seconds) {}
+func (NopObserver) OnRateSwitch(int, *Stream, si.BitRate, si.BitRate, si.Seconds) {}
+func (NopObserver) OnDepart(int, *Stream, si.Seconds)                             {}
 
 // Observers fans every callback out to each member in order.
 type Observers []Observer
@@ -141,6 +150,11 @@ func (o Observers) OnUnderrun(disk int, id int, now, gap si.Seconds) {
 func (o Observers) OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds) {
 	for _, ob := range o {
 		ob.OnDowngrade(disk, req, from, to, now)
+	}
+}
+func (o Observers) OnRateSwitch(disk int, st *Stream, from, to si.BitRate, now si.Seconds) {
+	for _, ob := range o {
+		ob.OnRateSwitch(disk, st, from, to, now)
 	}
 }
 func (o Observers) OnDepart(disk int, st *Stream, now si.Seconds) {

@@ -295,6 +295,7 @@ func Registry() []struct {
 		{"zipf-sharing", ZipfSharing},
 		{"fleet-routing", FleetRouting},
 		{"qoe-downgrade", QoEDowngrade},
+		{"qoe-adaptation", QoEAdaptation},
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/sched"
 	"repro/internal/si"
 	"repro/internal/sim"
@@ -207,6 +208,219 @@ func QoEDowngrade(opt Options) (*Report, error) {
 	return &Report{
 		ID:     "qoe-downgrade",
 		Title:  "Extension: downgrading admission over a bitrate ladder, with QoE accounting",
+		XLabel: "offered load (x base day)",
+		YLabel: "viewers served",
+		Series: series,
+		Tables: []Table{table},
+		Notes:  notes,
+	}, nil
+}
+
+// adaptArm is one policy under comparison in the adaptation experiment.
+type adaptArm struct {
+	name      string
+	downgrade bool
+	adapt     *engine.AdaptConfig
+}
+
+// adaptObs is one (arm, load, replication) run's measurements.
+type adaptObs struct {
+	served, rejected, downgrades int
+	switchesUp, switchesDown     int
+	underruns, starved           int
+	rebufferSec                  float64
+	twRate                       float64 // time-weighted delivered rung (bit/s)
+	watchHours                   float64
+	qoe                          float64
+	peakMB                       float64
+}
+
+// QoEAdaptation compares mid-stream bitrate adaptation against PR 9's
+// admission-time policies over a single disk whose titles carry the
+// QoELadder, under the same tight-peak day profile as QoEDowngrade:
+//
+//   - reject-only: the dynamic scheme; arrivals that do not fit at their
+//     title's top rung are rejected.
+//   - downgrade: downgrading admission — arrivals step down the ladder
+//     before giving up, then stay at the admitted rung for the whole
+//     viewing.
+//   - adapt: downgrading admission plus the buffer-occupancy rate map
+//     (engine.AdaptConfig defaults): streams in distress shed one rung
+//     mid-viewing, and streams below their requested rung climb back on
+//     sustained headroom.
+//
+// All arms of one replication replay the identical trace, so every curve
+// is paired. The report carries the viewers-served curves, the
+// time-weighted delivered-rung curves, and the rebuffer-aware QoE score
+// (arXiv:1108.0187's starvation cost plus Huang et al.'s switch-
+// stability term); the table adds switch and rebuffer counts.
+func QoEAdaptation(opt Options) (*Report, error) {
+	opt = opt.normalized()
+	env := PaperEnv()
+	ladder := QoELadder()
+	lib, err := sharedLibrary(catalog.Config{
+		Titles:          6,
+		Disks:           1,
+		Spec:            env.Spec,
+		PopularityTheta: 0.271,
+		Video: func(id int) catalog.Video {
+			v := catalog.MPEG1Video(id)
+			v.Ladder = ladder
+			return v
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	arms := []adaptArm{
+		{name: "reject-only"},
+		{name: "downgrade", downgrade: true},
+		{name: "adapt", downgrade: true, adapt: &engine.AdaptConfig{}},
+	}
+	points := []float64{1, 1.5, 2}
+	if opt.Quick {
+		points = []float64{1, 2}
+	}
+	method := sched.NewMethod(sched.RoundRobin)
+
+	cells, err := runGrid(opt, len(points), opt.Seeds, func(p, rep int) ([3]adaptObs, error) {
+		var out [3]adaptObs
+		total := points[p] * singleDiskArrivalsPerDay
+		tr := dayTrace(lib, 0, total, opt.runSeed(p, rep, seedTrace), opt.Quick)
+		// Requests arrive at their title's top rung; lower rungs enter
+		// only through downgrading admission or mid-stream switching.
+		for i, r := range tr.Requests {
+			tr.Requests[i].Rate = lib.Video(r.Video).Rate
+		}
+		for a, arm := range arms {
+			cfg := simConfig(sim.Dynamic, method, lib, tr, opt.runSeed(p, rep, seedSim))
+			cfg.Rates = ladder
+			cfg.Downgrade = arm.downgrade
+			cfg.Adapt = arm.adapt
+			res, err := runSim(cfg)
+			if err != nil {
+				return out, err
+			}
+			out[a] = adaptObs{
+				served:       res.Served,
+				rejected:     res.Rejected,
+				downgrades:   res.Downgrades,
+				switchesUp:   res.SwitchesUp,
+				switchesDown: res.SwitchesDown,
+				underruns:    res.Underruns,
+				starved:      res.StarvedStreams,
+				rebufferSec:  float64(res.Starved),
+				twRate:       float64(res.TimeWeightedRate()),
+				watchHours:   float64(res.WatchSeconds()) / 3600,
+				qoe:          res.QoEScore(ladder[0]),
+				peakMB:       res.PeakMemory.MegabytesVal(),
+			}
+		}
+		opt.progress("qoe-adaptation load x%.2g seed %d done", points[p], rep)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	served := make([]Series, len(arms))
+	tw := make([]Series, len(arms))
+	qoe := make([]Series, len(arms))
+	for a, arm := range arms {
+		served[a] = Series{Name: "served/" + arm.name}
+		tw[a] = Series{Name: "tw rung (Mbps)/" + arm.name}
+		qoe[a] = Series{Name: "QoE score/" + arm.name}
+	}
+	mean := func(p, a int, get func(adaptObs) float64) float64 {
+		var sum float64
+		for _, reps := range cells[p] {
+			sum += get(reps[a])
+		}
+		return sum / float64(len(cells[p]))
+	}
+	for p, x := range points {
+		for a := range arms {
+			vs := make([][]float64, 3)
+			for _, reps := range cells[p] {
+				o := reps[a]
+				vs[0] = append(vs[0], float64(o.served))
+				vs[1] = append(vs[1], o.twRate/1e6)
+				vs[2] = append(vs[2], o.qoe)
+			}
+			served[a].AddPoint(x, Summarize(vs[0]))
+			tw[a].AddPoint(x, Summarize(vs[1]))
+			qoe[a].AddPoint(x, Summarize(vs[2]))
+		}
+	}
+
+	table := Table{
+		Name: "per-arm means over replications (paired traces)",
+		Columns: []string{
+			"load", "arm", "served", "rejected", "downgrades", "up-switches",
+			"down-switches", "underruns", "starved streams", "rebuffer (s)",
+			"tw rung (Mbps)", "watch (h)", "QoE", "peak mem (MB)",
+		},
+	}
+	for p, x := range points {
+		for a, arm := range arms {
+			table.Rows = append(table.Rows, []string{
+				fmt.Sprintf("x%.2g", x),
+				arm.name,
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return float64(o.served) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return float64(o.rejected) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return float64(o.downgrades) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return float64(o.switchesUp) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return float64(o.switchesDown) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return float64(o.underruns) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return float64(o.starved) })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return o.rebufferSec })),
+				fmt.Sprintf("%.4f", mean(p, a, func(o adaptObs) float64 { return o.twRate / 1e6 })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return o.watchHours })),
+				fmt.Sprintf("%.4f", mean(p, a, func(o adaptObs) float64 { return o.qoe })),
+				fmt.Sprintf("%.1f", mean(p, a, func(o adaptObs) float64 { return o.peakMB })),
+			})
+		}
+	}
+
+	// The acceptance gate: the adaptation arm rebuffers no more than
+	// reject-only at every load point, and delivers a strictly higher
+	// time-weighted rung than admission-downgrade wherever the offered
+	// load reaches 2x.
+	gate := true
+	var notes []string
+	for p, x := range points {
+		uAdapt := mean(p, 2, func(o adaptObs) float64 { return float64(o.underruns) })
+		uRej := mean(p, 0, func(o adaptObs) float64 { return float64(o.underruns) })
+		if uAdapt > uRej {
+			gate = false
+			notes = append(notes, fmt.Sprintf("gate VIOLATED at x%.2g: adaptation rebuffered %.1f times vs reject-only's %.1f", x, uAdapt, uRej))
+		}
+		if x >= 2 {
+			twAdapt := mean(p, 2, func(o adaptObs) float64 { return o.twRate })
+			twDown := mean(p, 1, func(o adaptObs) float64 { return o.twRate })
+			if twAdapt <= twDown {
+				gate = false
+				notes = append(notes, fmt.Sprintf("gate VIOLATED at x%.2g: adaptation's tw rung %.4f Mbps not above downgrade's %.4f", x, twAdapt/1e6, twDown/1e6))
+			} else {
+				notes = append(notes, fmt.Sprintf("at x%.2g adaptation delivered a %.4f Mbps tw rung vs downgrade's %.4f, rebuffering %.1f times vs reject-only's %.1f",
+					x, twAdapt/1e6, twDown/1e6, uAdapt, uRej))
+			}
+		}
+	}
+	head := []string{
+		fmt.Sprintf("environment: %s, ladder 1.5/1.0/0.5 Mbps (N = %d at the top rung), theta=0 day profile, 6 titles, 1 disk",
+			env.Spec.Name, env.Params.N),
+		"acceptance gate: adaptation rebuffers no more than reject-only at every load, and beats downgrade's time-weighted rung at loads >= 2x",
+	}
+	if gate {
+		head = append(head, "gate held")
+	}
+	notes = append(head, notes...)
+
+	series := append(append(served, tw...), qoe...)
+	return &Report{
+		ID:     "qoe-adaptation",
+		Title:  "Extension: mid-stream bitrate adaptation under the buffer-occupancy rate map",
 		XLabel: "offered load (x base day)",
 		YLabel: "viewers served",
 		Series: series,

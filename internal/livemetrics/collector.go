@@ -52,7 +52,15 @@ type DiskCounters struct {
 	Downgrades     atomic.Int64
 	StarvedStreams atomic.Int64
 	RungServed     [maxRungs]atomic.Int64
-	_              [1]int64
+	// Adaptation counters (zero unless mid-stream bitrate adaptation is
+	// on). SwitchesUp / SwitchesDown count rate-map steps; RungMillis
+	// accumulates delivered watch time per ladder rung in engine
+	// milliseconds, accrued at every switch and departure, so the
+	// time-weighted delivered rung can be derived from a stats dump.
+	SwitchesUp   atomic.Int64
+	SwitchesDown atomic.Int64
+	RungMillis   [maxRungs]atomic.Int64
+	_            [1]int64
 }
 
 // maxRungs bounds the per-rung admission tally; real ladders are short
@@ -171,12 +179,41 @@ func (c *Collector) OnDowngrade(disk int, req workload.Request, from, to si.BitR
 }
 
 // OnDepart counts a stream finishing and freeing its capacity, and the
-// starvation-probability numerator when the stream ever ran dry.
+// starvation-probability numerator when the stream ever ran dry. The
+// stream's final rate epoch lands in the delivered-rung watch tally.
 func (c *Collector) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
 	d := &c.disks[disk]
 	d.Departed.Add(1)
 	if st.Starved() {
 		d.StarvedStreams.Add(1)
+	}
+	c.accrueRung(d, st.Req().Video, st.Rate(), now-st.RateSince())
+}
+
+// OnRateSwitch counts a mid-stream rate-map step and closes the
+// stream's previous rate epoch: the engine fires the callback before it
+// advances RateSince, so the elapsed epoch is still readable here.
+func (c *Collector) OnRateSwitch(disk int, st *engine.Stream, from, to si.BitRate, now si.Seconds) {
+	d := &c.disks[disk]
+	if to > from {
+		d.SwitchesUp.Add(1)
+	} else {
+		d.SwitchesDown.Add(1)
+	}
+	c.accrueRung(d, st.Req().Video, from, now-st.RateSince())
+}
+
+// accrueRung adds one closed rate epoch to the delivered-rung watch
+// tally.
+func (c *Collector) accrueRung(d *DiskCounters, video int, rate si.BitRate, dur si.Seconds) {
+	if c.rungOf == nil || dur <= 0 {
+		return
+	}
+	if r := c.rungOf(video, rate); r >= 0 {
+		if r >= maxRungs {
+			r = maxRungs - 1
+		}
+		d.RungMillis[r].Add(int64(dur * 1e3))
 	}
 }
 
@@ -234,9 +271,16 @@ type DiskSnapshot struct {
 	Downgrades     int64   `json:"downgrades"`
 	StarvedStreams int64   `json:"starved_streams"`
 	StarvationProb float64 `json:"starvation_prob"`
+	// Adaptation fields (zero unless mid-stream adaptation is on).
+	SwitchesUp   int64 `json:"switches_up"`
+	SwitchesDown int64 `json:"switches_down"`
 	// RungServed tallies admissions by delivered ladder rung, full
 	// quality first. Omitted when no ladder catalog is installed.
 	RungServed []int64 `json:"rung_served,omitempty"`
+	// RungMS is delivered watch time per ladder rung in engine
+	// milliseconds, full quality first (the time-weighted delivered
+	// rung's raw data). Omitted when no ladder catalog is installed.
+	RungMS []float64 `json:"rung_ms,omitempty"`
 }
 
 func (s *DiskSnapshot) add(o DiskSnapshot) {
@@ -262,6 +306,8 @@ func (s *DiskSnapshot) add(o DiskSnapshot) {
 	}
 	s.Downgrades += o.Downgrades
 	s.StarvedStreams += o.StarvedStreams
+	s.SwitchesUp += o.SwitchesUp
+	s.SwitchesDown += o.SwitchesDown
 	if s.Departed > 0 {
 		s.StarvationProb = float64(s.StarvedStreams) / float64(s.Departed)
 	}
@@ -271,6 +317,14 @@ func (s *DiskSnapshot) add(o DiskSnapshot) {
 		}
 		for i, v := range o.RungServed {
 			s.RungServed[i] += v
+		}
+	}
+	if o.RungMS != nil {
+		if s.RungMS == nil {
+			s.RungMS = make([]float64, len(o.RungMS))
+		}
+		for i, v := range o.RungMS {
+			s.RungMS[i] += v
 		}
 	}
 }
@@ -293,34 +347,39 @@ func (c *Collector) Snapshot() Snapshot {
 	for i := range c.disks {
 		d := &c.disks[i]
 		snap.PerDisk[i] = DiskSnapshot{
-			Admitted:      d.Admitted.Load(),
-			Deferred:      d.Deferred.Load(),
-			Rejected:      d.Rejected.Load(),
-			Departed:      d.Departed.Load(),
-			Starts:        d.Starts.Load(),
-			Fills:         d.Fills.Load(),
-			FillBytes:     d.FillBytes.Load(),
-			Underruns:     d.Underruns.Load(),
-			StarvedMS:     float64(d.StarvedMicros.Load()) / 1e3,
-			Stalls:        d.Stalls.Load(),
-			Leads:         d.Leads.Load(),
-			Merges:        d.Merges.Load(),
-			CacheHits:     d.CacheHits.Load(),
-			CacheHitBytes: d.CacheHitBytes.Load(),
+			Admitted:       d.Admitted.Load(),
+			Deferred:       d.Deferred.Load(),
+			Rejected:       d.Rejected.Load(),
+			Departed:       d.Departed.Load(),
+			Starts:         d.Starts.Load(),
+			Fills:          d.Fills.Load(),
+			FillBytes:      d.FillBytes.Load(),
+			Underruns:      d.Underruns.Load(),
+			StarvedMS:      float64(d.StarvedMicros.Load()) / 1e3,
+			Stalls:         d.Stalls.Load(),
+			Leads:          d.Leads.Load(),
+			Merges:         d.Merges.Load(),
+			CacheHits:      d.CacheHits.Load(),
+			CacheHitBytes:  d.CacheHitBytes.Load(),
 			PeakFanout:     d.PeakFanout.Load(),
 			JitterCompMS:   float64(d.JitterCompMicros.Load()) / 1e3,
 			Downgrades:     d.Downgrades.Load(),
 			StarvedStreams: d.StarvedStreams.Load(),
+			SwitchesUp:     d.SwitchesUp.Load(),
+			SwitchesDown:   d.SwitchesDown.Load(),
 		}
 		if ds := &snap.PerDisk[i]; ds.Departed > 0 {
 			ds.StarvationProb = float64(ds.StarvedStreams) / float64(ds.Departed)
 		}
 		if c.rungOf != nil {
 			rungs := make([]int64, maxRungs)
+			ms := make([]float64, maxRungs)
 			for r := range rungs {
 				rungs[r] = d.RungServed[r].Load()
+				ms[r] = float64(d.RungMillis[r].Load())
 			}
 			snap.PerDisk[i].RungServed = rungs
+			snap.PerDisk[i].RungMS = ms
 		}
 		snap.Totals.add(snap.PerDisk[i])
 	}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/livemetrics"
+)
+
+func TestAdaptRequiresLadderAndExcludesShare(t *testing.T) {
+	if _, err := New(Config{Scale: 600, Disks: 1, Adapt: true}); err == nil {
+		t.Error("adaptation without the ladder catalog accepted")
+	}
+	if _, err := New(Config{Scale: 600, Disks: 1, Ladder: true, Adapt: true, Share: true}); err == nil {
+		t.Error("adaptation with the sharing front end accepted")
+	}
+}
+
+// TestAdaptStatsCarryRungWatchTime serves a few ladder viewers with
+// adaptation on and checks the stats dump grows the adaptation fields:
+// switch counters present and the delivered-rung watch tally accrued at
+// the top rung once the viewers departed.
+func TestAdaptStatsCarryRungWatchTime(t *testing.T) {
+	// JitterComp keeps the adaptation reservoir (like the underrun
+	// grace) judged in wall time: without it, OS timer wobble at this
+	// compression reads as buffer distress and sheds rate spuriously.
+	// The modest compression leaves the wobble small next to the
+	// reservoir even on a loaded test machine.
+	srv, err := New(Config{Scale: 60, Disks: 1, Ladder: true, Downgrade: true, Adapt: true, JitterComp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Stop()
+	})
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	for i := 0; i < 3; i++ {
+		watch(t, addr, 5)
+	}
+	drained(t, srv)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintln(conn, "STATS")
+	raw, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap livemetrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Totals.Departed != 3 {
+		t.Fatalf("departed = %d, want 3", snap.Totals.Departed)
+	}
+	// The adaptation fields must be on the wire by name, not just as Go
+	// zero values the decoder never saw.
+	var dump map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	var totals map[string]json.RawMessage
+	if err := json.Unmarshal(dump["totals"], &totals); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"switches_up", "switches_down", "rung_ms"} {
+		if _, ok := totals[field]; !ok {
+			t.Errorf("stats dump missing %q", field)
+		}
+	}
+	// Every viewer started at the top rung, so its first rate epoch must
+	// land there when it closes (at departure or at a switch).
+	if len(snap.Totals.RungMS) == 0 || snap.Totals.RungMS[0] <= 0 {
+		t.Errorf("no top-rung watch time accrued: rung_ms=%v", snap.Totals.RungMS)
+	}
+	// This load never crosses the reservoir in model time, but the test
+	// shares a wall clock with the OS scheduler: a hiccup past the
+	// jitter-comp grace reads as distress and sheds a rung, so only the
+	// quiet runs may pin the stronger shape. The accounting invariant
+	// holds either way: watch time appears below the top rung only if a
+	// down-switch was counted, and never off the three-rung ladder.
+	var below float64
+	for _, r := range snap.Totals.RungMS[1:] {
+		below += r
+	}
+	if snap.Totals.SwitchesUp == 0 && snap.Totals.SwitchesDown == 0 && below != 0 {
+		t.Errorf("watch time on a rung nobody was switched to: rung_ms=%v", snap.Totals.RungMS)
+	}
+	if below != 0 && snap.Totals.SwitchesDown == 0 {
+		t.Errorf("low-rung watch time without a down-switch: rung_ms=%v", snap.Totals.RungMS)
+	}
+	if len(snap.Totals.RungMS) > 3 && snap.Totals.RungMS[3] != 0 {
+		t.Errorf("watch time off the ladder: rung_ms=%v", snap.Totals.RungMS)
+	}
+}

@@ -146,6 +146,24 @@ type Config struct {
 	// arrival down its title's ladder instead of replying BUSY. Requires
 	// Ladder.
 	Downgrade bool
+
+	// Adapt enables mid-stream bitrate adaptation (the buffer-occupancy
+	// rate map, engine.AdaptConfig): in-service streams shed a rung when
+	// their buffer slack falls inside the reservoir and climb back on
+	// sustained headroom. The stats line grows the switches_up /
+	// switches_down / rung_ms fields. Requires Ladder; mutually
+	// exclusive with Share (the sharing layer batches viewers onto one
+	// stream, which a per-viewer rate switch would split). Pair with
+	// JitterComp at high Scale: the reservoir is judged with the same
+	// wall-scaled grace as underruns, and without it OS timer wobble
+	// reads as buffer distress and sheds rate spuriously (SERVING.md,
+	// tuning notes).
+	Adapt bool
+
+	// AdaptReservoir overrides the rate map's down-switch threshold in
+	// worst-case service times (0 = the engine default of 0.25). Only
+	// meaningful with Adapt.
+	AdaptReservoir float64
 }
 
 // ServeLadder is the demo catalog's bitrate ladder in ladder mode: the
@@ -219,6 +237,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Downgrade && !cfg.Ladder {
 		return nil, fmt.Errorf("serve: downgrading admission requires the ladder catalog")
 	}
+	if cfg.Adapt && !cfg.Ladder {
+		return nil, fmt.Errorf("serve: mid-stream adaptation requires the ladder catalog")
+	}
+	if cfg.Adapt && cfg.Share {
+		return nil, fmt.Errorf("serve: mid-stream adaptation and the sharing front end are mutually exclusive")
+	}
 	spec, cr, _ := vod.PaperEnvironment()
 	lib, err := catalog.New(catalog.Config{
 		Titles: 6 * cfg.Disks, Disks: cfg.Disks, Spec: spec, PopularityTheta: 0.271,
@@ -245,6 +269,7 @@ func New(cfg Config) (*Server, error) {
 		CR:                cr,
 		Rates:             ladderRates(cfg, lib),
 		Downgrade:         cfg.Downgrade,
+		Adapt:             adaptConfig(cfg),
 		Alpha:             1,
 		TLog:              vod.Minutes(40),
 		Library:           lib,
@@ -288,6 +313,15 @@ func New(cfg Config) (*Server, error) {
 		})
 	}
 	return srv, nil
+}
+
+// adaptConfig maps the server knobs to the engine's adaptation config:
+// nil (adaptation off) unless Config.Adapt.
+func adaptConfig(cfg Config) *engine.AdaptConfig {
+	if !cfg.Adapt {
+		return nil
+	}
+	return &engine.AdaptConfig{Reservoir: cfg.AdaptReservoir}
 }
 
 // ladderVideo returns the demo catalog's title factory: nil (the plain
@@ -396,6 +430,7 @@ func newFleet(cfg Config) (*Server, error) {
 			CR:                cr,
 			Rates:             rates,
 			Downgrade:         cfg.Downgrade,
+			Adapt:             adaptConfig(cfg),
 			Alpha:             1,
 			TLog:              vod.Minutes(40),
 			Seed:              cfg.Seed,
@@ -471,6 +506,9 @@ func (r offsetObserver) OnUnderrun(disk int, id int, now, gap si.Seconds) {
 }
 func (r offsetObserver) OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds) {
 	r.o.OnDowngrade(r.off+disk, req, from, to, now)
+}
+func (r offsetObserver) OnRateSwitch(disk int, st *engine.Stream, from, to si.BitRate, now si.Seconds) {
+	r.o.OnRateSwitch(r.off+disk, st, from, to, now)
 }
 func (r offsetObserver) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
 	r.o.OnDepart(r.off+disk, st, now)

@@ -56,10 +56,14 @@ type recEvents struct {
 
 func newRecEvents() *recEvents { return &recEvents{data: make(map[int]si.Bits)} }
 
-func (r *recEvents) ViewerAdmitted(v *Viewer, now si.Seconds) { r.admitted = append(r.admitted, v.ID()) }
-func (r *recEvents) ViewerRejected(v *Viewer, now si.Seconds) { r.rejected = append(r.rejected, v.ID()) }
+func (r *recEvents) ViewerAdmitted(v *Viewer, now si.Seconds) {
+	r.admitted = append(r.admitted, v.ID())
+}
+func (r *recEvents) ViewerRejected(v *Viewer, now si.Seconds) {
+	r.rejected = append(r.rejected, v.ID())
+}
 func (r *recEvents) ViewerData(v *Viewer, total si.Bits, now si.Seconds) { r.data[v.ID()] = total }
-func (r *recEvents) ViewerDone(v *Viewer, now si.Seconds)     { r.done = append(r.done, v.ID()) }
+func (r *recEvents) ViewerDone(v *Viewer, now si.Seconds)                { r.done = append(r.done, v.ID()) }
 
 func req(id, video, disk int, arrival, viewing si.Seconds) workload.Request {
 	return workload.Request{ID: id, Arrival: arrival, Video: video, Disk: disk, Viewing: viewing}

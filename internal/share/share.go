@@ -158,8 +158,8 @@ type SharedStream struct {
 	id       int
 	title    int
 	disk     int
-	live     bool // admitted into service (false while queued)
-	canceled bool // closed: no joins, no further deliveries expected
+	live     bool       // admitted into service (false while queued)
+	canceled bool       // closed: no joins, no further deliveries expected
 	rate     si.BitRate // the leader's consumption rate; joiners adopt it
 	landed   si.Bits
 	viewing  si.Seconds // widest horizon requested so far (monotone)

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/diskmodel"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/share"
+	"repro/internal/si"
+	"repro/internal/workload"
+)
+
+// ladderLibrary builds a single-disk library whose titles carry a
+// three-rung bitrate ladder (1.5 / 1.0 / 0.5 Mbps).
+func ladderLibrary(t *testing.T) (*catalog.Library, []si.BitRate) {
+	t.Helper()
+	ladder := []si.BitRate{si.Mbps(1.5), si.Mbps(1.0), si.Mbps(0.5)}
+	lib, err := catalog.New(catalog.Config{
+		Titles:          6,
+		Disks:           1,
+		Spec:            diskmodel.Barracuda9LP(),
+		PopularityTheta: 0.271,
+		Video: func(id int) catalog.Video {
+			v := catalog.MPEG1Video(id)
+			v.Ladder = ladder
+			return v
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, ladder
+}
+
+// ladderConfig is a multi-rate day-sim config with every request stamped
+// at its title's top rung.
+func ladderConfig(t *testing.T, lib *catalog.Library, ladder []si.BitRate, perDay float64) Config {
+	t.Helper()
+	tr := workload.Generate(workload.ZipfDay(perDay, 0, si.Hours(3), si.Hours(8)), lib, 11)
+	for i, r := range tr.Requests {
+		tr.Requests[i].Rate = lib.Video(r.Video).Rate
+	}
+	return Config{
+		Scheme:    Dynamic,
+		Method:    sched.NewMethod(sched.RoundRobin),
+		Spec:      diskmodel.Barracuda9LP(),
+		CR:        ladder[0],
+		Rates:     ladder,
+		Downgrade: true,
+		Library:   lib,
+		Trace:     tr,
+		Seed:      7,
+	}
+}
+
+func TestAdaptValidation(t *testing.T) {
+	lib := testLibrary(t, 1)
+	tr := lightTrace(t, lib, 100, 0.271, 1)
+	cfg := testConfig(t, Dynamic, sched.RoundRobin, lib, tr)
+	cfg.Adapt = &engine.AdaptConfig{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Adapt without Rates accepted")
+	}
+
+	llib, ladder := ladderLibrary(t)
+	lcfg := ladderConfig(t, llib, ladder, 500)
+	lcfg.Adapt = &engine.AdaptConfig{}
+	lcfg.Share = &share.Options{}
+	if _, err := Run(lcfg); err == nil {
+		t.Fatal("Adapt with Share accepted")
+	}
+
+	lcfg.Share = nil
+	lcfg.Adapt = &engine.AdaptConfig{Headroom: 1.5}
+	if _, err := Run(lcfg); err == nil {
+		t.Fatal("out-of-range adaptation headroom accepted")
+	}
+}
+
+// TestAdaptationSwitchesAndAccounting drives the adaptive arm over an
+// overloaded day: downgrading admission parks peak arrivals at low
+// rungs, and as the peak recedes the rate map must step them back up —
+// rebuffering no more than the reject-only baseline does — while the
+// collector keeps a consistent delivered-rung time distribution.
+func TestAdaptationSwitchesAndAccounting(t *testing.T) {
+	lib, ladder := ladderLibrary(t)
+	base := ladderConfig(t, lib, ladder, 2*2500)
+	base.Downgrade = false
+	reject, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ladderConfig(t, lib, ladder, 2*2500)
+	cfg.Adapt = &engine.AdaptConfig{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if res.Underruns > reject.Underruns {
+		t.Fatalf("adaptation rebuffered %d times vs the reject-only baseline's %d", res.Underruns, reject.Underruns)
+	}
+	if res.SwitchesUp == 0 {
+		t.Fatalf("no up-switches over an overloaded day (down %d): the rate map never recovered downgraded streams", res.SwitchesDown)
+	}
+	watch := res.WatchSeconds()
+	if watch <= 0 {
+		t.Fatal("no delivered-rung watch time recorded")
+	}
+	tw := res.TimeWeightedRate()
+	if tw < ladder[len(ladder)-1] || tw > ladder[0] {
+		t.Fatalf("time-weighted rate %v outside the ladder [%v, %v]", tw, ladder[len(ladder)-1], ladder[0])
+	}
+	if q := res.QoEScore(ladder[0]); q <= 0 || q > 1 {
+		t.Fatalf("QoE score %v outside (0, 1]", q)
+	}
+	t.Logf("served=%d downgrades=%d up=%d down=%d tw=%.3f Mbps watch=%.0fh qoe=%.3f",
+		res.Served, res.Downgrades, res.SwitchesUp, res.SwitchesDown,
+		float64(tw)/1e6, float64(watch)/3600, res.QoEScore(ladder[0]))
+}
+
+// TestAdaptNoTriggerMatchesAdaptOff pins the identity contract from the
+// policy side: an adaptation config whose thresholds never fire must
+// reproduce the adaptation-off run's results exactly (the byte-identical
+// golden contract covers the code-path side).
+func TestAdaptNoTriggerMatchesAdaptOff(t *testing.T) {
+	// Light enough that no stream ever nears the reservoir: at heavy
+	// load streams with negative slack trip the down trigger no matter
+	// how small the threshold.
+	lib, ladder := ladderLibrary(t)
+	base := ladderConfig(t, lib, ladder, 800)
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	// A reservoir this small never catches a schedule that plans fills
+	// two service times early, and Sustain this large never matures.
+	on.Adapt = &engine.AdaptConfig{Reservoir: 1e-12, Sustain: 1 << 30}
+	got, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RateSwitches() != 0 {
+		t.Fatalf("no-trigger config switched %d times", got.RateSwitches())
+	}
+	if got.Served != off.Served || got.Rejected != off.Rejected ||
+		got.Underruns != off.Underruns || got.Downgrades != off.Downgrades ||
+		got.Deferrals != off.Deferrals || got.MaxConcurrent != off.MaxConcurrent ||
+		got.PeakMemory != off.PeakMemory {
+		t.Fatalf("no-trigger adaptation diverged from adaptation-off:\n on: served=%d rejected=%d underruns=%d downgrades=%d\noff: served=%d rejected=%d underruns=%d downgrades=%d",
+			got.Served, got.Rejected, got.Underruns, got.Downgrades,
+			off.Served, off.Rejected, off.Underruns, off.Downgrades)
+	}
+	if !reflect.DeepEqual(got.ServedByRate, off.ServedByRate) {
+		t.Fatalf("no-trigger adaptation shifted the admitted-rung distribution: %v vs %v", got.ServedByRate, off.ServedByRate)
+	}
+}

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -47,6 +48,16 @@ type Config struct {
 	// fit at its requested rate steps down its title's ladder instead of
 	// being rejected (engine.Config.Downgrade). Requires Rates.
 	Downgrade bool
+
+	// Adapt, when non-nil, enables mid-stream bitrate adaptation
+	// (engine.Config.Adapt): started streams step down their title's
+	// ladder when buffer occupancy falls inside the reservoir and back
+	// up toward the requested rung on sustained bandwidth headroom.
+	// Requires Rates; cannot combine with Share (a shared stream serves
+	// many viewers at one rate and must not be re-rated under one
+	// viewer's buffer signal). Switch counts and the delivered-rung time
+	// distribution land in Result.SwitchesUp/SwitchesDown/RungSeconds.
+	Adapt *engine.AdaptConfig
 
 	// Alpha is the dynamic scheme's inertia slack (default 1).
 	Alpha int
@@ -173,6 +184,14 @@ func (c *Config) normalize() error {
 	if c.Grace < 0 || c.Until < 0 || c.MemoryBudget < 0 || c.PageSize < 0 {
 		return fmt.Errorf("sim: negative Grace, Until, MemoryBudget, or PageSize")
 	}
+	if c.Adapt != nil {
+		if len(c.Rates) == 0 {
+			return fmt.Errorf("sim: Adapt requires a multi-rate ladder (Config.Rates)")
+		}
+		if c.Share != nil {
+			return fmt.Errorf("sim: Adapt cannot combine with Share (a shared stream serves many viewers at one rate)")
+		}
+	}
 	for _, r := range c.Trace.Requests {
 		if r.Disk < 0 || r.Disk >= c.Library.Disks() {
 			return fmt.Errorf("sim: trace request %d targets disk %d of %d", r.ID, r.Disk, c.Library.Disks())
@@ -208,8 +227,20 @@ type Result struct {
 
 	// ServedByRate counts served streams by the consumption rate they
 	// were admitted at — the delivered-rung distribution for multi-rate
-	// runs. Nil for single-rate runs.
+	// runs. Nil for single-rate runs. Mid-stream adaptation does not
+	// update it: it stays the admission-time distribution, while
+	// RungSeconds carries the delivered picture.
 	ServedByRate map[si.BitRate]int
+
+	// SwitchesUp and SwitchesDown count mid-stream adaptation switches
+	// (the engine's OnRateSwitch); zero unless Config.Adapt is set.
+	SwitchesUp, SwitchesDown int
+
+	// RungSeconds integrates watch time by delivered rung: each started
+	// stream contributes the seconds it spent consuming at each rate,
+	// across any mid-stream switches. Nil for single-rate runs. Its sum
+	// is the run's total watch time; TimeWeightedRate is its mean.
+	RungSeconds map[si.BitRate]si.Seconds
 
 	// Estimates / EstimateHits give the successful-estimation probability
 	// of Figs. 7b/8b; EstimatedK averages kc as in Figs. 7a/8a.
@@ -272,6 +303,72 @@ func (r *Result) StarvationProb() float64 {
 	return float64(r.StarvedStreams) / float64(r.Served)
 }
 
+// RateSwitches totals mid-stream switches in both directions.
+func (r *Result) RateSwitches() int { return r.SwitchesUp + r.SwitchesDown }
+
+// rungsSorted lists RungSeconds' rungs in ascending rate order, so the
+// float accumulations below sum in a deterministic order — map iteration
+// order would make golden reports differ run to run.
+func (r *Result) rungsSorted() []si.BitRate {
+	rates := make([]si.BitRate, 0, len(r.RungSeconds))
+	for rate := range r.RungSeconds {
+		rates = append(rates, rate)
+	}
+	sort.Slice(rates, func(i, j int) bool { return rates[i] < rates[j] })
+	return rates
+}
+
+// WatchSeconds totals delivered watch time across rungs (zero for
+// single-rate runs, which do not keep the distribution).
+func (r *Result) WatchSeconds() si.Seconds {
+	var total si.Seconds
+	for _, rate := range r.rungsSorted() {
+		total += r.RungSeconds[rate]
+	}
+	return total
+}
+
+// TimeWeightedRate is the mean delivered rung weighted by watch time —
+// Σ rate·seconds / Σ seconds over RungSeconds. This is the QoE layer's
+// "what rate did viewers actually watch at", which admission-time
+// distributions miss once mid-stream switching moves streams across
+// rungs mid-viewing. Zero when no rung time was recorded.
+func (r *Result) TimeWeightedRate() si.BitRate {
+	var num float64
+	var den si.Seconds
+	for _, rate := range r.rungsSorted() {
+		s := r.RungSeconds[rate]
+		num += float64(rate) * float64(s)
+		den += s
+	}
+	if den <= 0 {
+		return 0
+	}
+	return si.BitRate(num / float64(den))
+}
+
+// QoEScore is the rebuffer-aware quality score the adaptation experiment
+// ranks its arms by, normalized to the ladder's top rung: the
+// time-weighted delivered rung as a fraction of top, minus the fraction
+// of watch time spent rebuffering (arXiv:1108.0187's starvation cost
+// dominates perceived quality, so it carries full weight), minus a 2%
+// penalty per switch per served stream (the stability term of Huang et
+// al.'s buffer-based adaptation). Zero when the run kept no rung
+// distribution.
+func (r *Result) QoEScore(top si.BitRate) float64 {
+	watch := r.WatchSeconds()
+	if watch <= 0 || top <= 0 {
+		return 0
+	}
+	served := r.Served
+	if served < 1 {
+		served = 1
+	}
+	return float64(r.TimeWeightedRate())/float64(top) -
+		float64(r.Starved)/float64(watch) -
+		0.02*float64(r.RateSwitches())/float64(served)
+}
+
 // collector translates the engine's Observer callbacks into the Result the
 // experiments consume. It is the simulator's entire measurement apparatus:
 // the engine itself keeps no counters.
@@ -294,6 +391,31 @@ func (c *collector) OnDepart(disk int, st *engine.Stream, now si.Seconds) {
 	if st.Starved() {
 		c.res.StarvedStreams++
 	}
+	if st.Started() {
+		c.addRungTime(st.Rate(), now-st.RateSince())
+	}
+}
+
+func (c *collector) OnRateSwitch(disk int, st *engine.Stream, from, to si.BitRate, now si.Seconds) {
+	if to > from {
+		c.res.SwitchesUp++
+	} else {
+		c.res.SwitchesDown++
+	}
+	// RateSince still reports the start of the epoch that ends here.
+	c.addRungTime(from, now-st.RateSince())
+}
+
+// addRungTime accrues watch time at one delivered rung. Multi-rate runs
+// only; single-rate runs keep Result.RungSeconds nil.
+func (c *collector) addRungTime(rate si.BitRate, dur si.Seconds) {
+	if !c.multi || dur <= 0 {
+		return
+	}
+	if c.res.RungSeconds == nil {
+		c.res.RungSeconds = make(map[si.BitRate]si.Seconds)
+	}
+	c.res.RungSeconds[rate] += dur
 }
 
 func (c *collector) OnDowngrade(disk int, req workload.Request, from, to si.BitRate, now si.Seconds) {
@@ -454,6 +576,7 @@ func Run(cfg Config) (*Result, error) {
 		ChurnSafeAdmission:    cfg.ChurnSafeAdmission,
 		DeadlineAwareBubbleUp: cfg.DeadlineAwareBubbleUp,
 		RampAwarePlanning:     cfg.RampAwarePlanning,
+		Adapt:                 cfg.Adapt,
 		Library:               cfg.Library,
 		PageSize:              cfg.PageSize,
 		DisableBubbleUp:       cfg.DisableBubbleUp,
@@ -545,6 +668,11 @@ func Run(cfg Config) (*Result, error) {
 		for _, s := range d.Streams() {
 			if s.Starved() {
 				res.StarvedStreams++
+			}
+			// Still in service at the horizon: close its rung epoch here,
+			// mirroring the starved-stream sweep above.
+			if s.Started() {
+				col.addRungTime(s.Rate(), clock.Now()-s.RateSince())
 			}
 		}
 	}

@@ -232,6 +232,11 @@ type LibraryConfig = catalog.Config
 // Video function yields the paper's 120-minute 1.5 Mbps MPEG-1 titles.
 func NewLibrary(cfg LibraryConfig) (*Library, error) { return catalog.New(cfg) }
 
+// MPEG1Video returns the paper's canonical title: a 120-minute MPEG-1
+// video at 1.5 Mbps. The usual starting point for a LibraryConfig.Video
+// factory that decorates titles — say, with a bitrate Ladder.
+func MPEG1Video(id int) Video { return catalog.MPEG1Video(id) }
+
 // Trace is a generated workload: request arrivals with titles and
 // viewing times.
 type Trace = workload.Trace
@@ -274,6 +279,13 @@ func GenerateVCRWorkload(s ArrivalSchedule, lib *Library, seed int64, vcr VCROpt
 
 // SimConfig parameterizes one simulation run.
 type SimConfig = sim.Config
+
+// AdaptConfig parameterizes mid-stream bitrate adaptation
+// (SimConfig.Adapt / EngineConfig.Adapt): the buffer-occupancy rate map
+// that steps in-service streams down their title's ladder below the
+// reservoir and back up under sustained bandwidth headroom. The zero
+// value selects the engine defaults; see the field docs for the knobs.
+type AdaptConfig = engine.AdaptConfig
 
 // SimResult carries a run's measurements: latency by load level,
 // admission counters, starvation, estimation quality, and the sampled
